@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/activation.hpp"
+#include "spp/instance.hpp"
+#include "support/table.hpp"
+#include "trace/recording.hpp"
+
+namespace commroute::bench {
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Builds the paper's node-activation scripts: one step per named node,
+/// either poll-all (REA) or read-one-from-every-channel (REO / REF).
+inline model::ActivationScript named_script(
+    const spp::Instance& inst, const std::vector<std::string>& nodes,
+    bool poll_all) {
+  model::ActivationScript script;
+  for (const std::string& name : nodes) {
+    const NodeId v = inst.graph().node(name);
+    script.push_back(poll_all ? model::poll_all_step(inst, v)
+                              : model::read_every_one_step(inst, v));
+  }
+  return script;
+}
+
+/// Prints the paper's activation-table format: step, updating node, the
+/// path it selects.
+inline void print_activation_table(const spp::Instance& inst,
+                                   const trace::Recording& rec) {
+  TextTable table;
+  table.set_header({"t", "U(t)", "pi_{U(t)}(t)"});
+  for (std::size_t t = 0; t < rec.steps.size(); ++t) {
+    const NodeId v = rec.steps[t].step.node();
+    table.add_row({std::to_string(t + 1), inst.graph().name(v),
+                   inst.path_name(rec.trace.at(t + 1)[v])});
+  }
+  std::cout << table.render();
+}
+
+/// Exit code helper: prints the verdict line and returns 0/1.
+inline int verdict(bool ok, const std::string& what) {
+  std::cout << "\n[" << (ok ? "OK" : "MISMATCH") << "] " << what << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace commroute::bench

@@ -1,0 +1,80 @@
+// Ablation over the "number of nodes updating" dimension (Def. 2.6,
+// Ex. A.6): the same base model behaves differently when every node
+// updates simultaneously. Single-node polling provably converges on
+// DISAGREE (Thm. 3.8), synchronous polling oscillates; safe instances
+// converge either way but at different activation costs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "engine/runner.hpp"
+#include "spp/gadgets.hpp"
+
+int main() {
+  using namespace commroute;
+  using model::Model;
+
+  bench::banner("Ablation — single-node vs. synchronous activation");
+
+  struct Case {
+    std::string instance_name;
+    spp::Instance instance;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"DISAGREE", spp::disagree()});
+  cases.push_back({"GOOD-GADGET", spp::good_gadget()});
+  cases.push_back({"SHORTEST-RING-6", spp::shortest_ring(6)});
+
+  bool ok = true;
+  TextTable table;
+  table.set_header({"instance", "base model", "|U|=1 (round-robin)",
+                    "U=V (synchronous)", "rr activations",
+                    "sync activations"});
+  for (const Case& c : cases) {
+    for (const char* base : {"R1A", "REA", "REO", "RMS"}) {
+      const Model m = Model::parse(base);
+
+      engine::RoundRobinScheduler rr(m, c.instance);
+      const auto one = engine::run(c.instance, rr,
+                                   {.max_steps = 20000,
+                                    .record_trace = false});
+
+      engine::SynchronousScheduler sync(m, c.instance);
+      const auto every = engine::run(c.instance, sync,
+                                     {.max_steps = 20000,
+                                      .record_trace = false});
+
+      const auto activations = [](const engine::RunResult& r) {
+        std::uint64_t total = 0;
+        for (const auto n : r.node_activations) {
+          total += n;
+        }
+        return total;
+      };
+      table.add_row({c.instance_name, base,
+                     engine::to_string(one.outcome),
+                     engine::to_string(every.outcome),
+                     std::to_string(activations(one)),
+                     std::to_string(activations(every))});
+
+      if (c.instance_name == "DISAGREE") {
+        // Polling: converges single-node, oscillates synchronously.
+        if (std::string(base) == "R1A" || std::string(base) == "REA") {
+          ok = ok && one.outcome == engine::Outcome::kConverged;
+          ok = ok && every.outcome == engine::Outcome::kOscillating;
+        }
+      } else {
+        ok = ok && one.outcome == engine::Outcome::kConverged;
+        ok = ok && every.outcome == engine::Outcome::kConverged;
+      }
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Synchronous rounds revive the DISAGREE oscillation even "
+               "under full polling — the paper's Ex. A.6: multi-node "
+               "polling is strictly stronger than the |U| = 1 polling "
+               "models of the main taxonomy.\n";
+
+  return bench::verdict(ok,
+                        "|U| = 1 vs. U = V separation on DISAGREE "
+                        "reproduced; safe instances unaffected");
+}

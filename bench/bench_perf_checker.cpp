@@ -1,0 +1,80 @@
+// Checker microbenchmarks (google-benchmark): exhaustive exploration and
+// targeted realization-search cost on the paper's gadgets.
+#include <benchmark/benchmark.h>
+
+#include "checker/explorer.hpp"
+#include "checker/successors.hpp"
+#include "checker/targeted.hpp"
+#include "spp/gadgets.hpp"
+#include "trace/recording.hpp"
+
+namespace {
+
+using namespace commroute;
+using model::Model;
+
+void BM_ExploreDisagree(benchmark::State& state) {
+  const Model m = Model::from_index(static_cast<int>(state.range(0)));
+  const spp::Instance inst = spp::disagree();
+  std::size_t states_explored = 0;
+  for (auto _ : state) {
+    const auto r = checker::explore(inst, m, {.max_channel_length = 3});
+    states_explored = r.states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(m.name() + " (" + std::to_string(states_explored) +
+                 " states)");
+}
+BENCHMARK(BM_ExploreDisagree)->DenseRange(0, 23, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SuccessorEnumeration(benchmark::State& state) {
+  const Model m = Model::from_index(static_cast<int>(state.range(0)));
+  const spp::Instance inst = spp::example_a2();
+  engine::NetworkState net(inst);
+  // Load a few channels.
+  const NodeId d = inst.graph().node("d");
+  engine::execute_step(net, model::poll_one_step(inst, d, inst.graph().node("x")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::enumerate_steps(net, m));
+  }
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_SuccessorEnumeration)->DenseRange(0, 23, 6);
+
+void BM_TargetedSearchA4(benchmark::State& state) {
+  const spp::Instance inst = spp::example_a4();
+  model::ActivationScript script;
+  for (const char* n : {"d", "a", "u", "b", "u", "s"}) {
+    script.push_back(model::poll_all_step(inst, inst.graph().node(n)));
+  }
+  const auto rec = trace::record_script(inst, script);
+  for (auto _ : state) {
+    const auto r = checker::find_realization(
+        inst, Model::parse("R1O"), rec.trace,
+        trace::MatchKind::kRepetition);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("A.4 repetition-in-R1O (impossibility proof)");
+}
+BENCHMARK(BM_TargetedSearchA4)->Unit(benchmark::kMicrosecond);
+
+void BM_TargetedSearchA3Exact(benchmark::State& state) {
+  const spp::Instance inst = spp::example_a3();
+  model::ActivationScript script;
+  for (const char* n : {"d", "b", "u", "v", "a", "u", "v", "s", "s", "s"}) {
+    script.push_back(model::read_every_one_step(inst, inst.graph().node(n)));
+  }
+  const auto rec = trace::record_script(inst, script);
+  for (auto _ : state) {
+    const auto r = checker::find_realization(
+        inst, Model::parse("R1O"), rec.trace, trace::MatchKind::kExact);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("A.3 exact-in-R1O (impossibility proof)");
+}
+BENCHMARK(BM_TargetedSearchA3Exact)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Extension experiment (E-PERF2): how the communication model affects
+// convergence *cost* on safe instances — steps and messages to strong
+// quiescence under deterministic round-robin and randomized fair
+// schedules, across all 24 models and three instance families.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bgp/compile.hpp"
+#include "bgp/random_topology.hpp"
+#include "engine/runner.hpp"
+#include "spp/gadgets.hpp"
+
+namespace {
+
+using namespace commroute;
+using model::Model;
+
+struct Family {
+  std::string name;
+  spp::Instance instance;
+};
+
+std::uint64_t median(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Convergence cost across the taxonomy (steps / messages to "
+      "quiescence)");
+
+  Rng topo_rng(7);
+  std::vector<Family> families;
+  families.push_back({"GOOD-GADGET", spp::good_gadget()});
+  families.push_back({"SHORTEST-RING-8", spp::shortest_ring(8)});
+  families.push_back(
+      {"GAO-REXFORD-8",
+       bgp::compile_gao_rexford(
+           bgp::random_as_topology(topo_rng, {.as_count = 8}), "as0")});
+
+  bool ok = true;
+  for (const Family& family : families) {
+    std::cout << family.name << " (" << family.instance.node_count()
+              << " nodes):\n";
+    TextTable table;
+    table.set_header({"model", "rr steps", "rr msgs", "rand steps (med)",
+                      "rand msgs (med)", "rand drops (med)"});
+    for (const Model& m : Model::all()) {
+      engine::RoundRobinScheduler rr(m, family.instance);
+      const auto rr_result =
+          engine::run(family.instance, rr,
+                      {.max_steps = 100000, .record_trace = false});
+      ok = ok && rr_result.outcome == engine::Outcome::kConverged;
+
+      std::vector<std::uint64_t> steps, msgs, drops;
+      for (std::uint64_t seed = 0; seed < 7; ++seed) {
+        engine::RandomFairScheduler rand_sched(
+            m, family.instance, Rng(seed * 101 + m.index()),
+            {.drop_prob = 0.2, .sweep_period = 8});
+        const auto r = engine::run(
+            family.instance, rand_sched,
+            {.max_steps = 200000, .record_trace = false});
+        ok = ok && r.outcome == engine::Outcome::kConverged;
+        steps.push_back(r.steps);
+        msgs.push_back(r.messages_sent);
+        drops.push_back(r.messages_dropped);
+      }
+      table.add_row({m.name(), std::to_string(rr_result.steps),
+                     std::to_string(rr_result.messages_sent),
+                     std::to_string(median(steps)),
+                     std::to_string(median(msgs)),
+                     std::to_string(median(drops))});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  std::cout << "Reading guide: polling models (wxA) drain channels and "
+               "need the fewest activations; message-passing models (wxO) "
+               "need the most; unreliable variants pay for retransmitted "
+               "state through extra activations, not extra messages.\n";
+
+  return bench::verdict(ok,
+                        "all safe instances converged in all 24 models "
+                        "under both schedulers");
+}

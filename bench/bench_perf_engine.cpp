@@ -1,0 +1,100 @@
+// Engine microbenchmarks (google-benchmark): step execution throughput
+// per model, state hashing/copying, and scheduler overhead.
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "engine/scheduler.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+
+namespace {
+
+using namespace commroute;
+using model::Model;
+
+const spp::Instance& medium_instance() {
+  static const spp::Instance inst = [] {
+    Rng rng(42);
+    spp::RandomInstanceParams params;
+    params.nodes = 12;
+    params.extra_edge_prob = 0.3;
+    params.max_paths_per_node = 8;
+    return spp::random_shortest(rng, params);
+  }();
+  return inst;
+}
+
+void BM_ExecuteStep(benchmark::State& state) {
+  const Model m = Model::from_index(static_cast<int>(state.range(0)));
+  const spp::Instance& inst = medium_instance();
+  engine::RandomFairScheduler sched(m, inst, Rng(1),
+                                    {.drop_prob = 0.1, .sweep_period = 32});
+  engine::NetworkState net(inst);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto step = sched.next(net);
+    benchmark::DoNotOptimize(engine::execute_step(net, step));
+    if (++steps % 4096 == 0) {
+      net = engine::NetworkState(inst);  // reset periodically
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_ExecuteStep)->DenseRange(0, 23, 6);
+
+void BM_StateHash(benchmark::State& state) {
+  const spp::Instance& inst = medium_instance();
+  engine::RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  engine::NetworkState net(inst);
+  for (int i = 0; i < 30; ++i) {
+    engine::execute_step(net, sched.next(net));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.hash());
+  }
+}
+BENCHMARK(BM_StateHash);
+
+void BM_StateCopy(benchmark::State& state) {
+  const spp::Instance& inst = medium_instance();
+  engine::RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  engine::NetworkState net(inst);
+  for (int i = 0; i < 30; ++i) {
+    engine::execute_step(net, sched.next(net));
+  }
+  for (auto _ : state) {
+    engine::NetworkState copy = net;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_StateCopy);
+
+void BM_FullConvergenceRun(benchmark::State& state) {
+  const Model m = Model::from_index(static_cast<int>(state.range(0)));
+  const spp::Instance& inst = medium_instance();
+  for (auto _ : state) {
+    engine::RoundRobinScheduler sched(m, inst);
+    const auto result = engine::run(
+        inst, sched, {.max_steps = 100000, .record_trace = false});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_FullConvergenceRun)->DenseRange(0, 23, 6);
+
+void BM_SchedulerNext(benchmark::State& state) {
+  const spp::Instance& inst = medium_instance();
+  engine::RandomFairScheduler sched(Model::parse("UMS"), inst, Rng(3),
+                                    {.drop_prob = 0.2});
+  engine::NetworkState net(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.next(net));
+  }
+}
+BENCHMARK(BM_SchedulerNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// BGP policy lab: the taxonomy applied to interdomain routing.
+//
+// Compiles a Gao-Rexford AS topology into an SPP instance (valley-free
+// permitted paths, customer > peer > provider ranking, GR3 export
+// filtering) and shows it converging under every communication model —
+// then contrasts with BAD GADGET, a policy configuration outside the
+// Gao-Rexford rules that diverges even under polling.
+//
+//   $ ./bgp_policy_lab
+#include <iostream>
+
+#include "bgp/compile.hpp"
+#include "bgp/random_topology.hpp"
+#include "engine/runner.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace commroute;
+  using model::Model;
+
+  // A small provider hierarchy with peering and multihoming.
+  auto topo = std::make_shared<bgp::AsTopology>();
+  topo->add_peering("as0", "as1");
+  topo->add_customer_provider("as2", "as0");
+  topo->add_customer_provider("as3", "as1");
+  topo->add_peering("as2", "as3");
+  topo->add_customer_provider("as4", "as2");
+  topo->add_customer_provider("as4", "as3");
+
+  const spp::Instance inst = bgp::compile_gao_rexford(topo, "as0");
+  std::cout << "Gao-Rexford configuration compiled to SPP:\n"
+            << inst.to_string() << "\n";
+  std::cout << "Dispute-wheel free: "
+            << (spp::is_dispute_wheel_free(inst) ? "yes" : "no")
+            << " (GR1-GR3 guarantee this)\n\n";
+
+  TextTable table;
+  table.set_header({"model", "outcome", "steps", "messages"});
+  for (const Model& m : Model::all()) {
+    engine::RoundRobinScheduler sched(m, inst);
+    const auto run = engine::run(inst, sched,
+                                 {.record_trace = false,
+                                  .enforce_model = m});
+    table.add_row({m.name(), engine::to_string(run.outcome),
+                   std::to_string(run.steps),
+                   std::to_string(run.messages_sent)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Model dimensions map onto BGP configuration:\n"
+               "  R vs U — BGP-over-TCP vs. datagram transport;\n"
+               "  A      — Route Refresh (RFC 2918): poll the neighbor's "
+               "current state;\n"
+               "  O vs S — per-update event processing vs. draining the "
+               "Adj-RIB-In queue.\n\n";
+
+  // Outside Gao-Rexford: BAD GADGET diverges in every model.
+  const spp::Instance bad = spp::bad_gadget();
+  std::cout << "Counterpoint — BAD GADGET (cyclic transit preferences, "
+               "violating GR):\n"
+            << bad.to_string();
+  std::cout << "Stable solutions: " << spp::stable_assignments(bad).size()
+            << "; dispute wheel: "
+            << (spp::find_dispute_wheel(bad) ? "yes" : "no") << "\n";
+  engine::RoundRobinScheduler sched(Model::parse("REA"), bad);
+  const auto run = engine::run(bad, sched, {.max_steps = 2000,
+                                            .record_trace = false});
+  std::cout << "Under REA (polling, the strongest model): "
+            << engine::to_string(run.outcome) << " after " << run.steps
+            << " steps — no communication model can save a broken policy "
+               "configuration.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Campaign study: sweep every registered gadget across the full taxonomy
+// with deterministic and randomized fair schedules, print an aggregate
+// view, and emit the raw per-run data as CSV.
+//
+//   $ ./campaign_study            # summary table to stdout
+//   $ ./campaign_study --csv      # raw CSV instead (pipe to a file)
+#include <iostream>
+#include <string>
+
+#include "spp/gadgets.hpp"
+#include "study/campaign.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commroute;
+  const bool csv = (argc > 1 && std::string(argv[1]) == "--csv");
+
+  const auto gadgets = spp::all_gadgets();
+  study::CampaignSpec spec;
+  for (const auto& [name, inst] : gadgets) {
+    spec.instances.emplace_back(name, &inst);
+  }
+  spec.models = model::Model::all();
+  spec.schedulers = {study::SchedulerKind::kRoundRobin,
+                     study::SchedulerKind::kRandomFair};
+  spec.seeds = 3;
+  spec.max_steps = 30000;
+
+  const study::CampaignResult result = study::run_campaign(spec);
+
+  if (csv) {
+    std::cout << result.to_csv();
+    return 0;
+  }
+
+  std::cout << result.rows.size() << " runs ("
+            << spec.instances.size() << " instances x 24 models x {rr, 3 "
+               "random seeds}).\n\n";
+
+  TextTable table;
+  table.set_header({"instance", "converged", "oscillating/exhausted",
+                    "median steps (converged)"});
+  for (const auto& [name, inst] : gadgets) {
+    std::size_t converged = 0, other = 0;
+    for (const auto& row : result.rows) {
+      if (row.instance != name) {
+        continue;
+      }
+      (row.outcome == engine::Outcome::kConverged ? converged : other) += 1;
+    }
+    const auto median = result.median_steps([&](const auto& row) {
+      return row.instance == name &&
+             row.outcome == engine::Outcome::kConverged;
+    });
+    table.add_row({name, std::to_string(converged), std::to_string(other),
+                   std::to_string(median)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "BAD-GADGET and CYCLIC-5 never converge (no stable assignment "
+         "exists). DISAGREE and DISAGREE-CHAIN-2 converge under "
+         "randomized schedules but the deterministic round-robin rotation "
+         "happens to *be* an adversarial schedule for a handful of "
+         "one-message models — fair does not mean safe. Run with --csv "
+         "for the raw per-run rows.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Oscillation hunt: mine random policy instances for model separations —
+// networks that can oscillate under the message-passing model R1O but
+// provably converge under the polling model REA. Demonstrates using the
+// checker as a search tool over the instance space.
+//
+//   $ ./oscillation_hunt [seed] [max-candidates]
+#include <cstdlib>
+#include <iostream>
+
+#include "checker/explorer.hpp"
+#include "checker/minimize.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/random_gen.hpp"
+#include "spp/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commroute;
+  using model::Model;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1u;
+  const int max_candidates = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  Rng rng(seed);
+  spp::RandomInstanceParams params;
+  params.nodes = 4;
+  params.extra_edge_prob = 0.5;
+  params.max_paths_per_node = 4;
+
+  std::cout << "Hunting for instances separating R1O from REA (seed "
+            << seed << ")...\n\n";
+
+  int examined = 0, with_wheel = 0, found = 0;
+  for (int i = 0; i < max_candidates && found < 3; ++i) {
+    const spp::Instance inst = spp::random_policy(rng, params);
+    ++examined;
+
+    // Cheap prefilter: only dispute-wheel instances can ever oscillate.
+    if (spp::is_dispute_wheel_free(inst)) {
+      continue;
+    }
+    ++with_wheel;
+
+    const auto weak = checker::explore(inst, Model::parse("R1O"),
+                                       {.max_channel_length = 3,
+                                        .max_states = 60000});
+    if (!weak.oscillation_found) {
+      continue;
+    }
+    const auto strong = checker::explore(inst, Model::parse("REA"),
+                                         {.max_channel_length = 3,
+                                          .max_states = 60000});
+    if (strong.oscillation_found || !strong.exhaustive) {
+      continue;
+    }
+
+    ++found;
+    std::cout << "--- separation witness #" << found << " ---\n";
+    std::cout << inst.to_string();
+    std::cout << "  R1O: " << weak.summary() << "\n";
+    std::cout << "  REA: " << strong.summary() << "\n";
+    const auto solutions = spp::stable_assignments(inst);
+    std::cout << "  stable solutions: " << solutions.size() << "\n";
+    const auto wheel = spp::find_dispute_wheel(inst);
+    if (wheel) {
+      std::cout << "  " << wheel->to_string(inst) << "\n";
+    }
+    // Shrink to the conflict core (delta debugging).
+    const auto minimized = checker::minimize_oscillating_instance(
+        inst, Model::parse("R1O"),
+        {.max_channel_length = 3, .max_states = 60000});
+    if (minimized.removed_paths > 0) {
+      std::cout << "  minimized core (removed " << minimized.removed_paths
+                << " paths):\n"
+                << minimized.instance.to_string();
+    } else {
+      std::cout << "  instance is already path-minimal\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Examined " << examined << " random instances; "
+            << with_wheel << " had dispute wheels; " << found
+            << " separate R1O (oscillates) from REA (provably "
+               "converges).\n";
+  std::cout << "DISAGREE is the minimal such network — the hunt shows the "
+               "phenomenon is not an isolated curiosity.\n";
+  return found > 0 ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Tour of the 24-model taxonomy: for every model, check DISAGREE with the
+// exhaustive model checker and with randomized fair executions, printing
+// one row per model. Reproduces the "weak vs. strong model" split of the
+// paper at a glance.
+//
+//   $ ./taxonomy_tour
+#include <iostream>
+
+#include "checker/explorer.hpp"
+#include "engine/runner.hpp"
+#include "spp/gadgets.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace commroute;
+  using model::Model;
+
+  const spp::Instance inst = spp::disagree();
+  std::cout << "DISAGREE under every communication model:\n\n";
+
+  TextTable table;
+  table.set_header({"model", "kind", "checker verdict",
+                    "random runs converged"});
+  for (const Model& m : Model::all()) {
+    const auto check = checker::explore(inst, m, {.max_channel_length = 3});
+
+    std::size_t converged = 0;
+    const std::size_t trials = 10;
+    for (std::size_t seed = 0; seed < trials; ++seed) {
+      engine::RandomFairScheduler sched(
+          m, inst, Rng(seed),
+          {.drop_prob = m.reliable() ? 0.0 : 0.2, .sweep_period = 8});
+      const auto run = engine::run(inst, sched,
+                                   {.max_steps = 3000,
+                                    .record_trace = false});
+      if (run.outcome == engine::Outcome::kConverged) {
+        ++converged;
+      }
+    }
+
+    std::string kind;
+    if (m.is_polling()) kind = "polling";
+    else if (m.is_queueing()) kind = "queueing";
+    else if (m.is_message_passing()) kind = "message-passing";
+
+    std::string verdict;
+    if (check.oscillation_found) {
+      verdict = "can oscillate";
+    } else if (check.exhaustive) {
+      verdict = "always converges (proof)";
+    } else {
+      verdict = "no oscillation within bound";
+    }
+    table.add_row({m.name(), kind, verdict,
+                   std::to_string(converged) + "/" +
+                       std::to_string(trials)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout
+      << "Note how the \"strong\" models (REO, REF and the polling family "
+         "wxA) are the only reliable ones where DISAGREE cannot diverge — "
+         "exactly Thm. 3.8 — while randomized fair runs converge "
+         "everywhere because oscillation needs adversarial timing.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "bgp/compile.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace commroute::bgp {
+
+bool GaoRexfordExport::allows(const Graph&, NodeId from, NodeId to,
+                              const Path& path) const {
+  if (path.empty()) {
+    return true;  // withdrawals always propagate
+  }
+  // `path` is from's current route: from, next_hop, ..., destination.
+  const NodeId learned_from =
+      (path.size() >= 2) ? path.next_hop() : from;
+  return gao_rexford_export(*topo_, from, to, learned_from);
+}
+
+namespace {
+
+/// All simple AS paths from v to d with at most max_len hops that are
+/// valley-free and exportable along the way.
+std::vector<Path> permitted_paths(const AsTopology& topo, NodeId v,
+                                  NodeId d, std::size_t max_len) {
+  std::vector<Path> out;
+  std::vector<NodeId> current{v};
+  std::vector<bool> used(topo.as_count(), false);
+  used[v] = true;
+
+  const auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (at == d) {
+      Path p(current);
+      if (gao_rexford_permits(topo, p)) {
+        out.push_back(std::move(p));
+      }
+      return;
+    }
+    if (current.size() > max_len) {
+      return;
+    }
+    std::vector<NodeId> nbrs = topo.neighbors(at);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const NodeId next : nbrs) {
+      if (used[next]) {
+        continue;
+      }
+      used[next] = true;
+      current.push_back(next);
+      self(self, next);
+      current.pop_back();
+      used[next] = false;
+    }
+  };
+  dfs(dfs, v);
+  return out;
+}
+
+}  // namespace
+
+spp::Instance compile_gao_rexford(std::shared_ptr<const AsTopology> topo,
+                                  const std::string& destination,
+                                  const CompileOptions& options) {
+  CR_REQUIRE(topo != nullptr, "topology must not be null");
+  CR_REQUIRE(topo->provider_dag_acyclic(),
+             "GR1 violated: customer-provider cycle in topology");
+  const NodeId d = topo->as(destination);
+
+  // The SPP graph mirrors the AS graph (same indices and names).
+  std::vector<std::string> names;
+  names.reserve(topo->as_count());
+  for (NodeId v = 0; v < topo->as_count(); ++v) {
+    names.push_back(topo->name(v));
+  }
+  Graph graph(std::move(names));
+  for (const AsTopology::Link& link : topo->links()) {
+    graph.add_edge(link.a, link.b);
+  }
+
+  std::vector<std::vector<Path>> permitted(topo->as_count());
+  for (NodeId v = 0; v < topo->as_count(); ++v) {
+    if (v == d) {
+      continue;
+    }
+    std::vector<Path> paths =
+        permitted_paths(*topo, v, d, options.max_path_len);
+    std::sort(paths.begin(), paths.end(),
+              [&](const Path& a, const Path& b) {
+                return preference_of(*topo, a) < preference_of(*topo, b);
+              });
+    if (paths.size() > options.max_paths_per_node) {
+      paths.resize(options.max_paths_per_node);
+    }
+    permitted[v] = std::move(paths);
+  }
+
+  return spp::Instance(std::move(graph), d, std::move(permitted),
+                       std::make_shared<GaoRexfordExport>(std::move(topo)));
+}
+
+std::vector<spp::Instance> compile_all_destinations(
+    std::shared_ptr<const AsTopology> topo, const CompileOptions& options) {
+  CR_REQUIRE(topo != nullptr, "topology must not be null");
+  std::vector<spp::Instance> instances;
+  instances.reserve(topo->as_count());
+  for (NodeId d = 0; d < topo->as_count(); ++d) {
+    instances.push_back(
+        compile_gao_rexford(topo, topo->name(d), options));
+  }
+  return instances;
+}
+
+}  // namespace commroute::bgp

@@ -1,0 +1,52 @@
+// Compilation of Gao-Rexford BGP configurations into SPP instances.
+//
+// The SPP instance's permitted paths are exactly the valley-free,
+// hop-by-hop-exportable AS paths to the destination, ranked by the
+// Gao-Rexford preference order; an ExportPolicy enforcing GR3 is attached
+// so the engine's announcement step filters like a real BGP speaker.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/topology.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::bgp {
+
+struct CompileOptions {
+  std::size_t max_path_len = 6;        ///< max AS hops per permitted path
+  std::size_t max_paths_per_node = 16; ///< keep the best k paths
+};
+
+/// SPP export policy enforcing GR3 at announcement time.
+class GaoRexfordExport final : public spp::ExportPolicy {
+ public:
+  explicit GaoRexfordExport(std::shared_ptr<const AsTopology> topo)
+      : topo_(std::move(topo)) {}
+
+  bool allows(const Graph& graph, NodeId from, NodeId to,
+              const Path& path) const override;
+
+ private:
+  std::shared_ptr<const AsTopology> topo_;
+};
+
+/// Compiles `topo` with destination AS `destination` into an SPP
+/// instance. Node ids and names carry over 1:1. Throws if GR1 (provider
+/// acyclicity) is violated.
+spp::Instance compile_gao_rexford(std::shared_ptr<const AsTopology> topo,
+                                  const std::string& destination,
+                                  const CompileOptions& options = {});
+
+/// Real BGP computes routes per prefix; with per-destination policies the
+/// computations are independent, so a full routing configuration is one
+/// SPP instance per originating AS. Returns them in AS-index order.
+std::vector<spp::Instance> compile_all_destinations(
+    std::shared_ptr<const AsTopology> topo,
+    const CompileOptions& options = {});
+
+}  // namespace commroute::bgp

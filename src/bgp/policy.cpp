@@ -1,0 +1,69 @@
+#include "bgp/policy.hpp"
+
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace commroute::bgp {
+
+RouteClass classify(const AsTopology& topo, NodeId at, NodeId from) {
+  const auto rel = topo.relationship(at, from);
+  CR_REQUIRE(rel.has_value(), "classify() on non-adjacent ASes");
+  switch (*rel) {
+    case Relationship::kCustomer:
+      return RouteClass::kCustomerRoute;
+    case Relationship::kPeer:
+      return RouteClass::kPeerRoute;
+    case Relationship::kProvider:
+      return RouteClass::kProviderRoute;
+  }
+  throw InvariantError("bad Relationship");
+}
+
+bool gao_rexford_export(const AsTopology& topo, NodeId from, NodeId to,
+                        NodeId learned_from) {
+  if (learned_from == from) {
+    return true;  // own (originated) routes go to everyone
+  }
+  // Customer routes go to everyone; other routes only to customers.
+  if (classify(topo, from, learned_from) == RouteClass::kCustomerRoute) {
+    return true;
+  }
+  return topo.relationship(from, to) == Relationship::kCustomer;
+}
+
+bool gao_rexford_permits(const AsTopology& topo, const Path& p) {
+  // Walk the path from the destination backwards: each intermediate AS
+  // v_i must be willing to export the suffix (learned from v_{i+1}) to
+  // v_{i-1}.
+  for (std::size_t i = p.size() - 1; i >= 1; --i) {
+    const NodeId announcer = p.at(i);
+    const NodeId receiver = p.at(i - 1);
+    if (!topo.relationship(announcer, receiver).has_value()) {
+      return false;  // not even adjacent
+    }
+    const NodeId learned_from =
+        (i + 1 < p.size()) ? p.at(i + 1) : announcer;
+    if (!gao_rexford_export(topo, announcer, receiver, learned_from)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RoutePreference::operator<(const RoutePreference& o) const {
+  return std::tuple(static_cast<int>(route_class), path_length, next_hop) <
+         std::tuple(static_cast<int>(o.route_class), o.path_length,
+                    o.next_hop);
+}
+
+RoutePreference preference_of(const AsTopology& topo, const Path& p) {
+  CR_REQUIRE(p.size() >= 2, "preference_of needs a route with a next hop");
+  RoutePreference pref;
+  pref.route_class = classify(topo, p.source(), p.next_hop());
+  pref.path_length = p.size();
+  pref.next_hop = p.next_hop();
+  return pref;
+}
+
+}  // namespace commroute::bgp

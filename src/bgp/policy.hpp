@@ -1,0 +1,57 @@
+// Gao-Rexford routing policies over an AS topology.
+//
+// The three Gao-Rexford conditions [Gao & Rexford, ToN 2001] guarantee
+// BGP convergence without global coordination:
+//   GR1  the customer->provider digraph is acyclic;
+//   GR2  prefer customer-learned routes over peer-learned over
+//        provider-learned;
+//   GR3  export customer routes to everyone, but peer/provider routes
+//        only to customers (valley-free routing).
+// Instances compiled under these policies are dispute-wheel free, so every
+// fair execution converges in every communication model of the taxonomy —
+// which the tests verify empirically.
+#pragma once
+
+#include <optional>
+
+#include "bgp/topology.hpp"
+#include "core/path.hpp"
+
+namespace commroute::bgp {
+
+/// Preference class of a route by the relationship with the neighbor it
+/// was learned from; lower is better (GR2).
+enum class RouteClass : std::uint8_t {
+  kCustomerRoute = 0,
+  kPeerRoute = 1,
+  kProviderRoute = 2,
+};
+
+/// Classifies a route at `at` learned from `from` (both adjacent).
+RouteClass classify(const AsTopology& topo, NodeId at, NodeId from);
+
+/// GR3 export rule: may `from` announce to neighbor `to` a route it
+/// learned from `learned_from`? (Origin routes pass learned_from == from.)
+bool gao_rexford_export(const AsTopology& topo, NodeId from, NodeId to,
+                        NodeId learned_from);
+
+/// True if the AS path `p` (source first, destination last) is valley-free
+/// and exportable hop by hop under GR3, i.e. every intermediate AS is
+/// willing to propagate it.
+bool gao_rexford_permits(const AsTopology& topo, const Path& p);
+
+/// Total preference order for routes at one AS (lower tuple = better):
+/// (route class, AS-path length, next-hop index). Deterministic and
+/// strict across different next hops, as SPP ranking requires.
+struct RoutePreference {
+  RouteClass route_class = RouteClass::kProviderRoute;
+  std::size_t path_length = 0;
+  NodeId next_hop = kNoNode;
+
+  bool operator<(const RoutePreference& o) const;
+};
+
+/// Preference of path `p` at its source. Requires p.size() >= 2.
+RoutePreference preference_of(const AsTopology& topo, const Path& p);
+
+}  // namespace commroute::bgp

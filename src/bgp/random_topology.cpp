@@ -1,0 +1,42 @@
+#include "bgp/random_topology.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::bgp {
+
+std::shared_ptr<AsTopology> random_as_topology(
+    Rng& rng, const RandomTopologyParams& params) {
+  CR_REQUIRE(params.as_count >= 2, "need at least two ASes");
+  auto topo = std::make_shared<AsTopology>();
+  std::vector<std::string> names;
+  names.reserve(params.as_count);
+  for (std::size_t i = 0; i < params.as_count; ++i) {
+    names.push_back("as" + std::to_string(i));
+    topo->add_as(names.back());
+  }
+
+  // Backbone: everyone below the top tier buys transit from someone above.
+  for (std::size_t i = 1; i < params.as_count; ++i) {
+    const std::size_t provider = static_cast<std::size_t>(rng.below(i));
+    topo->add_customer_provider(names[i], names[provider]);
+  }
+
+  // Multihoming and peering.
+  for (std::size_t i = 0; i < params.as_count; ++i) {
+    for (std::size_t j = i + 1; j < params.as_count; ++j) {
+      if (topo->relationship(static_cast<NodeId>(i),
+                             static_cast<NodeId>(j))
+              .has_value()) {
+        continue;
+      }
+      if (rng.chance(params.extra_provider_prob)) {
+        topo->add_customer_provider(names[j], names[i]);
+      } else if (rng.chance(params.peering_prob)) {
+        topo->add_peering(names[i], names[j]);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace commroute::bgp

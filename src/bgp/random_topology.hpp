@@ -1,0 +1,27 @@
+// Random Internet-like AS topologies.
+//
+// Generates hierarchies satisfying GR1 by construction: ASes are ordered
+// by tier (index 0 highest); customer-provider links always point from a
+// higher index (customer) to a lower index (provider), so the provider
+// digraph is acyclic. Optional peering links connect arbitrary pairs.
+#pragma once
+
+#include <memory>
+
+#include "bgp/topology.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::bgp {
+
+struct RandomTopologyParams {
+  std::size_t as_count = 8;
+  double extra_provider_prob = 0.25;  ///< multihoming probability per pair
+  double peering_prob = 0.15;         ///< peering probability per pair
+};
+
+/// Random GR1-compliant topology; AS names are "as0".."asN-1" and every
+/// AS except as0 has at least one provider with a smaller index.
+std::shared_ptr<AsTopology> random_as_topology(
+    Rng& rng, const RandomTopologyParams& params = {});
+
+}  // namespace commroute::bgp

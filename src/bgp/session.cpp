@@ -1,0 +1,104 @@
+#include "bgp/session.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::bgp {
+
+std::string SessionConfig::describe() const {
+  std::ostringstream os;
+  os << (transport == Transport::kTcp ? "BGP-over-TCP" : "datagram BGP");
+  switch (peers) {
+    case PeerScope::kSinglePeer:
+      os << ", one peer per iteration";
+      break;
+    case PeerScope::kSomePeers:
+      os << ", scheduler-chosen peers";
+      break;
+    case PeerScope::kAllPeers:
+      os << ", all peers per iteration";
+      break;
+  }
+  switch (processing) {
+    case UpdateProcessing::kPerUpdate:
+      os << ", per-update processing";
+      break;
+    case UpdateProcessing::kDrainQueue:
+      os << ", Adj-RIB-In queue draining";
+      break;
+    case UpdateProcessing::kBatchAtLeastOne:
+      os << ", batched processing (>= 1 update)";
+      break;
+    case UpdateProcessing::kRouteRefresh:
+      os << ", route refresh (RFC 2918)";
+      break;
+  }
+  return os.str();
+}
+
+model::Model model_for(const SessionConfig& config) {
+  model::Model m;
+  m.reliability = (config.transport == Transport::kTcp)
+                      ? model::Reliability::kReliable
+                      : model::Reliability::kUnreliable;
+  switch (config.peers) {
+    case PeerScope::kSinglePeer:
+      m.neighbors = model::NeighborMode::kOne;
+      break;
+    case PeerScope::kSomePeers:
+      m.neighbors = model::NeighborMode::kMultiple;
+      break;
+    case PeerScope::kAllPeers:
+      m.neighbors = model::NeighborMode::kEvery;
+      break;
+  }
+  switch (config.processing) {
+    case UpdateProcessing::kPerUpdate:
+      m.messages = model::MessageMode::kOne;
+      break;
+    case UpdateProcessing::kDrainQueue:
+      m.messages = model::MessageMode::kSome;
+      break;
+    case UpdateProcessing::kBatchAtLeastOne:
+      m.messages = model::MessageMode::kForced;
+      break;
+    case UpdateProcessing::kRouteRefresh:
+      m.messages = model::MessageMode::kAll;
+      break;
+  }
+  return m;
+}
+
+SessionConfig config_for(const model::Model& m) {
+  SessionConfig config;
+  config.transport = m.reliable() ? Transport::kTcp : Transport::kDatagram;
+  switch (m.neighbors) {
+    case model::NeighborMode::kOne:
+      config.peers = PeerScope::kSinglePeer;
+      break;
+    case model::NeighborMode::kMultiple:
+      config.peers = PeerScope::kSomePeers;
+      break;
+    case model::NeighborMode::kEvery:
+      config.peers = PeerScope::kAllPeers;
+      break;
+  }
+  switch (m.messages) {
+    case model::MessageMode::kOne:
+      config.processing = UpdateProcessing::kPerUpdate;
+      break;
+    case model::MessageMode::kSome:
+      config.processing = UpdateProcessing::kDrainQueue;
+      break;
+    case model::MessageMode::kForced:
+      config.processing = UpdateProcessing::kBatchAtLeastOne;
+      break;
+    case model::MessageMode::kAll:
+      config.processing = UpdateProcessing::kRouteRefresh;
+      break;
+  }
+  return config;
+}
+
+}  // namespace commroute::bgp

@@ -1,0 +1,61 @@
+// Mapping BGP session configuration onto the communication-model
+// taxonomy (Secs. 2.3 and 4 of the paper).
+//
+// The BGP specification (RFC 4271) leaves update collection
+// underspecified; different deployment choices land on different points
+// of the taxonomy:
+//   * transport:      TCP gives reliable channels (R); datagram-style
+//                     transports (as in some BGP-like protocols) give U;
+//   * route refresh:  RFC 2918 lets a speaker poll a neighbor's current
+//                     state — processing a channel then behaves like
+//                     reading *all* queued updates (A);
+//   * update handling: per-update event processing reads one message at a
+//                     time (O); draining the Adj-RIB-In queue reads any
+//                     backlog (S); a batch timer that always consumes at
+//                     least the head update is F;
+//   * peer scope:     an event loop touches one peer per iteration (1), a
+//                     scheduler may serve several (M), and a full table
+//                     refresh touches every peer (E).
+#pragma once
+
+#include <string>
+
+#include "model/model.hpp"
+
+namespace commroute::bgp {
+
+enum class Transport : std::uint8_t {
+  kTcp,       ///< reliable delivery
+  kDatagram,  ///< updates may be lost
+};
+
+enum class UpdateProcessing : std::uint8_t {
+  kPerUpdate,    ///< one message per processed peer (O)
+  kDrainQueue,   ///< read whatever is queued, possibly nothing (S)
+  kBatchAtLeastOne,  ///< consume at least the head update (F)
+  kRouteRefresh,     ///< poll the peer's current state (A)
+};
+
+enum class PeerScope : std::uint8_t {
+  kSinglePeer,    ///< one peer per iteration (1)
+  kSomePeers,     ///< scheduler-chosen subset (M)
+  kAllPeers,      ///< full refresh (E)
+};
+
+struct SessionConfig {
+  Transport transport = Transport::kTcp;
+  PeerScope peers = PeerScope::kSomePeers;
+  UpdateProcessing processing = UpdateProcessing::kDrainQueue;
+
+  std::string describe() const;
+};
+
+/// The taxonomy model this configuration operates under. The default
+/// SessionConfig maps to RMS — the queueing model the paper identifies as
+/// the natural reading of conformant BGP-over-TCP.
+model::Model model_for(const SessionConfig& config);
+
+/// Inverse mapping: a representative configuration for each model.
+SessionConfig config_for(const model::Model& m);
+
+}  // namespace commroute::bgp

@@ -1,0 +1,381 @@
+#include "checker/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "checker/successors.hpp"
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "support/error.hpp"
+
+namespace commroute::checker {
+
+namespace {
+
+using StateId = std::uint32_t;
+
+struct EdgeLabel {
+  StateId to = 0;
+  std::uint64_t attempts = 0;    ///< bitmask of channels in X
+  std::uint64_t drops = 0;       ///< channels with >= 1 dropped message
+  std::uint64_t deliveries = 0;  ///< channels with a delivered message
+  bool pi_changed = false;
+  bool pruned = false;           ///< removed by the drop-fairness fixpoint
+  std::uint32_t step_index = 0;  ///< into the witness step store
+};
+
+constexpr std::uint32_t kNoStep = static_cast<std::uint32_t>(-1);
+
+struct ConfigGraph {
+  std::vector<engine::NetworkState> states;
+  std::vector<std::vector<EdgeLabel>> edges;
+  std::unordered_map<std::size_t, std::vector<StateId>> index;
+
+  StateId intern(const engine::NetworkState& s, bool& is_new) {
+    const std::size_t h = s.hash();
+    for (const StateId id : index[h]) {
+      if (states[id] == s) {
+        is_new = false;
+        return id;
+      }
+    }
+    const StateId id = static_cast<StateId>(states.size());
+    states.push_back(s);
+    edges.emplace_back();
+    index[h].push_back(id);
+    is_new = true;
+    return id;
+  }
+};
+
+/// Tarjan SCC over the configuration graph, honoring edge pruning.
+std::vector<std::vector<StateId>> tarjan_sccs(const ConfigGraph& graph) {
+  const std::size_t n = graph.states.size();
+  std::vector<std::uint32_t> indices(n, 0), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false), visited(n, false);
+  std::vector<StateId> stack;
+  std::vector<std::vector<StateId>> sccs;
+  std::uint32_t counter = 1;
+
+  struct Frame {
+    StateId v;
+    std::size_t next_edge = 0;
+  };
+
+  for (StateId root = 0; root < n; ++root) {
+    if (visited[root]) {
+      continue;
+    }
+    std::vector<Frame> frames{Frame{root}};
+    visited[root] = true;
+    indices[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const StateId v = frame.v;
+      bool descended = false;
+      while (frame.next_edge < graph.edges[v].size()) {
+        const EdgeLabel& e = graph.edges[v][frame.next_edge++];
+        if (e.pruned) {
+          continue;
+        }
+        const StateId w = e.to;
+        if (!visited[w]) {
+          visited[w] = true;
+          indices[w] = lowlink[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], indices[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      // v finished.
+      if (lowlink[v] == indices[v]) {
+        std::vector<StateId> scc;
+        for (;;) {
+          const StateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+std::string ExploreResult::summary() const {
+  std::ostringstream os;
+  os << (oscillation_found ? "oscillation possible" : "no fair oscillation")
+     << " (" << states << " states, " << transitions << " transitions, "
+     << (exhaustive ? "exhaustive" : "bounded") << ")";
+  if (!quiescent_assignments.empty()) {
+    os << ", " << quiescent_assignments.size()
+       << " distinct converged outcome(s)";
+  }
+  return os.str();
+}
+
+ExploreResult explore(const spp::Instance& instance, const model::Model& m,
+                      const ExploreOptions& options) {
+  CR_REQUIRE(instance.graph().channel_count() <= 64,
+             "explorer supports at most 64 channels");
+
+  ExploreResult result;
+  ConfigGraph graph;
+  SuccessorOptions successor_options;
+  successor_options.max_steps_per_state = options.max_steps_per_state;
+
+  bool dummy = false;
+  const StateId initial =
+      graph.intern(engine::NetworkState(instance), dummy);
+  std::deque<StateId> frontier{initial};
+
+  std::vector<trace::Assignment> quiescent;
+
+  // Witness bookkeeping (only populated when requested).
+  std::vector<model::ActivationStep> step_store;
+  struct Parent {
+    StateId from = 0;
+    std::uint32_t step_index = kNoStep;
+  };
+  std::vector<Parent> parents(1);  // parents[initial] unused
+
+  while (!frontier.empty()) {
+    if (graph.states.size() > options.max_states) {
+      result.state_cap_hit = true;
+      break;
+    }
+    const StateId id = frontier.front();
+    frontier.pop_front();
+
+    // Strongly quiescent states are terminal: no step changes anything.
+    if (engine::strongly_quiescent(graph.states[id])) {
+      const trace::Assignment a = graph.states[id].assignments();
+      if (std::find(quiescent.begin(), quiescent.end(), a) ==
+          quiescent.end()) {
+        quiescent.push_back(a);
+      }
+      continue;
+    }
+
+    const std::vector<model::ActivationStep> steps =
+        enumerate_steps(graph.states[id], m, successor_options);
+    for (const model::ActivationStep& step : steps) {
+      engine::NetworkState next = graph.states[id];
+      const engine::StepEffect effect = engine::execute_step(next, step);
+
+      if (next.max_channel_length() > options.max_channel_length) {
+        result.channel_bound_hit = true;
+        continue;  // beyond the bound: do not expand
+      }
+
+      EdgeLabel label;
+      for (const engine::ReadEffect& read : effect.reads) {
+        label.attempts |= (1ULL << read.channel);
+        if (read.dropped > 0) {
+          label.drops |= (1ULL << read.channel);
+        }
+        if (read.delivered) {
+          label.deliveries |= (1ULL << read.channel);
+        }
+      }
+      for (const engine::NodeEffect& node : effect.nodes) {
+        label.pi_changed |= node.changed;
+      }
+
+      bool is_new = false;
+      const StateId to = graph.intern(next, is_new);
+      label.to = to;
+      if (options.extract_witness) {
+        label.step_index = static_cast<std::uint32_t>(step_store.size());
+        step_store.push_back(step);
+      }
+      graph.edges[id].push_back(label);
+      ++result.transitions;
+      if (is_new) {
+        frontier.push_back(to);
+        if (options.extract_witness) {
+          parents.push_back(Parent{id, label.step_index});
+        }
+      }
+    }
+  }
+
+  result.states = graph.states.size();
+  result.quiescent_assignments = std::move(quiescent);
+  result.exhaustive = !result.state_cap_hit && !result.channel_bound_hit;
+
+  // Drop-fairness fixpoint: within each SCC, prune drop-edges whose
+  // channel has no delivery-edge inside the same SCC; repeat until stable
+  // (pruning can split SCCs).
+  const std::uint64_t all_channels =
+      (instance.graph().channel_count() == 64)
+          ? ~0ULL
+          : ((1ULL << instance.graph().channel_count()) - 1);
+
+  for (;;) {
+    const auto sccs = tarjan_sccs(graph);
+    std::vector<std::uint32_t> scc_of(graph.states.size(), 0);
+    for (std::uint32_t s = 0; s < sccs.size(); ++s) {
+      for (const StateId v : sccs[s]) {
+        scc_of[v] = s;
+      }
+    }
+
+    // Delivery-channel mask per SCC (internal edges only).
+    std::vector<std::uint64_t> scc_deliveries(sccs.size(), 0);
+    for (StateId v = 0; v < graph.states.size(); ++v) {
+      for (const EdgeLabel& e : graph.edges[v]) {
+        if (!e.pruned && scc_of[v] == scc_of[e.to]) {
+          scc_deliveries[scc_of[v]] |= e.deliveries;
+        }
+      }
+    }
+
+    bool pruned_any = false;
+    for (StateId v = 0; v < graph.states.size(); ++v) {
+      for (EdgeLabel& e : graph.edges[v]) {
+        if (e.pruned || scc_of[v] != scc_of[e.to]) {
+          continue;
+        }
+        if ((e.drops & ~scc_deliveries[scc_of[v]]) != 0) {
+          e.pruned = true;
+          pruned_any = true;
+        }
+      }
+    }
+
+    if (!pruned_any) {
+      // Final verdict on this SCC decomposition.
+      std::vector<std::uint64_t> scc_attempts(sccs.size(), 0);
+      std::vector<bool> scc_pi_change(sccs.size(), false);
+      for (StateId v = 0; v < graph.states.size(); ++v) {
+        for (const EdgeLabel& e : graph.edges[v]) {
+          if (e.pruned || scc_of[v] != scc_of[e.to]) {
+            continue;
+          }
+          scc_attempts[scc_of[v]] |= e.attempts;
+          scc_pi_change[scc_of[v]] =
+              scc_pi_change[scc_of[v]] || e.pi_changed;
+        }
+      }
+      std::optional<std::uint32_t> witness_scc;
+      for (std::uint32_t s = 0; s < sccs.size(); ++s) {
+        if (scc_pi_change[s] && scc_attempts[s] == all_channels) {
+          result.oscillation_found = true;
+          if (sccs[s].size() > result.witness_scc_size) {
+            result.witness_scc_size = sccs[s].size();
+            witness_scc = s;
+          }
+        }
+      }
+
+      if (options.extract_witness && witness_scc.has_value()) {
+        // Build a closed tour through *every* internal edge of the
+        // witness SCC (so the loop attempts every channel, performs a
+        // delivery for every dropping channel, and changes assignments),
+        // plus the BFS prefix from the initial state to the tour start.
+        const std::vector<StateId>& members = sccs[*witness_scc];
+        std::vector<bool> in_scc(graph.states.size(), false);
+        for (const StateId v : members) {
+          in_scc[v] = true;
+        }
+        const auto internal = [&](StateId v, const EdgeLabel& e) {
+          return !e.pruned && in_scc[v] && in_scc[e.to];
+        };
+
+        // BFS path (as step indices) between two SCC states.
+        const auto scc_path = [&](StateId from,
+                                  StateId to) -> std::vector<std::uint32_t> {
+          if (from == to) {
+            return {};
+          }
+          std::unordered_map<StateId, std::pair<StateId, std::uint32_t>>
+              via;  // state -> (predecessor, step index)
+          std::deque<StateId> bfs{from};
+          via.emplace(from, std::make_pair(from, kNoStep));
+          while (!bfs.empty()) {
+            const StateId at = bfs.front();
+            bfs.pop_front();
+            for (const EdgeLabel& e : graph.edges[at]) {
+              if (!internal(at, e) || via.count(e.to) != 0) {
+                continue;
+              }
+              via.emplace(e.to, std::make_pair(at, e.step_index));
+              if (e.to == to) {
+                std::vector<std::uint32_t> rev;
+                for (StateId w = to; w != from;
+                     w = via.at(w).first) {
+                  rev.push_back(via.at(w).second);
+                }
+                return {rev.rbegin(), rev.rend()};
+              }
+              bfs.push_back(e.to);
+            }
+          }
+          throw InvariantError("SCC is not strongly connected");
+        };
+
+        const StateId start = members.front();
+        StateId cursor = start;
+        std::vector<std::uint32_t> tour;
+        for (const StateId v : members) {
+          for (const EdgeLabel& e : graph.edges[v]) {
+            if (!internal(v, e)) {
+              continue;
+            }
+            for (const std::uint32_t idx : scc_path(cursor, v)) {
+              tour.push_back(idx);
+            }
+            tour.push_back(e.step_index);
+            cursor = e.to;
+          }
+        }
+        for (const std::uint32_t idx : scc_path(cursor, start)) {
+          tour.push_back(idx);
+        }
+
+        std::vector<std::uint32_t> prefix_rev;
+        for (StateId at = start; at != initial;
+             at = parents[at].from) {
+          prefix_rev.push_back(parents[at].step_index);
+        }
+        for (auto it = prefix_rev.rbegin(); it != prefix_rev.rend();
+             ++it) {
+          result.witness_prefix.push_back(step_store[*it]);
+        }
+        for (const std::uint32_t idx : tour) {
+          result.witness_cycle.push_back(step_store[idx]);
+        }
+      }
+      break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace commroute::checker

@@ -1,0 +1,86 @@
+// Bounded exhaustive exploration of all executions of an instance under a
+// communication model, with sound fair-oscillation detection.
+//
+// The explorer builds the reachable configuration graph (configurations
+// are full NetworkStates; edges are canonical activation steps) up to a
+// channel-length bound, then decides whether a *fair* non-convergent
+// execution exists:
+//
+//   A fair oscillation exists iff, after iteratively deleting from every
+//   SCC the drop-edges whose channel has no delivery-edge in the same SCC
+//   (to a fixpoint), some SCC retains (a) an edge changing the path
+//   assignment and (b) read attempts covering every channel of the graph.
+//
+// Soundness both ways (within the explored subgraph): any SCC passing the
+// test yields a fair infinite execution by touring its edges; conversely
+// the infinitely-often-used edges of any fair oscillation form a strongly
+// connected sub-multigraph that survives the pruning and passes the test.
+//
+// When the channel bound or the state cap is hit the result is marked
+// non-exhaustive: a "no oscillation" verdict then only covers executions
+// whose channels stay within the bound. For the paper's gadgets the
+// default bound is never hit, so verdicts are complete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/state.hpp"
+#include "model/activation.hpp"
+#include "model/model.hpp"
+#include "trace/trace.hpp"
+
+namespace commroute::checker {
+
+struct ExploreOptions {
+  std::size_t max_channel_length = 4;
+  std::size_t max_states = 500000;
+  std::size_t max_steps_per_state = 20000;
+  /// Also construct a replayable witness for a found oscillation: a
+  /// prefix script from the initial state to the witness SCC plus a cycle
+  /// script touring every edge of the SCC (hence covering all channel
+  /// attempts and at least one assignment change). Costs memory
+  /// proportional to the number of transitions; leave off for large
+  /// sweeps.
+  bool extract_witness = false;
+};
+
+struct ExploreResult {
+  bool oscillation_found = false;
+  /// True when the full reachable graph was explored (no bound hit); a
+  /// negative oscillation verdict is then a proof for this instance+model.
+  bool exhaustive = false;
+  bool channel_bound_hit = false;
+  bool state_cap_hit = false;
+
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+
+  /// Distinct assignments of strongly quiescent (converged) states.
+  std::vector<trace::Assignment> quiescent_assignments;
+
+  /// Size of one SCC witnessing the oscillation (0 if none).
+  std::size_t witness_scc_size = 0;
+
+  /// With ExploreOptions::extract_witness and a found oscillation:
+  /// playing witness_prefix then witness_cycle forever is a fair
+  /// activation sequence of the checked model that never converges
+  /// (verify with ScriptedScheduler{prefix+cycle, loop_from=prefix
+  /// size} and engine::run).
+  model::ActivationScript witness_prefix;
+  model::ActivationScript witness_cycle;
+
+  /// True when exhaustive and no fair oscillation was found.
+  bool proves_no_oscillation() const {
+    return exhaustive && !oscillation_found;
+  }
+
+  std::string summary() const;
+};
+
+/// Explores `instance` under model `m`.
+ExploreResult explore(const spp::Instance& instance, const model::Model& m,
+                      const ExploreOptions& options = {});
+
+}  // namespace commroute::checker

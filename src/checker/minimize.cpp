@@ -1,0 +1,82 @@
+#include "checker/minimize.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::checker {
+
+namespace {
+
+/// Rebuilds the instance without one permitted path.
+spp::Instance without_path(const spp::Instance& instance, NodeId node,
+                           std::size_t path_index) {
+  std::vector<std::string> names;
+  names.reserve(instance.node_count());
+  for (NodeId v = 0; v < instance.node_count(); ++v) {
+    names.push_back(instance.graph().name(v));
+  }
+  Graph graph(names);
+  for (ChannelIdx c = 0; c < instance.graph().channel_count(); ++c) {
+    const ChannelId id = instance.graph().channel_id(c);
+    if (id.from < id.to) {
+      graph.add_edge(id.from, id.to);
+    }
+  }
+  std::vector<std::vector<Path>> permitted(instance.node_count());
+  for (NodeId v = 0; v < instance.node_count(); ++v) {
+    if (v == instance.destination()) {
+      continue;
+    }
+    const auto& paths = instance.permitted(v);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (v == node && i == path_index) {
+        continue;
+      }
+      permitted[v].push_back(paths[i]);
+    }
+  }
+  return spp::Instance(std::move(graph), instance.destination(),
+                       std::move(permitted));
+}
+
+bool oscillates(const spp::Instance& instance, const model::Model& m,
+                const ExploreOptions& options) {
+  return explore(instance, m, options).oscillation_found;
+}
+
+}  // namespace
+
+MinimizeResult minimize_oscillating_instance(const spp::Instance& instance,
+                                             const model::Model& m,
+                                             const ExploreOptions& options) {
+  CR_REQUIRE(oscillates(instance, m, options),
+             "instance does not oscillate under " + m.name() +
+                 " within the given bounds");
+
+  MinimizeResult result{instance, 0, false};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < result.instance.node_count() && !changed; ++v) {
+      if (v == result.instance.destination()) {
+        continue;
+      }
+      const std::size_t count = result.instance.permitted(v).size();
+      if (count <= 1) {
+        continue;  // keep every node routable
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        spp::Instance candidate = without_path(result.instance, v, i);
+        if (oscillates(candidate, m, options)) {
+          result.instance = std::move(candidate);
+          ++result.removed_paths;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  result.minimal = true;
+  return result;
+}
+
+}  // namespace commroute::checker

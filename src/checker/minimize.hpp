@@ -1,0 +1,31 @@
+// Instance minimization: shrink an oscillating instance while the
+// oscillation persists (delta debugging for routing gadgets).
+//
+// Greedily removes permitted paths (never a node's last one, so the
+// instance stays well-formed) as long as the checker still finds a fair
+// oscillation under the given model, iterating to a local fixpoint: in
+// the result, removing any single removable path destroys the
+// oscillation. Applied to random divergent instances this rediscovers
+// DISAGREE-like cores.
+#pragma once
+
+#include "checker/explorer.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::checker {
+
+struct MinimizeResult {
+  spp::Instance instance;
+  std::size_t removed_paths = 0;
+  /// True when every further single-path removal kills the oscillation
+  /// (the minimization ran to its fixpoint within the explore bounds).
+  bool minimal = false;
+};
+
+/// Requires that `instance` oscillates under `m` within `options` (throws
+/// otherwise). Returns a path-minimal sub-instance that still oscillates.
+MinimizeResult minimize_oscillating_instance(
+    const spp::Instance& instance, const model::Model& m,
+    const ExploreOptions& options = {});
+
+}  // namespace commroute::checker

@@ -1,0 +1,164 @@
+#include "checker/successors.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace commroute::checker {
+
+using model::ActivationStep;
+using model::MessageMode;
+using model::Model;
+using model::NeighborMode;
+using model::ReadSpec;
+using model::Reliability;
+
+namespace {
+
+/// Canonical (f, g) options for one channel holding `m` messages.
+/// For each canonical processed count i, either one ReadSpec (reliable)
+/// or one per subset of {1..i} (unreliable).
+std::vector<ReadSpec> read_options(ChannelIdx c, std::size_t m,
+                                   const Model& model) {
+  std::vector<std::size_t> counts;  // canonical i values
+  switch (model.messages) {
+    case MessageMode::kOne:
+      counts.push_back(std::min<std::size_t>(1, m));
+      break;
+    case MessageMode::kAll:
+      counts.push_back(m);
+      break;
+    case MessageMode::kForced:
+      if (m == 0) {
+        counts.push_back(0);
+      } else {
+        for (std::size_t i = 1; i <= m; ++i) {
+          counts.push_back(i);
+        }
+      }
+      break;
+    case MessageMode::kSome:
+      for (std::size_t i = 0; i <= m; ++i) {
+        counts.push_back(i);
+      }
+      break;
+  }
+
+  std::vector<ReadSpec> out;
+  for (const std::size_t i : counts) {
+    // Encode the count. O requires f=1 even on an empty channel; F
+    // requires f >= 1; A requires f = all. S can state i directly.
+    std::optional<std::uint32_t> f;
+    switch (model.messages) {
+      case MessageMode::kOne:
+        f = 1u;
+        break;
+      case MessageMode::kAll:
+        f = std::nullopt;
+        break;
+      case MessageMode::kForced:
+        f = std::max<std::uint32_t>(1u, static_cast<std::uint32_t>(i));
+        break;
+      case MessageMode::kSome:
+        f = static_cast<std::uint32_t>(i);
+        break;
+    }
+
+    if (model.reliability == Reliability::kReliable || i == 0) {
+      out.push_back(ReadSpec{c, f, {}});
+      continue;
+    }
+    // Unreliable: all subsets of {1..i} as drop sets.
+    CR_REQUIRE(i <= 16, "too many messages for exhaustive drop subsets");
+    const std::size_t subsets = static_cast<std::size_t>(1) << i;
+    for (std::size_t mask = 0; mask < subsets; ++mask) {
+      ReadSpec spec{c, f, {}};
+      for (std::size_t bit = 0; bit < i; ++bit) {
+        if (mask & (static_cast<std::size_t>(1) << bit)) {
+          spec.drops.push_back(static_cast<std::uint32_t>(bit + 1));
+        }
+      }
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+/// Cartesian product of per-channel read options.
+void product(const std::vector<std::vector<ReadSpec>>& options,
+             std::size_t at, std::vector<ReadSpec>& current,
+             NodeId node, std::vector<ActivationStep>& out,
+             std::size_t cap) {
+  if (at == options.size()) {
+    CR_REQUIRE(out.size() < cap,
+               "successor enumeration exceeded max_steps_per_state");
+    ActivationStep step;
+    step.nodes = {node};
+    step.reads = current;
+    out.push_back(std::move(step));
+    return;
+  }
+  for (const ReadSpec& spec : options[at]) {
+    current.push_back(spec);
+    product(options, at + 1, current, node, out, cap);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<ActivationStep> enumerate_steps(const engine::NetworkState& state,
+                                            const Model& m,
+                                            const SuccessorOptions& options) {
+  const spp::Instance& inst = state.instance();
+  const Graph& g = inst.graph();
+  std::vector<ActivationStep> out;
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::vector<ChannelIdx>& in = g.in_channels(v);
+
+    // Channel subsets per neighbor mode.
+    std::vector<std::vector<ChannelIdx>> channel_sets;
+    switch (m.neighbors) {
+      case NeighborMode::kOne:
+        for (const ChannelIdx c : in) {
+          channel_sets.push_back({c});
+        }
+        break;
+      case NeighborMode::kEvery:
+        channel_sets.push_back(in);
+        break;
+      case NeighborMode::kMultiple: {
+        CR_REQUIRE(in.size() <= 8,
+                   "node degree too large for exhaustive M-model subsets");
+        const std::size_t subsets = static_cast<std::size_t>(1)
+                                    << in.size();
+        for (std::size_t mask = 0; mask < subsets; ++mask) {
+          std::vector<ChannelIdx> set;
+          for (std::size_t bit = 0; bit < in.size(); ++bit) {
+            if (mask & (static_cast<std::size_t>(1) << bit)) {
+              set.push_back(in[bit]);
+            }
+          }
+          channel_sets.push_back(std::move(set));
+        }
+        break;
+      }
+    }
+
+    for (const std::vector<ChannelIdx>& channels : channel_sets) {
+      std::vector<std::vector<ReadSpec>> per_channel;
+      per_channel.reserve(channels.size());
+      for (const ChannelIdx c : channels) {
+        per_channel.push_back(
+            read_options(c, state.channel(c).size(), m));
+      }
+      std::vector<ReadSpec> current;
+      product(per_channel, 0, current, v, out,
+              options.max_steps_per_state);
+    }
+  }
+  return out;
+}
+
+}  // namespace commroute::checker

@@ -1,0 +1,33 @@
+// Canonical successor-step enumeration for the model checker.
+//
+// For a given model and network state, enumerates every activation step
+// that is (a) legal in the model and (b) canonically distinct: processing
+// f > m messages from a channel holding m has the same effect as
+// processing exactly m, so only the canonical representative is emitted.
+// Drop sets range over all subsets of the processed prefix for unreliable
+// models.
+//
+// The enumeration is exponential in node degree (M models) and in the
+// number of processed messages (U models); it is intended for the small
+// gadget instances the paper analyzes, and guards against misuse.
+#pragma once
+
+#include <vector>
+
+#include "engine/state.hpp"
+#include "model/activation.hpp"
+
+namespace commroute::checker {
+
+struct SuccessorOptions {
+  /// Hard cap on the steps generated for one state (throws if exceeded;
+  /// a blown cap means the instance is too large for exhaustive search).
+  std::size_t max_steps_per_state = 20000;
+};
+
+/// All canonical legal steps of `m` from `state` (single-node steps).
+std::vector<model::ActivationStep> enumerate_steps(
+    const engine::NetworkState& state, const model::Model& m,
+    const SuccessorOptions& options = {});
+
+}  // namespace commroute::checker

@@ -1,0 +1,67 @@
+// Targeted realization search: can a given path-assignment sequence be
+// induced by some activation sequence of a given model?
+//
+// This machine-checks the paper's negative examples:
+//   * Ex. A.3 — the REO sequence on Fig. 7 has no exact realization in R1O;
+//   * Ex. A.4 — the REA sequence on Fig. 8 has no realization with
+//     repetition in R1O (but has one as a subsequence);
+//   * Ex. A.5 — the REA sequence on Fig. 9 has no exact realization in R1S.
+//
+// The search explores (network state, match position) pairs:
+//   exact:        step t must induce target[t]; depth = target length;
+//   repetition:   each step must re-induce target[pos] or induce
+//                 target[pos+1]; visited-set pruning on (state, pos) makes
+//                 the search complete: a repeated pair can be cut because
+//                 the continuation requirements coincide;
+//   subsequence:  any step allowed; pos advances on a match.
+// For repetition/subsequence the search succeeds when pos reaches the end
+// of the target. A negative answer is a proof whenever no bound was hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/state.hpp"
+#include "model/activation.hpp"
+#include "trace/seq_match.hpp"
+#include "trace/trace.hpp"
+
+namespace commroute::checker {
+
+struct RealizationSearchOptions {
+  std::size_t max_configs = 2000000;   ///< (state, pos) pairs explored
+  std::size_t max_channel_length = 6;  ///< prune longer channels
+  std::size_t max_steps_per_state = 20000;
+  /// Def. 3.2 compares *infinite* traces; a finite target stands for an
+  /// execution that converges to its last assignment. With this flag the
+  /// search must, after matching the target, keep the assignment at
+  /// target.back() and reach strong quiescence — i.e. produce a fair-
+  /// completable witness. Without it, matching the finite prefix suffices
+  /// (which is weaker: leftover messages may be postponed forever, as
+  /// Ex. A.3 illustrates).
+  bool require_convergent_tail = true;
+};
+
+struct RealizationSearchResult {
+  bool found = false;
+  /// A witnessing activation sequence when found.
+  model::ActivationScript witness;
+  /// True when the negative answer is exhaustive within the target length
+  /// (no cap or channel bound was hit), i.e. a proof of non-realizability.
+  bool exhaustive = false;
+  std::size_t configs_explored = 0;
+
+  std::string summary() const;
+};
+
+/// Searches for an activation sequence of model `m` on `instance` whose
+/// induced trace realizes `target` in the given sense. target.at(0) must
+/// equal the initial assignment.
+RealizationSearchResult find_realization(const spp::Instance& instance,
+                                         const model::Model& m,
+                                         const trace::Trace& target,
+                                         trace::MatchKind sense,
+                                         const RealizationSearchOptions&
+                                             options = {});
+
+}  // namespace commroute::checker

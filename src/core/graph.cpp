@@ -1,0 +1,99 @@
+#include "core/graph.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute {
+
+Graph::Graph(std::vector<std::string> node_names)
+    : names_(std::move(node_names)) {
+  CR_REQUIRE(!names_.empty(), "graph needs at least one node");
+  adjacency_.resize(names_.size());
+  in_channels_.resize(names_.size());
+  out_channels_.resize(names_.size());
+  for (NodeId v = 0; v < names_.size(); ++v) {
+    CR_REQUIRE(!names_[v].empty(), "node names must be non-empty");
+    const bool inserted = by_name_.emplace(names_[v], v).second;
+    CR_REQUIRE(inserted, "duplicate node name: " + names_[v]);
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  CR_REQUIRE(u < node_count() && v < node_count(), "edge endpoint out of range");
+  CR_REQUIRE(u != v, "self-loops are not allowed");
+  CR_REQUIRE(!has_edge(u, v), "duplicate edge");
+  edges_.emplace_back(u, v);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+
+  const auto add_channel = [&](NodeId from, NodeId to) {
+    const ChannelIdx idx = static_cast<ChannelIdx>(channels_.size());
+    channels_.push_back(ChannelId{from, to});
+    channel_index_.emplace(key(from, to), idx);
+    out_channels_[from].push_back(idx);
+    in_channels_[to].push_back(idx);
+  };
+  add_channel(u, v);
+  add_channel(v, u);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return channel_index_.count(key(u, v)) != 0;
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  CR_REQUIRE(v < node_count(), "node out of range");
+  return adjacency_[v];
+}
+
+const std::vector<ChannelIdx>& Graph::in_channels(NodeId v) const {
+  CR_REQUIRE(v < node_count(), "node out of range");
+  return in_channels_[v];
+}
+
+const std::vector<ChannelIdx>& Graph::out_channels(NodeId v) const {
+  CR_REQUIRE(v < node_count(), "node out of range");
+  return out_channels_[v];
+}
+
+ChannelIdx Graph::channel(NodeId from, NodeId to) const {
+  const auto it = channel_index_.find(key(from, to));
+  CR_REQUIRE(it != channel_index_.end(),
+             "no channel " + name(from) + "->" + name(to));
+  return it->second;
+}
+
+ChannelId Graph::channel_id(ChannelIdx c) const {
+  CR_REQUIRE(c < channels_.size(), "channel index out of range");
+  return channels_[c];
+}
+
+const std::string& Graph::name(NodeId v) const {
+  CR_REQUIRE(v < node_count(), "node out of range");
+  return names_[v];
+}
+
+NodeId Graph::node(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  CR_REQUIRE(it != by_name_.end(), "unknown node name: " + name);
+  return it->second;
+}
+
+bool Graph::has_node(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::string Graph::channel_name(ChannelIdx c) const {
+  const ChannelId id = channel_id(c);
+  return name(id.from) + "->" + name(id.to);
+}
+
+bool Graph::supports_path(const Path& p) const {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!has_edge(p.at(i), p.at(i + 1))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace commroute

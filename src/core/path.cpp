@@ -1,0 +1,77 @@
+#include "core/path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace commroute {
+
+NodeId Path::source() const {
+  CR_REQUIRE(!nodes_.empty(), "source() of epsilon");
+  return nodes_.front();
+}
+
+NodeId Path::destination() const {
+  CR_REQUIRE(!nodes_.empty(), "destination() of epsilon");
+  return nodes_.back();
+}
+
+NodeId Path::next_hop() const {
+  if (nodes_.size() < 2) {
+    return kNoNode;
+  }
+  return nodes_[1];
+}
+
+bool Path::contains(NodeId v) const {
+  return std::find(nodes_.begin(), nodes_.end(), v) != nodes_.end();
+}
+
+bool Path::is_simple() const {
+  std::unordered_set<NodeId> seen;
+  for (const NodeId v : nodes_) {
+    if (!seen.insert(v).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Path Path::extended_by(NodeId v) const {
+  CR_REQUIRE(!nodes_.empty(), "cannot extend epsilon");
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size() + 1);
+  out.push_back(v);
+  out.insert(out.end(), nodes_.begin(), nodes_.end());
+  return Path(std::move(out));
+}
+
+Path Path::tail() const {
+  CR_REQUIRE(!nodes_.empty(), "tail() of epsilon");
+  return Path(std::vector<NodeId>(nodes_.begin() + 1, nodes_.end()));
+}
+
+bool Path::has_suffix(const Path& suffix) const {
+  if (suffix.size() > size()) {
+    return false;
+  }
+  return std::equal(suffix.nodes_.begin(), suffix.nodes_.end(),
+                    nodes_.end() - static_cast<std::ptrdiff_t>(suffix.size()));
+}
+
+std::string Path::to_string() const {
+  if (nodes_.empty()) {
+    return "(eps)";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out += '>';
+    }
+    out += std::to_string(nodes_[i]);
+  }
+  return out;
+}
+
+}  // namespace commroute

@@ -1,0 +1,90 @@
+// Route objects: simple paths from a source node to the destination.
+//
+// A Path is the payload of every protocol message and the value of every
+// node's path assignment pi_v(t). The empty path (epsilon in the paper)
+// denotes "no route" and doubles as the withdrawal message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace commroute {
+
+/// Dense node identifier within one instance. Node 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// A (possibly empty) path: the sequence of nodes from the path's source
+/// to the destination, source first. The empty path is epsilon.
+class Path {
+ public:
+  Path() = default;
+  Path(std::initializer_list<NodeId> nodes) : nodes_(nodes) {}
+  explicit Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  /// The empty path (no route / withdrawal).
+  static Path epsilon() { return Path(); }
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// First node (the path's source). Requires non-empty.
+  NodeId source() const;
+
+  /// Last node (the destination). Requires non-empty.
+  NodeId destination() const;
+
+  /// Second node, i.e. the next hop from the source; kNoNode for the
+  /// one-node path and for epsilon.
+  NodeId next_hop() const;
+
+  NodeId at(std::size_t i) const { return nodes_.at(i); }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// True if `v` occurs anywhere on the path.
+  bool contains(NodeId v) const;
+
+  /// True if no node repeats.
+  bool is_simple() const;
+
+  /// Returns the path v . this (prepends v). Requires non-empty `this`
+  /// or allows extending epsilon? Extending epsilon is not meaningful;
+  /// requires non-empty.
+  Path extended_by(NodeId v) const;
+
+  /// Drops the first node, returning the tail path (what the next hop
+  /// announced). Requires non-empty.
+  Path tail() const;
+
+  /// True if `suffix` is a suffix of this path (as a node sequence).
+  bool has_suffix(const Path& suffix) const;
+
+  bool operator==(const Path& other) const { return nodes_ == other.nodes_; }
+  bool operator!=(const Path& other) const { return !(*this == other); }
+  bool operator<(const Path& other) const { return nodes_ < other.nodes_; }
+
+  /// Debug rendering with raw node numbers, e.g. "0>2>1"; epsilon prints
+  /// as "(eps)". Instances render symbolic names via Instance::path_name.
+  std::string to_string() const;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace commroute
+
+namespace std {
+template <>
+struct hash<commroute::Path> {
+  std::size_t operator()(const commroute::Path& p) const {
+    return commroute::hash_range(p.nodes());
+  }
+};
+}  // namespace std

@@ -1,0 +1,22 @@
+#include "engine/channel.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::engine {
+
+void Channel::pop_front() {
+  CR_REQUIRE(!messages_.empty(), "pop_front on empty channel");
+  messages_.pop_front();
+}
+
+void Channel::pop_front_n(std::size_t n) {
+  CR_REQUIRE(n <= messages_.size(), "pop_front_n beyond channel size");
+  messages_.erase(messages_.begin(),
+                  messages_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::size_t Channel::hash() const {
+  return hash_range(messages_);
+}
+
+}  // namespace commroute::engine

@@ -1,0 +1,75 @@
+// FIFO communication channels.
+//
+// A channel holds the update messages written by its sender and not yet
+// processed by its receiver. Channels are FIFO (Sec. 2.1); only the
+// receiving end removes messages, and unreliable models may drop some of
+// the removed messages instead of processing them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/path.hpp"
+#include "support/hash.hpp"
+
+namespace commroute::engine {
+
+/// One update message: the announced path (epsilon = withdrawal) plus an
+/// engine-invisible tag. Tags never influence protocol semantics; the
+/// realization transforms use them for bookkeeping (e.g. the "flagged"
+/// messages in the proof of Prop. 3.6).
+struct Message {
+  Path path;
+  std::uint64_t tag = 0;
+
+  bool operator==(const Message& o) const {
+    return path == o.path && tag == o.tag;
+  }
+};
+
+/// FIFO queue of messages. Index 0 is the oldest message (the paper's
+/// "first message").
+class Channel {
+ public:
+  bool empty() const { return messages_.empty(); }
+  std::size_t size() const { return messages_.size(); }
+
+  /// i-th oldest message, 0-based.
+  const Message& at(std::size_t i) const { return messages_.at(i); }
+
+  /// Mutable access, used only to adjust engine-invisible tags.
+  Message& at_mutable(std::size_t i) { return messages_.at(i); }
+
+  void push(Message m) { messages_.push_back(std::move(m)); }
+
+  /// Removes the oldest message.
+  void pop_front();
+
+  /// Removes the `n` oldest messages. Requires n <= size().
+  void pop_front_n(std::size_t n);
+
+  const std::deque<Message>& messages() const { return messages_; }
+
+  bool operator==(const Channel& o) const {
+    return messages_ == o.messages_;
+  }
+
+  std::size_t hash() const;
+
+ private:
+  std::deque<Message> messages_;
+};
+
+}  // namespace commroute::engine
+
+namespace std {
+template <>
+struct hash<commroute::engine::Message> {
+  std::size_t operator()(const commroute::engine::Message& m) const {
+    std::size_t seed = std::hash<commroute::Path>{}(m.path);
+    commroute::hash_combine_value(seed, m.tag);
+    return seed;
+  }
+};
+}  // namespace std

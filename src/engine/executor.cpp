@@ -1,0 +1,143 @@
+#include "engine/executor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace commroute::engine {
+
+namespace {
+
+/// Phase 1 for one channel: remove i = min(f, m) messages (all when
+/// f = all), deliver the last non-dropped one into rho.
+ReadEffect process_read(NetworkState& state, const model::ReadSpec& read) {
+  ReadEffect effect;
+  effect.channel = read.channel;
+
+  Channel& channel = state.mutable_channel(read.channel);
+  const std::size_t m = channel.size();
+  const std::size_t i =
+      read.count.has_value() ? std::min<std::size_t>(*read.count, m) : m;
+  effect.processed = static_cast<std::uint32_t>(i);
+  if (i == 0) {
+    return effect;
+  }
+
+  // Largest index in {1..i} \ g, if any (indices are 1-based).
+  std::size_t last_kept = 0;  // 0 = none
+  std::size_t dropped_within_i = 0;
+  {
+    auto drop_it = read.drops.begin();
+    for (std::size_t idx = 1; idx <= i; ++idx) {
+      while (drop_it != read.drops.end() && *drop_it < idx) {
+        ++drop_it;
+      }
+      const bool dropped = (drop_it != read.drops.end() && *drop_it == idx);
+      if (dropped) {
+        ++dropped_within_i;
+      } else {
+        last_kept = idx;
+      }
+    }
+  }
+  effect.dropped = static_cast<std::uint32_t>(dropped_within_i);
+
+  if (last_kept != 0) {
+    effect.delivered = true;
+    effect.new_known = channel.at(last_kept - 1).path;
+    state.set_known(read.channel, effect.new_known);
+  }
+  channel.pop_front_n(i);
+  return effect;
+}
+
+/// Phase 2 for one node: best permitted extension of the known routes.
+NodeEffect select(NetworkState& state, NodeId v) {
+  const spp::Instance& inst = state.instance();
+  const Graph& g = inst.graph();
+
+  NodeEffect effect;
+  effect.node = v;
+  effect.old_assignment = state.assignment(v);
+
+  if (v == inst.destination()) {
+    effect.new_assignment = Path{v};
+  } else {
+    Path best = Path::epsilon();
+    std::optional<spp::Rank> best_rank;
+    ChannelIdx best_channel = kNoChannel;
+    for (const ChannelIdx c : g.in_channels(v)) {
+      const Path& announced = state.known(c);
+      if (announced.empty() || announced.contains(v)) {
+        continue;
+      }
+      const Path candidate = announced.extended_by(v);
+      const auto r = inst.rank(v, candidate);
+      if (!r.has_value()) {
+        continue;
+      }
+      if (!best_rank.has_value() || *r < *best_rank) {
+        best = candidate;
+        best_rank = r;
+        best_channel = c;
+      }
+    }
+    effect.new_assignment = best;
+    effect.selected_from = best_channel;
+  }
+
+  effect.changed = (effect.new_assignment != effect.old_assignment);
+  state.set_assignment(v, effect.new_assignment);
+  return effect;
+}
+
+/// Phase 3 for one node: write the export value to each out-channel whose
+/// last exported value differs. With allow-all export this reduces to the
+/// paper's announce-on-change rule plus the first announcement.
+void announce(NetworkState& state, const NodeEffect& node_effect,
+              std::vector<SentMessage>& sent) {
+  const spp::Instance& inst = state.instance();
+  const Graph& g = inst.graph();
+  const NodeId v = node_effect.node;
+  const Path& pi_v = node_effect.new_assignment;
+
+  for (const ChannelIdx out : g.out_channels(v)) {
+    const NodeId u = g.channel_id(out).to;
+    const Path export_value =
+        (!pi_v.empty() && inst.export_allows(v, u, pi_v)) ? pi_v
+                                                          : Path::epsilon();
+    const std::optional<Path>& last = state.last_exported(out);
+    const bool should_send =
+        last.has_value() ? (*last != export_value) : !export_value.empty();
+    if (!should_send) {
+      continue;
+    }
+    Message message{export_value, 0};
+    state.mutable_channel(out).push(message);
+    state.set_last_exported(out, export_value);
+    sent.push_back(SentMessage{out, std::move(message)});
+  }
+}
+
+}  // namespace
+
+StepEffect execute_step(NetworkState& state,
+                        const model::ActivationStep& step) {
+  model::validate_step(state.instance(), step);
+
+  StepEffect effect;
+  effect.reads.reserve(step.reads.size());
+  for (const model::ReadSpec& read : step.reads) {
+    effect.reads.push_back(process_read(state, read));
+  }
+  effect.nodes.reserve(step.nodes.size());
+  for (const NodeId v : step.nodes) {
+    effect.nodes.push_back(select(state, v));
+  }
+  for (const NodeEffect& node_effect : effect.nodes) {
+    announce(state, node_effect, effect.sent);
+  }
+  return effect;
+}
+
+}  // namespace commroute::engine

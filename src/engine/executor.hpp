@@ -1,0 +1,70 @@
+// The iterative routing algorithm's step semantics (Def. 2.3).
+//
+// Given an activation step (U, X, f, g), execute_step performs, in order:
+//   1. Reads:  for every channel c = (u, v) in X, process
+//              i = min(f(c), m_c) messages (all of them when f = all);
+//              rho_v(c) becomes the payload of the last non-dropped
+//              processed message, if any; the i messages leave the channel.
+//   2. Select: every v in U picks the most preferred permitted extension
+//              v . rho_v((u, v)) over its neighbors u (epsilon when none
+//              is feasible); the destination always selects (d).
+//   3. Announce: every v in U whose export value toward a neighbor changed
+//              writes it to the corresponding out-channel. With the
+//              default allow-all export policy this is exactly the
+//              paper's "announce iff pi_v(t) != pi_v(t-1)" rule, plus the
+//              destination's first self-announcement.
+//
+// Note on the paper's step 2(b): the printed "i = max{f(c), m_c(t)}" is a
+// typo for min (one cannot process more messages than are present); see
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/state.hpp"
+#include "model/activation.hpp"
+
+namespace commroute::engine {
+
+/// What happened on one processed channel.
+struct ReadEffect {
+  ChannelIdx channel = kNoChannel;
+  std::uint32_t processed = 0;  ///< i = messages removed from the channel
+  std::uint32_t dropped = 0;    ///< how many of those were dropped
+  bool delivered = false;       ///< true if rho was (re)assigned
+  Path new_known;               ///< rho after the read (valid if delivered)
+};
+
+/// What happened at one updating node.
+struct NodeEffect {
+  NodeId node = kNoNode;
+  Path old_assignment;
+  Path new_assignment;
+  bool changed = false;
+  /// In-channel whose rho furnished new_assignment (kNoChannel when the
+  /// new assignment is epsilon or the node is the destination). Used by
+  /// the Thm. 3.5 realization transform.
+  ChannelIdx selected_from = kNoChannel;
+};
+
+/// One message written to a channel during announcements.
+struct SentMessage {
+  ChannelIdx channel = kNoChannel;
+  Message message;
+};
+
+/// Complete effect of one activation step.
+struct StepEffect {
+  std::vector<ReadEffect> reads;
+  std::vector<NodeEffect> nodes;
+  std::vector<SentMessage> sent;
+};
+
+/// Executes one step, mutating `state`. The step must satisfy
+/// model::validate_step for `state.instance()`; callers enforcing a model
+/// should check model::step_allowed first.
+StepEffect execute_step(NetworkState& state,
+                        const model::ActivationStep& step);
+
+}  // namespace commroute::engine

@@ -1,0 +1,167 @@
+#include "engine/runner.hpp"
+
+#include <unordered_map>
+
+#include "engine/executor.hpp"
+#include "support/error.hpp"
+
+namespace commroute::engine {
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kConverged:
+      return "converged";
+    case Outcome::kOscillating:
+      return "oscillating";
+    case Outcome::kExhausted:
+      return "exhausted";
+  }
+  throw InvariantError("bad Outcome");
+}
+
+bool strongly_quiescent(const NetworkState& state) {
+  if (!state.quiescent()) {
+    return false;
+  }
+  // No pending announcement: activating any node must not produce a send.
+  const spp::Instance& inst = state.instance();
+  const Graph& g = inst.graph();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const Path& pi_v = state.assignment(v);
+    for (const ChannelIdx out : g.out_channels(v)) {
+      const NodeId u = g.channel_id(out).to;
+      const Path export_value =
+          (!pi_v.empty() && inst.export_allows(v, u, pi_v))
+              ? pi_v
+              : Path::epsilon();
+      const std::optional<Path>& last = state.last_exported(out);
+      const bool would_send = last.has_value()
+                                  ? (*last != export_value)
+                                  : !export_value.empty();
+      if (would_send) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+RunResult run(const spp::Instance& instance, Scheduler& scheduler,
+              const RunOptions& options) {
+  NetworkState state(instance);
+  model::FairnessMonitor fairness(instance.graph().channel_count());
+
+  RunResult result;
+  result.node_activations.assign(instance.node_count(), 0);
+  if (options.record_trace) {
+    result.trace = trace::Trace(state.assignments());
+  }
+
+  // For sound cycle detection: configuration = (state, signature).
+  struct Seen {
+    NetworkState state;
+    std::uint64_t signature;
+    std::uint64_t step;
+    std::size_t changes_before;  ///< assignment changes before this step
+  };
+  std::unordered_map<std::size_t, std::vector<Seen>> seen;
+  std::size_t total_changes = 0;
+
+  const bool can_detect_cycles =
+      options.detect_cycles && scheduler.signature().has_value();
+
+  auto remember = [&](const NetworkState& s) {
+    const auto sig = scheduler.signature();
+    if (!sig.has_value()) {
+      return;
+    }
+    std::size_t key = s.hash();
+    hash_combine_value(key, *sig);
+    seen[key].push_back(Seen{s, *sig, result.steps, total_changes});
+  };
+
+  auto find_repeat = [&](const NetworkState& s) -> const Seen* {
+    const auto sig = scheduler.signature();
+    if (!sig.has_value()) {
+      return nullptr;
+    }
+    std::size_t key = s.hash();
+    hash_combine_value(key, *sig);
+    const auto it = seen.find(key);
+    if (it == seen.end()) {
+      return nullptr;
+    }
+    for (const Seen& candidate : it->second) {
+      if (candidate.signature == *sig && candidate.state == s) {
+        return &candidate;
+      }
+    }
+    return nullptr;
+  };
+
+  if (can_detect_cycles) {
+    remember(state);
+  }
+
+  while (result.steps < options.max_steps) {
+    if (strongly_quiescent(state)) {
+      result.outcome = Outcome::kConverged;
+      break;
+    }
+    if (scheduler.exhausted()) {
+      break;  // kExhausted
+    }
+
+    const model::ActivationStep step = scheduler.next(state);
+    if (options.enforce_model.has_value()) {
+      model::require_step_allowed(*options.enforce_model, instance, step);
+    }
+
+    fairness.begin_step();
+    const StepEffect effect = execute_step(state, step);
+    ++result.steps;
+
+    for (const ReadEffect& read : effect.reads) {
+      fairness.attempt(read.channel);
+      if (read.dropped > 0) {
+        fairness.drop(read.channel);
+      }
+      if (read.delivered) {
+        fairness.deliver(read.channel);
+      }
+      result.messages_dropped += read.dropped;
+    }
+    result.messages_sent += effect.sent.size();
+    for (const NodeEffect& node : effect.nodes) {
+      ++result.node_activations[node.node];
+      if (node.changed) {
+        ++total_changes;
+      }
+    }
+    result.max_channel_occupancy =
+        std::max(result.max_channel_occupancy, state.max_channel_length());
+
+    if (options.record_trace) {
+      result.trace.record(state.assignments());
+    }
+
+    if (can_detect_cycles) {
+      if (const Seen* repeat = find_repeat(state)) {
+        result.cycle_start = repeat->step;
+        result.cycle_length = result.steps - repeat->step;
+        result.outcome = (total_changes > repeat->changes_before)
+                             ? Outcome::kOscillating
+                             : Outcome::kConverged;
+        break;
+      }
+      remember(state);
+    }
+  }
+
+  result.final_assignment = state.assignments();
+  result.max_attempt_gap = fairness.max_attempt_gap();
+  result.outstanding_drops = fairness.outstanding_drops();
+  return result;
+}
+
+}  // namespace commroute::engine

@@ -1,0 +1,69 @@
+// The run loop: drive an instance with a scheduler until convergence, a
+// provable cycle, or a step budget is exhausted.
+//
+// Convergence is detected as *strong quiescence*: all channels empty and
+// no node holds a pending (not yet exported) announcement. From such a
+// state no activation step in any model can change any assignment, so the
+// network has converged in the sense of Def. 2.5.
+//
+// Oscillation is detected soundly only for schedulers that expose a
+// signature (scripted / round-robin): if the pair (network state,
+// scheduler signature) repeats and an assignment changed in between, the
+// execution provably cycles forever.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "engine/scheduler.hpp"
+#include "engine/state.hpp"
+#include "model/fairness.hpp"
+#include "trace/trace.hpp"
+
+namespace commroute::engine {
+
+enum class Outcome {
+  kConverged,    ///< strongly quiescent, or a provable cycle with constant pi
+  kOscillating,  ///< provable cycle with changing pi
+  kExhausted,    ///< step budget reached without a verdict
+};
+
+std::string to_string(Outcome outcome);
+
+struct RunOptions {
+  std::uint64_t max_steps = 20000;
+  bool record_trace = true;
+  bool detect_cycles = true;  ///< needs a scheduler with a signature
+  /// Validate every step against this model (single-node rule included).
+  std::optional<model::Model> enforce_model;
+};
+
+struct RunResult {
+  Outcome outcome = Outcome::kExhausted;
+  std::uint64_t steps = 0;
+  trace::Trace trace;  ///< recorded iff RunOptions::record_trace
+  std::vector<Path> final_assignment;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  /// Valid when outcome == kOscillating (or a constant-pi cycle folded
+  /// into kConverged): the step at which the repeated configuration was
+  /// first seen and the cycle length.
+  std::uint64_t cycle_start = 0;
+  std::uint64_t cycle_length = 0;
+  /// Fairness summary of the executed prefix.
+  std::uint64_t max_attempt_gap = 0;
+  std::size_t outstanding_drops = 0;
+  /// Activations per node (how often each appeared in U).
+  std::vector<std::uint64_t> node_activations;
+  /// High-water mark of any single channel's queue length.
+  std::size_t max_channel_occupancy = 0;
+};
+
+/// True when `state` is strongly quiescent (see file comment).
+bool strongly_quiescent(const NetworkState& state);
+
+/// Runs `scheduler` on a fresh state of `instance`.
+RunResult run(const spp::Instance& instance, Scheduler& scheduler,
+              const RunOptions& options = {});
+
+}  // namespace commroute::engine

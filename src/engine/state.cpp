@@ -1,0 +1,137 @@
+#include "engine/state.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::engine {
+
+NetworkState::NetworkState(const spp::Instance& instance)
+    : instance_(&instance),
+      pi_(instance.node_count()),
+      rho_(instance.graph().channel_count()),
+      channels_(instance.graph().channel_count()),
+      exported_(instance.graph().channel_count()) {
+  pi_[instance.destination()] = Path{instance.destination()};
+}
+
+const Path& NetworkState::assignment(NodeId v) const {
+  CR_REQUIRE(v < pi_.size(), "node out of range");
+  return pi_[v];
+}
+
+const Path& NetworkState::known(ChannelIdx c) const {
+  CR_REQUIRE(c < rho_.size(), "channel out of range");
+  return rho_[c];
+}
+
+const Channel& NetworkState::channel(ChannelIdx c) const {
+  CR_REQUIRE(c < channels_.size(), "channel out of range");
+  return channels_[c];
+}
+
+const std::optional<Path>& NetworkState::last_exported(ChannelIdx c) const {
+  CR_REQUIRE(c < exported_.size(), "channel out of range");
+  return exported_[c];
+}
+
+bool NetworkState::quiescent() const {
+  for (const Channel& ch : channels_) {
+    if (!ch.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t NetworkState::messages_in_flight() const {
+  std::size_t total = 0;
+  for (const Channel& ch : channels_) {
+    total += ch.size();
+  }
+  return total;
+}
+
+std::size_t NetworkState::max_channel_length() const {
+  std::size_t longest = 0;
+  for (const Channel& ch : channels_) {
+    longest = std::max(longest, ch.size());
+  }
+  return longest;
+}
+
+bool NetworkState::operator==(const NetworkState& o) const {
+  return pi_ == o.pi_ && rho_ == o.rho_ && channels_ == o.channels_ &&
+         exported_ == o.exported_;
+}
+
+std::size_t NetworkState::hash() const {
+  std::size_t seed = hash_range(pi_);
+  hash_combine(seed, hash_range(rho_));
+  for (const Channel& ch : channels_) {
+    hash_combine(seed, ch.hash());
+  }
+  for (const auto& e : exported_) {
+    hash_combine(seed, e.has_value()
+                           ? std::hash<Path>{}(*e) + 1
+                           : static_cast<std::size_t>(0));
+  }
+  return seed;
+}
+
+std::string NetworkState::to_string() const {
+  const spp::Instance& inst = *instance_;
+  const Graph& g = inst.graph();
+  std::ostringstream os;
+  os << "pi:";
+  for (NodeId v = 0; v < pi_.size(); ++v) {
+    os << " " << g.name(v) << "=" << inst.path_name(pi_[v]);
+  }
+  os << "\nchannels:";
+  bool any = false;
+  for (ChannelIdx c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].empty()) {
+      continue;
+    }
+    any = true;
+    os << " " << g.channel_name(c) << "=[";
+    for (std::size_t i = 0; i < channels_[c].size(); ++i) {
+      os << (i ? "," : "") << inst.path_name(channels_[c].at(i).path);
+    }
+    os << "]";
+  }
+  if (!any) {
+    os << " (all empty)";
+  }
+  os << "\nrho:";
+  for (ChannelIdx c = 0; c < rho_.size(); ++c) {
+    if (!rho_[c].empty()) {
+      os << " " << g.channel_name(c) << "=" << inst.path_name(rho_[c]);
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+void NetworkState::set_assignment(NodeId v, Path p) {
+  CR_REQUIRE(v < pi_.size(), "node out of range");
+  pi_[v] = std::move(p);
+}
+
+void NetworkState::set_known(ChannelIdx c, Path p) {
+  CR_REQUIRE(c < rho_.size(), "channel out of range");
+  rho_[c] = std::move(p);
+}
+
+Channel& NetworkState::mutable_channel(ChannelIdx c) {
+  CR_REQUIRE(c < channels_.size(), "channel out of range");
+  return channels_[c];
+}
+
+void NetworkState::set_last_exported(ChannelIdx c, Path p) {
+  CR_REQUIRE(c < exported_.size(), "channel out of range");
+  exported_[c] = std::move(p);
+}
+
+}  // namespace commroute::engine

@@ -1,0 +1,88 @@
+// Full network state (Def. 2.1 of the paper).
+//
+// Tracks, per step of an execution:
+//   * pi_v  — each node's current path assignment,
+//   * rho_v(c) — the payload of the last update successfully processed
+//     from each channel (stored as the *announced* path; the receiving
+//     node extends it by itself at selection time),
+//   * channel contents,
+//   * last value exported per channel (realizing the "announce only on
+//     change" rule of Def. 2.3 step 4, including d's first announcement).
+//
+// NetworkState is a value type: copyable, hashable, equality-comparable,
+// which is what the model checker enumerates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/channel.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::engine {
+
+class NetworkState {
+ public:
+  /// Initial state: pi_d = (d), all other pi = epsilon, all rho = epsilon,
+  /// all channels empty, nothing exported yet.
+  explicit NetworkState(const spp::Instance& instance);
+
+  const spp::Instance& instance() const { return *instance_; }
+
+  /// pi_v: v's current path assignment.
+  const Path& assignment(NodeId v) const;
+
+  /// The full assignment vector (a copy).
+  std::vector<Path> assignments() const { return pi_; }
+
+  /// rho_v(c): announced path last processed from channel c (epsilon if
+  /// none yet, or if the last update was a withdrawal).
+  const Path& known(ChannelIdx c) const;
+
+  const Channel& channel(ChannelIdx c) const;
+
+  /// What the sender last wrote to channel c (nullopt = nothing yet).
+  const std::optional<Path>& last_exported(ChannelIdx c) const;
+
+  /// All channels empty: no execution step can change any assignment, so
+  /// the run has converged to assignments().
+  bool quiescent() const;
+
+  /// Total messages currently in flight.
+  std::size_t messages_in_flight() const;
+
+  /// Length of the longest channel.
+  std::size_t max_channel_length() const;
+
+  bool operator==(const NetworkState& o) const;
+  std::size_t hash() const;
+
+  /// Multi-line debug rendering.
+  std::string to_string() const;
+
+  // -- Mutators (used by the executor; exposed for tests) ------------------
+
+  void set_assignment(NodeId v, Path p);
+  void set_known(ChannelIdx c, Path p);
+  Channel& mutable_channel(ChannelIdx c);
+  void set_last_exported(ChannelIdx c, Path p);
+
+ private:
+  const spp::Instance* instance_;
+  std::vector<Path> pi_;
+  std::vector<Path> rho_;
+  std::vector<Channel> channels_;
+  std::vector<std::optional<Path>> exported_;
+};
+
+}  // namespace commroute::engine
+
+namespace std {
+template <>
+struct hash<commroute::engine::NetworkState> {
+  std::size_t operator()(const commroute::engine::NetworkState& s) const {
+    return s.hash();
+  }
+};
+}  // namespace std

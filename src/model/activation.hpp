@@ -1,0 +1,92 @@
+// Activation-sequence elements (Def. 2.2 of the paper).
+//
+// One step of an execution is a quadruple (U, X, f, g):
+//   U — the set of nodes that update,
+//   X — the set of channels processed (each channel's receiving end in U),
+//   f — messages to process per channel (a count, or "all"),
+//   g — 1-based indices of the processed messages that are dropped.
+// ActivationStep encodes the quadruple; f and g live inside per-channel
+// ReadSpecs. The engine executes general steps (any |U|); the 24 models of
+// the taxonomy additionally require |U| = 1 (checked by step_allowed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::model {
+
+/// Processing instruction for one channel: the pair (f(c), g(c)).
+struct ReadSpec {
+  ChannelIdx channel = kNoChannel;
+  /// f(c): number of messages to process; nullopt means "all" (infinity).
+  std::optional<std::uint32_t> count;
+  /// g(c): sorted, unique, 1-based indices of processed messages to drop.
+  std::vector<std::uint32_t> drops;
+};
+
+/// One activation-sequence element.
+struct ActivationStep {
+  /// U: updating nodes, sorted and unique. The taxonomy models use |U|=1.
+  std::vector<NodeId> nodes;
+  /// X with f and g folded in, at most one ReadSpec per channel.
+  std::vector<ReadSpec> reads;
+
+  /// Convenience for single-node steps.
+  NodeId node() const;
+
+  std::string to_string(const spp::Instance& instance) const;
+};
+
+/// An explicit finite activation sequence.
+using ActivationScript = std::vector<ActivationStep>;
+
+/// Validates the structural constraints of Def. 2.2 (independent of any
+/// model): nodes exist and are sorted/unique, at most one read per
+/// channel, every read's receiving end is in U, drops are sorted, unique,
+/// >= 1, and contained in {1..f} when f is finite (empty when f == 0).
+/// Throws PreconditionError with a diagnostic on violation.
+void validate_step(const spp::Instance& instance, const ActivationStep& step);
+
+/// Checks whether `step` is a legal step of `m` (after validate_step).
+/// The taxonomy requires exactly one updating node unless
+/// `require_single_node` is false (used for the Ex. A.6 multi-node
+/// extension). If `why` is non-null it receives a diagnostic when the
+/// result is false.
+bool step_allowed(const Model& m, const spp::Instance& instance,
+                  const ActivationStep& step, std::string* why = nullptr,
+                  bool require_single_node = true);
+
+/// Throws PreconditionError unless step_allowed.
+void require_step_allowed(const Model& m, const spp::Instance& instance,
+                          const ActivationStep& step,
+                          bool require_single_node = true);
+
+// ---- Step construction helpers -------------------------------------------
+
+/// v polls all in-channels, processing all messages (the REA step shape).
+ActivationStep poll_all_step(const spp::Instance& instance, NodeId v);
+
+/// v processes all messages from the single channel (u, v).
+ActivationStep poll_one_step(const spp::Instance& instance, NodeId v,
+                             NodeId u);
+
+/// v reads one message from (u, v); if `drop`, the message is dropped.
+ActivationStep read_one_step(const spp::Instance& instance, NodeId v,
+                             NodeId u, bool drop = false);
+
+/// v reads one message from every in-channel (the REO / REF f=1 shape).
+ActivationStep read_every_one_step(const spp::Instance& instance, NodeId v);
+
+/// Single-node step from explicit ReadSpecs.
+ActivationStep make_step(NodeId v, std::vector<ReadSpec> reads);
+
+/// Multi-node step from explicit ReadSpecs (Ex. A.6 extension).
+ActivationStep make_multi_step(std::vector<NodeId> nodes,
+                               std::vector<ReadSpec> reads);
+
+}  // namespace commroute::model

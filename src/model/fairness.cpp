@@ -1,0 +1,73 @@
+#include "model/fairness.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::model {
+
+FairnessMonitor::FairnessMonitor(std::size_t channel_count)
+    : channels_(channel_count) {}
+
+void FairnessMonitor::begin_step() { ++step_; }
+
+void FairnessMonitor::attempt(ChannelIdx c) {
+  CR_REQUIRE(c < channels_.size(), "channel out of range");
+  PerChannel& pc = channels_[c];
+  const std::uint64_t gap = step_ - pc.last_attempt;
+  pc.max_gap = std::max(pc.max_gap, gap);
+  pc.last_attempt = step_;
+  ++pc.attempts;
+}
+
+void FairnessMonitor::drop(ChannelIdx c) {
+  CR_REQUIRE(c < channels_.size(), "channel out of range");
+  ++channels_[c].pending_drops;
+  ++channels_[c].total_drops;
+}
+
+void FairnessMonitor::deliver(ChannelIdx c) {
+  CR_REQUIRE(c < channels_.size(), "channel out of range");
+  channels_[c].pending_drops = 0;
+  ++channels_[c].total_deliveries;
+}
+
+bool FairnessMonitor::all_channels_attempted() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const PerChannel& pc) { return pc.attempts > 0; });
+}
+
+std::uint64_t FairnessMonitor::max_attempt_gap() const {
+  std::uint64_t worst = 0;
+  for (const PerChannel& pc : channels_) {
+    const std::uint64_t trailing = step_ - pc.last_attempt;
+    worst = std::max({worst, pc.max_gap, trailing});
+  }
+  return worst;
+}
+
+std::size_t FairnessMonitor::outstanding_drops() const {
+  std::size_t total = 0;
+  for (const PerChannel& pc : channels_) {
+    total += pc.pending_drops;
+  }
+  return total;
+}
+
+std::string FairnessMonitor::report(const Graph& graph) const {
+  std::ostringstream os;
+  os << "fairness after " << step_ << " steps: max attempt gap "
+     << max_attempt_gap() << ", outstanding drops " << outstanding_drops()
+     << "\n";
+  for (ChannelIdx c = 0; c < channels_.size(); ++c) {
+    const PerChannel& pc = channels_[c];
+    os << "  " << graph.channel_name(c) << ": attempts " << pc.attempts
+       << ", max gap " << std::max(pc.max_gap, step_ - pc.last_attempt)
+       << ", drops " << pc.total_drops << " (" << pc.pending_drops
+       << " pending), deliveries " << pc.total_deliveries << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace commroute::model

@@ -1,0 +1,74 @@
+// Fairness of activation sequences (Def. 2.4 of the paper).
+//
+// A fair activation sequence (a) has every node try to read each of its
+// in-channels infinitely often and (b) follows every dropped message with
+// a later message on the same channel that is not dropped. Infinite
+// behavior cannot be observed directly, so this monitor tracks finite
+// prefixes and reports the two finite analogues:
+//   * the largest gap between consecutive read attempts per channel
+//     (bounded gaps witness clause (a) for schedulers that cycle), and
+//   * the number of drops not yet followed by a delivered message
+//     (zero at the end of a run witnesses clause (b)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace commroute::model {
+
+class FairnessMonitor {
+ public:
+  explicit FairnessMonitor(std::size_t channel_count);
+
+  /// Starts the next step (increments the step counter).
+  void begin_step();
+
+  /// Channel c was in X this step (a read attempt, even if empty).
+  void attempt(ChannelIdx c);
+
+  /// A message on c was processed and dropped this step.
+  void drop(ChannelIdx c);
+
+  /// A message on c was processed and not dropped this step.
+  void deliver(ChannelIdx c);
+
+  /// Steps observed so far.
+  std::uint64_t steps() const { return step_; }
+
+  /// True when every channel has been attempted at least once.
+  bool all_channels_attempted() const;
+
+  /// Largest gap (in steps) between consecutive attempts on any channel,
+  /// including the gap from the start to the first attempt and from the
+  /// last attempt to now. Channels never attempted yield the full run
+  /// length.
+  std::uint64_t max_attempt_gap() const;
+
+  /// Drops not yet followed by a delivery on the same channel. A fair
+  /// finite prefix of a converging run ends with zero.
+  std::size_t outstanding_drops() const;
+
+  /// True iff outstanding_drops() == 0.
+  bool drop_condition_ok() const { return outstanding_drops() == 0; }
+
+  /// Human-readable summary.
+  std::string report(const Graph& graph) const;
+
+ private:
+  struct PerChannel {
+    std::uint64_t attempts = 0;
+    std::uint64_t last_attempt = 0;  ///< step index of last attempt
+    std::uint64_t max_gap = 0;
+    std::uint64_t pending_drops = 0;  ///< drops since last delivery
+    std::uint64_t total_drops = 0;
+    std::uint64_t total_deliveries = 0;
+  };
+
+  std::uint64_t step_ = 0;
+  std::vector<PerChannel> channels_;
+};
+
+}  // namespace commroute::model

@@ -1,0 +1,119 @@
+#include "model/model.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::model {
+
+char symbol(Reliability r) {
+  return r == Reliability::kReliable ? 'R' : 'U';
+}
+
+char symbol(NeighborMode n) {
+  switch (n) {
+    case NeighborMode::kOne:
+      return '1';
+    case NeighborMode::kMultiple:
+      return 'M';
+    case NeighborMode::kEvery:
+      return 'E';
+  }
+  throw InvariantError("bad NeighborMode");
+}
+
+char symbol(MessageMode m) {
+  switch (m) {
+    case MessageMode::kOne:
+      return 'O';
+    case MessageMode::kSome:
+      return 'S';
+    case MessageMode::kForced:
+      return 'F';
+    case MessageMode::kAll:
+      return 'A';
+  }
+  throw InvariantError("bad MessageMode");
+}
+
+std::string Model::name() const {
+  return std::string{symbol(reliability), symbol(neighbors),
+                     symbol(messages)};
+}
+
+Model Model::parse(std::string_view name) {
+  if (name.size() != 3) {
+    throw ParseError("model name must have 3 characters: '" +
+                     std::string(name) + "'");
+  }
+  Model m;
+  switch (name[0]) {
+    case 'R':
+      m.reliability = Reliability::kReliable;
+      break;
+    case 'U':
+      m.reliability = Reliability::kUnreliable;
+      break;
+    default:
+      throw ParseError("bad reliability symbol in '" + std::string(name) +
+                       "' (want R or U)");
+  }
+  switch (name[1]) {
+    case '1':
+      m.neighbors = NeighborMode::kOne;
+      break;
+    case 'M':
+      m.neighbors = NeighborMode::kMultiple;
+      break;
+    case 'E':
+      m.neighbors = NeighborMode::kEvery;
+      break;
+    default:
+      throw ParseError("bad neighbor symbol in '" + std::string(name) +
+                       "' (want 1, M, or E)");
+  }
+  switch (name[2]) {
+    case 'O':
+      m.messages = MessageMode::kOne;
+      break;
+    case 'S':
+      m.messages = MessageMode::kSome;
+      break;
+    case 'F':
+      m.messages = MessageMode::kForced;
+      break;
+    case 'A':
+      m.messages = MessageMode::kAll;
+      break;
+    default:
+      throw ParseError("bad message symbol in '" + std::string(name) +
+                       "' (want O, S, F, or A)");
+  }
+  return m;
+}
+
+int Model::index() const {
+  return static_cast<int>(reliability) * 12 +
+         static_cast<int>(messages) * 3 + static_cast<int>(neighbors);
+}
+
+Model Model::from_index(int index) {
+  CR_REQUIRE(index >= 0 && index < kCount, "model index out of range");
+  Model m;
+  m.reliability = static_cast<Reliability>(index / 12);
+  m.messages = static_cast<MessageMode>((index % 12) / 3);
+  m.neighbors = static_cast<NeighborMode>(index % 3);
+  return m;
+}
+
+const std::vector<Model>& Model::all() {
+  static const std::vector<Model> models = [] {
+    std::vector<Model> out;
+    out.reserve(kCount);
+    for (int i = 0; i < kCount; ++i) {
+      out.push_back(from_index(i));
+    }
+    return out;
+  }();
+  return models;
+}
+
+}  // namespace commroute::model

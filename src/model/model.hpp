@@ -1,0 +1,84 @@
+// The taxonomy of communication models (Sec. 2.2 of the paper).
+//
+// A model fixes three dimensions (given that exactly one node updates per
+// step, as the paper assumes from Sec. 2.3 onwards):
+//   reliability:  R (no message is ever dropped) / U (drops allowed);
+//   neighbors:    1 (exactly one channel per activation) /
+//                 M (any subset of channels) /
+//                 E (every in-channel);
+//   messages:     O (exactly one message per processed channel) /
+//                 S (any number, including zero) /
+//                 F (at least one; "forced") /
+//                 A (all messages in the channel).
+// Names concatenate the dimension symbols: R1O, RMS, UEA, ...
+//
+// Points of interest (Sec. 2.3): "polling" models are wxA (REA is the one
+// used by prior hardness results), "message-passing" models are wxO, and
+// the "queueing" models are RMS / UMS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commroute::model {
+
+enum class Reliability : std::uint8_t { kReliable = 0, kUnreliable = 1 };
+enum class NeighborMode : std::uint8_t { kOne = 0, kMultiple = 1, kEvery = 2 };
+enum class MessageMode : std::uint8_t {
+  kOne = 0,     // O
+  kSome = 1,    // S
+  kForced = 2,  // F
+  kAll = 3      // A
+};
+
+char symbol(Reliability r);
+char symbol(NeighborMode n);
+char symbol(MessageMode m);
+
+/// One of the 24 communication models.
+struct Model {
+  Reliability reliability = Reliability::kReliable;
+  NeighborMode neighbors = NeighborMode::kOne;
+  MessageMode messages = MessageMode::kOne;
+
+  /// Three-letter name, e.g. "RMS".
+  std::string name() const;
+
+  /// Parses a three-letter name; throws ParseError on anything else.
+  static Model parse(std::string_view name);
+
+  /// Dense index in [0, 24): reliability-major, then message mode in the
+  /// paper's row order (O, S, F, A), then neighbor mode (1, M, E). This is
+  /// exactly the row order of Figures 3 and 4.
+  int index() const;
+  static Model from_index(int index);
+  static constexpr int kCount = 24;
+
+  /// All 24 models in index() order.
+  static const std::vector<Model>& all();
+
+  bool reliable() const { return reliability == Reliability::kReliable; }
+
+  /// "Polling" model: every processed channel is fully drained (wxA).
+  bool is_polling() const { return messages == MessageMode::kAll; }
+
+  /// "Message-passing" model: one message per processed channel (wxO).
+  bool is_message_passing() const { return messages == MessageMode::kOne; }
+
+  /// "Queueing" model per Sec. 2.3.3: wMS.
+  bool is_queueing() const {
+    return neighbors == NeighborMode::kMultiple &&
+           messages == MessageMode::kSome;
+  }
+
+  bool operator==(const Model& o) const {
+    return reliability == o.reliability && neighbors == o.neighbors &&
+           messages == o.messages;
+  }
+  bool operator!=(const Model& o) const { return !(*this == o); }
+};
+
+}  // namespace commroute::model

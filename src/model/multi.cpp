@@ -1,0 +1,88 @@
+#include "model/multi.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace commroute::model {
+
+std::string to_string(NodesMode mode) {
+  switch (mode) {
+    case NodesMode::kOne:
+      return "one";
+    case NodesMode::kEvery:
+      return "every";
+    case NodesMode::kUnrestricted:
+      return "unrestricted";
+  }
+  throw InvariantError("bad NodesMode");
+}
+
+std::string ExtendedModel::name() const {
+  switch (nodes) {
+    case NodesMode::kOne:
+      return base.name();
+    case NodesMode::kEvery:
+      return "sync-" + base.name();
+    case NodesMode::kUnrestricted:
+      return "multi-" + base.name();
+  }
+  throw InvariantError("bad NodesMode");
+}
+
+ExtendedModel ExtendedModel::parse(std::string_view name) {
+  ExtendedModel m;
+  if (starts_with(name, "sync-")) {
+    m.nodes = NodesMode::kEvery;
+    m.base = Model::parse(name.substr(5));
+  } else if (starts_with(name, "multi-")) {
+    m.nodes = NodesMode::kUnrestricted;
+    m.base = Model::parse(name.substr(6));
+  } else {
+    m.nodes = NodesMode::kOne;
+    m.base = Model::parse(name);
+  }
+  return m;
+}
+
+bool extended_step_allowed(const ExtendedModel& m,
+                           const spp::Instance& instance,
+                           const ActivationStep& step, std::string* why) {
+  // Base rules, with the single-node restriction lifted here.
+  if (!step_allowed(m.base, instance, step, why,
+                    /*require_single_node=*/false)) {
+    return false;
+  }
+  switch (m.nodes) {
+    case NodesMode::kOne:
+      if (step.nodes.size() != 1) {
+        if (why != nullptr) {
+          *why = "model " + m.name() + " requires exactly one updating node";
+        }
+        return false;
+      }
+      break;
+    case NodesMode::kEvery:
+      if (step.nodes.size() != instance.node_count()) {
+        if (why != nullptr) {
+          *why = "model " + m.name() + " requires every node to update";
+        }
+        return false;
+      }
+      break;
+    case NodesMode::kUnrestricted:
+      break;  // any non-empty U (validate_step rejects empty U)
+  }
+  return true;
+}
+
+void require_extended_step_allowed(const ExtendedModel& m,
+                                   const spp::Instance& instance,
+                                   const ActivationStep& step) {
+  std::string why;
+  if (!extended_step_allowed(m, instance, step, &why)) {
+    throw PreconditionError("step not allowed in " + m.name() + ": " + why +
+                            " [" + step.to_string(instance) + "]");
+  }
+}
+
+}  // namespace commroute::model

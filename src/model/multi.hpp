@@ -1,0 +1,54 @@
+// The "number of nodes updating" dimension (Def. 2.6).
+//
+// The paper's main taxonomy fixes exactly one updating node per step, but
+// Def. 2.6 lists three options and Ex. A.6 shows the choice matters:
+// multi-node polling can oscillate where single-node polling provably
+// converges. An ExtendedModel pairs a base Model with a NodesMode:
+//   kOne          |U| = 1 (the 24 models of Figs. 3/4);
+//   kEvery        U = V (fully synchronous rounds);
+//   kUnrestricted any non-empty U.
+#pragma once
+
+#include <string>
+
+#include "model/activation.hpp"
+#include "model/model.hpp"
+
+namespace commroute::model {
+
+enum class NodesMode : std::uint8_t {
+  kOne = 0,
+  kEvery = 1,
+  kUnrestricted = 2,
+};
+
+std::string to_string(NodesMode mode);
+
+/// A model from the full three-by-three-by-four-by-three space.
+struct ExtendedModel {
+  NodesMode nodes = NodesMode::kOne;
+  Model base;
+
+  /// "R1O" for single-node models, "sync-REA" / "multi-RMS" otherwise.
+  std::string name() const;
+
+  /// Parses "R1O", "sync-REA", "multi-RMS".
+  static ExtendedModel parse(std::string_view name);
+
+  bool operator==(const ExtendedModel& o) const {
+    return nodes == o.nodes && base == o.base;
+  }
+};
+
+/// Checks a step against an extended model: the base model's per-node
+/// channel/message/reliability rules plus the U-cardinality rule.
+bool extended_step_allowed(const ExtendedModel& m,
+                           const spp::Instance& instance,
+                           const ActivationStep& step,
+                           std::string* why = nullptr);
+
+void require_extended_step_allowed(const ExtendedModel& m,
+                                   const spp::Instance& instance,
+                                   const ActivationStep& step);
+
+}  // namespace commroute::model

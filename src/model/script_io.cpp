@@ -1,0 +1,149 @@
+#include "model/script_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace commroute::model {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ParseError("script line " + std::to_string(line) + ": " + what);
+}
+
+ReadSpec parse_read(const spp::Instance& instance, std::size_t line,
+                    const std::string& text) {
+  // "<from>-><to> f=<n|inf> [g={i,j}]"
+  const auto tokens = split_trimmed(text, ' ');
+  if (tokens.empty()) {
+    fail(line, "empty read spec");
+  }
+  const auto arrow = tokens[0].find("->");
+  if (arrow == std::string::npos) {
+    fail(line, "read must start with '<from>-><to>': '" + tokens[0] + "'");
+  }
+  const std::string from = tokens[0].substr(0, arrow);
+  const std::string to = tokens[0].substr(arrow + 2);
+  if (!instance.graph().has_node(from) || !instance.graph().has_node(to)) {
+    fail(line, "unknown node in channel '" + tokens[0] + "'");
+  }
+
+  ReadSpec read;
+  read.channel = instance.graph().channel(instance.graph().node(from),
+                                          instance.graph().node(to));
+  bool have_f = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (starts_with(token, "f=")) {
+      const std::string value = token.substr(2);
+      if (value == "inf") {
+        read.count = std::nullopt;
+      } else {
+        try {
+          read.count = static_cast<std::uint32_t>(std::stoul(value));
+        } catch (const std::exception&) {
+          fail(line, "bad f value '" + value + "'");
+        }
+      }
+      have_f = true;
+    } else if (starts_with(token, "g={") && token.back() == '}') {
+      for (const std::string& idx :
+           split_trimmed(token.substr(3, token.size() - 4), ',')) {
+        try {
+          read.drops.push_back(
+              static_cast<std::uint32_t>(std::stoul(idx)));
+        } catch (const std::exception&) {
+          fail(line, "bad drop index '" + idx + "'");
+        }
+      }
+    } else {
+      fail(line, "unknown read attribute '" + token + "'");
+    }
+  }
+  if (!have_f) {
+    fail(line, "read is missing f=");
+  }
+  return read;
+}
+
+}  // namespace
+
+ActivationScript parse_script(const spp::Instance& instance,
+                              const std::string& text) {
+  ActivationScript script;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const auto hash = raw.find('#');
+    const std::string line{
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash))};
+    if (line.empty()) {
+      continue;
+    }
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) {
+      fail(line_number, "step must be '<nodes> | <reads>'");
+    }
+
+    ActivationStep step;
+    for (const std::string& name :
+         split_trimmed(line.substr(0, bar), ',')) {
+      if (!instance.graph().has_node(name)) {
+        fail(line_number, "unknown node '" + name + "'");
+      }
+      step.nodes.push_back(instance.graph().node(name));
+    }
+    std::sort(step.nodes.begin(), step.nodes.end());
+    step.nodes.erase(std::unique(step.nodes.begin(), step.nodes.end()),
+                     step.nodes.end());
+
+    const std::string reads_text{trim(line.substr(bar + 1))};
+    if (!reads_text.empty()) {
+      for (const std::string& read_text :
+           split_trimmed(reads_text, ';')) {
+        step.reads.push_back(
+            parse_read(instance, line_number, read_text));
+      }
+    }
+    validate_step(instance, step);
+    script.push_back(std::move(step));
+  }
+  return script;
+}
+
+std::string format_script(const spp::Instance& instance,
+                          const ActivationScript& script) {
+  const Graph& g = instance.graph();
+  std::ostringstream out;
+  for (const ActivationStep& step : script) {
+    for (std::size_t i = 0; i < step.nodes.size(); ++i) {
+      out << (i ? "," : "") << g.name(step.nodes[i]);
+    }
+    out << " |";
+    for (std::size_t i = 0; i < step.reads.size(); ++i) {
+      const ReadSpec& read = step.reads[i];
+      out << (i ? " ; " : " ") << g.channel_name(read.channel) << " f=";
+      if (read.count.has_value()) {
+        out << *read.count;
+      } else {
+        out << "inf";
+      }
+      if (!read.drops.empty()) {
+        out << " g={";
+        for (std::size_t j = 0; j < read.drops.size(); ++j) {
+          out << (j ? "," : "") << read.drops[j];
+        }
+        out << "}";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace commroute::model

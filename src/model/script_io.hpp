@@ -1,0 +1,32 @@
+// Text serialization of activation scripts.
+//
+// One step per line; a step is `U | reads`, where U is a comma-separated
+// node list and each read is `channel_from->channel_to f=<n|inf>
+// [g={i,j,..}]`:
+//
+//   d | x->d f=1
+//   x | d->x f=inf
+//   x,y | d->x f=inf ; d->y f=inf          # multi-node step
+//   u | v->u f=2 g={1}                     # unreliable read
+//
+// Comments with '#', blank lines ignored. Round-trips with
+// format_script; used by commroute_sim --replay and for persisting
+// checker-discovered oscillation witnesses.
+#pragma once
+
+#include <string>
+
+#include "model/activation.hpp"
+
+namespace commroute::model {
+
+/// Parses a script; throws ParseError with line numbers on bad input and
+/// PreconditionError if a step fails structural validation.
+ActivationScript parse_script(const spp::Instance& instance,
+                              const std::string& text);
+
+/// Formats a script in the syntax above.
+std::string format_script(const spp::Instance& instance,
+                          const ActivationScript& script);
+
+}  // namespace commroute::model

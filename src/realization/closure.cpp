@@ -1,0 +1,113 @@
+#include "realization/closure.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::realization {
+
+using model::Model;
+
+RealizationTable::RealizationTable() = default;
+
+RelationBound& RealizationTable::at(const Model& realized,
+                                    const Model& realizer) {
+  return cells_[static_cast<std::size_t>(realized.index())]
+               [static_cast<std::size_t>(realizer.index())];
+}
+
+const RelationBound& RealizationTable::cell(const Model& realized,
+                                            const Model& realizer) const {
+  return cells_[static_cast<std::size_t>(realized.index())]
+               [static_cast<std::size_t>(realizer.index())];
+}
+
+bool RealizationTable::apply(const Fact& fact) {
+  RelationBound& bound = at(fact.realized, fact.realizer);
+  if (fact.kind == FactKind::kLowerBound) {
+    return bound.tighten_lo(fact.strength, fact.source);
+  }
+  return bound.tighten_hi(fact.strength, fact.source);
+}
+
+std::size_t RealizationTable::close() {
+  const std::vector<Model>& models = Model::all();
+  std::size_t tightened = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Model& a : models) {
+      for (const Model& b : models) {
+        const RelationBound ab = cell(a, b);
+        for (const Model& c : models) {
+          const RelationBound bc = cell(b, c);
+          const RelationBound ac = cell(a, c);
+
+          // P: lo[A][C] >= min(lo[A][B], lo[B][C]).
+          const Strength via = min_strength(ab.lo, bc.lo);
+          if (level(via) > level(ac.lo)) {
+            if (at(a, c).tighten_lo(
+                    via, "transitivity P via " + b.name() + " [" +
+                             ab.lo_source + " ; " + bc.lo_source + "]")) {
+              changed = true;
+              ++tightened;
+            }
+          }
+
+          // N1: if lo[A][B] > hi[A][C] then hi[B][C] <= hi[A][C].
+          if (level(ab.lo) > level(ac.hi) &&
+              level(cell(b, c).hi) > level(ac.hi)) {
+            if (at(b, c).tighten_hi(
+                    ac.hi, "rule N1 via " + a.name() + " [" +
+                               ab.lo_source + " ; " + ac.hi_source + "]")) {
+              changed = true;
+              ++tightened;
+            }
+          }
+
+          // N2: if lo[B][C] > hi[A][C] then hi[A][B] <= hi[A][C].
+          if (level(bc.lo) > level(ac.hi) &&
+              level(cell(a, b).hi) > level(ac.hi)) {
+            if (at(a, b).tighten_hi(
+                    ac.hi, "rule N2 via " + c.name() + " [" +
+                               bc.lo_source + " ; " + ac.hi_source + "]")) {
+              changed = true;
+              ++tightened;
+            }
+          }
+        }
+      }
+    }
+  }
+  return tightened;
+}
+
+RealizationTable RealizationTable::closure(const std::vector<Fact>& facts) {
+  RealizationTable table;
+  for (const Fact& fact : facts) {
+    table.apply(fact);
+  }
+  table.close();
+  return table;
+}
+
+std::string RealizationTable::explain(const Model& realized,
+                                      const Model& realizer) const {
+  const RelationBound& bound = cell(realized, realizer);
+  std::ostringstream os;
+  os << "Can " << realizer.name() << " realize the executions of "
+     << realized.name() << "?\n";
+  os << "  interval: [" << level(bound.lo) << ", " << level(bound.hi)
+     << "]  (paper cell: '"
+     << (bound.paper_notation().empty() ? "blank" : bound.paper_notation())
+     << "')\n";
+  os << "  lower bound " << to_string(bound.lo) << ": "
+     << (bound.lo_source.empty() ? "trivial (level 0)" : bound.lo_source)
+     << "\n";
+  os << "  upper bound " << to_string(bound.hi) << ": "
+     << (bound.hi_source.empty() ? "trivial (level 4)" : bound.hi_source)
+     << "\n";
+  return os.str();
+}
+
+}  // namespace commroute::realization

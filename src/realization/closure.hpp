@@ -1,0 +1,68 @@
+// Transitivity closure over realization facts (Figures 1 and 2).
+//
+// Let r(A, B) be the (unknown, true) strongest sense in which model B
+// realizes model A, and [lo, hi] the proven interval. Three rules close
+// the fact database (Sec. 3.4):
+//
+//  P  (Fig. 1)  r(A,C) >= min(r(A,B), r(B,C)):
+//               lo[A][C] <- max(lo[A][C], min(lo[A][B], lo[B][C]))
+//  N1 (Fig. 2, left; "push the tail forward")
+//               if lo[A][B] > hi[A][C] then hi[B][C] <- min(hi[B][C],
+//               hi[A][C]):  B realizes A strongly but C cannot realize A,
+//               so C cannot realize B either.
+//  N2 (Fig. 2, right; "pull the head backward")
+//               if lo[B][C] > hi[A][C] then hi[A][B] <- min(hi[A][B],
+//               hi[A][C]):  C realizes B strongly but cannot realize A,
+//               so B cannot realize A either (else compose through B).
+//
+// Iterating the rules to a fixpoint from the foundational facts
+// regenerates the published matrices of Figures 3 and 4 (see
+// realization/matrix.hpp and bench_fig3/4).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "realization/facts.hpp"
+#include "realization/relation.hpp"
+
+namespace commroute::realization {
+
+/// The 24x24 table of proven realization bounds; entry (A, B) answers
+/// "how strongly can B realize A's executions?".
+class RealizationTable {
+ public:
+  /// Empty table: everything unknown except reflexivity is NOT assumed.
+  RealizationTable();
+
+  /// Builds the closure of the given facts (defaults to the paper's
+  /// foundational fact database).
+  static RealizationTable closure(
+      const std::vector<Fact>& facts = foundational_facts());
+
+  const RelationBound& cell(const model::Model& realized,
+                            const model::Model& realizer) const;
+
+  /// Applies one fact; returns true if anything changed.
+  bool apply(const Fact& fact);
+
+  /// Runs rules P / N1 / N2 to a fixpoint; returns the number of
+  /// tightenings performed.
+  std::size_t close();
+
+  /// Full derivation report for one pair: bound, notation, provenance.
+  std::string explain(const model::Model& realized,
+                      const model::Model& realizer) const;
+
+ private:
+  std::array<std::array<RelationBound, model::Model::kCount>,
+             model::Model::kCount>
+      cells_;
+
+  RelationBound& at(const model::Model& realized,
+                    const model::Model& realizer);
+};
+
+}  // namespace commroute::realization

@@ -1,0 +1,116 @@
+#include "realization/compose.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::realization {
+
+using model::Model;
+
+Strength TransformChain::claimed() const {
+  Strength s = Strength::kExact;
+  for (const TransformCase& link : links) {
+    s = min_strength(s, link.claimed);
+  }
+  return s;
+}
+
+std::string TransformChain::to_string() const {
+  std::ostringstream os;
+  os << endpoint_from.name();
+  for (const TransformCase& link : links) {
+    os << " -[" << link.name << ", " << realization::to_string(link.claimed)
+       << "]-> " << link.to.name();
+  }
+  os << "  (overall: " << realization::to_string(claimed()) << ")";
+  return os.str();
+}
+
+std::optional<TransformChain> find_transform_chain(const Model& from,
+                                                   const Model& to) {
+  // Max-bottleneck shortest path over the theorem graph: Bellman-Ford
+  // style relaxation on 24 nodes; `best[m]` is the strongest bottleneck
+  // from `from` to m, `via[m]` the last link used.
+  constexpr int kUnreachable = -1;
+  constexpr int kInfiniteHops = 1 << 20;
+  std::array<int, Model::kCount> best;
+  std::array<int, Model::kCount> hops;
+  best.fill(kUnreachable);
+  hops.fill(kInfiniteHops);
+  std::array<std::optional<TransformCase>, Model::kCount> via;
+
+  best[static_cast<std::size_t>(from.index())] = level(Strength::kExact);
+  hops[static_cast<std::size_t>(from.index())] = 0;
+
+  const auto& cases = all_transform_cases();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const TransformCase& c : cases) {
+      const std::size_t si = static_cast<std::size_t>(c.from.index());
+      const std::size_t di = static_cast<std::size_t>(c.to.index());
+      if (best[si] == kUnreachable) {
+        continue;
+      }
+      const int through = std::min(best[si], level(c.claimed));
+      // Lexicographic (bottleneck desc, hops asc): the hop tie-break
+      // keeps the predecessor graph acyclic.
+      if (through > best[di] ||
+          (through == best[di] && hops[si] + 1 < hops[di])) {
+        best[di] = through;
+        hops[di] = hops[si] + 1;
+        via[di] = c;
+        changed = true;
+      }
+    }
+  }
+
+  if (best[static_cast<std::size_t>(to.index())] == kUnreachable) {
+    return std::nullopt;
+  }
+
+  TransformChain chain;
+  chain.endpoint_from = from;
+  chain.endpoint_to = to;
+  // Walk back through `via`.
+  std::vector<TransformCase> reversed;
+  Model at = to;
+  while (!(at == from)) {
+    const auto& link = via[static_cast<std::size_t>(at.index())];
+    CR_ASSERT(link.has_value(), "broken predecessor chain");
+    reversed.push_back(*link);
+    at = link->from;
+  }
+  chain.links.assign(reversed.rbegin(), reversed.rend());
+  return chain;
+}
+
+model::ActivationScript apply_chain(const TransformChain& chain,
+                                    const spp::Instance& instance,
+                                    const trace::Recording& recording) {
+  if (chain.links.empty()) {
+    model::ActivationScript out;
+    out.reserve(recording.steps.size());
+    for (const trace::RecordedStep& rs : recording.steps) {
+      out.push_back(rs.step);
+    }
+    return out;
+  }
+
+  model::ActivationScript script;
+  const trace::Recording* current = &recording;
+  std::optional<trace::Recording> owned;
+  for (std::size_t i = 0; i < chain.links.size(); ++i) {
+    const TransformCase& link = chain.links[i];
+    script = apply_transform(link, instance, *current);
+    if (i + 1 < chain.links.size()) {
+      owned.emplace(trace::record_script(instance, script, link.to));
+      current = &*owned;
+    }
+  }
+  return script;
+}
+
+}  // namespace commroute::realization

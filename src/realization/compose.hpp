@@ -1,0 +1,48 @@
+// Composition of realization transforms.
+//
+// The positive theorems of Sec. 3.2 are edges in a graph over the 24
+// models; composing them along a path realizes executions of any model in
+// any other reachable model, at the weakest strength along the path
+// (Sec. 3.4's rule P, constructively). find_transform_chain computes the
+// max-bottleneck path, so its strength matches the closure's lower bound
+// for every pair — the algebraic and constructive layers validate each
+// other (see test_compose).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "realization/transforms.hpp"
+
+namespace commroute::realization {
+
+/// A path through the theorem graph; applying the links in order realizes
+/// `from()`-executions in `to()` at strength claimed().
+struct TransformChain {
+  std::vector<TransformCase> links;  ///< empty = identity (from == to)
+  model::Model endpoint_from;
+  model::Model endpoint_to;
+
+  model::Model from() const { return endpoint_from; }
+  model::Model to() const { return endpoint_to; }
+
+  /// min over the links' claimed strengths (kExact when empty).
+  Strength claimed() const;
+
+  std::string to_string() const;
+};
+
+/// Strongest (max-bottleneck) chain realizing `from` in `to`, or nullopt
+/// when no chain of positive theorems connects them (e.g. realizing R1O
+/// in REA is impossible — Thm. 3.8).
+std::optional<TransformChain> find_transform_chain(const model::Model& from,
+                                                   const model::Model& to);
+
+/// Applies the chain link by link, re-recording the intermediate
+/// executions; the returned script is legal in chain.to() and induces a
+/// trace realizing the source trace at strength >= chain.claimed().
+model::ActivationScript apply_chain(const TransformChain& chain,
+                                    const spp::Instance& instance,
+                                    const trace::Recording& recording);
+
+}  // namespace commroute::realization

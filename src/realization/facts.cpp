@@ -1,0 +1,128 @@
+#include "realization/facts.hpp"
+
+namespace commroute::realization {
+
+namespace {
+
+using model::MessageMode;
+using model::Model;
+using model::NeighborMode;
+using model::Reliability;
+
+Model make(Reliability w, NeighborMode x, MessageMode y) {
+  return Model{w, x, y};
+}
+
+std::vector<Fact> build_facts() {
+  std::vector<Fact> facts;
+  const auto lower = [&](Model a, Model b, Strength s,
+                         const std::string& source) {
+    facts.push_back(Fact{a, b, FactKind::kLowerBound, s, source});
+  };
+  const auto upper = [&](Model a, Model b, Strength s,
+                         const std::string& source) {
+    facts.push_back(Fact{a, b, FactKind::kUpperBound, s, source});
+  };
+
+  const std::vector<Reliability> reliabilities{Reliability::kReliable,
+                                               Reliability::kUnreliable};
+  const std::vector<NeighborMode> neighbor_modes{
+      NeighborMode::kOne, NeighborMode::kMultiple, NeighborMode::kEvery};
+  const std::vector<MessageMode> message_modes{
+      MessageMode::kOne, MessageMode::kSome, MessageMode::kForced,
+      MessageMode::kAll};
+
+  // Reflexivity.
+  for (const Model& m : Model::all()) {
+    lower(m, m, Strength::kExact, "reflexivity");
+  }
+
+  // Prop. 3.3(1): Uxy exactly realizes Rxy.
+  for (const NeighborMode x : neighbor_modes) {
+    for (const MessageMode y : message_modes) {
+      lower(make(Reliability::kReliable, x, y),
+            make(Reliability::kUnreliable, x, y), Strength::kExact,
+            "Prop. 3.3(1)");
+    }
+  }
+
+  for (const Reliability w : reliabilities) {
+    for (const NeighborMode x : neighbor_modes) {
+      // Prop. 3.3(2): wxS exactly realizes wxF.
+      lower(make(w, x, MessageMode::kForced), make(w, x, MessageMode::kSome),
+            Strength::kExact, "Prop. 3.3(2)");
+      // Prop. 3.3(3): wxF exactly realizes wxO and wxA.
+      lower(make(w, x, MessageMode::kOne), make(w, x, MessageMode::kForced),
+            Strength::kExact, "Prop. 3.3(3)");
+      lower(make(w, x, MessageMode::kAll), make(w, x, MessageMode::kForced),
+            Strength::kExact, "Prop. 3.3(3)");
+    }
+    for (const MessageMode y : message_modes) {
+      // Prop. 3.3(4): wMy exactly realizes w1y and wEy.
+      lower(make(w, NeighborMode::kOne, y),
+            make(w, NeighborMode::kMultiple, y), Strength::kExact,
+            "Prop. 3.3(4)");
+      lower(make(w, NeighborMode::kEvery, y),
+            make(w, NeighborMode::kMultiple, y), Strength::kExact,
+            "Prop. 3.3(4)");
+      // Thm. 3.5: w1y realizes wMy with repetition.
+      lower(make(w, NeighborMode::kMultiple, y),
+            make(w, NeighborMode::kOne, y), Strength::kRepetition,
+            "Thm. 3.5");
+    }
+    // Prop. 3.4: wES exactly realizes wMS.
+    lower(make(w, NeighborMode::kMultiple, MessageMode::kSome),
+          make(w, NeighborMode::kEvery, MessageMode::kSome),
+          Strength::kExact, "Prop. 3.4");
+  }
+
+  const Model r1o = Model::parse("R1O");
+  const Model r1s = Model::parse("R1S");
+  const Model u1o = Model::parse("U1O");
+  const Model u1s = Model::parse("U1S");
+  const Model reo = Model::parse("REO");
+  const Model ref = Model::parse("REF");
+  const Model rea = Model::parse("REA");
+
+  // Prop. 3.6: R1O realizes R1S as a subsequence; U1O realizes U1S with
+  // repetition.
+  lower(r1s, r1o, Strength::kSubsequence, "Prop. 3.6");
+  lower(u1s, u1o, Strength::kRepetition, "Prop. 3.6");
+
+  // Thm. 3.7: R1S exactly realizes U1O.
+  lower(u1o, r1s, Strength::kExact, "Thm. 3.7");
+
+  // Thm. 3.8: R1O's oscillations are not preserved by REO, REF, R1A, RMA,
+  // REA (witness: DISAGREE, Ex. A.1).
+  for (const char* name : {"REO", "REF", "R1A", "RMA", "REA"}) {
+    upper(r1o, Model::parse(name), Strength::kNotPreserving, "Thm. 3.8");
+  }
+
+  // Thm. 3.9: REO's and REF's oscillations are not preserved by the
+  // polling models (witness: Fig. 6, Ex. A.2).
+  for (const char* name : {"R1A", "RMA", "REA"}) {
+    upper(reo, Model::parse(name), Strength::kNotPreserving, "Thm. 3.9");
+    upper(ref, Model::parse(name), Strength::kNotPreserving, "Thm. 3.9");
+  }
+
+  // Prop. 3.10: REO cannot be exactly realized in R1O (Ex. A.3).
+  upper(reo, r1o, Strength::kRepetition, "Prop. 3.10");
+  // Prop. 3.11: REA cannot be realized with repetition in R1O (Ex. A.4).
+  upper(rea, r1o, Strength::kSubsequence, "Prop. 3.11");
+  // Prop. 3.12: REA cannot be exactly realized by R1S (Ex. A.5).
+  upper(rea, r1s, Strength::kRepetition, "Prop. 3.12");
+  // Prop. 3.13: REO cannot be exactly realized by R1S (Ex. A.5's sequence
+  // is also an REO sequence).
+  upper(reo, r1s, Strength::kRepetition, "Prop. 3.13");
+
+  return facts;
+}
+
+}  // namespace
+
+const std::vector<Fact>& foundational_facts() {
+  static const std::vector<Fact> facts = build_facts();
+  return facts;
+}
+
+}  // namespace commroute::realization

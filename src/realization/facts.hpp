@@ -1,0 +1,47 @@
+// The paper's foundational realization results as a fact database.
+//
+// Sec. 3.2 (positive, lower bounds):
+//   Prop. 3.3(1)  Uxy exactly realizes Rxy
+//   Prop. 3.3(2)  wxS exactly realizes wxF
+//   Prop. 3.3(3)  wxF exactly realizes wxO and wxA
+//   Prop. 3.3(4)  wMy exactly realizes w1y and wEy
+//   Prop. 3.4     wES exactly realizes wMS
+//   Thm. 3.5      w1y realizes wMy with repetition
+//   Prop. 3.6     R1O realizes R1S as a subsequence;
+//                 U1O realizes U1S with repetition
+//   Thm. 3.7      R1S exactly realizes U1O
+// Sec. 3.3 (negative, upper bounds):
+//   Thm. 3.8      REO, REF, R1A, RMA, REA do not preserve R1O's oscillations
+//   Thm. 3.9      R1A, RMA, REA do not preserve REO's / REF's oscillations
+//   Prop. 3.10    R1O cannot exactly realize REO
+//   Prop. 3.11    R1O cannot realize REA with repetition
+//   Prop. 3.12    R1S cannot exactly realize REA
+//   Prop. 3.13    R1S cannot exactly realize REO
+// plus reflexivity (every model exactly realizes itself).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "realization/relation.hpp"
+
+namespace commroute::realization {
+
+enum class FactKind {
+  kLowerBound,  ///< realizer realizes realized at >= strength
+  kUpperBound,  ///< realizer realizes realized at <= strength
+};
+
+struct Fact {
+  model::Model realized;  ///< A: the model whose executions are realized
+  model::Model realizer;  ///< B: the model realizing them
+  FactKind kind = FactKind::kLowerBound;
+  Strength strength = Strength::kExact;
+  std::string source;  ///< e.g. "Prop. 3.3(1)"
+};
+
+/// All foundational facts listed above, including reflexivity.
+const std::vector<Fact>& foundational_facts();
+
+}  // namespace commroute::realization

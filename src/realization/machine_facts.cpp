@@ -1,0 +1,71 @@
+#include "realization/machine_facts.hpp"
+
+#include "checker/explorer.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::realization {
+
+namespace {
+
+constexpr const char* kFiveModels[] = {"UEO", "UEF", "U1A", "UMA", "UEA"};
+
+}  // namespace
+
+const std::vector<Fact>& machine_checked_facts() {
+  static const std::vector<Fact> facts = [] {
+    std::vector<Fact> out;
+    for (const char* name : kFiveModels) {
+      out.push_back(Fact{model::Model::parse("R1O"),
+                         model::Model::parse(name),
+                         FactKind::kUpperBound,
+                         Strength::kNotPreserving,
+                         "machine-checked (DISAGREE separation)"});
+    }
+    return out;
+  }();
+  return facts;
+}
+
+bool verify_machine_facts() {
+  const spp::Instance disagree = spp::disagree();
+  const checker::ExploreOptions options{.max_channel_length = 3,
+                                        .max_states = 500000};
+
+  const auto weak = checker::explore(
+      disagree, model::Model::parse("R1O"), options);
+  if (!weak.oscillation_found) {
+    return false;
+  }
+  for (const char* name : kFiveModels) {
+    const auto strong =
+        checker::explore(disagree, model::Model::parse(name), options);
+    if (strong.oscillation_found || !strong.exhaustive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RealizationTable extended_closure() {
+  std::vector<Fact> facts = foundational_facts();
+  const std::vector<Fact>& machine = machine_checked_facts();
+  facts.insert(facts.end(), machine.begin(), machine.end());
+  return RealizationTable::closure(facts);
+}
+
+std::size_t count_unknown_cells(const RealizationTable& table) {
+  std::size_t unknown = 0;
+  for (const model::Model& a : model::Model::all()) {
+    for (const model::Model& b : model::Model::all()) {
+      if (a == b) {
+        continue;
+      }
+      if (table.cell(a, b).unknown()) {
+        ++unknown;
+      }
+    }
+  }
+  return unknown;
+}
+
+}  // namespace commroute::realization

@@ -1,0 +1,43 @@
+// Machine-checked facts extending the paper's knowledge base.
+//
+// The paper leaves the UEO, UEF, U1A, UMA, and UEA columns of Figure 4
+// (and the corresponding Figure 3 cells) largely blank. Our exhaustive
+// model checker resolves them: DISAGREE oscillates under R1O but provably
+// cannot oscillate under any of those five unreliable models (the full
+// reachable configuration space — a few hundred states — is explored
+// without hitting any bound, and no fair SCC with a changing assignment
+// exists). Hence none of the five preserves R1O's oscillations:
+//
+//     hi(R1O, B) = -1   for B in {UEO, UEF, U1A, UMA, UEA}.
+//
+// Closing these five new facts together with the paper's foundational
+// ones resolves 70 of the 115 blank cells of Figures 3 and 4 to -1 (any
+// model that realizes R1O at all cannot be realized by the five). The 45
+// still-open cells all relate members of the strong E/A family to one
+// another, where DISAGREE cannot separate. verify_machine_facts()
+// re-runs the checker proofs.
+#pragma once
+
+#include <vector>
+
+#include "realization/closure.hpp"
+#include "realization/facts.hpp"
+
+namespace commroute::realization {
+
+/// The five checker-derived upper bounds described above.
+const std::vector<Fact>& machine_checked_facts();
+
+/// Re-establishes the facts from scratch: DISAGREE oscillates under R1O,
+/// and exhaustively cannot under each of the five models. Returns false
+/// (never throws) if any check fails — e.g. under engine changes.
+bool verify_machine_facts();
+
+/// Closure of foundational + machine-checked facts.
+RealizationTable extended_closure();
+
+/// Number of fully unknown (blank) cells in the 24x24 table outside the
+/// diagonal.
+std::size_t count_unknown_cells(const RealizationTable& table);
+
+}  // namespace commroute::realization

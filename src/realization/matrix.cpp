@@ -1,0 +1,130 @@
+#include "realization/matrix.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace commroute::realization {
+
+namespace {
+
+using model::Model;
+
+std::vector<Model> figure_columns(Figure figure) {
+  std::vector<Model> columns;
+  for (const Model& m : Model::all()) {
+    if ((figure == Figure::kFig3Reliable) == m.reliable()) {
+      columns.push_back(m);
+    }
+  }
+  return columns;
+}
+
+std::string cell_text(const RelationBound& bound, bool diagonal) {
+  if (diagonal) {
+    return "-";
+  }
+  const std::string notation = bound.paper_notation();
+  return notation.empty() ? "." : notation;
+}
+
+std::string render(Figure figure,
+                   const std::function<RelationBound(const Model&,
+                                                     const Model&)>& lookup) {
+  const std::vector<Model> columns = figure_columns(figure);
+  TextTable table;
+  std::vector<std::string> header{"A \\ B"};
+  for (const Model& b : columns) {
+    header.push_back(b.name());
+  }
+  table.set_header(std::move(header));
+  table.set_align(Align::kCenter);
+  for (const Model& a : Model::all()) {
+    std::vector<std::string> row{a.name()};
+    for (const Model& b : columns) {
+      row.push_back(cell_text(lookup(a, b), a == b));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace
+
+std::string render_matrix(const RealizationTable& table, Figure figure) {
+  return render(figure, [&table](const Model& a, const Model& b) {
+    return table.cell(a, b);
+  });
+}
+
+std::string render_paper_matrix(Figure figure) {
+  return render(figure, [](const Model& a, const Model& b) {
+    return paper_bound(a, b);
+  });
+}
+
+bool MatrixComparison::has_contradiction() const {
+  return std::any_of(diffs.begin(), diffs.end(), [](const CellDiff& d) {
+    return d.kind == "contradiction";
+  });
+}
+
+bool MatrixComparison::has_looser() const {
+  return std::any_of(diffs.begin(), diffs.end(), [](const CellDiff& d) {
+    return d.kind == "looser" || d.kind == "incomparable";
+  });
+}
+
+std::string MatrixComparison::summary() const {
+  std::size_t tighter = 0, looser = 0, incomparable = 0, contradiction = 0;
+  for (const CellDiff& d : diffs) {
+    if (d.kind == "tighter") ++tighter;
+    if (d.kind == "looser") ++looser;
+    if (d.kind == "incomparable") ++incomparable;
+    if (d.kind == "contradiction") ++contradiction;
+  }
+  std::ostringstream os;
+  os << equal << "/" << cells << " cells identical, " << tighter
+     << " tighter than published, " << looser << " looser, "
+     << incomparable << " incomparable, " << contradiction
+     << " contradictions";
+  return os.str();
+}
+
+MatrixComparison compare_with_paper(const RealizationTable& table,
+                                    Figure figure) {
+  MatrixComparison comparison;
+  const std::vector<Model> columns = figure_columns(figure);
+  for (const Model& a : Model::all()) {
+    for (const Model& b : columns) {
+      if (a == b) {
+        continue;  // diagonal is definitional
+      }
+      ++comparison.cells;
+      const RelationBound computed = table.cell(a, b);
+      const RelationBound published = paper_bound(a, b);
+      if (computed.lo == published.lo && computed.hi == published.hi) {
+        ++comparison.equal;
+        continue;
+      }
+      CellDiff diff{a, b, computed, published, ""};
+      const bool pub_contains_comp = published.contains(computed);
+      const bool comp_contains_pub = computed.contains(published);
+      if (!computed.overlaps(published)) {
+        diff.kind = "contradiction";
+      } else if (pub_contains_comp) {
+        diff.kind = "tighter";
+      } else if (comp_contains_pub) {
+        diff.kind = "looser";
+      } else {
+        diff.kind = "incomparable";
+      }
+      comparison.diffs.push_back(std::move(diff));
+    }
+  }
+  return comparison;
+}
+
+}  // namespace commroute::realization

@@ -1,0 +1,52 @@
+// Rendering and comparison of realization matrices (Figures 3 and 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "realization/closure.hpp"
+#include "realization/paper_data.hpp"
+
+namespace commroute::realization {
+
+/// Which figure's column block to render/compare.
+enum class Figure { kFig3Reliable, kFig4Unreliable };
+
+/// Renders the 24x12 matrix of `table` in the paper's cell notation
+/// (diagonal printed as "-").
+std::string render_matrix(const RealizationTable& table, Figure figure);
+
+/// Renders the published matrix for reference.
+std::string render_paper_matrix(Figure figure);
+
+/// One cell-level discrepancy between the computed closure and the paper.
+struct CellDiff {
+  model::Model realized;
+  model::Model realizer;
+  RelationBound computed;
+  RelationBound published;
+  /// Classification:
+  ///   "tighter"       computed interval strictly inside the published one
+  ///                   (we derived more than the paper lists)
+  ///   "looser"        published strictly inside computed (we failed to
+  ///                   re-derive a published bound)
+  ///   "incomparable"  overlapping but neither contains the other
+  ///   "contradiction" disjoint intervals
+  std::string kind;
+};
+
+struct MatrixComparison {
+  std::size_t cells = 0;
+  std::size_t equal = 0;
+  std::vector<CellDiff> diffs;
+
+  bool has_contradiction() const;
+  bool has_looser() const;
+  std::string summary() const;
+};
+
+/// Compares the computed table against the published figure.
+MatrixComparison compare_with_paper(const RealizationTable& table,
+                                    Figure figure);
+
+}  // namespace commroute::realization

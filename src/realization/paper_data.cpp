@@ -1,0 +1,122 @@
+#include "realization/paper_data.hpp"
+
+#include <array>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace commroute::realization {
+
+namespace {
+
+using model::Model;
+
+// Cells use ';' separators so blanks survive; tokens: 4 3 2 -1 >=k <=k
+// k,m  -  (diagonal) and empty (unknown). Transcribed from the paper.
+
+// Figure 3 columns: R1O RMO REO R1S RMS RES R1F RMF REF R1A RMA REA.
+constexpr const char* kFig3Rows[24] = {
+    /* R1O */ "-;4;-1;4;4;4;4;4;-1;-1;-1;-1",
+    /* RMO */ "3;-;-1;3;4;4;3;4;-1;-1;-1;-1",
+    /* REO */ "3;4;-;3;4;4;3;4;4;-1;-1;-1",
+    /* R1S */ "2;2;-1;-;4;4;>=2;>=2;-1;-1;-1;-1",
+    /* RMS */ "2;2;-1;3;-;4;2,3;>=2;-1;-1;-1;-1",
+    /* RES */ "2;2;-1;3;4;-;2,3;>=2;-1;-1;-1;-1",
+    /* R1F */ "2;2;-1;4;4;4;-;4;-1;-1;-1;-1",
+    /* RMF */ "2;2;-1;3;4;4;3;-;-1;-1;-1;-1",
+    /* REF */ "2;2;<=2;3;4;4;3;4;-;-1;-1;-1",
+    /* R1A */ "2;2;<=2;4;4;4;4;4;;-;4;",
+    /* RMA */ "2;2;<=2;3;4;4;3;4;;3;-;",
+    /* REA */ "2;2;<=2;3;4;4;3;4;4;3;4;-",
+    /* U1O */ ">=2;>=2;-1;4;4;4;>=2;>=2;-1;-1;-1;-1",
+    /* UMO */ "2,3;>=2;-1;3;>=3;>=3;2,3;>=2;-1;-1;-1;-1",
+    /* UEO */ "2,3;>=2;;3;>=3;>=3;2,3;>=2;;-1;-1;-1",
+    /* U1S */ "2;2;-1;>=3;>=3;>=3;>=2;>=2;-1;-1;-1;-1",
+    /* UMS */ "2;2;-1;3;>=3;>=3;2,3;>=2;-1;-1;-1;-1",
+    /* UES */ "2;2;-1;3;>=3;>=3;2,3;>=2;-1;-1;-1;-1",
+    /* U1F */ "2;2;-1;>=3;>=3;>=3;>=2;>=2;-1;-1;-1;-1",
+    /* UMF */ "2;2;-1;3;>=3;>=3;2,3;>=2;-1;-1;-1;-1",
+    /* UEF */ "2;2;<=2;3;>=3;>=3;2,3;>=2;;-1;-1;-1",
+    /* U1A */ "2;2;<=2;>=3;>=3;>=3;>=2;>=2;;;;",
+    /* UMA */ "2;2;<=2;3;>=3;>=3;2,3;>=2;;<=3;;",
+    /* UEA */ "2;2;<=2;3;>=3;>=3;2,3;>=2;;<=3;;",
+};
+
+// Figure 4 columns: U1O UMO UEO U1S UMS UES U1F UMF UEF U1A UMA UEA.
+constexpr const char* kFig4Rows[24] = {
+    /* R1O */ "4;4;;4;4;4;4;4;;;;",
+    /* RMO */ "3;4;;>=3;4;4;>=3;4;;;;",
+    /* REO */ "3;4;4;>=3;4;4;>=3;4;4;;;",
+    /* R1S */ ">=3;>=3;;4;4;4;>=3;>=3;;;;",
+    /* RMS */ "3;>=3;;>=3;4;4;>=3;>=3;;;;",
+    /* RES */ "3;>=3;;>=3;4;4;>=3;>=3;;;;",
+    /* R1F */ ">=3;>=3;;4;4;4;4;4;;;;",
+    /* RMF */ "3;>=3;;>=3;4;4;>=3;4;;;;",
+    /* REF */ "3;>=3;;>=3;4;4;>=3;4;4;;;",
+    /* R1A */ ">=3;>=3;;4;4;4;4;4;;4;4;",
+    /* RMA */ "3;>=3;;>=3;4;4;>=3;4;;>=3;4;",
+    /* REA */ "3;>=3;;>=3;4;4;>=3;4;4;>=3;4;4",
+    /* U1O */ "-;4;;4;4;4;4;4;;;;",
+    /* UMO */ "3;-;;>=3;4;4;>=3;4;;;;",
+    /* UEO */ "3;4;-;>=3;4;4;>=3;4;4;;;",
+    /* U1S */ ">=3;>=3;;-;4;4;>=3;>=3;;;;",
+    /* UMS */ "3;>=3;;>=3;-;4;>=3;>=3;;;;",
+    /* UES */ "3;>=3;;>=3;4;-;>=3;>=3;;;;",
+    /* U1F */ ">=3;>=3;;4;4;4;-;4;;;;",
+    /* UMF */ "3;>=3;;>=3;4;4;>=3;-;;;;",
+    /* UEF */ "3;>=3;;>=3;4;4;>=3;4;-;;;",
+    /* U1A */ ">=3;>=3;;4;4;4;4;4;;-;4;",
+    /* UMA */ "3;>=3;;>=3;4;4;>=3;4;;>=3;-;",
+    /* UEA */ "3;>=3;;>=3;4;4;>=3;4;4;>=3;4;-",
+};
+
+/// Paper figure row/column order: O, S, F, A message modes; 1, M, E
+/// neighbors within each; reliable block before unreliable. This is
+/// exactly Model::index() order, so index() doubles as the row number.
+std::vector<std::string> split_cells(const char* row) {
+  // Cannot use split_trimmed: empty cells are significant.
+  std::vector<std::string> cells;
+  std::string current;
+  for (const char* p = row;; ++p) {
+    if (*p == ';' || *p == '\0') {
+      cells.emplace_back(trim(current));
+      current.clear();
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      current += *p;
+    }
+  }
+  return cells;
+}
+
+RelationBound lookup(const char* const rows[24], const Model& realized,
+                     int column) {
+  const std::vector<std::string> cells =
+      split_cells(rows[realized.index()]);
+  CR_REQUIRE(cells.size() == 12, "malformed paper matrix row for " +
+                                     realized.name());
+  return parse_paper_notation(cells[static_cast<std::size_t>(column)]);
+}
+
+}  // namespace
+
+RelationBound paper_fig3(const Model& realized, const Model& realizer) {
+  CR_REQUIRE(realizer.reliable(), "figure 3 columns are reliable models");
+  return lookup(kFig3Rows, realized, realizer.index());
+}
+
+RelationBound paper_fig4(const Model& realized, const Model& realizer) {
+  CR_REQUIRE(!realizer.reliable(),
+             "figure 4 columns are unreliable models");
+  return lookup(kFig4Rows, realized, realizer.index() - 12);
+}
+
+RelationBound paper_bound(const Model& realized, const Model& realizer) {
+  return realizer.reliable() ? paper_fig3(realized, realizer)
+                             : paper_fig4(realized, realizer);
+}
+
+}  // namespace commroute::realization

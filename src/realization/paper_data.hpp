@@ -1,0 +1,29 @@
+// The published realization matrices (Figures 3 and 4 of the paper),
+// transcribed verbatim for comparison against the computed closure.
+//
+// Rows: all 24 models in the paper's order (R1O, RMO, REO, R1S, RMS, RES,
+// R1F, RMF, REF, R1A, RMA, REA, then the U-counterparts). Figure 3's
+// columns are the 12 reliable models; Figure 4's columns are the 12
+// unreliable models. Cell (row A, column B) states what the paper proved
+// about B's ability to realize A.
+#pragma once
+
+#include "model/model.hpp"
+#include "realization/relation.hpp"
+
+namespace commroute::realization {
+
+/// The interval the paper publishes for (realized=row, realizer=column).
+/// `realizer` must be reliable for figure 3 and unreliable for figure 4;
+/// both figures accept all 24 models as rows.
+RelationBound paper_fig3(const model::Model& realized,
+                         const model::Model& realizer);
+RelationBound paper_fig4(const model::Model& realized,
+                         const model::Model& realizer);
+
+/// Uniform accessor across both figures: dispatches on the realizer's
+/// reliability.
+RelationBound paper_bound(const model::Model& realized,
+                          const model::Model& realizer);
+
+}  // namespace commroute::realization

@@ -1,0 +1,106 @@
+#include "realization/relation.hpp"
+
+#include "support/strings.hpp"
+
+namespace commroute::realization {
+
+std::string to_string(Strength s) {
+  switch (s) {
+    case Strength::kNotPreserving:
+      return "not-oscillation-preserving";
+    case Strength::kOscillation:
+      return "oscillation-preserving";
+    case Strength::kSubsequence:
+      return "subsequence";
+    case Strength::kRepetition:
+      return "repetition";
+    case Strength::kExact:
+      return "exact";
+  }
+  throw InvariantError("bad Strength");
+}
+
+bool RelationBound::tighten_lo(Strength s, const std::string& source) {
+  if (level(s) <= level(lo)) {
+    return false;
+  }
+  CR_REQUIRE(level(s) <= level(hi),
+             "contradictory bounds: lower " + std::to_string(level(s)) +
+                 " (" + source + ") above upper " +
+                 std::to_string(level(hi)) + " (" + hi_source + ")");
+  lo = s;
+  lo_source = source;
+  return true;
+}
+
+bool RelationBound::tighten_hi(Strength s, const std::string& source) {
+  if (level(s) >= level(hi)) {
+    return false;
+  }
+  CR_REQUIRE(level(s) >= level(lo),
+             "contradictory bounds: upper " + std::to_string(level(s)) +
+                 " (" + source + ") below lower " +
+                 std::to_string(level(lo)) + " (" + lo_source + ")");
+  hi = s;
+  hi_source = source;
+  return true;
+}
+
+std::string RelationBound::paper_notation() const {
+  const int l = level(lo);
+  const int h = level(hi);
+  if (l == h) {
+    return (l == 0) ? "-1" : std::to_string(l);
+  }
+  if (l == 0 && h == 4) {
+    return "";
+  }
+  if (h == 4) {
+    return ">=" + std::to_string(l);
+  }
+  if (l == 0) {
+    return "<=" + std::to_string(h);
+  }
+  return std::to_string(l) + "," + std::to_string(h);
+}
+
+RelationBound parse_paper_notation(const std::string& cell) {
+  const std::string text{trim(cell)};
+  RelationBound bound;
+  if (text.empty()) {
+    return bound;  // [0, 4]
+  }
+  if (text == "-" || text == "—") {
+    bound.lo = bound.hi = Strength::kExact;
+    return bound;
+  }
+  if (text == "-1") {
+    bound.lo = bound.hi = Strength::kNotPreserving;
+    return bound;
+  }
+  const auto parse_level = [&](const std::string& digits) {
+    CR_REQUIRE(digits.size() == 1 && digits[0] >= '0' && digits[0] <= '4',
+               "bad strength digit in cell '" + cell + "'");
+    return strength_from_level(digits[0] - '0');
+  };
+  if (starts_with(text, ">=")) {
+    bound.lo = parse_level(text.substr(2));
+    return bound;
+  }
+  if (starts_with(text, "<=")) {
+    bound.hi = parse_level(text.substr(2));
+    return bound;
+  }
+  const auto comma = text.find(',');
+  if (comma != std::string::npos) {
+    bound.lo = parse_level(text.substr(0, comma));
+    bound.hi = parse_level(text.substr(comma + 1));
+    CR_REQUIRE(level(bound.lo) <= level(bound.hi),
+               "inverted interval in cell '" + cell + "'");
+    return bound;
+  }
+  bound.lo = bound.hi = parse_level(text);
+  return bound;
+}
+
+}  // namespace commroute::realization

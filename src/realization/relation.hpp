@@ -1,0 +1,82 @@
+// The realization-strength lattice (Defs. 3.1 / 3.2) and interval bounds.
+//
+// For models A (realized) and B (realizer) the paper tracks how strongly
+// B can reproduce A's executions:
+//   4 — exact realization            (pi'(t) = pi(t) for all t)
+//   3 — realization with repetition  (pi' is pi with elements repeated)
+//   2 — realization as a subsequence (pi is a subsequence of pi')
+//   1 — oscillation preservation     (A diverges => B can diverge)
+//  -1 — oscillation preservation FAILS (encoded as level 0 here)
+// Each level implies all lower ones. Published knowledge about a pair is
+// an interval [lo, hi]: lo = strongest proven realization, hi = strongest
+// not-yet-refuted one. The paper's cell notation maps onto intervals:
+//   "4"/"3"/"2"  lo == hi == value        "-1"  lo == hi == 0
+//   ">=k"        [k, 4]                   "<=k"  [0, k]
+//   "k,m"        [k, m]                   blank  [0, 4]
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace commroute::realization {
+
+enum class Strength : int {
+  kNotPreserving = 0,  ///< the paper's "-1"
+  kOscillation = 1,
+  kSubsequence = 2,
+  kRepetition = 3,
+  kExact = 4,
+};
+
+std::string to_string(Strength s);
+
+inline int level(Strength s) { return static_cast<int>(s); }
+
+inline Strength strength_from_level(int l) {
+  CR_REQUIRE(l >= 0 && l <= 4, "strength level out of range");
+  return static_cast<Strength>(l);
+}
+
+inline Strength min_strength(Strength a, Strength b) {
+  return level(a) < level(b) ? a : b;
+}
+
+/// Proven interval of realization strengths for one (realized, realizer)
+/// model pair, plus provenance strings for both bounds.
+struct RelationBound {
+  Strength lo = Strength::kNotPreserving;
+  Strength hi = Strength::kExact;
+  std::string lo_source;  ///< how the lower bound was proven
+  std::string hi_source;  ///< how the upper bound was proven
+
+  /// Raises lo; returns true on change, throws on contradiction.
+  bool tighten_lo(Strength s, const std::string& source);
+
+  /// Lowers hi; returns true on change, throws on contradiction.
+  bool tighten_hi(Strength s, const std::string& source);
+
+  bool known_exactly() const { return lo == hi; }
+  bool unknown() const {
+    return lo == Strength::kNotPreserving && hi == Strength::kExact;
+  }
+
+  /// The paper's cell notation (see file comment); blank when nothing is
+  /// known.
+  std::string paper_notation() const;
+
+  /// True when this interval is consistent with (contained in or equal
+  /// to, overlapping with) `other`.
+  bool overlaps(const RelationBound& other) const {
+    return level(lo) <= level(other.hi) && level(other.lo) <= level(hi);
+  }
+  bool contains(const RelationBound& other) const {
+    return level(lo) <= level(other.lo) && level(other.hi) <= level(hi);
+  }
+};
+
+/// Parses paper cell notation ("4", "-1", ">=3", "<=2", "2,3", "") into an
+/// interval. "-" (diagonal) parses as [4,4].
+RelationBound parse_paper_notation(const std::string& cell);
+
+}  // namespace commroute::realization

@@ -1,0 +1,61 @@
+// Constructive realization transforms: executable versions of the
+// positive proofs of Sec. 3.2.
+//
+// Each transform takes a recorded execution in a source model and emits an
+// activation script for a target model whose induced trace realizes the
+// source trace in the claimed sense:
+//   Prop. 3.3(1..4) — identity embeddings (the same script is legal in the
+//                     stronger model); exact.
+//   Prop. 3.4       — wMS -> wES: pad each step with f = 0 reads on the
+//                     unprocessed channels; exact.
+//   Thm. 3.5        — wMy -> w1y: split each multi-channel step into
+//                     single-channel steps, ordered so the channel of the
+//                     newly selected path goes first and the channel of
+//                     the previously selected path goes last; repetition.
+//   Prop. 3.6       — R1S -> R1O: lockstep simulation with "flagged"
+//                     messages marking the final announcement of each
+//                     batch (subsequence); U1S -> U1O: split an f = k read
+//                     into k one-message reads dropping all but the last
+//                     delivered one (repetition).
+//   Thm. 3.7        — U1O -> R1S: dropped reads become f = 0 reads and a
+//                     delivered read consumes all previously skipped
+//                     messages; exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+#include "realization/relation.hpp"
+#include "trace/recording.hpp"
+
+namespace commroute::realization {
+
+enum class TransformRule {
+  kIdentity,          ///< Prop. 3.3: script unchanged
+  kPadEmptyReads,     ///< Prop. 3.4: add f = 0 reads to reach X = all
+  kExpandMulti,       ///< Thm. 3.5: one step per processed channel
+  kFlagBatches,       ///< Prop. 3.6 (reliable): R1S -> R1O
+  kSplitDropAllButLast,  ///< Prop. 3.6 (unreliable): U1S -> U1O
+  kAccumulateSkips,   ///< Thm. 3.7: U1O -> R1S
+};
+
+struct TransformCase {
+  std::string name;     ///< the theorem it implements
+  model::Model from;    ///< source model (the recording's model)
+  model::Model to;      ///< target model (the emitted script's model)
+  Strength claimed;     ///< relation the transform guarantees
+  TransformRule rule;
+};
+
+/// Every (source, target) instantiation of the Sec. 3.2 theorems.
+std::vector<TransformCase> all_transform_cases();
+
+/// Applies `c.rule` to a recording made in model `c.from`; the returned
+/// script is legal in `c.to` and induces a trace realizing the source
+/// trace in sense `c.claimed`.
+model::ActivationScript apply_transform(const TransformCase& c,
+                                        const spp::Instance& instance,
+                                        const trace::Recording& recording);
+
+}  // namespace commroute::realization

@@ -1,0 +1,78 @@
+#include "spp/builder.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace commroute::spp {
+
+InstanceBuilder::InstanceBuilder(std::string destination)
+    : destination_(std::move(destination)) {
+  CR_REQUIRE(!destination_.empty(), "destination name must be non-empty");
+  names_.push_back(destination_);
+}
+
+bool InstanceBuilder::declared(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+NodeId InstanceBuilder::index_of(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  CR_REQUIRE(it != names_.end(), "unknown node: " + name);
+  return static_cast<NodeId>(it - names_.begin());
+}
+
+InstanceBuilder& InstanceBuilder::node(const std::string& name) {
+  CR_REQUIRE(!name.empty(), "node name must be non-empty");
+  if (!declared(name)) {
+    names_.push_back(name);
+  }
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::edge(const std::string& u,
+                                       const std::string& v) {
+  node(u);
+  node(v);
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::prefer(
+    const std::string& v, const std::vector<std::string>& paths_best_first) {
+  CR_REQUIRE(declared(v), "prefer() on undeclared node: " + v);
+  preferences_.emplace_back(v, paths_best_first);
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::export_policy(
+    std::shared_ptr<const ExportPolicy> policy) {
+  policy_ = std::move(policy);
+  return *this;
+}
+
+Instance InstanceBuilder::build() const {
+  Graph graph(names_);
+  for (const auto& [u, v] : edges_) {
+    graph.add_edge(index_of(u), index_of(v));
+  }
+
+  // Parse preference lists with a throwaway instance that knows the graph
+  // but no paths yet (parse_path only needs node names).
+  std::vector<std::vector<Path>> permitted(names_.size());
+  const Instance name_scope(graph, index_of(destination_),
+                            std::vector<std::vector<Path>>(names_.size()));
+  for (const auto& [v, texts] : preferences_) {
+    std::vector<Path>& list = permitted[index_of(v)];
+    CR_REQUIRE(list.empty(), "prefer() called twice for node " + v);
+    list.reserve(texts.size());
+    for (const std::string& text : texts) {
+      list.push_back(name_scope.parse_path(text));
+    }
+  }
+
+  return Instance(std::move(graph), index_of(destination_),
+                  std::move(permitted), policy_);
+}
+
+}  // namespace commroute::spp

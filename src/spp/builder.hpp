@@ -1,0 +1,54 @@
+// Fluent builder for SPP instances with symbolic node names.
+//
+// Example (DISAGREE):
+//   InstanceBuilder b("d");
+//   b.edge("x", "d").edge("y", "d").edge("x", "y");
+//   b.prefer("x", {"xyd", "xd"});
+//   b.prefer("y", {"yxd", "yd"});
+//   Instance disagree = b.build();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+class InstanceBuilder {
+ public:
+  /// Starts an instance whose destination node is named `destination`.
+  explicit InstanceBuilder(std::string destination);
+
+  /// Declares a node (idempotent). Nodes referenced by edge()/prefer()
+  /// are declared implicitly, in order of first mention.
+  InstanceBuilder& node(const std::string& name);
+
+  /// Adds undirected edge {u, v}; declares endpoints as needed.
+  InstanceBuilder& edge(const std::string& u, const std::string& v);
+
+  /// Sets `v`'s permitted paths, most-preferred first. Each entry uses
+  /// Instance path syntax: "x y d" or compact "xyd" (single-char names).
+  /// All mentioned nodes must already be declared.
+  InstanceBuilder& prefer(const std::string& v,
+                          const std::vector<std::string>& paths_best_first);
+
+  /// Installs an export policy (default: allow all).
+  InstanceBuilder& export_policy(std::shared_ptr<const ExportPolicy> policy);
+
+  /// Validates and returns the immutable instance.
+  Instance build() const;
+
+ private:
+  std::string destination_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> preferences_;
+  std::shared_ptr<const ExportPolicy> policy_;
+
+  NodeId index_of(const std::string& name) const;
+  bool declared(const std::string& name) const;
+};
+
+}  // namespace commroute::spp

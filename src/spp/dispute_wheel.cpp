@@ -1,0 +1,168 @@
+#include "spp/dispute_wheel.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace commroute::spp {
+
+namespace {
+
+/// Vertex of the dispute relation: a node with one of its permitted paths
+/// serving as spoke.
+struct Vertex {
+  NodeId node;
+  Path spoke;
+};
+
+/// Edge with the witnessing rim route (the permitted path R Q').
+struct Edge {
+  std::size_t to;
+  Path rim_route;
+};
+
+struct DisputeGraph {
+  std::vector<Vertex> vertices;
+  std::vector<std::vector<Edge>> edges;
+};
+
+DisputeGraph build_dispute_graph(const Instance& instance) {
+  DisputeGraph dg;
+  std::unordered_map<NodeId, std::unordered_map<Path, std::size_t>> index;
+
+  for (NodeId v = 0; v < instance.node_count(); ++v) {
+    if (v == instance.destination()) {
+      continue;
+    }
+    for (const Path& q : instance.permitted(v)) {
+      index[v][q] = dg.vertices.size();
+      dg.vertices.push_back(Vertex{v, q});
+    }
+  }
+  dg.edges.resize(dg.vertices.size());
+
+  // For every permitted path P at u and every proper suffix Q' of P that
+  // is permitted at its own source w, add (u, Q) -> (w, Q') for each spoke
+  // Q at u that P is weakly preferred to.
+  for (NodeId u = 0; u < instance.node_count(); ++u) {
+    if (u == instance.destination()) {
+      continue;
+    }
+    for (const Path& p : instance.permitted(u)) {
+      const Rank p_rank = *instance.rank(u, p);
+      // Proper suffixes with at least 2 nodes (a suffix of length 1 is the
+      // trivial destination path; the rim would then end at d itself,
+      // which is excluded since d has no spokes).
+      for (std::size_t start = 1; start + 1 < p.size(); ++start) {
+        std::vector<NodeId> suffix_nodes(p.nodes().begin() +
+                                             static_cast<std::ptrdiff_t>(start),
+                                         p.nodes().end());
+        Path suffix(std::move(suffix_nodes));
+        const NodeId w = suffix.source();
+        const auto node_it = index.find(w);
+        if (node_it == index.end()) {
+          continue;
+        }
+        const auto suffix_it = node_it->second.find(suffix);
+        if (suffix_it == node_it->second.end()) {
+          continue;  // Q' not permitted at w.
+        }
+        // Connect from every spoke Q at u with rank >= rank(P).
+        for (const Path& q : instance.permitted(u)) {
+          if (*instance.rank(u, q) >= p_rank) {
+            dg.edges[index[u][q]].push_back(Edge{suffix_it->second, p});
+          }
+        }
+      }
+    }
+  }
+  return dg;
+}
+
+/// Iterative DFS cycle search; returns the cycle as a list of
+/// (vertex, rim route of the edge leaving it) pairs in cyclic order.
+std::optional<std::vector<std::pair<std::size_t, Path>>> find_cycle(
+    const DisputeGraph& dg) {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(dg.vertices.size(), Color::kWhite);
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t next_edge = 0;
+  };
+
+  for (std::size_t root = 0; root < dg.vertices.size(); ++root) {
+    if (color[root] != Color::kWhite) {
+      continue;
+    }
+    std::vector<Frame> stack{Frame{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge >= dg.edges[frame.vertex].size()) {
+        color[frame.vertex] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Edge& e = dg.edges[frame.vertex][frame.next_edge++];
+      if (color[e.to] == Color::kGray) {
+        // Cycle: the gray stack suffix from e.to up to frame.vertex, then
+        // the closing edge e. The edge taken from stack[i] to stack[i+1]
+        // is the one just before stack[i].next_edge.
+        std::size_t begin = 0;
+        while (stack[begin].vertex != e.to) {
+          ++begin;
+        }
+        std::vector<std::pair<std::size_t, Path>> cycle;
+        for (std::size_t i = begin; i + 1 < stack.size(); ++i) {
+          const Edge& taken =
+              dg.edges[stack[i].vertex][stack[i].next_edge - 1];
+          CR_ASSERT(taken.to == stack[i + 1].vertex,
+                    "DFS stack edge bookkeeping out of sync");
+          cycle.emplace_back(stack[i].vertex, taken.rim_route);
+        }
+        cycle.emplace_back(frame.vertex, e.rim_route);
+        return cycle;
+      }
+      if (color[e.to] == Color::kWhite) {
+        color[e.to] = Color::kGray;
+        stack.push_back(Frame{e.to});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<DisputeWheel> find_dispute_wheel(const Instance& instance) {
+  const DisputeGraph dg = build_dispute_graph(instance);
+  const auto cycle = find_cycle(dg);
+  if (!cycle.has_value()) {
+    return std::nullopt;
+  }
+  DisputeWheel wheel;
+  for (const auto& [vertex, rim_route] : *cycle) {
+    wheel.spokes.push_back(WheelSpoke{dg.vertices[vertex].node,
+                                      dg.vertices[vertex].spoke, rim_route});
+  }
+  return wheel;
+}
+
+bool is_dispute_wheel_free(const Instance& instance) {
+  return !find_dispute_wheel(instance).has_value();
+}
+
+std::string DisputeWheel::to_string(const Instance& instance) const {
+  std::ostringstream os;
+  os << "dispute wheel with " << spokes.size() << " spokes:";
+  for (const WheelSpoke& s : spokes) {
+    os << " [" << instance.graph().name(s.node)
+       << ": spoke " << instance.path_name(s.spoke) << ", rim "
+       << instance.path_name(s.rim_route) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace commroute::spp

@@ -1,0 +1,51 @@
+// Dispute-wheel detection.
+//
+// A dispute wheel [Griffin-Shepherd-Wilfong] is a cyclic policy conflict:
+// nodes u_0..u_{k-1}, spoke paths Q_i in P_{u_i}, and rim paths R_i from
+// u_i to u_{i+1} (indices mod k, each R_i with at least one edge) such
+// that R_i Q_{i+1} is permitted at u_i and is weakly preferred to Q_i:
+//     lambda_{u_i}(R_i Q_{i+1}) <= lambda_{u_i}(Q_i).
+// The absence of a dispute wheel is the broadest known sufficient
+// condition for convergence (Ex. A.1 cites this); DISAGREE and BAD GADGET
+// have wheels, GOOD GADGET does not.
+//
+// Detection reduces to cycle search in the "dispute relation" over
+// (node, spoke-path) pairs:
+//   (u, Q) -> (w, Q')  iff  some P in P_u has proper suffix Q' (so the
+//   prefix R = P \ Q' is a u-to-w path with >= 1 edge, where w is Q''s
+//   source) and lambda_u(P) <= lambda_u(Q).
+// A directed cycle in this relation is exactly a dispute wheel.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+/// One spoke of a discovered wheel.
+struct WheelSpoke {
+  NodeId node = kNoNode;
+  Path spoke;      ///< Q_i, permitted at `node`.
+  Path rim_route;  ///< R_i Q_{i+1}, permitted at `node`, weakly preferred.
+};
+
+/// A dispute wheel witness: spokes in cyclic order.
+struct DisputeWheel {
+  std::vector<WheelSpoke> spokes;
+
+  std::string to_string(const Instance& instance) const;
+};
+
+/// Searches for a dispute wheel; returns a witness or nullopt if the
+/// instance is dispute-wheel-free. Complexity is polynomial in the total
+/// number of permitted paths.
+std::optional<DisputeWheel> find_dispute_wheel(const Instance& instance);
+
+/// Convenience: true when no dispute wheel exists (the sufficient
+/// condition for convergence of every fair execution).
+bool is_dispute_wheel_free(const Instance& instance);
+
+}  // namespace commroute::spp

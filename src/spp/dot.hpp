@@ -1,0 +1,23 @@
+// Graphviz export of SPP instances and network states.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "engine/state.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+/// DOT digraph of the instance: the destination is double-circled, edges
+/// are undirected (rendered once), and each node is labeled with its
+/// ranked permitted paths.
+std::string to_dot(const Instance& instance);
+
+/// DOT digraph of a snapshot: additionally highlights each node's current
+/// assignment (solid arrow along the chosen next hop) and annotates
+/// channels holding messages.
+std::string to_dot(const Instance& instance,
+                   const engine::NetworkState& state);
+
+}  // namespace commroute::spp

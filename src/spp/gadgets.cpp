@@ -1,0 +1,168 @@
+#include "spp/gadgets.hpp"
+
+#include "spp/builder.hpp"
+#include "support/error.hpp"
+
+namespace commroute::spp {
+
+Instance disagree() {
+  InstanceBuilder b("d");
+  b.edge("x", "d").edge("y", "d").edge("x", "y");
+  b.prefer("x", {"xyd", "xd"});
+  b.prefer("y", {"yxd", "yd"});
+  return b.build();
+}
+
+Instance example_a2() {
+  // Fig. 6: x, y, z hang off d; a reaches d through each of them and
+  // prefers z > y > x; u and v sit above a in a DISAGREE-like pair, with
+  // u refusing every path through y.
+  InstanceBuilder b("d");
+  b.edge("x", "d").edge("y", "d").edge("z", "d");
+  b.edge("a", "x").edge("a", "y").edge("a", "z");
+  b.edge("u", "a").edge("v", "a").edge("u", "v");
+  b.prefer("x", {"xd"});
+  b.prefer("y", {"yd"});
+  b.prefer("z", {"zd"});
+  b.prefer("a", {"azd", "ayd", "axd"});
+  b.prefer("u", {"uvazd", "uazd", "uaxd"});
+  b.prefer("v", {"vuazd", "vazd", "vayd", "vuaxd"});
+  return b.build();
+}
+
+Instance example_a3() {
+  // Fig. 7: s chooses among routes learned from u and v, both of which
+  // reach d via a or b.
+  InstanceBuilder b("d");
+  b.edge("a", "d").edge("b", "d");
+  b.edge("u", "a").edge("u", "b");
+  b.edge("v", "a").edge("v", "b");
+  b.edge("s", "u").edge("s", "v");
+  b.prefer("a", {"ad"});
+  b.prefer("b", {"bd"});
+  b.prefer("u", {"uad", "ubd"});
+  b.prefer("v", {"vad", "vbd"});
+  b.prefer("s", {"subd", "svbd", "suad"});
+  return b.build();
+}
+
+Instance example_a4() {
+  // Fig. 8: permitted paths ad, bd, ubd, uad, suad, subd with
+  // ubd preferred to uad and suad preferred to subd.
+  InstanceBuilder b("d");
+  b.edge("a", "d").edge("b", "d");
+  b.edge("u", "a").edge("u", "b");
+  b.edge("s", "u");
+  b.prefer("a", {"ad"});
+  b.prefer("b", {"bd"});
+  b.prefer("u", {"ubd", "uad"});
+  b.prefer("s", {"suad", "subd"});
+  return b.build();
+}
+
+Instance example_a5() {
+  // Fig. 9: permitted paths ad, bd, xd, cad, cbd, scad, scbd, sxd with
+  // scbd > sxd > scad at s and cad > cbd at c.
+  InstanceBuilder b("d");
+  b.edge("a", "d").edge("b", "d").edge("x", "d");
+  b.edge("c", "a").edge("c", "b");
+  b.edge("s", "c").edge("s", "x");
+  b.prefer("a", {"ad"});
+  b.prefer("b", {"bd"});
+  b.prefer("x", {"xd"});
+  b.prefer("c", {"cad", "cbd"});
+  b.prefer("s", {"scbd", "sxd", "scad"});
+  return b.build();
+}
+
+Instance bad_gadget() {
+  InstanceBuilder b("d");
+  b.edge("1", "d").edge("2", "d").edge("3", "d");
+  b.edge("1", "2").edge("2", "3").edge("3", "1");
+  b.prefer("1", {"12d", "1d"});
+  b.prefer("2", {"23d", "2d"});
+  b.prefer("3", {"31d", "3d"});
+  return b.build();
+}
+
+Instance good_gadget() {
+  InstanceBuilder b("d");
+  b.edge("1", "d").edge("2", "d").edge("3", "d");
+  b.edge("1", "2").edge("2", "3").edge("3", "1");
+  b.prefer("1", {"1d", "12d"});
+  b.prefer("2", {"2d", "23d"});
+  b.prefer("3", {"3d", "31d"});
+  return b.build();
+}
+
+Instance shortest_ring(std::size_t k) {
+  CR_REQUIRE(k >= 3, "shortest_ring requires k >= 3");
+  InstanceBuilder b("d");
+  std::vector<std::string> names;
+  names.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    b.edge(names[i], "d");
+    b.edge(names[i], names[(i + 1) % k]);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::string& self = names[i];
+    const std::string& succ = names[(i + 1) % k];
+    b.prefer(self, {self + " d", self + " " + succ + " d"});
+  }
+  return b.build();
+}
+
+Instance cyclic_gadget(std::size_t k) {
+  CR_REQUIRE(k >= 3, "cyclic_gadget requires k >= 3");
+  InstanceBuilder b("d");
+  std::vector<std::string> names;
+  names.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    names.push_back(k <= 9 ? std::string(1, static_cast<char>('1' + i))
+                           : "n" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    b.edge(names[i], "d");
+    b.edge(names[i], names[(i + 1) % k]);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::string& self = names[i];
+    const std::string& succ = names[(i + 1) % k];
+    b.prefer(self,
+             {self + " " + succ + " d", self + " d"});
+  }
+  return b.build();
+}
+
+Instance disagree_chain(std::size_t k) {
+  CR_REQUIRE(k >= 1, "disagree_chain requires k >= 1");
+  InstanceBuilder b("d");
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    const std::string y = "y" + std::to_string(i);
+    b.edge(x, "d").edge(y, "d").edge(x, y);
+    b.prefer(x, {x + " " + y + " d", x + " d"});
+    b.prefer(y, {y + " " + x + " d", y + " d"});
+  }
+  return b.build();
+}
+
+std::vector<NamedInstance> all_gadgets() {
+  std::vector<NamedInstance> out;
+  out.push_back({"DISAGREE", disagree()});
+  out.push_back({"EXAMPLE-A2", example_a2()});
+  out.push_back({"EXAMPLE-A3", example_a3()});
+  out.push_back({"EXAMPLE-A4", example_a4()});
+  out.push_back({"EXAMPLE-A5", example_a5()});
+  out.push_back({"BAD-GADGET", bad_gadget()});
+  out.push_back({"GOOD-GADGET", good_gadget()});
+  out.push_back({"CYCLIC-4", cyclic_gadget(4)});
+  out.push_back({"CYCLIC-5", cyclic_gadget(5)});
+  out.push_back({"DISAGREE-CHAIN-2", disagree_chain(2)});
+  return out;
+}
+
+}  // namespace commroute::spp

@@ -1,0 +1,72 @@
+// Canonical SPP instances.
+//
+// Includes the network instances of the paper's Appendix A (Figures 5-9)
+// and the classic gadgets of Griffin-Shepherd-Wilfong ("The stable paths
+// problem and interdomain routing", ToN 2002) used throughout the
+// convergence literature.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+/// DISAGREE (paper Fig. 5, Ex. A.1; originally from GSW). Two stable
+/// solutions; oscillates in R1O but cannot oscillate in REO, REF, R1A,
+/// RMA, REA.
+Instance disagree();
+
+/// The paper's Fig. 6 instance (Ex. A.2): oscillates in REO and REF but
+/// not in the polling models R1A / RMA / REA.
+Instance example_a2();
+
+/// The paper's Fig. 7 instance (Ex. A.3): an REO execution that cannot be
+/// exactly realized in R1O.
+Instance example_a3();
+
+/// The paper's Fig. 8 instance (Ex. A.4): an REA execution that cannot be
+/// realized with repetition in R1O (but can as a subsequence).
+Instance example_a4();
+
+/// The paper's Fig. 9 instance (Ex. A.5): an REA execution that cannot be
+/// exactly realized in R1S.
+Instance example_a5();
+
+/// BAD GADGET (GSW): three nodes around d, each preferring the route
+/// through its clockwise neighbor; no stable assignment exists, so every
+/// fair execution oscillates in every model.
+Instance bad_gadget();
+
+/// GOOD GADGET: same topology as BAD GADGET but with shortest-path-like
+/// preferences (direct route first). Unique stable assignment, no dispute
+/// wheel; converges in every model.
+Instance good_gadget();
+
+/// SHORTEST-k: a ring of k nodes around d where every node permits both
+/// its direct path and one two-hop path, ranked by length. Dispute-wheel
+/// free; used for scaling benchmarks. Requires k >= 3.
+Instance shortest_ring(std::size_t k);
+
+/// CYCLIC-k: the BAD GADGET generalized to k nodes around d, each
+/// preferring the two-hop route through its clockwise neighbor over its
+/// direct route. Odd k has no stable assignment (every execution
+/// oscillates); even k has two "alternating" stable assignments.
+/// Requires k >= 3. cyclic_gadget(3) == bad_gadget().
+Instance cyclic_gadget(std::size_t k);
+
+/// DISAGREE-CHAIN-k: k independent DISAGREE pairs sharing the
+/// destination; the solution count multiplies to 2^k. Stress-tests the
+/// solver and the checker's handling of product state spaces.
+/// Requires k >= 1.
+Instance disagree_chain(std::size_t k);
+
+/// A named registry of all gadgets above (for examples and benches).
+struct NamedInstance {
+  std::string name;
+  Instance instance;
+};
+std::vector<NamedInstance> all_gadgets();
+
+}  // namespace commroute::spp

@@ -1,0 +1,162 @@
+#include "spp/random_gen.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace commroute::spp {
+
+namespace {
+
+std::vector<std::string> make_names(std::size_t nodes) {
+  std::vector<std::string> names;
+  names.reserve(nodes);
+  names.push_back("d");
+  for (std::size_t i = 1; i < nodes; ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  return names;
+}
+
+/// Random connected graph: a random spanning tree (random attachment)
+/// plus independent extra edges.
+Graph random_connected_graph(Rng& rng, std::size_t nodes,
+                             double extra_edge_prob) {
+  CR_REQUIRE(nodes >= 2, "need at least two nodes");
+  Graph g(make_names(nodes));
+  // Random attachment tree keeps the destination reachable from everyone.
+  for (NodeId v = 1; v < nodes; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.below(v));
+    g.add_edge(v, parent);
+  }
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) {
+      if (!g.has_edge(u, v) && rng.chance(extra_edge_prob)) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+/// All simple paths from v to d with at most `max_len` edges, in
+/// lexicographic node order (deterministic).
+std::vector<Path> simple_paths_to(const Graph& g, NodeId v, NodeId d,
+                                  std::size_t max_len,
+                                  std::size_t cap = 512) {
+  std::vector<Path> out;
+  std::vector<NodeId> current{v};
+  std::vector<bool> used(g.node_count(), false);
+  used[v] = true;
+
+  const auto dfs = [&](auto&& self, NodeId at) -> void {
+    if (out.size() >= cap) {
+      return;
+    }
+    if (at == d) {
+      out.emplace_back(current);
+      return;
+    }
+    if (current.size() > max_len) {
+      return;
+    }
+    std::vector<NodeId> nbrs = g.neighbors(at);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const NodeId next : nbrs) {
+      if (used[next]) {
+        continue;
+      }
+      used[next] = true;
+      current.push_back(next);
+      self(self, next);
+      current.pop_back();
+      used[next] = false;
+    }
+  };
+  dfs(dfs, v);
+  return out;
+}
+
+/// Ranks by (length, node sequence); shortest-path-like and hence
+/// dispute-wheel free.
+void sort_by_length(std::vector<Path>& paths) {
+  std::sort(paths.begin(), paths.end(), [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) {
+      return a.size() < b.size();
+    }
+    return a.nodes() < b.nodes();
+  });
+}
+
+}  // namespace
+
+Instance random_tree(Rng& rng, std::size_t nodes) {
+  CR_REQUIRE(nodes >= 2, "need at least two nodes");
+  Graph g(make_names(nodes));
+  std::vector<NodeId> parent(nodes, kNoNode);
+  for (NodeId v = 1; v < nodes; ++v) {
+    parent[v] = static_cast<NodeId>(rng.below(v));
+    g.add_edge(v, parent[v]);
+  }
+  std::vector<std::vector<Path>> permitted(nodes);
+  for (NodeId v = 1; v < nodes; ++v) {
+    std::vector<NodeId> chain;
+    for (NodeId at = v; at != kNoNode; at = parent[at]) {
+      chain.push_back(at);
+      if (at == 0) {
+        break;
+      }
+    }
+    permitted[v] = {Path(std::move(chain))};
+  }
+  return Instance(std::move(g), 0, std::move(permitted));
+}
+
+Instance random_shortest(Rng& rng, const RandomInstanceParams& params) {
+  Graph g = random_connected_graph(rng, params.nodes,
+                                   params.extra_edge_prob);
+  std::vector<std::vector<Path>> permitted(params.nodes);
+  for (NodeId v = 1; v < params.nodes; ++v) {
+    std::vector<Path> paths =
+        simple_paths_to(g, v, 0, params.max_path_len);
+    sort_by_length(paths);
+    if (paths.size() > params.max_paths_per_node) {
+      paths.resize(params.max_paths_per_node);
+    }
+    permitted[v] = std::move(paths);
+  }
+  return Instance(std::move(g), 0, std::move(permitted));
+}
+
+Instance random_policy(Rng& rng, const RandomInstanceParams& params) {
+  Graph g = random_connected_graph(rng, params.nodes,
+                                   params.extra_edge_prob);
+  std::vector<std::vector<Path>> permitted(params.nodes);
+  for (NodeId v = 1; v < params.nodes; ++v) {
+    std::vector<Path> paths =
+        simple_paths_to(g, v, 0, params.max_path_len);
+    sort_by_length(paths);
+    CR_ASSERT(!paths.empty(), "connected graph must offer a path to d");
+    const Path shortest = paths.front();
+
+    std::vector<Path> kept;
+    for (const Path& p : paths) {
+      if (p == shortest || rng.chance(params.permit_prob)) {
+        kept.push_back(p);
+      }
+    }
+    rng.shuffle(kept);
+    if (kept.size() > params.max_paths_per_node) {
+      kept.resize(params.max_paths_per_node);
+    }
+    // Re-guarantee the shortest path survives truncation.
+    if (std::find(kept.begin(), kept.end(), shortest) == kept.end()) {
+      kept.back() = shortest;
+    }
+    permitted[v] = std::move(kept);
+  }
+  return Instance(std::move(g), 0, std::move(permitted));
+}
+
+}  // namespace commroute::spp

@@ -1,0 +1,44 @@
+// Random SPP instance generators for property tests and benchmarks.
+//
+// Three families:
+//  * random_tree:      spanning-tree instances (unique permitted path per
+//                      node) — trivially safe, unique solution.
+//  * random_shortest:  random connected graphs with all simple paths up to
+//                      a length cap permitted and ranked by length (ties
+//                      broken lexicographically) — dispute-wheel free.
+//  * random_policy:    random connected graphs with arbitrary random
+//                      rankings over a random subset of simple paths — may
+//                      or may not be safe; use with the dispute-wheel
+//                      detector or the checker.
+#pragma once
+
+#include <cstddef>
+
+#include "spp/instance.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::spp {
+
+/// Parameters shared by the graph-based generators.
+struct RandomInstanceParams {
+  std::size_t nodes = 6;           ///< including the destination
+  double extra_edge_prob = 0.3;    ///< beyond the random spanning tree
+  std::size_t max_path_len = 4;    ///< max edges per permitted path
+  std::size_t max_paths_per_node = 6;
+  double permit_prob = 0.8;        ///< chance each enumerated path is kept
+};
+
+/// Spanning-tree instance over `nodes` nodes: each node permits exactly
+/// its unique tree path to d. Requires nodes >= 2.
+Instance random_tree(Rng& rng, std::size_t nodes);
+
+/// Connected random graph; every simple path to d of length at most
+/// `params.max_path_len` is permitted, ranked by (length, node sequence).
+Instance random_shortest(Rng& rng, const RandomInstanceParams& params);
+
+/// Connected random graph with randomly permitted and randomly ranked
+/// simple paths. Every node is guaranteed at least one permitted path
+/// (its shortest) so the instance is never vacuous.
+Instance random_policy(Rng& rng, const RandomInstanceParams& params);
+
+}  // namespace commroute::spp

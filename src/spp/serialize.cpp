@@ -1,0 +1,127 @@
+#include "spp/serialize.hpp"
+
+#include <sstream>
+
+#include "spp/builder.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace commroute::spp {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+  throw ParseError("instance text line " + std::to_string(line_number) +
+                   ": " + what);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto hash = line.find('#');
+  return (hash == std::string::npos) ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+Instance parse_instance(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_number = 0;
+
+  std::string dest;
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<std::pair<std::string, std::string>> prefers;  // node, rhs
+
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string line{trim(strip_comment(raw))};
+    if (line.empty()) {
+      continue;
+    }
+    if (starts_with(line, "dest ")) {
+      if (!dest.empty()) {
+        fail(line_number, "duplicate 'dest' directive");
+      }
+      dest = trim(line.substr(5));
+      if (dest.empty()) {
+        fail(line_number, "'dest' needs a node name");
+      }
+    } else if (starts_with(line, "edge ")) {
+      const auto parts = split_trimmed(line.substr(5), ' ');
+      if (parts.size() != 2) {
+        fail(line_number, "'edge' needs exactly two node names");
+      }
+      edges.emplace_back(parts[0], parts[1]);
+    } else if (starts_with(line, "prefer ")) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) {
+        fail(line_number, "'prefer' needs 'prefer <node>: <paths>'");
+      }
+      const std::string node{trim(line.substr(7, colon - 7))};
+      const std::string rhs{trim(line.substr(colon + 1))};
+      if (node.empty() || rhs.empty()) {
+        fail(line_number, "'prefer' needs a node and at least one path");
+      }
+      prefers.emplace_back(node, rhs);
+    } else {
+      fail(line_number, "unknown directive: '" + line + "'");
+    }
+  }
+
+  if (dest.empty()) {
+    throw ParseError("instance text is missing the 'dest' directive");
+  }
+
+  InstanceBuilder builder(dest);
+  bool compact_names = dest.size() == 1;
+  for (const auto& [u, v] : edges) {
+    builder.edge(u, v);
+    compact_names = compact_names && u.size() == 1 && v.size() == 1;
+  }
+  for (const auto& [node, rhs] : prefers) {
+    // With single-character node names, paths are whitespace-separated
+    // compact strings ("xyd xd"); otherwise they are comma-separated with
+    // spaces between node names ("n1 n2 dst, n1 dst").
+    const std::vector<std::string> paths =
+        compact_names ? split_trimmed(rhs, ' ') : split_trimmed(rhs, ',');
+    builder.prefer(node, paths);
+  }
+  return builder.build();
+}
+
+std::string format_instance(const Instance& instance) {
+  const Graph& g = instance.graph();
+  bool compact = true;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    compact = compact && g.name(v).size() == 1;
+  }
+
+  std::ostringstream out;
+  out << "dest " << g.name(instance.destination()) << "\n";
+  for (ChannelIdx c = 0; c < g.channel_count(); ++c) {
+    const ChannelId id = g.channel_id(c);
+    if (id.from < id.to) {  // one line per undirected edge
+      out << "edge " << g.name(id.from) << " " << g.name(id.to) << "\n";
+    }
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == instance.destination() || instance.permitted(v).empty()) {
+      continue;
+    }
+    out << "prefer " << g.name(v) << ":";
+    const auto& paths = instance.permitted(v);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (compact) {
+        out << " " << instance.path_name(paths[i]);
+      } else {
+        out << (i == 0 ? " " : ", ");
+        for (std::size_t j = 0; j < paths[i].size(); ++j) {
+          out << (j ? " " : "") << g.name(paths[i].at(j));
+        }
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace commroute::spp

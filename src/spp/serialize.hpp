@@ -1,0 +1,33 @@
+// Text serialization of SPP instances.
+//
+// Line-oriented format (comments with '#', blank lines ignored):
+//
+//   # DISAGREE
+//   dest d
+//   edge x d
+//   edge y d
+//   edge x y
+//   prefer x: xyd xd        # most preferred first
+//   prefer y: y x d, y d    # multi-char names: space-separated, comma
+//                           # between paths
+//
+// `prefer` paths use Instance path syntax; when any node name has more
+// than one character the paths must be comma-separated with spaces
+// between node names.
+#pragma once
+
+#include <string>
+
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+/// Parses an instance from the text format above. Throws ParseError with
+/// a line number on malformed input.
+Instance parse_instance(const std::string& text);
+
+/// Formats an instance in the same syntax; parse_instance(format_instance
+/// (i)) reproduces i (same graph, destination, permitted ranking).
+std::string format_instance(const Instance& instance);
+
+}  // namespace commroute::spp

@@ -1,0 +1,126 @@
+#include "spp/solver.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::spp {
+
+PathAssignment best_response(const Instance& instance,
+                             const PathAssignment& pi) {
+  CR_REQUIRE(pi.size() == instance.node_count(),
+             "assignment size mismatch");
+  const Graph& g = instance.graph();
+  PathAssignment out(pi.size());
+  for (NodeId v = 0; v < pi.size(); ++v) {
+    if (v == instance.destination()) {
+      out[v] = Path{v};
+      continue;
+    }
+    std::vector<Path> candidates;
+    candidates.reserve(g.neighbors(v).size());
+    for (const NodeId u : g.neighbors(v)) {
+      if (!pi[u].empty() && !pi[u].contains(v)) {
+        candidates.push_back(pi[u].extended_by(v));
+      }
+    }
+    out[v] = instance.best(v, candidates);
+  }
+  return out;
+}
+
+bool is_consistent(const Instance& instance, const PathAssignment& pi) {
+  CR_REQUIRE(pi.size() == instance.node_count(),
+             "assignment size mismatch");
+  const NodeId d = instance.destination();
+  if (pi[d] != Path{d}) {
+    return false;
+  }
+  for (NodeId v = 0; v < pi.size(); ++v) {
+    if (v == d || pi[v].empty()) {
+      continue;
+    }
+    const NodeId u = pi[v].next_hop();
+    if (u == kNoNode) {
+      return false;  // a non-destination node cannot have a 1-node path.
+    }
+    if (pi[v].tail() != pi[u]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_stable(const Instance& instance, const PathAssignment& pi) {
+  return best_response(instance, pi) == pi;
+}
+
+bool is_solution(const Instance& instance, const PathAssignment& pi) {
+  // Stability as a best-response fixed point already forces consistency;
+  // both are checked to mirror the paper's two-part definition.
+  return is_consistent(instance, pi) && is_stable(instance, pi);
+}
+
+std::vector<PathAssignment> stable_assignments(const Instance& instance,
+                                               std::size_t limit) {
+  const std::size_t n = instance.node_count();
+  const NodeId d = instance.destination();
+
+  // Choice list per node: epsilon plus each permitted path.
+  std::vector<std::vector<Path>> choices(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == d) {
+      choices[v] = {Path{d}};
+      continue;
+    }
+    choices[v].push_back(Path::epsilon());
+    for (const Path& p : instance.permitted(v)) {
+      choices[v].push_back(p);
+    }
+  }
+
+  std::vector<PathAssignment> solutions;
+  PathAssignment pi(n);
+  std::vector<std::size_t> odometer(n, 0);
+
+  for (;;) {
+    for (NodeId v = 0; v < n; ++v) {
+      pi[v] = choices[v][odometer[v]];
+    }
+    if (is_solution(instance, pi)) {
+      solutions.push_back(pi);
+      if (limit != 0 && solutions.size() >= limit) {
+        return solutions;
+      }
+    }
+    // Advance the odometer.
+    std::size_t k = 0;
+    while (k < n) {
+      if (++odometer[k] < choices[k].size()) {
+        break;
+      }
+      odometer[k] = 0;
+      ++k;
+    }
+    if (k == n) {
+      break;
+    }
+  }
+  return solutions;
+}
+
+std::string assignment_name(const Instance& instance,
+                            const PathAssignment& pi) {
+  std::ostringstream os;
+  os << "(";
+  for (NodeId v = 0; v < pi.size(); ++v) {
+    if (v > 0) {
+      os << ", ";
+    }
+    os << instance.path_name(pi[v]);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace commroute::spp

@@ -1,0 +1,48 @@
+// Brute-force solver for the Stable Paths Problem.
+//
+// A path assignment pi = {pi_v} is a solution when it is simultaneously
+// consistent and stable (Sec. 2.1), which is equivalent to being a fixed
+// point of the simultaneous best-response map: for every v != d,
+//   pi_v = best_v({ v . pi_u : u in N(v), pi_u != eps, v . pi_u in P_v })
+// (epsilon when the candidate set is empty). Deciding solvability is
+// NP-complete [Griffin-Shepherd-Wilfong], so enumeration is exponential by
+// necessity; this solver is intended for the small gadget instances used
+// in the paper and for randomized testing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spp/instance.hpp"
+
+namespace commroute::spp {
+
+/// A full path assignment, indexed by node.
+using PathAssignment = std::vector<Path>;
+
+/// Enumerates all stable path assignments of `instance`, up to `limit`
+/// solutions (0 = unlimited). The search space is the product of
+/// (P_v + epsilon) over all non-destination nodes.
+std::vector<PathAssignment> stable_assignments(const Instance& instance,
+                                               std::size_t limit = 0);
+
+/// True if `pi` is consistent: every assigned path extends the assignment
+/// of its next hop, and pi_d = (d).
+bool is_consistent(const Instance& instance, const PathAssignment& pi);
+
+/// True if `pi` is stable: every node's path is its unique best response
+/// to its neighbors' assigned paths.
+bool is_stable(const Instance& instance, const PathAssignment& pi);
+
+/// True if `pi` is a solution (consistent and stable).
+bool is_solution(const Instance& instance, const PathAssignment& pi);
+
+/// The simultaneous best response to `pi` (one application of the map).
+PathAssignment best_response(const Instance& instance,
+                             const PathAssignment& pi);
+
+/// Renders an assignment as "(d, xd, yxd)" in node order, for test output.
+std::string assignment_name(const Instance& instance,
+                            const PathAssignment& pi);
+
+}  // namespace commroute::spp

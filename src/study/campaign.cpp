@@ -1,0 +1,134 @@
+#include "study/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "engine/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace commroute::study {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kRandomFair:
+      return "random-fair";
+    case SchedulerKind::kSynchronous:
+      return "synchronous";
+    case SchedulerKind::kEventDriven:
+      return "event-driven";
+  }
+  throw InvariantError("bad SchedulerKind");
+}
+
+double CampaignResult::outcome_rate(engine::Outcome outcome) const {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (const CampaignRow& row : rows) {
+    if (row.outcome == outcome) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(rows.size());
+}
+
+std::uint64_t CampaignResult::median_steps(
+    const std::function<bool(const CampaignRow&)>& pred) const {
+  std::vector<std::uint64_t> steps;
+  for (const CampaignRow& row : rows) {
+    if (pred(row)) {
+      steps.push_back(row.steps);
+    }
+  }
+  if (steps.empty()) {
+    return 0;
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps[steps.size() / 2];
+}
+
+std::string CampaignResult::to_csv() const {
+  std::ostringstream out;
+  out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
+         "messages_dropped,max_channel_occupancy\n";
+  for (const CampaignRow& row : rows) {
+    out << row.instance << ',' << row.model.name() << ','
+        << to_string(row.scheduler) << ',' << row.seed << ','
+        << engine::to_string(row.outcome) << ',' << row.steps << ','
+        << row.messages_sent << ',' << row.messages_dropped << ','
+        << row.max_channel_occupancy << '\n';
+  }
+  return out.str();
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  CR_REQUIRE(!spec.instances.empty(), "campaign needs instances");
+  CR_REQUIRE(!spec.models.empty(), "campaign needs models");
+  CR_REQUIRE(!spec.schedulers.empty(), "campaign needs schedulers");
+
+  CampaignResult result;
+  for (const auto& [name, instance] : spec.instances) {
+    CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
+    for (const model::Model& m : spec.models) {
+      for (const SchedulerKind kind : spec.schedulers) {
+        if (kind == SchedulerKind::kEventDriven &&
+            !m.is_message_passing()) {
+          continue;  // the event-driven scheduler emits f = 1 reads only
+        }
+        const bool randomized = (kind == SchedulerKind::kRandomFair);
+        const std::uint64_t runs = randomized ? spec.seeds : 1;
+        for (std::uint64_t seed = 0; seed < runs; ++seed) {
+          std::unique_ptr<engine::Scheduler> scheduler;
+          engine::RunOptions options;
+          options.max_steps = spec.max_steps;
+          options.record_trace = false;
+          switch (kind) {
+            case SchedulerKind::kRoundRobin:
+              scheduler = std::make_unique<engine::RoundRobinScheduler>(
+                  m, *instance);
+              options.enforce_model = m;
+              break;
+            case SchedulerKind::kRandomFair:
+              scheduler = std::make_unique<engine::RandomFairScheduler>(
+                  m, *instance, Rng(seed * 7919 + m.index()),
+                  engine::RandomFairOptions{
+                      .drop_prob = m.reliable() ? 0.0 : spec.drop_prob,
+                      .sweep_period = 16});
+              options.enforce_model = m;
+              break;
+            case SchedulerKind::kSynchronous:
+              scheduler = std::make_unique<engine::SynchronousScheduler>(
+                  m, *instance);
+              break;
+            case SchedulerKind::kEventDriven:
+              scheduler = std::make_unique<engine::EventDrivenScheduler>(
+                  *instance);
+              options.enforce_model = m;
+              break;
+          }
+
+          const engine::RunResult run =
+              engine::run(*instance, *scheduler, options);
+          CampaignRow row;
+          row.instance = name;
+          row.model = m;
+          row.scheduler = kind;
+          row.seed = seed;
+          row.outcome = run.outcome;
+          row.steps = run.steps;
+          row.messages_sent = run.messages_sent;
+          row.messages_dropped = run.messages_dropped;
+          row.max_channel_occupancy = run.max_channel_occupancy;
+          result.rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace commroute::study

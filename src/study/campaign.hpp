@@ -1,0 +1,69 @@
+// Experiment campaigns: declarative sweeps over instances x models x
+// schedulers x seeds, with aggregate statistics and CSV export. This is
+// the driver behind the convergence-cost benches and the recommended way
+// to run your own studies on top of the library.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "model/model.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::study {
+
+/// Scheduler families a campaign can sweep over.
+enum class SchedulerKind {
+  kRoundRobin,   ///< deterministic fair
+  kRandomFair,   ///< randomized fair (per-seed)
+  kSynchronous,  ///< U = V rounds (Def. 2.6 kEvery)
+  kEventDriven,  ///< serve queued messages FIFO-ish (wxO models only)
+};
+
+std::string to_string(SchedulerKind kind);
+
+struct CampaignSpec {
+  /// Instances by name. Instances are borrowed; they must outlive run().
+  std::vector<std::pair<std::string, const spp::Instance*>> instances;
+  std::vector<model::Model> models;
+  std::vector<SchedulerKind> schedulers;
+  std::uint64_t seeds = 5;          ///< per randomized configuration
+  std::uint64_t max_steps = 50000;
+  double drop_prob = 0.2;           ///< for unreliable random schedules
+};
+
+/// One (instance, model, scheduler, seed) outcome.
+struct CampaignRow {
+  std::string instance;
+  model::Model model;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  std::uint64_t seed = 0;
+  engine::Outcome outcome = engine::Outcome::kExhausted;
+  std::uint64_t steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::size_t max_channel_occupancy = 0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignRow> rows;
+
+  /// Fraction of rows with the given outcome.
+  double outcome_rate(engine::Outcome outcome) const;
+
+  /// Median steps over rows matching a predicate (0 when none match).
+  std::uint64_t median_steps(
+      const std::function<bool(const CampaignRow&)>& pred) const;
+
+  /// CSV with a header row; one line per CampaignRow.
+  std::string to_csv() const;
+};
+
+/// Runs the full cross product. Event-driven configurations are skipped
+/// for non-wxO models (they cannot be legal there); synchronous and
+/// round-robin run once per configuration regardless of `seeds`.
+CampaignResult run_campaign(const CampaignSpec& spec);
+
+}  // namespace commroute::study

@@ -1,0 +1,33 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace commroute {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(
+      format_failure("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format_failure("invariant", expr, file, line, msg));
+}
+
+}  // namespace commroute

@@ -1,0 +1,57 @@
+// Error handling primitives for commroute.
+//
+// The library signals contract violations and malformed inputs with
+// exceptions derived from commroute::Error (C++ Core Guidelines I.10, E.2).
+// CR_REQUIRE is used for precondition checks on public interfaces;
+// CR_ASSERT for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace commroute {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing user-supplied text (model names, paths) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file,
+                                  int line, const std::string& msg);
+
+}  // namespace commroute
+
+#define CR_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::commroute::throw_precondition(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                      \
+  } while (false)
+
+#define CR_ASSERT(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::commroute::throw_invariant(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,37 @@
+// Hash-combining utilities (header-only).
+//
+// Used by the model checker to hash full network states and by containers
+// keyed on paths and channels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace commroute {
+
+/// Mixes `value` into `seed` (boost::hash_combine style, 64-bit constants).
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+/// Hashes any value with std::hash and mixes it into `seed`.
+template <typename T>
+void hash_combine_value(std::size_t& seed, const T& value) {
+  hash_combine(seed, std::hash<T>{}(value));
+}
+
+/// Hashes an iterable range element-wise, including its length.
+template <typename Range>
+std::size_t hash_range(const Range& range) {
+  std::size_t seed = 0x51afd7ed558ccd6dULL;
+  std::size_t count = 0;
+  for (const auto& element : range) {
+    hash_combine_value(seed, element);
+    ++count;
+  }
+  hash_combine(seed, count);
+  return seed;
+}
+
+}  // namespace commroute

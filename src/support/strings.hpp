@@ -1,0 +1,24 @@
+// Small string utilities used throughout the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commroute {
+
+/// Split `text` on `sep`, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace commroute

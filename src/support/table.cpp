@@ -1,0 +1,86 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace commroute {
+
+namespace {
+
+std::string pad(const std::string& text, std::size_t width, Align align) {
+  if (text.size() >= width) {
+    return text;
+  }
+  const std::size_t space = width - text.size();
+  switch (align) {
+    case Align::kLeft:
+      return text + std::string(space, ' ');
+    case Align::kRight:
+      return std::string(space, ' ') + text;
+    case Align::kCenter: {
+      const std::size_t left = space / 2;
+      return std::string(left, ' ') + text + std::string(space - left, ' ');
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    measure(row.cells);
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells, Align align) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& text = (i < cells.size()) ? cells[i] : std::string();
+      os << (i == 0 ? "" : "  ") << pad(text, widths[i], align);
+    }
+    os << '\n';
+  };
+  auto emit_separator = [&] {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < columns; ++i) {
+      total += widths[i] + (i == 0 ? 0 : 2);
+    }
+    os << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_, Align::kCenter);
+    emit_separator();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_separator();
+    } else {
+      emit(row.cells, align_);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace commroute

@@ -1,0 +1,43 @@
+// Minimal ASCII table renderer used by benches and examples to print the
+// paper's tables (activation-sequence traces, realization matrices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace commroute {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight, kCenter };
+
+/// A simple monospace table: add a header row, then body rows; render()
+/// pads every column to its widest cell.
+class TextTable {
+ public:
+  /// Sets the header row; resets any previously added rows' width cache.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a body row. Rows may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Default alignment applied to all columns (header is centered).
+  void set_align(Align align) { align_ = align; }
+
+  /// Renders the full table, one trailing newline included.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  Align align_ = Align::kLeft;
+};
+
+}  // namespace commroute

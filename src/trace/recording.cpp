@@ -1,0 +1,41 @@
+#include "trace/recording.hpp"
+
+namespace commroute::trace {
+
+namespace {
+
+Recording record_impl(const spp::Instance& instance,
+                      const model::ActivationScript& script,
+                      const model::Model* enforce_model,
+                      bool require_single_node) {
+  Recording recording{engine::NetworkState(instance)};
+  recording.trace = Trace(recording.final_state.assignments());
+  recording.steps.reserve(script.size());
+  for (const model::ActivationStep& step : script) {
+    if (enforce_model != nullptr) {
+      model::require_step_allowed(*enforce_model, instance, step,
+                                  require_single_node);
+    }
+    engine::StepEffect effect =
+        engine::execute_step(recording.final_state, step);
+    recording.trace.record(recording.final_state.assignments());
+    recording.steps.push_back(RecordedStep{step, std::move(effect)});
+  }
+  return recording;
+}
+
+}  // namespace
+
+Recording record_script(const spp::Instance& instance,
+                        const model::ActivationScript& script) {
+  return record_impl(instance, script, nullptr, true);
+}
+
+Recording record_script(const spp::Instance& instance,
+                        const model::ActivationScript& script,
+                        const model::Model& enforce_model,
+                        bool require_single_node) {
+  return record_impl(instance, script, &enforce_model, require_single_node);
+}
+
+}  // namespace commroute::trace

@@ -1,0 +1,40 @@
+// Recorded executions: a trace plus the per-step activation quadruples and
+// their effects. The realization transforms (Sec. 3.2 constructions) need
+// this level of detail — e.g. Thm. 3.5 orders channels by which one
+// furnished the previously/newly selected path.
+#pragma once
+
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "engine/state.hpp"
+#include "trace/trace.hpp"
+
+namespace commroute::trace {
+
+struct RecordedStep {
+  model::ActivationStep step;
+  engine::StepEffect effect;
+};
+
+struct Recording {
+  Trace trace;                      ///< pi(0) .. pi(T)
+  std::vector<RecordedStep> steps;  ///< steps[t] produced trace[t+1]
+  engine::NetworkState final_state; ///< state after the last step
+
+  explicit Recording(engine::NetworkState initial)
+      : final_state(std::move(initial)) {}
+};
+
+/// Executes `script` from the initial state of `instance`, recording
+/// everything. Steps are validated structurally; pass a model to also
+/// enforce model legality.
+Recording record_script(const spp::Instance& instance,
+                        const model::ActivationScript& script);
+
+Recording record_script(const spp::Instance& instance,
+                        const model::ActivationScript& script,
+                        const model::Model& enforce_model,
+                        bool require_single_node = true);
+
+}  // namespace commroute::trace

@@ -1,0 +1,98 @@
+#include "trace/seq_match.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace commroute::trace {
+
+std::string to_string(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kNone:
+      return "none";
+    case MatchKind::kSubsequence:
+      return "subsequence";
+    case MatchKind::kRepetition:
+      return "repetition";
+    case MatchKind::kExact:
+      return "exact";
+  }
+  throw InvariantError("bad MatchKind");
+}
+
+bool matches_exactly(const Trace& original, const Trace& candidate) {
+  return original.states() == candidate.states();
+}
+
+bool matches_with_repetition(const Trace& original, const Trace& candidate) {
+  // Stutter-invariant reading of "each element replaced by one or more
+  // consecutive copies": the collapsed sequences must coincide (see
+  // seq_match.hpp).
+  return original.collapsed() == candidate.collapsed();
+}
+
+bool matches_as_subsequence(const Trace& original, const Trace& candidate) {
+  // Stutter-invariant reading: the collapsed original embeds into the
+  // candidate (see seq_match.hpp).
+  const std::vector<Assignment> a = original.collapsed();
+  const auto& b = candidate.states();
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < b.size() && i < a.size(); ++j) {
+    if (b[j] == a[i]) {
+      ++i;
+    }
+  }
+  return i == a.size();
+}
+
+std::optional<std::size_t> first_divergence(const Trace& a,
+                                            const Trace& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t t = 0; t < common; ++t) {
+    if (a.at(t) != b.at(t)) {
+      return t;
+    }
+  }
+  if (a.size() != b.size()) {
+    return common;
+  }
+  return std::nullopt;
+}
+
+std::string divergence_report(const spp::Instance& instance, const Trace& a,
+                              const Trace& b) {
+  const auto at = first_divergence(a, b);
+  if (!at.has_value()) {
+    return "";
+  }
+  std::string out = "traces diverge at step " + std::to_string(*at);
+  if (*at >= a.size() || *at >= b.size()) {
+    out += ": one trace ends (lengths " + std::to_string(a.size()) +
+           " vs " + std::to_string(b.size()) + ")";
+    return out;
+  }
+  out += ":";
+  for (NodeId v = 0; v < instance.node_count(); ++v) {
+    if (a.at(*at)[v] != b.at(*at)[v]) {
+      out += " " + instance.graph().name(v) + "=" +
+             instance.path_name(a.at(*at)[v]) + " vs " +
+             instance.path_name(b.at(*at)[v]);
+    }
+  }
+  return out;
+}
+
+MatchKind strongest_match(const Trace& original, const Trace& candidate) {
+  if (matches_exactly(original, candidate)) {
+    return MatchKind::kExact;
+  }
+  if (matches_with_repetition(original, candidate)) {
+    return MatchKind::kRepetition;
+  }
+  if (matches_as_subsequence(original, candidate)) {
+    return MatchKind::kSubsequence;
+  }
+  return MatchKind::kNone;
+}
+
+}  // namespace commroute::trace

@@ -1,0 +1,86 @@
+#include "trace/trace.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace commroute::trace {
+
+const Assignment& Trace::at(std::size_t t) const {
+  CR_REQUIRE(t < states_.size(), "trace index out of range");
+  return states_[t];
+}
+
+const Assignment& Trace::back() const {
+  CR_REQUIRE(!states_.empty(), "back() of empty trace");
+  return states_.back();
+}
+
+bool Trace::settled(std::size_t stable_suffix) const {
+  CR_REQUIRE(stable_suffix >= 1, "stable_suffix must be >= 1");
+  if (states_.size() < stable_suffix) {
+    return false;
+  }
+  const Assignment& last = states_.back();
+  for (std::size_t i = states_.size() - stable_suffix;
+       i < states_.size(); ++i) {
+    if (states_[i] != last) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Trace::change_count() const {
+  std::size_t changes = 0;
+  for (std::size_t t = 1; t < states_.size(); ++t) {
+    if (states_[t] != states_[t - 1]) {
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+std::vector<Assignment> Trace::collapsed() const {
+  std::vector<Assignment> out;
+  for (const Assignment& a : states_) {
+    if (out.empty() || out.back() != a) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::string Trace::to_string(
+    const spp::Instance& instance,
+    const std::vector<std::string>& only_nodes) const {
+  const Graph& g = instance.graph();
+  std::vector<NodeId> columns;
+  if (only_nodes.empty()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      columns.push_back(v);
+    }
+  } else {
+    for (const std::string& name : only_nodes) {
+      columns.push_back(g.node(name));
+    }
+  }
+
+  TextTable table;
+  std::vector<std::string> header{"t"};
+  for (const NodeId v : columns) {
+    header.push_back("pi_" + g.name(v));
+  }
+  table.set_header(std::move(header));
+  for (std::size_t t = 0; t < states_.size(); ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (const NodeId v : columns) {
+      row.push_back(instance.path_name(states_[t][v]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace commroute::trace

@@ -1,0 +1,62 @@
+// Path-assignment traces: the sequences {pi(t)}_t that Def. 3.2 compares.
+//
+// A Trace holds the full path assignment after every step, starting with
+// the initial assignment pi(0) (pi_d = (d), everything else epsilon).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spp/instance.hpp"
+
+namespace commroute::trace {
+
+/// One full assignment, indexed by node.
+using Assignment = std::vector<Path>;
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Starts a trace with the given initial assignment pi(0).
+  explicit Trace(Assignment initial) { states_.push_back(std::move(initial)); }
+
+  /// Appends pi(t) after a step.
+  void record(Assignment a) { states_.push_back(std::move(a)); }
+
+  std::size_t size() const { return states_.size(); }
+  bool empty() const { return states_.empty(); }
+
+  /// pi(t). t = 0 is the initial assignment.
+  const Assignment& at(std::size_t t) const;
+
+  const Assignment& back() const;
+
+  const std::vector<Assignment>& states() const { return states_; }
+
+  /// True if the last `stable_suffix` entries are identical (a cheap
+  /// convergence heuristic for finite prefixes). Requires
+  /// stable_suffix >= 1.
+  bool settled(std::size_t stable_suffix) const;
+
+  /// Number of steps t >= 1 with pi(t) != pi(t-1).
+  std::size_t change_count() const;
+
+  /// Removes consecutive duplicates, returning the "collapsed" sequence of
+  /// distinct assignments (useful to compare against repetition
+  /// expansions).
+  std::vector<Assignment> collapsed() const;
+
+  /// Renders one row per step, columns = nodes; `only_nodes` (by name)
+  /// restricts the columns. Intended for reproducing the paper's
+  /// activation tables.
+  std::string to_string(const spp::Instance& instance,
+                        const std::vector<std::string>& only_nodes = {}) const;
+
+  bool operator==(const Trace& o) const { return states_ == o.states_; }
+
+ private:
+  std::vector<Assignment> states_;
+};
+
+}  // namespace commroute::trace

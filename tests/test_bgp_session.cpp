@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "bgp/session.hpp"
+
+namespace commroute::bgp {
+namespace {
+
+using model::Model;
+
+TEST(Session, DefaultConfigIsTheQueueingModel) {
+  // The paper: "the flexibility of configuration parameters in the BGP
+  // specification suggest that [the queueing models] most naturally
+  // correspond to correct operation of BGP on the Internet."
+  EXPECT_EQ(model_for(SessionConfig{}), Model::parse("RMS"));
+}
+
+TEST(Session, RouteRefreshGivesPollingModels) {
+  SessionConfig config;
+  config.processing = UpdateProcessing::kRouteRefresh;
+  config.peers = PeerScope::kAllPeers;
+  EXPECT_EQ(model_for(config), Model::parse("REA"));
+  config.peers = PeerScope::kSinglePeer;
+  EXPECT_EQ(model_for(config), Model::parse("R1A"));
+}
+
+TEST(Session, EventDrivenBgpIsMessagePassing) {
+  SessionConfig config;
+  config.peers = PeerScope::kSinglePeer;
+  config.processing = UpdateProcessing::kPerUpdate;
+  EXPECT_EQ(model_for(config), Model::parse("R1O"));
+}
+
+TEST(Session, DatagramTransportGivesUnreliableModels) {
+  SessionConfig config;
+  config.transport = Transport::kDatagram;
+  EXPECT_EQ(model_for(config), Model::parse("UMS"));
+}
+
+TEST(Session, RoundTripsAllTwentyFourModels) {
+  for (const Model& m : Model::all()) {
+    EXPECT_EQ(model_for(config_for(m)), m) << m.name();
+  }
+}
+
+TEST(Session, DescribeMentionsTheKnobs) {
+  SessionConfig config;
+  config.processing = UpdateProcessing::kRouteRefresh;
+  const std::string text = config.describe();
+  EXPECT_NE(text.find("route refresh"), std::string::npos);
+  EXPECT_NE(text.find("TCP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::bgp

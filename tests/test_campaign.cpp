@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "spp/gadgets.hpp"
+#include "study/campaign.hpp"
+#include "support/error.hpp"
+
+namespace commroute::study {
+namespace {
+
+using model::Model;
+
+TEST(Campaign, RunsTheFullCrossProduct) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("RMS"), Model::parse("REA")};
+  spec.schedulers = {SchedulerKind::kRoundRobin,
+                     SchedulerKind::kRandomFair};
+  spec.seeds = 3;
+  const CampaignResult result = run_campaign(spec);
+  // 2 models x (1 round-robin + 3 random seeds) = 8 rows.
+  EXPECT_EQ(result.rows.size(), 8u);
+  EXPECT_DOUBLE_EQ(result.outcome_rate(engine::Outcome::kConverged), 1.0);
+}
+
+TEST(Campaign, EventDrivenOnlyForMessagePassingModels) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("R1O"), Model::parse("RMS")};
+  spec.schedulers = {SchedulerKind::kEventDriven};
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 1u);  // RMS skipped
+  EXPECT_EQ(result.rows[0].model, Model::parse("R1O"));
+  EXPECT_EQ(result.rows[0].outcome, engine::Outcome::kConverged);
+}
+
+TEST(Campaign, SynchronousRevealsTheA6Oscillation) {
+  const spp::Instance dis = spp::disagree();
+  CampaignSpec spec;
+  spec.instances = {{"DISAGREE", &dis}};
+  spec.models = {Model::parse("REA")};
+  spec.schedulers = {SchedulerKind::kRoundRobin,
+                     SchedulerKind::kSynchronous};
+  spec.max_steps = 2000;
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const CampaignRow& row : result.rows) {
+    if (row.scheduler == SchedulerKind::kRoundRobin) {
+      EXPECT_EQ(row.outcome, engine::Outcome::kConverged);
+    } else {
+      EXPECT_EQ(row.outcome, engine::Outcome::kOscillating);
+    }
+  }
+}
+
+TEST(Campaign, CsvHasHeaderAndOneLinePerRow) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("UMS")};
+  spec.schedulers = {SchedulerKind::kRandomFair};
+  spec.seeds = 2;
+  const CampaignResult result = run_campaign(spec);
+  const std::string csv = result.to_csv();
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, result.rows.size() + 1);
+  EXPECT_NE(csv.find("instance,model,scheduler"), std::string::npos);
+  EXPECT_NE(csv.find("GOOD,UMS,random-fair,0,converged"),
+            std::string::npos);
+}
+
+TEST(Campaign, MedianStepsFilters) {
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance ring = spp::shortest_ring(8);
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}, {"RING8", &ring}};
+  spec.models = {Model::parse("RMS")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  const CampaignResult result = run_campaign(spec);
+  const auto ring_median = result.median_steps(
+      [](const CampaignRow& row) { return row.instance == "RING8"; });
+  const auto good_median = result.median_steps(
+      [](const CampaignRow& row) { return row.instance == "GOOD"; });
+  EXPECT_GT(ring_median, good_median);  // bigger network, more steps
+  EXPECT_EQ(result.median_steps([](const CampaignRow&) { return false; }),
+            0u);
+}
+
+TEST(Campaign, ValidatesSpec) {
+  CampaignSpec empty;
+  EXPECT_THROW(run_campaign(empty), PreconditionError);
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec no_models;
+  no_models.instances = {{"GOOD", &good}};
+  EXPECT_THROW(run_campaign(no_models), PreconditionError);
+}
+
+TEST(Campaign, UnreliableRunsRecordDrops) {
+  // The drop discipline never drops a channel's newest message, so drops
+  // need queue depth: the cyclic gadget's long transients provide it.
+  const spp::Instance cyclic = spp::cyclic_gadget(4);
+  CampaignSpec spec;
+  spec.instances = {{"CYCLIC4", &cyclic}};
+  spec.models = {Model::parse("UMS")};
+  spec.schedulers = {SchedulerKind::kRandomFair};
+  spec.seeds = 4;
+  spec.max_steps = 3000;
+  spec.drop_prob = 0.4;
+  const CampaignResult result = run_campaign(spec);
+  std::uint64_t dropped = 0;
+  std::size_t occupancy = 0;
+  for (const CampaignRow& row : result.rows) {
+    dropped += row.messages_dropped;
+    occupancy = std::max(occupancy, row.max_channel_occupancy);
+  }
+  EXPECT_GT(occupancy, 1u);
+  EXPECT_GT(dropped, 0u);
+}
+
+}  // namespace
+}  // namespace commroute::study

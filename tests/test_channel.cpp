@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "engine/channel.hpp"
+#include "support/error.hpp"
+
+namespace commroute::engine {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel c;
+  c.push(Message{Path{1, 0}, 0});
+  c.push(Message{Path{2, 0}, 0});
+  c.push(Message{Path::epsilon(), 0});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(0).path, (Path{1, 0}));
+  EXPECT_EQ(c.at(2).path, Path::epsilon());
+  c.pop_front();
+  EXPECT_EQ(c.at(0).path, (Path{2, 0}));
+}
+
+TEST(Channel, PopFrontN) {
+  Channel c;
+  for (NodeId i = 0; i < 5; ++i) {
+    c.push(Message{Path{i}, 0});
+  }
+  c.pop_front_n(3);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.at(0).path, Path{3});
+  c.pop_front_n(0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_THROW(c.pop_front_n(3), PreconditionError);
+}
+
+TEST(Channel, PopEmptyThrows) {
+  Channel c;
+  EXPECT_THROW(c.pop_front(), PreconditionError);
+}
+
+TEST(Channel, EqualityIncludesTags) {
+  Channel a, b;
+  a.push(Message{Path{1, 0}, 0});
+  b.push(Message{Path{1, 0}, 1});
+  EXPECT_FALSE(a == b);
+  b.at_mutable(0).tag = 0;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Channel, HashTracksContents) {
+  Channel a, b;
+  EXPECT_EQ(a.hash(), b.hash());
+  a.push(Message{Path{1, 0}, 0});
+  EXPECT_NE(a.hash(), b.hash());
+  b.push(Message{Path{1, 0}, 0});
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Channel, MessageEqualityAndHash) {
+  const Message m1{Path{1, 0}, 0};
+  const Message m2{Path{1, 0}, 0};
+  const Message m3{Path{1, 0}, 9};
+  EXPECT_EQ(m1, m2);
+  EXPECT_FALSE(m1 == m3);
+  EXPECT_EQ(std::hash<Message>{}(m1), std::hash<Message>{}(m2));
+  EXPECT_NE(std::hash<Message>{}(m1), std::hash<Message>{}(m3));
+}
+
+TEST(Channel, WithdrawalIsEmptyPath) {
+  Channel c;
+  c.push(Message{Path::epsilon(), 0});
+  EXPECT_TRUE(c.at(0).path.empty());
+}
+
+}  // namespace
+}  // namespace commroute::engine

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hpp"
+#include "engine/runner.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+
+namespace commroute::checker {
+namespace {
+
+using model::Model;
+
+// Ex. A.1 / Thm. 3.8 empirically: DISAGREE can oscillate in R1O, RMO,
+// R1S, RMS, R1F (and more) but provably cannot in REO, REF, R1A, RMA, REA.
+TEST(Explorer, DisagreeOscillatesInWeakModels) {
+  const spp::Instance inst = spp::disagree();
+  for (const char* name : {"R1O", "RMO", "R1S", "RMS", "RES", "R1F",
+                           "RMF"}) {
+    const ExploreResult r =
+        explore(inst, Model::parse(name), {.max_channel_length = 3});
+    EXPECT_TRUE(r.oscillation_found) << name << ": " << r.summary();
+  }
+}
+
+TEST(Explorer, DisagreeCannotOscillateInStrongModels) {
+  const spp::Instance inst = spp::disagree();
+  for (const char* name : {"REO", "REF", "R1A", "RMA", "REA"}) {
+    const ExploreResult r =
+        explore(inst, Model::parse(name), {.max_channel_length = 3});
+    EXPECT_TRUE(r.proves_no_oscillation()) << name << ": " << r.summary();
+    EXPECT_TRUE(r.exhaustive) << name;
+  }
+}
+
+TEST(Explorer, DisagreeOscillatesUnderUnreliableChannels) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r = explore(inst, Model::parse("U1O"),
+                                  {.max_channel_length = 3});
+  EXPECT_TRUE(r.oscillation_found) << r.summary();
+}
+
+TEST(Explorer, DisagreeConvergedOutcomesAreTheStableSolutions) {
+  const spp::Instance inst = spp::disagree();
+  const auto solutions = spp::stable_assignments(inst);
+  const ExploreResult r =
+      explore(inst, Model::parse("REA"), {.max_channel_length = 3});
+  ASSERT_EQ(r.quiescent_assignments.size(), solutions.size());
+  for (const auto& q : r.quiescent_assignments) {
+    EXPECT_TRUE(spp::is_solution(inst, q));
+  }
+}
+
+TEST(Explorer, GoodGadgetSafeInEveryModelBlock) {
+  const spp::Instance inst = spp::good_gadget();
+  // Exhaustive proofs for a representative reliable set; the polling
+  // models drain channels so their spaces are tiny.
+  for (const char* name : {"REO", "REF", "REA", "R1A", "RMA"}) {
+    const ExploreResult r =
+        explore(inst, Model::parse(name), {.max_channel_length = 3});
+    EXPECT_TRUE(r.proves_no_oscillation()) << name << ": " << r.summary();
+  }
+}
+
+TEST(Explorer, GoodGadgetSafeUnderQueueingModel) {
+  const spp::Instance inst = spp::good_gadget();
+  const ExploreResult r = explore(inst, Model::parse("RMS"),
+                                  {.max_channel_length = 3});
+  EXPECT_TRUE(r.proves_no_oscillation()) << r.summary();
+  ASSERT_EQ(r.quiescent_assignments.size(), 1u);
+  EXPECT_TRUE(spp::is_solution(inst, r.quiescent_assignments[0]));
+}
+
+TEST(Explorer, BadGadgetOscillatesEvenWhenPolling) {
+  // BAD GADGET has no stable assignment, so it oscillates in every model
+  // including the strongest ones.
+  const spp::Instance inst = spp::bad_gadget();
+  for (const char* name : {"REA", "REO", "REF"}) {
+    const ExploreResult r = explore(inst, Model::parse(name),
+                                    {.max_channel_length = 2,
+                                     .max_states = 20000});
+    EXPECT_TRUE(r.oscillation_found) << name << ": " << r.summary();
+  }
+}
+
+TEST(Explorer, BadGadgetHasNoQuiescentStateInPollingModels) {
+  const spp::Instance inst = spp::bad_gadget();
+  const ExploreResult r = explore(inst, Model::parse("REA"),
+                                  {.max_channel_length = 2,
+                                   .max_states = 20000});
+  EXPECT_TRUE(r.quiescent_assignments.empty());
+}
+
+TEST(Explorer, BoundedVerdictIsFlagged) {
+  const spp::Instance inst = spp::bad_gadget();
+  const ExploreResult r = explore(inst, Model::parse("R1O"),
+                                  {.max_channel_length = 1,
+                                   .max_states = 500});
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_TRUE(r.channel_bound_hit || r.state_cap_hit);
+  EXPECT_FALSE(r.proves_no_oscillation());
+}
+
+// The checker-discovered oscillation can be replayed: the extracted
+// prefix+cycle script, looped forever, is a provably cycling fair
+// execution of the same model.
+TEST(Explorer, ExtractedWitnessReplaysAsProvableOscillation) {
+  const spp::Instance inst = spp::disagree();
+  for (const char* name : {"R1O", "RMS", "U1O"}) {
+    const Model m = Model::parse(name);
+    const ExploreResult r = explore(
+        inst, m, {.max_channel_length = 3, .extract_witness = true});
+    ASSERT_TRUE(r.oscillation_found) << name;
+    ASSERT_FALSE(r.witness_cycle.empty()) << name;
+
+    model::ActivationScript script = r.witness_prefix;
+    const std::size_t loop_from = script.size();
+    script.insert(script.end(), r.witness_cycle.begin(),
+                  r.witness_cycle.end());
+    for (const auto& step : script) {
+      model::require_step_allowed(m, inst, step);
+    }
+    engine::ScriptedScheduler sched(script, loop_from);
+    const auto run = engine::run(
+        inst, sched,
+        {.max_steps = 10 * script.size() + 100, .enforce_model = m});
+    EXPECT_EQ(run.outcome, engine::Outcome::kOscillating) << name;
+    // The replay is fair: every channel is read within the loop.
+    EXPECT_LE(run.max_attempt_gap, script.size() + r.witness_cycle.size())
+        << name;
+  }
+}
+
+// The witness loop covers every channel (the fairness requirement).
+TEST(Explorer, WitnessCycleAttemptsEveryChannel) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r = explore(
+      inst, Model::parse("R1O"),
+      {.max_channel_length = 3, .extract_witness = true});
+  ASSERT_TRUE(r.oscillation_found);
+  std::vector<bool> attempted(inst.graph().channel_count(), false);
+  for (const auto& step : r.witness_cycle) {
+    for (const auto& read : step.reads) {
+      attempted[read.channel] = true;
+    }
+  }
+  for (ChannelIdx c = 0; c < inst.graph().channel_count(); ++c) {
+    EXPECT_TRUE(attempted[c]) << inst.graph().channel_name(c);
+  }
+}
+
+TEST(Explorer, NoWitnessWithoutRequest) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r =
+      explore(inst, Model::parse("R1O"), {.max_channel_length = 3});
+  EXPECT_TRUE(r.oscillation_found);
+  EXPECT_TRUE(r.witness_cycle.empty());
+  EXPECT_TRUE(r.witness_prefix.empty());
+}
+
+TEST(Explorer, SummaryMentionsVerdict) {
+  const spp::Instance inst = spp::good_gadget();
+  const ExploreResult r = explore(inst, Model::parse("REA"),
+                                  {.max_channel_length = 3});
+  EXPECT_NE(r.summary().find("no fair oscillation"), std::string::npos);
+  EXPECT_NE(r.summary().find("exhaustive"), std::string::npos);
+}
+
+TEST(Explorer, StateAndTransitionCountsAreConsistent) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r = explore(inst, Model::parse("REO"),
+                                  {.max_channel_length = 3});
+  EXPECT_GT(r.states, 1u);
+  EXPECT_GE(r.transitions, r.states - 1);  // reached via some edge
+}
+
+}  // namespace
+}  // namespace commroute::checker

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "checker/successors.hpp"
+#include "engine/executor.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::checker {
+namespace {
+
+using model::Model;
+
+class SuccessorsTest : public ::testing::Test {
+ protected:
+  spp::Instance inst = spp::disagree();
+  engine::NetworkState init{inst};
+};
+
+TEST_F(SuccessorsTest, CountsOnInitialState) {
+  // DISAGREE: 3 nodes, each with 2 in-channels, all empty.
+  // R1O: one step per (node, channel) pair.
+  EXPECT_EQ(enumerate_steps(init, Model::parse("R1O")).size(), 6u);
+  // REO/REA: one canonical step per node.
+  EXPECT_EQ(enumerate_steps(init, Model::parse("REO")).size(), 3u);
+  EXPECT_EQ(enumerate_steps(init, Model::parse("REA")).size(), 3u);
+  // RMS: per node, 2^2 channel subsets, one f-option each (m = 0).
+  EXPECT_EQ(enumerate_steps(init, Model::parse("RMS")).size(), 12u);
+}
+
+TEST_F(SuccessorsTest, UnreliableAddsDropSubsets) {
+  engine::NetworkState st(inst);
+  const ChannelIdx c = inst.graph().channel(inst.graph().node("y"),
+                                            inst.graph().node("x"));
+  st.mutable_channel(c).push({inst.parse_path("yd"), 0});
+  st.mutable_channel(c).push({Path::epsilon(), 0});
+  // U1O: the 2-message channel read gains a drop variant: 6 + 1 = 7.
+  EXPECT_EQ(enumerate_steps(st, Model::parse("U1O")).size(), 7u);
+  // R1S: f in {0, 1, 2} for that channel: 6 + 2 = 8.
+  EXPECT_EQ(enumerate_steps(st, Model::parse("R1S")).size(), 8u);
+  // U1S: f in {0,1,2}; f=1 has 2 drop subsets, f=2 has 4: 1+2+4 = 7
+  // options on the loaded channel, 1 on each of the 5 empty ones.
+  EXPECT_EQ(enumerate_steps(st, Model::parse("U1S")).size(), 12u);
+  // U1A: f = all (2 messages): 4 drop subsets; 6 - 1 + 4 = 9.
+  EXPECT_EQ(enumerate_steps(st, Model::parse("U1A")).size(), 9u);
+  // U1F: f in {1, 2}: 2 + 4 = 6 options; 6 - 1 + 6 = 11.
+  EXPECT_EQ(enumerate_steps(st, Model::parse("U1F")).size(), 11u);
+}
+
+TEST_F(SuccessorsTest, EveryStepIsLegalAndValid) {
+  engine::NetworkState st(inst);
+  const ChannelIdx c = inst.graph().channel(inst.graph().node("d"),
+                                            inst.graph().node("x"));
+  st.mutable_channel(c).push({Path{inst.destination()}, 0});
+  for (const Model& m : Model::all()) {
+    for (const auto& step : enumerate_steps(st, m)) {
+      std::string why;
+      EXPECT_TRUE(model::step_allowed(m, inst, step, &why))
+          << m.name() << ": " << why;
+    }
+  }
+}
+
+TEST_F(SuccessorsTest, StepsAreCanonicallyDistinct) {
+  // Executing all successors from the same state never produces two
+  // identical (step-spec) entries.
+  for (const Model& m : Model::all()) {
+    const auto steps = enumerate_steps(init, m);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      for (std::size_t j = i + 1; j < steps.size(); ++j) {
+        EXPECT_NE(steps[i].to_string(inst), steps[j].to_string(inst))
+            << m.name();
+      }
+    }
+  }
+}
+
+TEST_F(SuccessorsTest, CapThrowsWhenExceeded) {
+  SuccessorOptions options;
+  options.max_steps_per_state = 3;
+  EXPECT_THROW(enumerate_steps(init, Model::parse("RMS"), options),
+               PreconditionError);
+}
+
+TEST_F(SuccessorsTest, ForcedOnEmptyChannelStillAttempts) {
+  // F requires f >= 1 even when the channel is empty; the canonical step
+  // must exist (reading nothing).
+  const auto steps = enumerate_steps(init, Model::parse("R1F"));
+  EXPECT_EQ(steps.size(), 6u);
+  for (const auto& step : steps) {
+    ASSERT_EQ(step.reads.size(), 1u);
+    ASSERT_TRUE(step.reads[0].count.has_value());
+    EXPECT_GE(*step.reads[0].count, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace commroute::checker

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "checker/targeted.hpp"
+#include "spp/gadgets.hpp"
+#include "test_util.hpp"
+#include "trace/recording.hpp"
+
+namespace commroute::checker {
+namespace {
+
+using model::Model;
+using trace::MatchKind;
+
+// Prop. 3.10 via Ex. A.3: the REO execution on Fig. 7 cannot be exactly
+// realized in R1O...
+TEST(Targeted, ExampleA3NotExactlyRealizableInR1O) {
+  const spp::Instance inst = spp::example_a3();
+  const auto rec = testutil::record_example_a3_reo(inst);
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kExact);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exhaustive) << "non-realizability must be a proof";
+}
+
+// ... but it can be realized with repetition (consistent with the REO row
+// R1O column entry "3" in Fig. 3).
+TEST(Targeted, ExampleA3RealizableWithRepetitionInR1O) {
+  const spp::Instance inst = spp::example_a3();
+  const auto rec = testutil::record_example_a3_reo(inst);
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kRepetition);
+  EXPECT_TRUE(r.found) << r.summary();
+  EXPECT_FALSE(r.witness.empty());
+}
+
+// The obstruction is specific to processing one message at a time: R1F
+// can skip over the stale vbd by reading two messages at once, so this
+// particular trace is exactly realizable there.
+TEST(Targeted, ExampleA3ExactlyRealizableInR1F) {
+  const spp::Instance inst = spp::example_a3();
+  const auto rec = testutil::record_example_a3_reo(inst);
+  const auto r = find_realization(inst, Model::parse("R1F"), rec.trace,
+                                  MatchKind::kExact);
+  EXPECT_TRUE(r.found) << r.summary();
+}
+
+// Without the convergent-tail requirement the finite prefix *is*
+// realizable in R1O (the leftover messages are simply postponed) — the
+// paper's argument hinges on fairness forcing them to be processed.
+TEST(Targeted, ExampleA3FinitePrefixRealizableWithoutTail) {
+  const spp::Instance inst = spp::example_a3();
+  const auto rec = testutil::record_example_a3_reo(inst);
+  RealizationSearchOptions options;
+  options.require_convergent_tail = false;
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kExact, options);
+  EXPECT_TRUE(r.found);
+}
+
+// Prop. 3.11 via Ex. A.4: the REA execution on Fig. 8 cannot be realized
+// with repetition in R1O, but can as a subsequence.
+TEST(Targeted, ExampleA4NotRealizableWithRepetitionInR1O) {
+  const spp::Instance inst = spp::example_a4();
+  const auto rec = testutil::record_example_a4_rea(inst);
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kRepetition);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Targeted, ExampleA4RealizableAsSubsequenceInR1O) {
+  const spp::Instance inst = spp::example_a4();
+  const auto rec = testutil::record_example_a4_rea(inst);
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kSubsequence);
+  EXPECT_TRUE(r.found) << r.summary();
+}
+
+// Prop. 3.12 via Ex. A.5: the REA execution on Fig. 9 cannot be exactly
+// realized in R1S, but can with repetition (REA row R1S column = "3").
+TEST(Targeted, ExampleA5NotExactlyRealizableInR1S) {
+  const spp::Instance inst = spp::example_a5();
+  const auto rec = testutil::record_example_a5_rea(inst);
+  const auto r = find_realization(inst, Model::parse("R1S"), rec.trace,
+                                  MatchKind::kExact);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Targeted, ExampleA5RealizableWithRepetitionInR1S) {
+  const spp::Instance inst = spp::example_a5();
+  const auto rec = testutil::record_example_a5_rea(inst);
+  const auto r = find_realization(inst, Model::parse("R1S"), rec.trace,
+                                  MatchKind::kRepetition);
+  EXPECT_TRUE(r.found) << r.summary();
+}
+
+// Every model realizes its own executions exactly (reflexivity).
+TEST(Targeted, SelfRealizationSucceeds) {
+  const spp::Instance inst = spp::example_a4();
+  const auto rec = testutil::record_example_a4_rea(inst);
+  const auto r = find_realization(inst, Model::parse("REA"), rec.trace,
+                                  MatchKind::kExact);
+  EXPECT_TRUE(r.found);
+}
+
+// Witnesses replay to traces that actually realize the target.
+TEST(Targeted, WitnessReplayMatchesClaimedSense) {
+  const spp::Instance inst = spp::example_a4();
+  const auto rec = testutil::record_example_a4_rea(inst);
+  const auto r = find_realization(inst, Model::parse("R1O"), rec.trace,
+                                  MatchKind::kSubsequence);
+  ASSERT_TRUE(r.found);
+  const auto replay =
+      trace::record_script(inst, r.witness, Model::parse("R1O"));
+  EXPECT_TRUE(trace::matches_as_subsequence(rec.trace, replay.trace));
+}
+
+TEST(Targeted, RejectsForeignInitialAssignment) {
+  const spp::Instance inst = spp::example_a4();
+  trace::Trace bogus(trace::Assignment(inst.node_count(),
+                                       inst.parse_path("ad")));
+  EXPECT_THROW(find_realization(inst, Model::parse("R1O"), bogus,
+                                MatchKind::kExact),
+               PreconditionError);
+}
+
+TEST(Targeted, SenseNoneIsRejected) {
+  const spp::Instance inst = spp::example_a4();
+  const auto rec = testutil::record_example_a4_rea(inst);
+  EXPECT_THROW(find_realization(inst, Model::parse("R1O"), rec.trace,
+                                MatchKind::kNone),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace commroute::checker

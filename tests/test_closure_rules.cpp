@@ -1,0 +1,124 @@
+// Isolated tests of the Figure 1 / Figure 2 transitivity rules: the
+// closure engine applied to tiny synthetic fact sets must derive exactly
+// the consequences the paper's diagrams describe.
+#include <gtest/gtest.h>
+
+#include "realization/closure.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::Model;
+
+Fact lower(const char* a, const char* b, Strength s) {
+  return Fact{Model::parse(a), Model::parse(b), FactKind::kLowerBound, s,
+              "synthetic"};
+}
+
+Fact upper(const char* a, const char* b, Strength s) {
+  return Fact{Model::parse(a), Model::parse(b), FactKind::kUpperBound, s,
+              "synthetic"};
+}
+
+// Fig. 1 (rule P): composing realizations takes the weaker sense.
+TEST(ClosureRules, PositiveCompositionTakesTheMinimum) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "RMS", Strength::kRepetition),
+       lower("RMS", "UEA", Strength::kExact)});
+  const RelationBound& cell =
+      t.cell(Model::parse("R1O"), Model::parse("UEA"));
+  EXPECT_EQ(cell.lo, Strength::kRepetition);
+  EXPECT_EQ(cell.hi, Strength::kExact);  // upper bound untouched
+}
+
+TEST(ClosureRules, PositiveCompositionChains) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "RMO", Strength::kExact),
+       lower("RMO", "RES", Strength::kSubsequence),
+       lower("RES", "UMS", Strength::kRepetition)});
+  EXPECT_EQ(t.cell(Model::parse("R1O"), Model::parse("UMS")).lo,
+            Strength::kSubsequence);
+}
+
+// Fig. 2 left (rule N1): push the tail of a non-realization forward.
+// M2 realizes M1 strongly; M3 cannot realize M1 => M3 cannot realize M2.
+TEST(ClosureRules, NegativeRuleN1) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "RMS", Strength::kExact),        // M2 realizes M1
+       upper("R1O", "REA", Strength::kNotPreserving)});  // M3 misses M1
+  EXPECT_EQ(t.cell(Model::parse("RMS"), Model::parse("REA")).hi,
+            Strength::kNotPreserving);
+}
+
+TEST(ClosureRules, NegativeRuleN1NeedsAStrongEnoughPremise) {
+  // If M2 realizes M1 only at the sense that is *not* excluded for M3,
+  // nothing follows. Here M3 can't realize M1 beyond subsequence, and M2
+  // realizes M1 as a subsequence only: no conclusion about M2-in-M3.
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "RMS", Strength::kSubsequence),
+       upper("R1O", "REA", Strength::kSubsequence)});
+  EXPECT_EQ(t.cell(Model::parse("RMS"), Model::parse("REA")).hi,
+            Strength::kExact);
+}
+
+// Fig. 2 right (rule N2): pull the head of a non-realization backward.
+// M3 realizes M1 strongly; M3 cannot realize M2 => M1 cannot realize M2.
+TEST(ClosureRules, NegativeRuleN2) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "UMS", Strength::kExact),          // M3 realizes M1
+       upper("REA", "UMS", Strength::kRepetition)});   // M3 misses M2
+  EXPECT_EQ(t.cell(Model::parse("REA"), Model::parse("R1O")).hi,
+            Strength::kRepetition);
+}
+
+TEST(ClosureRules, NegativeRuleN2PartialStrength) {
+  // The derived upper bound is the excluded sense, not stronger.
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "UMS", Strength::kRepetition),
+       upper("REA", "UMS", Strength::kSubsequence)});
+  EXPECT_EQ(t.cell(Model::parse("REA"), Model::parse("R1O")).hi,
+            Strength::kSubsequence);
+}
+
+// The classic Cor. 3.14 derivation shape end to end: REA >=3 in R1S
+// (through M-to-1 expansion) plus REA <=2 in R1O forces R1S <=2 in R1O.
+TEST(ClosureRules, Corollary314Shape) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("REA", "R1S", Strength::kRepetition),
+       upper("REA", "R1O", Strength::kSubsequence),
+       lower("R1S", "R1O", Strength::kSubsequence)});
+  const RelationBound& cell =
+      t.cell(Model::parse("R1S"), Model::parse("R1O"));
+  EXPECT_EQ(cell.lo, Strength::kSubsequence);
+  EXPECT_EQ(cell.hi, Strength::kSubsequence);
+  EXPECT_TRUE(cell.known_exactly());
+}
+
+TEST(ClosureRules, ContradictoryFactsThrow) {
+  EXPECT_THROW(RealizationTable::closure(
+                   {lower("R1O", "RMS", Strength::kExact),
+                    upper("R1O", "RMS", Strength::kSubsequence)}),
+               PreconditionError);
+}
+
+TEST(ClosureRules, IndirectContradictionsAreDetected) {
+  // lo(A,B)=4 and lo(B,C)=4 force lo(A,C)=4, clashing with hi(A,C)=2.
+  EXPECT_THROW(RealizationTable::closure(
+                   {lower("R1O", "RMO", Strength::kExact),
+                    lower("RMO", "RMS", Strength::kExact),
+                    upper("R1O", "RMS", Strength::kSubsequence)}),
+               PreconditionError);
+}
+
+TEST(ClosureRules, ProvenanceTracksRuleApplications) {
+  const RealizationTable t = RealizationTable::closure(
+      {lower("R1O", "RMO", Strength::kExact),
+       lower("RMO", "RMS", Strength::kRepetition)});
+  const RelationBound& cell =
+      t.cell(Model::parse("R1O"), Model::parse("RMS"));
+  EXPECT_NE(cell.lo_source.find("transitivity P"), std::string::npos);
+  EXPECT_NE(cell.lo_source.find("RMO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::realization

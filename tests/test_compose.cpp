@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.hpp"
+#include "engine/scheduler.hpp"
+#include "realization/closure.hpp"
+#include "realization/compose.hpp"
+#include "spp/gadgets.hpp"
+#include "trace/seq_match.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::Model;
+
+TEST(Compose, IdentityChainForSamePair) {
+  const auto chain = find_transform_chain(Model::parse("RMS"),
+                                          Model::parse("RMS"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(chain->links.empty());
+  EXPECT_EQ(chain->claimed(), Strength::kExact);
+}
+
+TEST(Compose, ExactChainFromREOToUMS) {
+  // REO -> RMO -> RMF -> RMS -> UMS, every hop exact.
+  const auto chain = find_transform_chain(Model::parse("REO"),
+                                          Model::parse("UMS"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->claimed(), Strength::kExact);
+  EXPECT_GE(chain->links.size(), 3u);
+}
+
+TEST(Compose, NoChainIntoStrictlyWeakerModels) {
+  // Realizing R1O in REA is impossible (Thm. 3.8): no positive-theorem
+  // path can exist.
+  EXPECT_FALSE(find_transform_chain(Model::parse("R1O"),
+                                    Model::parse("REA"))
+                   .has_value());
+  EXPECT_FALSE(find_transform_chain(Model::parse("RMS"),
+                                    Model::parse("REO"))
+                   .has_value());
+}
+
+// The constructive layer and the algebraic layer agree: the best chain's
+// bottleneck equals the closure's lower bound for every ordered pair.
+// (Both are max-min computations over the same positive facts; this test
+// pins the two independent implementations to each other.)
+TEST(Compose, ChainBottleneckMatchesClosureLowerBound) {
+  const RealizationTable table = RealizationTable::closure();
+  for (const Model& a : Model::all()) {
+    for (const Model& b : Model::all()) {
+      const auto chain = find_transform_chain(a, b);
+      const Strength closure_lo = table.cell(a, b).lo;
+      if (chain.has_value()) {
+        EXPECT_EQ(level(chain->claimed()), level(closure_lo))
+            << a.name() << " -> " << b.name() << ": "
+            << chain->to_string();
+      } else {
+        EXPECT_EQ(level(closure_lo), 0)
+            << a.name() << " -> " << b.name()
+            << " has no chain but closure lo is " << level(closure_lo);
+      }
+    }
+  }
+}
+
+TEST(Compose, ToStringShowsEveryHop) {
+  const auto chain = find_transform_chain(Model::parse("REA"),
+                                          Model::parse("R1O"));
+  ASSERT_TRUE(chain.has_value());
+  const std::string s = chain->to_string();
+  EXPECT_NE(s.find("REA"), std::string::npos);
+  EXPECT_NE(s.find("R1O"), std::string::npos);
+  EXPECT_NE(s.find("overall"), std::string::npos);
+}
+
+model::ActivationScript random_script(const spp::Instance& inst,
+                                      const Model& m, Rng rng, int steps) {
+  engine::RandomFairScheduler sched(
+      m, inst, rng,
+      {.drop_prob = m.reliable() ? 0.0 : 0.3, .sweep_period = 16});
+  engine::NetworkState state(inst);
+  model::ActivationScript script;
+  for (int i = 0; i < steps; ++i) {
+    const auto step = sched.next(state);
+    engine::execute_step(state, step);
+    script.push_back(step);
+  }
+  return script;
+}
+
+trace::MatchKind required_kind(Strength s) {
+  switch (s) {
+    case Strength::kExact:
+      return trace::MatchKind::kExact;
+    case Strength::kRepetition:
+      return trace::MatchKind::kRepetition;
+    default:
+      return trace::MatchKind::kSubsequence;
+  }
+}
+
+// End-to-end: apply multi-hop chains to real executions and verify the
+// composed relation empirically.
+TEST(Compose, AppliedChainsRealizeTheClaimedRelation) {
+  const spp::Instance inst = spp::disagree();
+  const std::vector<std::pair<const char*, const char*>> pairs{
+      {"REO", "UMS"},  // exact, several hops
+      {"REA", "R1S"},  // repetition via Thm. 3.5
+      {"RMA", "R1O"},  // subsequence via Prop. 3.6
+      {"UEA", "UMS"},  // exact within the unreliable block
+      {"U1O", "R1F"},  // crosses back to reliable via Thm. 3.7
+  };
+  for (const auto& [from_name, to_name] : pairs) {
+    const Model from = Model::parse(from_name);
+    const Model to = Model::parse(to_name);
+    const auto chain = find_transform_chain(from, to);
+    ASSERT_TRUE(chain.has_value()) << from_name << "->" << to_name;
+
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto script =
+          random_script(inst, from, Rng(trial * 37 + 1), 50);
+      const auto rec = trace::record_script(inst, script, from);
+      const auto out = apply_chain(*chain, inst, rec);
+      for (const auto& step : out) {
+        model::require_step_allowed(to, inst, step);
+      }
+      const auto replay = trace::record_script(inst, out, to);
+      const auto got = trace::strongest_match(rec.trace, replay.trace);
+      EXPECT_GE(static_cast<int>(got),
+                static_cast<int>(required_kind(chain->claimed())))
+          << chain->to_string() << " trial " << trial << ": got "
+          << trace::to_string(got);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace commroute::realization

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "spp/builder.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "spp/solver.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(DisputeWheel, DisagreeWitnessIsValid) {
+  const Instance inst = disagree();
+  const auto wheel = find_dispute_wheel(inst);
+  ASSERT_TRUE(wheel.has_value());
+  ASSERT_GE(wheel->spokes.size(), 2u);
+  // Verify the witness satisfies the dispute-wheel conditions.
+  for (std::size_t i = 0; i < wheel->spokes.size(); ++i) {
+    const WheelSpoke& spoke = wheel->spokes[i];
+    const WheelSpoke& next =
+        wheel->spokes[(i + 1) % wheel->spokes.size()];
+    ASSERT_TRUE(inst.is_permitted(spoke.node, spoke.spoke));
+    ASSERT_TRUE(inst.is_permitted(spoke.node, spoke.rim_route));
+    // Rim route = R_i Q_{i+1}: proper extension of next spoke.
+    EXPECT_TRUE(spoke.rim_route.has_suffix(next.spoke));
+    EXPECT_GT(spoke.rim_route.size(), next.spoke.size());
+    // Weakly preferred to the spoke.
+    EXPECT_LE(*inst.rank(spoke.node, spoke.rim_route),
+              *inst.rank(spoke.node, spoke.spoke));
+  }
+}
+
+TEST(DisputeWheel, BadGadgetHasWheel) {
+  EXPECT_TRUE(find_dispute_wheel(bad_gadget()).has_value());
+}
+
+TEST(DisputeWheel, GoodGadgetHasNone) {
+  EXPECT_FALSE(find_dispute_wheel(good_gadget()).has_value());
+}
+
+TEST(DisputeWheel, AppendixGadgetClassification) {
+  // Ex. A.2 embeds a DISAGREE between u and v, so it has a wheel (and
+  // indeed can oscillate in REO/REF).
+  EXPECT_FALSE(is_dispute_wheel_free(example_a2()));
+  // Exs. A.3-A.5 separate *realization senses*, not convergence: they
+  // converge in every model and are dispute-wheel free.
+  EXPECT_TRUE(is_dispute_wheel_free(example_a3()));
+  EXPECT_TRUE(is_dispute_wheel_free(example_a4()));
+  EXPECT_TRUE(is_dispute_wheel_free(example_a5()));
+}
+
+TEST(DisputeWheel, ShortestPathPreferencesAreWheelFree) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance inst = random_shortest(rng, {.nodes = 6});
+    EXPECT_TRUE(is_dispute_wheel_free(inst)) << inst.to_string();
+  }
+}
+
+TEST(DisputeWheel, TreesAreWheelFree) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_TRUE(is_dispute_wheel_free(random_tree(rng, 7)));
+  }
+}
+
+TEST(DisputeWheel, NoSolutionImpliesWheelOnRandomInstances) {
+  // Contrapositive of Griffin-Shepherd-Wilfong: no dispute wheel implies
+  // a (unique) solution exists. So an instance without a solution must
+  // have a wheel.
+  Rng rng(31);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 10; ++trial) {
+    const Instance inst = random_policy(rng, {.nodes = 5});
+    if (stable_assignments(inst, 1).empty()) {
+      EXPECT_TRUE(find_dispute_wheel(inst).has_value())
+          << inst.to_string();
+      ++checked;
+    }
+  }
+}
+
+TEST(DisputeWheel, WheelFreeImpliesUniqueSolutionOnRandomInstances) {
+  Rng rng(32);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance inst = random_policy(rng, {.nodes = 5});
+    if (is_dispute_wheel_free(inst)) {
+      EXPECT_EQ(stable_assignments(inst).size(), 1u) << inst.to_string();
+    }
+  }
+}
+
+TEST(DisputeWheel, ToStringMentionsSpokes) {
+  const Instance inst = disagree();
+  const auto wheel = find_dispute_wheel(inst);
+  ASSERT_TRUE(wheel.has_value());
+  const std::string s = wheel->to_string(inst);
+  EXPECT_NE(s.find("spoke"), std::string::npos);
+  EXPECT_NE(s.find("rim"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::spp

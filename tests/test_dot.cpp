@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/executor.hpp"
+#include "spp/dot.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(Dot, InstanceExportListsNodesAndEdges) {
+  const Instance inst = disagree();
+  const std::string dot = to_dot(inst);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"d\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"x\""), std::string::npos);
+  EXPECT_NE(dot.find("\"y\""), std::string::npos);
+  // Preferences appear in labels.
+  EXPECT_NE(dot.find("xyd > xd"), std::string::npos);
+  // Each undirected edge rendered once, lower node index first
+  // (d has index 0 as the builder's first node).
+  EXPECT_NE(dot.find("\"d\" -> \"x\" [dir=none"), std::string::npos);
+  EXPECT_EQ(dot.find("\"x\" -> \"d\""), std::string::npos);
+  EXPECT_NE(dot.find("\"x\" -> \"y\" [dir=none"), std::string::npos);
+}
+
+TEST(Dot, StateExportShowsChosenRoutesAndQueues) {
+  const Instance inst = disagree();
+  engine::NetworkState state(inst);
+  const NodeId d = inst.graph().node("d");
+  const NodeId x = inst.graph().node("x");
+  engine::execute_step(state, model::read_one_step(inst, d, x));
+  engine::execute_step(state, model::read_one_step(inst, x, d));
+  const std::string dot = to_dot(inst, state);
+  // x's chosen route xd is highlighted...
+  EXPECT_NE(dot.find("label=\"xd\""), std::string::npos);
+  // ... and x's announcement still queued toward y appears dashed.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("[xd]"), std::string::npos);
+}
+
+TEST(Dot, EmptyStateHasNoHighlights) {
+  const Instance inst = disagree();
+  const engine::NetworkState state(inst);
+  const std::string dot = to_dot(inst, state);
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(dot.find("penwidth=2"), std::string::npos);
+}
+
+TEST(Dot, BalancedBraces) {
+  const Instance inst = example_a2();
+  const std::string dot = to_dot(inst);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace commroute::spp

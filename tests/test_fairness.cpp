@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "model/fairness.hpp"
+#include "support/error.hpp"
+
+namespace commroute::model {
+namespace {
+
+TEST(Fairness, FreshMonitorIsEmpty) {
+  FairnessMonitor fm(4);
+  EXPECT_EQ(fm.steps(), 0u);
+  EXPECT_FALSE(fm.all_channels_attempted());
+  EXPECT_EQ(fm.outstanding_drops(), 0u);
+  EXPECT_TRUE(fm.drop_condition_ok());
+}
+
+TEST(Fairness, TracksAttemptCoverage) {
+  FairnessMonitor fm(2);
+  fm.begin_step();
+  fm.attempt(0);
+  EXPECT_FALSE(fm.all_channels_attempted());
+  fm.begin_step();
+  fm.attempt(1);
+  EXPECT_TRUE(fm.all_channels_attempted());
+}
+
+TEST(Fairness, MaxGapCountsTrailingSilence) {
+  FairnessMonitor fm(1);
+  fm.begin_step();
+  fm.attempt(0);
+  for (int i = 0; i < 5; ++i) {
+    fm.begin_step();
+  }
+  EXPECT_EQ(fm.max_attempt_gap(), 5u);
+  fm.attempt(0);
+  EXPECT_EQ(fm.max_attempt_gap(), 5u);
+}
+
+TEST(Fairness, MaxGapTracksWorstInterval) {
+  FairnessMonitor fm(2);
+  // Channel 0 read at steps 1 and 5 (gap 4); channel 1 at every step.
+  for (int step = 1; step <= 5; ++step) {
+    fm.begin_step();
+    fm.attempt(1);
+    if (step == 1 || step == 5) {
+      fm.attempt(0);
+    }
+  }
+  EXPECT_EQ(fm.max_attempt_gap(), 4u);
+}
+
+TEST(Fairness, DropsClearedByDelivery) {
+  FairnessMonitor fm(2);
+  fm.begin_step();
+  fm.attempt(0);
+  fm.drop(0);
+  fm.drop(0);
+  EXPECT_EQ(fm.outstanding_drops(), 2u);
+  EXPECT_FALSE(fm.drop_condition_ok());
+  fm.begin_step();
+  fm.attempt(0);
+  fm.deliver(0);
+  EXPECT_EQ(fm.outstanding_drops(), 0u);
+  EXPECT_TRUE(fm.drop_condition_ok());
+}
+
+TEST(Fairness, DropsArePerChannel) {
+  FairnessMonitor fm(2);
+  fm.begin_step();
+  fm.drop(0);
+  fm.drop(1);
+  fm.deliver(0);
+  EXPECT_EQ(fm.outstanding_drops(), 1u);
+}
+
+TEST(Fairness, RejectsOutOfRangeChannel) {
+  FairnessMonitor fm(1);
+  EXPECT_THROW(fm.attempt(1), PreconditionError);
+  EXPECT_THROW(fm.drop(1), PreconditionError);
+  EXPECT_THROW(fm.deliver(1), PreconditionError);
+}
+
+TEST(Fairness, ReportNamesChannels) {
+  Graph g({"a", "b"});
+  g.add_edge(0, 1);
+  FairnessMonitor fm(g.channel_count());
+  fm.begin_step();
+  fm.attempt(0);
+  const std::string report = fm.report(g);
+  EXPECT_NE(report.find("a->b"), std::string::npos);
+  EXPECT_NE(report.find("b->a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::model

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hpp"
+#include "engine/runner.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(CyclicGadget, ThreeIsBadGadget) {
+  const Instance c3 = cyclic_gadget(3);
+  const Instance bad = bad_gadget();
+  EXPECT_EQ(c3.node_count(), bad.node_count());
+  EXPECT_EQ(stable_assignments(c3).size(), 0u);
+}
+
+TEST(CyclicGadget, OddRingsHaveNoSolution) {
+  EXPECT_TRUE(stable_assignments(cyclic_gadget(3)).empty());
+  EXPECT_TRUE(stable_assignments(cyclic_gadget(5)).empty());
+}
+
+TEST(CyclicGadget, EvenRingsHaveTwoAlternatingSolutions) {
+  for (const std::size_t k : {4u, 6u}) {
+    const Instance inst = cyclic_gadget(k);
+    const auto sols = stable_assignments(inst);
+    ASSERT_EQ(sols.size(), 2u) << k;
+    // Each solution alternates direct / two-hop around the ring.
+    for (const auto& pi : sols) {
+      std::size_t direct = 0, indirect = 0;
+      for (NodeId v = 0; v < inst.node_count(); ++v) {
+        if (v == inst.destination()) {
+          continue;
+        }
+        (pi[v].size() == 2 ? direct : indirect) += 1;
+      }
+      EXPECT_EQ(direct, k / 2);
+      EXPECT_EQ(indirect, k / 2);
+    }
+  }
+}
+
+TEST(CyclicGadget, AllHaveDisputeWheels) {
+  for (const std::size_t k : {3u, 4u, 5u}) {
+    EXPECT_FALSE(is_dispute_wheel_free(cyclic_gadget(k))) << k;
+  }
+}
+
+TEST(CyclicGadget, OddRingNeverConverges) {
+  const Instance inst = cyclic_gadget(5);
+  for (const char* name : {"REA", "RMS"}) {
+    engine::RoundRobinScheduler sched(model::Model::parse(name), inst);
+    const auto run = engine::run(inst, sched, {.max_steps = 3000,
+                                               .record_trace = false});
+    EXPECT_NE(run.outcome, engine::Outcome::kConverged) << name;
+  }
+}
+
+TEST(CyclicGadget, EvenRingCanConvergeToAnAlternatingSolution) {
+  // The even ring has solutions but also a dispute wheel, so convergence
+  // is schedule-dependent: randomized fair schedules settle on one of the
+  // alternating solutions in most runs.
+  const Instance inst = cyclic_gadget(4);
+  std::size_t converged = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    engine::RandomFairScheduler sched(model::Model::parse("RMS"), inst,
+                                      Rng(seed), {.sweep_period = 8});
+    const auto run = engine::run(inst, sched, {.max_steps = 5000});
+    if (run.outcome == engine::Outcome::kConverged) {
+      ++converged;
+      EXPECT_TRUE(is_solution(inst, run.final_assignment));
+    }
+  }
+  EXPECT_GT(converged, 0u);
+}
+
+TEST(CyclicGadget, RejectsTooSmall) {
+  EXPECT_THROW(cyclic_gadget(2), PreconditionError);
+}
+
+TEST(DisagreeChain, SolutionCountIsTwoToTheK) {
+  EXPECT_EQ(stable_assignments(disagree_chain(1)).size(), 2u);
+  EXPECT_EQ(stable_assignments(disagree_chain(2)).size(), 4u);
+  EXPECT_EQ(stable_assignments(disagree_chain(3)).size(), 8u);
+}
+
+TEST(DisagreeChain, StructureIsKIndependentPairs) {
+  const Instance inst = disagree_chain(3);
+  EXPECT_EQ(inst.node_count(), 7u);          // d + 3 pairs
+  EXPECT_EQ(inst.graph().edge_count(), 9u);  // 3 edges per pair
+}
+
+TEST(DisagreeChain, PollingStillCannotOscillate) {
+  // Thm. 3.8's argument lifts to each independent pair.
+  const Instance inst = disagree_chain(2);
+  const auto r = checker::explore(inst, model::Model::parse("REA"),
+                                  {.max_channel_length = 2,
+                                   .max_states = 120000});
+  EXPECT_FALSE(r.oscillation_found);
+}
+
+TEST(DisagreeChain, ConvergedOutcomeIsOneOfTheProducts) {
+  const Instance inst = disagree_chain(2);
+  engine::RoundRobinScheduler sched(model::Model::parse("REA"), inst);
+  const auto run = engine::run(inst, sched);
+  ASSERT_EQ(run.outcome, engine::Outcome::kConverged);
+  EXPECT_TRUE(is_solution(inst, run.final_assignment));
+}
+
+}  // namespace
+}  // namespace commroute::spp

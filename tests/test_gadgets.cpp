@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(Gadgets, DisagreeHasExactlyTwoSolutions) {
+  const Instance inst = disagree();
+  const auto sols = stable_assignments(inst);
+  ASSERT_EQ(sols.size(), 2u);
+  // The two solutions of Ex. A.1: (d, xyd, yd) and (d, xd, yxd).
+  std::vector<std::string> names;
+  for (const auto& s : sols) {
+    names.push_back(assignment_name(inst, s));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names[0], "(d, xd, yxd)");
+  EXPECT_EQ(names[1], "(d, xyd, yd)");
+}
+
+TEST(Gadgets, DisagreeHasDisputeWheel) {
+  EXPECT_FALSE(is_dispute_wheel_free(disagree()));
+}
+
+TEST(Gadgets, BadGadgetHasNoSolution) {
+  EXPECT_TRUE(stable_assignments(bad_gadget()).empty());
+  EXPECT_FALSE(is_dispute_wheel_free(bad_gadget()));
+}
+
+TEST(Gadgets, GoodGadgetHasUniqueSolutionAndNoWheel) {
+  const Instance inst = good_gadget();
+  const auto sols = stable_assignments(inst);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_TRUE(is_dispute_wheel_free(inst));
+  // All-direct assignment.
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    if (v == inst.destination()) {
+      continue;
+    }
+    EXPECT_EQ(sols[0][v].size(), 2u) << inst.graph().name(v);
+  }
+}
+
+TEST(Gadgets, ExampleA2Structure) {
+  const Instance inst = example_a2();
+  EXPECT_EQ(inst.node_count(), 7u);
+  const NodeId u = inst.graph().node("u");
+  const NodeId v = inst.graph().node("v");
+  // u refuses paths through y: no permitted path of u contains y.
+  const NodeId y = inst.graph().node("y");
+  for (const Path& p : inst.permitted(u)) {
+    EXPECT_FALSE(p.contains(y)) << inst.path_name(p);
+  }
+  // Preference shapes from Fig. 6.
+  EXPECT_EQ(*inst.rank(u, inst.parse_path("uvazd")), 0u);
+  EXPECT_EQ(*inst.rank(u, inst.parse_path("uazd")), 1u);
+  EXPECT_EQ(*inst.rank(v, inst.parse_path("vuazd")), 0u);
+  EXPECT_EQ(*inst.rank(v, inst.parse_path("vazd")), 1u);
+  EXPECT_EQ(*inst.rank(v, inst.parse_path("vayd")), 2u);
+}
+
+TEST(Gadgets, ExampleA2HasTwoSolutions) {
+  // The u/v pair forms a DISAGREE on top of the stable substrate.
+  const auto sols = stable_assignments(example_a2());
+  EXPECT_EQ(sols.size(), 2u);
+}
+
+TEST(Gadgets, ExampleA3PreferencesMatchFig7) {
+  const Instance inst = example_a3();
+  const NodeId s = inst.graph().node("s");
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("subd")), 0u);
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("svbd")), 1u);
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("suad")), 2u);
+  EXPECT_FALSE(inst.is_permitted(s, inst.parse_path("svad")));
+  const NodeId u = inst.graph().node("u");
+  EXPECT_TRUE(inst.prefers(u, inst.parse_path("uad"),
+                           inst.parse_path("ubd")));
+}
+
+TEST(Gadgets, ExampleA4PreferencesMatchFig8) {
+  const Instance inst = example_a4();
+  const NodeId u = inst.graph().node("u");
+  const NodeId s = inst.graph().node("s");
+  EXPECT_TRUE(inst.prefers(u, inst.parse_path("ubd"),
+                           inst.parse_path("uad")));
+  EXPECT_TRUE(inst.prefers(s, inst.parse_path("suad"),
+                           inst.parse_path("subd")));
+  EXPECT_EQ(inst.permitted_path_count(), 6u);
+}
+
+TEST(Gadgets, ExampleA5PreferencesMatchFig9) {
+  const Instance inst = example_a5();
+  const NodeId s = inst.graph().node("s");
+  const NodeId c = inst.graph().node("c");
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("scbd")), 0u);
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("sxd")), 1u);
+  EXPECT_EQ(*inst.rank(s, inst.parse_path("scad")), 2u);
+  EXPECT_TRUE(inst.prefers(c, inst.parse_path("cad"),
+                           inst.parse_path("cbd")));
+  EXPECT_EQ(inst.permitted_path_count(), 8u);
+}
+
+TEST(Gadgets, ShortestRingIsWheelFreeAndSolvable) {
+  for (const std::size_t k : {3u, 5u, 8u}) {
+    const Instance inst = shortest_ring(k);
+    EXPECT_EQ(inst.node_count(), k + 1);
+    EXPECT_TRUE(is_dispute_wheel_free(inst)) << k;
+    EXPECT_EQ(stable_assignments(inst, 2).size(), 1u) << k;
+  }
+}
+
+TEST(Gadgets, RegistryCoversAll) {
+  const auto all = all_gadgets();
+  EXPECT_EQ(all.size(), 10u);
+  for (const auto& [name, inst] : all) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_GE(inst.node_count(), 3u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace commroute::spp

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "support/error.hpp"
+
+namespace commroute {
+namespace {
+
+Graph triangle() {
+  Graph g({"d", "x", "y"});
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(Graph, Construction) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.channel_count(), 6u);  // two directed channels per edge
+}
+
+TEST(Graph, RejectsBadConstruction) {
+  EXPECT_THROW(Graph({}), PreconditionError);
+  EXPECT_THROW(Graph({"a", "a"}), PreconditionError);
+  EXPECT_THROW(Graph({"a", ""}), PreconditionError);
+  Graph g({"a", "b"});
+  EXPECT_THROW(g.add_edge(0, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 2), PreconditionError);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), PreconditionError);  // duplicate
+}
+
+TEST(Graph, EdgesAreUndirected) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, ChannelsAreDirected) {
+  const Graph g = triangle();
+  const ChannelIdx xy = g.channel(1, 2);
+  const ChannelIdx yx = g.channel(2, 1);
+  EXPECT_NE(xy, yx);
+  EXPECT_EQ(g.channel_id(xy).from, 1u);
+  EXPECT_EQ(g.channel_id(xy).to, 2u);
+  EXPECT_EQ(g.channel_id(yx).from, 2u);
+  EXPECT_EQ(g.channel_id(yx).to, 1u);
+}
+
+TEST(Graph, InAndOutChannels) {
+  const Graph g = triangle();
+  // Node x (=1) has neighbors d and y: two in, two out.
+  EXPECT_EQ(g.in_channels(1).size(), 2u);
+  EXPECT_EQ(g.out_channels(1).size(), 2u);
+  for (const ChannelIdx c : g.in_channels(1)) {
+    EXPECT_EQ(g.channel_id(c).to, 1u);
+  }
+  for (const ChannelIdx c : g.out_channels(1)) {
+    EXPECT_EQ(g.channel_id(c).from, 1u);
+  }
+}
+
+TEST(Graph, NameLookups) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.node("d"), 0u);
+  EXPECT_EQ(g.node("y"), 2u);
+  EXPECT_EQ(g.name(1), "x");
+  EXPECT_TRUE(g.has_node("x"));
+  EXPECT_FALSE(g.has_node("z"));
+  EXPECT_THROW(g.node("z"), PreconditionError);
+  EXPECT_EQ(g.channel_name(g.channel(1, 0)), "x->d");
+}
+
+TEST(Graph, SupportsPath) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.supports_path(Path{1, 2, 0}));
+  EXPECT_TRUE(g.supports_path(Path{1}));
+  EXPECT_TRUE(g.supports_path(Path::epsilon()));
+  Graph line({"a", "b", "c"});
+  line.add_edge(0, 1);
+  line.add_edge(1, 2);
+  EXPECT_FALSE(line.supports_path(Path{0, 2}));
+}
+
+TEST(Graph, NeighborsInInsertionOrder) {
+  Graph g({"a", "b", "c", "d"});
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  const auto& n = g.neighbors(0);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 2u);
+  EXPECT_EQ(n[1], 1u);
+  EXPECT_EQ(n[2], 3u);
+}
+
+TEST(Graph, ChannelIdHashAndEquality) {
+  const ChannelId a{1, 2};
+  const ChannelId b{1, 2};
+  const ChannelId c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(std::hash<ChannelId>{}(a), std::hash<ChannelId>{}(c));
+}
+
+}  // namespace
+}  // namespace commroute

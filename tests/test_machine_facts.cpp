@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "realization/machine_facts.hpp"
+#include "realization/matrix.hpp"
+#include "realization/paper_data.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::Model;
+
+TEST(MachineFacts, ChecksOutAgainstTheChecker) {
+  EXPECT_TRUE(verify_machine_facts());
+}
+
+TEST(MachineFacts, FiveUpperBoundFacts) {
+  const auto& facts = machine_checked_facts();
+  ASSERT_EQ(facts.size(), 5u);
+  for (const Fact& f : facts) {
+    EXPECT_EQ(f.realized, Model::parse("R1O"));
+    EXPECT_EQ(f.kind, FactKind::kUpperBound);
+    EXPECT_EQ(f.strength, Strength::kNotPreserving);
+    EXPECT_FALSE(f.realizer.reliable());
+  }
+}
+
+TEST(MachineFacts, ExtendedClosureResolvesMostBlankCells) {
+  const RealizationTable base = RealizationTable::closure();
+  const RealizationTable extended = extended_closure();
+  const std::size_t before = count_unknown_cells(base);
+  const std::size_t after = count_unknown_cells(extended);
+  // The paper's facts leave 115 cells fully unknown; the five
+  // machine-checked separations propagate through rule N1 (every model
+  // that realizes R1O becomes unrealizable in the five columns) and
+  // resolve 70 of them. The 45 still open all relate members of the
+  // "strong" E/A family (models that cannot capture every oscillation) to
+  // one another, where DISAGREE cannot separate.
+  EXPECT_EQ(before, 115u);
+  EXPECT_EQ(after, 45u);
+  const auto in_ea_family = [](const Model& m) {
+    return m.neighbors == model::NeighborMode::kEvery ||
+           m.messages == model::MessageMode::kAll;
+  };
+  for (const Model& a : Model::all()) {
+    for (const Model& b : Model::all()) {
+      if (!(a == b) && extended.cell(a, b).unknown()) {
+        EXPECT_TRUE(in_ea_family(a) && in_ea_family(b))
+            << a.name() << "/" << b.name();
+      }
+    }
+  }
+}
+
+TEST(MachineFacts, ExtendedClosureRefinesButNeverContradictsThePaper) {
+  const RealizationTable extended = extended_closure();
+  for (const Model& a : Model::all()) {
+    for (const Model& b : Model::all()) {
+      if (a == b) {
+        continue;
+      }
+      const RelationBound published = paper_bound(a, b);
+      const RelationBound& derived = extended.cell(a, b);
+      EXPECT_TRUE(published.overlaps(derived))
+          << a.name() << "/" << b.name();
+      EXPECT_TRUE(published.contains(derived))
+          << a.name() << "/" << b.name()
+          << ": extension must refine the published interval";
+    }
+  }
+}
+
+TEST(MachineFacts, ResolvedColumnsBecomeNonPreserving) {
+  // Spot checks: the strong reliable models' oscillation capture fails
+  // in the five unreliable columns for every model that captures R1O.
+  const RealizationTable extended = extended_closure();
+  for (const char* col : {"UEO", "UEF", "U1A", "UMA", "UEA"}) {
+    const Model b = Model::parse(col);
+    for (const char* row : {"R1O", "RMO", "R1S", "RMS", "U1O", "UMS"}) {
+      EXPECT_EQ(extended.cell(Model::parse(row), b).hi,
+                Strength::kNotPreserving)
+          << row << " in " << col;
+    }
+  }
+}
+
+TEST(MachineFacts, ProvenanceMentionsTheMachineCheck) {
+  const RealizationTable extended = extended_closure();
+  const std::string text = extended.explain(Model::parse("R1O"),
+                                            Model::parse("UEA"));
+  EXPECT_NE(text.find("machine-checked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::realization

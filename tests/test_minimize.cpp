@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "checker/minimize.hpp"
+#include "spp/builder.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "support/error.hpp"
+
+namespace commroute::checker {
+namespace {
+
+using model::Model;
+
+const ExploreOptions kOptions{.max_channel_length = 3,
+                              .max_states = 60000};
+
+TEST(Minimize, DisagreeIsAlreadyMinimal) {
+  const auto result = minimize_oscillating_instance(
+      spp::disagree(), Model::parse("R1O"), kOptions);
+  EXPECT_EQ(result.removed_paths, 0u);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_EQ(result.instance.permitted_path_count(), 4u);
+}
+
+TEST(Minimize, RejectsNonOscillatingInstances) {
+  EXPECT_THROW(minimize_oscillating_instance(spp::good_gadget(),
+                                             Model::parse("R1O"),
+                                             kOptions),
+               PreconditionError);
+  // DISAGREE cannot oscillate under REA at all (Thm. 3.8).
+  EXPECT_THROW(minimize_oscillating_instance(spp::disagree(),
+                                             Model::parse("REA"),
+                                             kOptions),
+               PreconditionError);
+}
+
+/// DISAGREE plus a spectator node w and a redundant third route at x.
+spp::Instance padded_disagree() {
+  spp::InstanceBuilder b("d");
+  b.edge("x", "d").edge("y", "d").edge("x", "y");
+  b.edge("w", "d").edge("w", "x");
+  b.prefer("x", {"xyd", "xd", "xwd"});
+  b.prefer("y", {"yxd", "yd"});
+  b.prefer("w", {"wd"});
+  return b.build();
+}
+
+TEST(Minimize, StripsRedundantPathsAndStillOscillates) {
+  const auto result = minimize_oscillating_instance(
+      padded_disagree(), Model::parse("R1O"), kOptions);
+  EXPECT_GT(result.removed_paths, 0u);
+  EXPECT_TRUE(explore(result.instance, Model::parse("R1O"), kOptions)
+                  .oscillation_found);
+  // The redundant xwd route is gone; the DISAGREE core survives.
+  const NodeId x = result.instance.graph().node("x");
+  EXPECT_FALSE(result.instance.is_permitted(
+      x, result.instance.parse_path("xwd")));
+  EXPECT_TRUE(result.instance.is_permitted(
+      x, result.instance.parse_path("xyd")));
+}
+
+TEST(Minimize, ResultIsLocallyMinimal) {
+  const auto result = minimize_oscillating_instance(
+      padded_disagree(), Model::parse("R1O"), kOptions);
+  ASSERT_TRUE(result.minimal);
+  // The minimized instance retains a dispute wheel (necessary for any
+  // oscillation), and is exactly the DISAGREE core plus single-path
+  // spectators.
+  EXPECT_FALSE(spp::is_dispute_wheel_free(result.instance));
+  const NodeId x = result.instance.graph().node("x");
+  const NodeId y = result.instance.graph().node("y");
+  EXPECT_EQ(result.instance.permitted(x).size(), 2u);
+  EXPECT_EQ(result.instance.permitted(y).size(), 2u);
+}
+
+TEST(Minimize, ShrinksRandomDivergentInstances) {
+  Rng rng(12);
+  spp::RandomInstanceParams params;
+  params.nodes = 4;
+  params.extra_edge_prob = 0.5;
+  params.max_paths_per_node = 4;
+  int minimized = 0;
+  for (int trial = 0; trial < 40 && minimized < 2; ++trial) {
+    const spp::Instance inst = spp::random_policy(rng, params);
+    if (spp::is_dispute_wheel_free(inst)) {
+      continue;
+    }
+    if (!explore(inst, Model::parse("R1O"), kOptions).oscillation_found) {
+      continue;
+    }
+    const auto result = minimize_oscillating_instance(
+        inst, Model::parse("R1O"), kOptions);
+    EXPECT_LE(result.instance.permitted_path_count(),
+              inst.permitted_path_count());
+    // A DISAGREE-like core needs at least two nodes with two choices.
+    EXPECT_GE(result.instance.permitted_path_count(), 4u);
+    ++minimized;
+  }
+  EXPECT_GT(minimized, 0);
+}
+
+}  // namespace
+}  // namespace commroute::checker

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/model.hpp"
+#include "support/error.hpp"
+
+namespace commroute::model {
+namespace {
+
+TEST(Model, ThereAreExactly24) {
+  EXPECT_EQ(Model::kCount, 24);
+  EXPECT_EQ(Model::all().size(), 24u);
+  std::set<std::string> names;
+  for (const Model& m : Model::all()) {
+    names.insert(m.name());
+  }
+  EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(Model, NameParseRoundTrip) {
+  for (const Model& m : Model::all()) {
+    EXPECT_EQ(Model::parse(m.name()), m);
+  }
+}
+
+TEST(Model, IndexRoundTrip) {
+  for (int i = 0; i < Model::kCount; ++i) {
+    EXPECT_EQ(Model::from_index(i).index(), i);
+  }
+  EXPECT_THROW(Model::from_index(-1), PreconditionError);
+  EXPECT_THROW(Model::from_index(24), PreconditionError);
+}
+
+TEST(Model, IndexOrderMatchesPaperRows) {
+  // Paper row order: R1O RMO REO R1S RMS RES R1F RMF REF R1A RMA REA,
+  // then the U block.
+  const std::vector<std::string> expected{
+      "R1O", "RMO", "REO", "R1S", "RMS", "RES", "R1F", "RMF",
+      "REF", "R1A", "RMA", "REA", "U1O", "UMO", "UEO", "U1S",
+      "UMS", "UES", "U1F", "UMF", "UEF", "U1A", "UMA", "UEA"};
+  for (int i = 0; i < Model::kCount; ++i) {
+    EXPECT_EQ(Model::from_index(i).name(), expected[i]) << i;
+  }
+}
+
+TEST(Model, ParseRejectsGarbage) {
+  EXPECT_THROW(Model::parse(""), ParseError);
+  EXPECT_THROW(Model::parse("R1"), ParseError);
+  EXPECT_THROW(Model::parse("X1O"), ParseError);
+  EXPECT_THROW(Model::parse("RZO"), ParseError);
+  EXPECT_THROW(Model::parse("R1X"), ParseError);
+  EXPECT_THROW(Model::parse("R1OO"), ParseError);
+}
+
+TEST(Model, SpecificModelPredicates) {
+  EXPECT_TRUE(Model::parse("REA").is_polling());
+  EXPECT_TRUE(Model::parse("U1A").is_polling());
+  EXPECT_FALSE(Model::parse("RES").is_polling());
+
+  EXPECT_TRUE(Model::parse("R1O").is_message_passing());
+  EXPECT_TRUE(Model::parse("UEO").is_message_passing());
+  EXPECT_FALSE(Model::parse("R1S").is_message_passing());
+
+  EXPECT_TRUE(Model::parse("RMS").is_queueing());
+  EXPECT_TRUE(Model::parse("UMS").is_queueing());
+  EXPECT_FALSE(Model::parse("RES").is_queueing());
+  EXPECT_FALSE(Model::parse("RMF").is_queueing());
+}
+
+TEST(Model, ReliabilityPredicate) {
+  EXPECT_TRUE(Model::parse("R1O").reliable());
+  EXPECT_FALSE(Model::parse("U1O").reliable());
+}
+
+TEST(Model, DimensionSymbols) {
+  EXPECT_EQ(symbol(Reliability::kReliable), 'R');
+  EXPECT_EQ(symbol(Reliability::kUnreliable), 'U');
+  EXPECT_EQ(symbol(NeighborMode::kOne), '1');
+  EXPECT_EQ(symbol(NeighborMode::kMultiple), 'M');
+  EXPECT_EQ(symbol(NeighborMode::kEvery), 'E');
+  EXPECT_EQ(symbol(MessageMode::kOne), 'O');
+  EXPECT_EQ(symbol(MessageMode::kSome), 'S');
+  EXPECT_EQ(symbol(MessageMode::kForced), 'F');
+  EXPECT_EQ(symbol(MessageMode::kAll), 'A');
+}
+
+TEST(Model, EqualityComparesAllDimensions) {
+  EXPECT_EQ(Model::parse("RMS"), Model::parse("RMS"));
+  EXPECT_NE(Model::parse("RMS"), Model::parse("UMS"));
+  EXPECT_NE(Model::parse("RMS"), Model::parse("R1S"));
+  EXPECT_NE(Model::parse("RMS"), Model::parse("RMF"));
+}
+
+}  // namespace
+}  // namespace commroute::model

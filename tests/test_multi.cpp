@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "model/multi.hpp"
+#include "spp/gadgets.hpp"
+#include "support/error.hpp"
+
+namespace commroute::model {
+namespace {
+
+TEST(ExtendedModel, NameParseRoundTrip) {
+  for (const char* name : {"R1O", "sync-REA", "multi-RMS", "sync-U1O",
+                           "multi-UEA"}) {
+    EXPECT_EQ(ExtendedModel::parse(name).name(), name);
+  }
+}
+
+TEST(ExtendedModel, ParseRejectsGarbage) {
+  EXPECT_THROW(ExtendedModel::parse("sync-"), ParseError);
+  EXPECT_THROW(ExtendedModel::parse("multi-XYZ"), ParseError);
+  EXPECT_THROW(ExtendedModel::parse("both-R1O"), ParseError);
+}
+
+TEST(ExtendedModel, NodesModeToString) {
+  EXPECT_EQ(to_string(NodesMode::kOne), "one");
+  EXPECT_EQ(to_string(NodesMode::kEvery), "every");
+  EXPECT_EQ(to_string(NodesMode::kUnrestricted), "unrestricted");
+}
+
+class ExtendedStepTest : public ::testing::Test {
+ protected:
+  spp::Instance inst = spp::disagree();
+  NodeId d = inst.graph().node("d");
+  NodeId x = inst.graph().node("x");
+  NodeId y = inst.graph().node("y");
+
+  ActivationStep two_node_step() {
+    return make_multi_step(
+        {x, y},
+        {ReadSpec{inst.graph().channel(d, x), std::nullopt, {}},
+         ReadSpec{inst.graph().channel(d, y), std::nullopt, {}}});
+  }
+
+  ActivationStep all_node_step() {
+    std::vector<ReadSpec> reads;
+    for (const NodeId v : {d, x, y}) {
+      for (const ChannelIdx c : inst.graph().in_channels(v)) {
+        reads.push_back(ReadSpec{c, std::nullopt, {}});
+      }
+    }
+    return make_multi_step({d, x, y}, std::move(reads));
+  }
+};
+
+TEST_F(ExtendedStepTest, OneRequiresSingleNode) {
+  const ExtendedModel one = ExtendedModel::parse("R1A");
+  EXPECT_TRUE(extended_step_allowed(one, inst,
+                                    poll_one_step(inst, x, d)));
+  std::string why;
+  EXPECT_FALSE(extended_step_allowed(one, inst, two_node_step(), &why));
+  EXPECT_NE(why.find("exactly one"), std::string::npos);
+}
+
+TEST_F(ExtendedStepTest, EveryRequiresAllNodes) {
+  const ExtendedModel sync_rea = ExtendedModel::parse("sync-REA");
+  EXPECT_TRUE(extended_step_allowed(sync_rea, inst, all_node_step()));
+  // A step that satisfies REA per node (x and y poll all their channels)
+  // but leaves d out of U fails only the U = V rule.
+  std::vector<ReadSpec> reads;
+  for (const NodeId v : {x, y}) {
+    for (const ChannelIdx c : inst.graph().in_channels(v)) {
+      reads.push_back(ReadSpec{c, std::nullopt, {}});
+    }
+  }
+  const ActivationStep xy_polls = make_multi_step({x, y}, std::move(reads));
+  std::string why;
+  EXPECT_FALSE(extended_step_allowed(sync_rea, inst, xy_polls, &why));
+  EXPECT_NE(why.find("every node"), std::string::npos);
+}
+
+TEST_F(ExtendedStepTest, UnrestrictedAllowsAnyNonEmptySet) {
+  const ExtendedModel multi = ExtendedModel::parse("multi-R1A");
+  EXPECT_TRUE(extended_step_allowed(multi, inst, two_node_step()));
+  EXPECT_TRUE(
+      extended_step_allowed(multi, inst, poll_one_step(inst, x, d)));
+}
+
+TEST_F(ExtendedStepTest, BaseModelRulesStillApply) {
+  // multi-R1A still requires exactly one channel per node, all messages.
+  const ExtendedModel multi = ExtendedModel::parse("multi-R1A");
+  ActivationStep step = two_node_step();
+  step.reads[0].count = 1u;  // violates A (all)
+  std::string why;
+  EXPECT_FALSE(extended_step_allowed(multi, inst, step, &why));
+}
+
+TEST_F(ExtendedStepTest, RequireThrowsWithModelName) {
+  try {
+    require_extended_step_allowed(ExtendedModel::parse("sync-REA"), inst,
+                                  poll_one_step(inst, x, d));
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("sync-REA"), std::string::npos);
+  }
+}
+
+// Ex. A.6 through the synchronous scheduler: aligned per-node channel
+// rotation reproduces the "both poll d / both poll each other" cycle.
+TEST(Synchronous, DisagreeOscillatesUnderSyncR1A) {
+  const spp::Instance inst = spp::disagree();
+  engine::SynchronousScheduler sched(Model::parse("R1A"), inst);
+  const auto result = engine::run(inst, sched, {.max_steps = 200});
+  EXPECT_EQ(result.outcome, engine::Outcome::kOscillating);
+}
+
+TEST(Synchronous, StepsAreLegalExtendedSteps) {
+  const spp::Instance inst = spp::example_a2();
+  for (const char* base : {"R1A", "REA", "REO", "RMS"}) {
+    const ExtendedModel m = ExtendedModel::parse(std::string("sync-") + base);
+    engine::SynchronousScheduler sched(Model::parse(base), inst);
+    engine::NetworkState state(inst);
+    for (int i = 0; i < 30; ++i) {
+      const auto step = sched.next(state);
+      EXPECT_TRUE(extended_step_allowed(m, inst, step)) << base;
+      engine::execute_step(state, step);
+    }
+  }
+}
+
+TEST(Synchronous, GoodGadgetConvergesSynchronously) {
+  const spp::Instance inst = spp::good_gadget();
+  for (const char* base : {"REA", "REO", "RMS"}) {
+    engine::SynchronousScheduler sched(Model::parse(base), inst);
+    const auto result = engine::run(inst, sched, {.max_steps = 2000});
+    EXPECT_EQ(result.outcome, engine::Outcome::kConverged) << base;
+  }
+}
+
+TEST(Synchronous, PeriodIsLcmOfInDegrees) {
+  const spp::Instance inst = spp::example_a2();  // degrees 2..5
+  engine::SynchronousScheduler one(Model::parse("R1O"), inst);
+  EXPECT_GT(one.period(), 1u);
+  engine::SynchronousScheduler every(Model::parse("REA"), inst);
+  EXPECT_EQ(every.period(), 1u);
+}
+
+// The paper's remark: synchronous DISAGREE under full polling (sync-REA)
+// also oscillates — both nodes flip simultaneously forever.
+TEST(Synchronous, DisagreeOscillatesEvenUnderSyncREA) {
+  const spp::Instance inst = spp::disagree();
+  engine::SynchronousScheduler sched(Model::parse("REA"), inst);
+  const auto result = engine::run(inst, sched, {.max_steps = 200});
+  EXPECT_EQ(result.outcome, engine::Outcome::kOscillating);
+}
+
+}  // namespace
+}  // namespace commroute::model

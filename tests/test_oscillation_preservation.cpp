@@ -1,0 +1,82 @@
+// Empirical check of Def. 3.1 (oscillation preservation) against the
+// derived realization table: whenever the closure says B realizes A at
+// any positive strength, an instance that can oscillate under A must be
+// able to oscillate under B. DISAGREE's 24-model checker verdicts provide
+// the test bed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "checker/explorer.hpp"
+#include "realization/closure.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+class OscillationPreservationTest : public ::testing::Test {
+ protected:
+  static const std::map<int, checker::ExploreResult>& verdicts() {
+    static const std::map<int, checker::ExploreResult> results = [] {
+      std::map<int, checker::ExploreResult> out;
+      const spp::Instance inst = spp::disagree();
+      for (const Model& m : Model::all()) {
+        out.emplace(m.index(),
+                    checker::explore(inst, m, {.max_channel_length = 3}));
+      }
+      return out;
+    }();
+    return results;
+  }
+};
+
+TEST_F(OscillationPreservationTest, PositiveRelationsPreserveDisagree) {
+  const realization::RealizationTable table =
+      realization::RealizationTable::closure();
+  for (const Model& a : Model::all()) {
+    if (!verdicts().at(a.index()).oscillation_found) {
+      continue;
+    }
+    for (const Model& b : Model::all()) {
+      if (realization::level(table.cell(a, b).lo) >=
+          realization::level(realization::Strength::kOscillation)) {
+        EXPECT_TRUE(verdicts().at(b.index()).oscillation_found)
+            << b.name() << " must preserve the DISAGREE oscillation of "
+            << a.name();
+      }
+    }
+  }
+}
+
+TEST_F(OscillationPreservationTest,
+       ProvenNonPreservationMatchesSeparations) {
+  // Where the closure proves hi = -1 with A oscillating, B must not
+  // oscillate *on this instance* when B's verdict is exhaustive. (A
+  // non-exhaustive negative is only consistent, not conclusive.)
+  const realization::RealizationTable table =
+      realization::RealizationTable::closure();
+  const Model r1o = Model::parse("R1O");
+  ASSERT_TRUE(verdicts().at(r1o.index()).oscillation_found);
+  for (const char* name : {"REO", "REF", "R1A", "RMA", "REA"}) {
+    const Model b = Model::parse(name);
+    EXPECT_EQ(table.cell(r1o, b).hi,
+              realization::Strength::kNotPreserving);
+    EXPECT_TRUE(verdicts().at(b.index()).proves_no_oscillation()) << name;
+  }
+}
+
+TEST_F(OscillationPreservationTest, SevenStrongReliableModelsOscillate) {
+  // Sec. 3.5: R1O, RMO, R1S, RMS, RES, R1F, RMF capture every
+  // oscillation, so all of them oscillate on DISAGREE.
+  for (const char* name :
+       {"R1O", "RMO", "R1S", "RMS", "RES", "R1F", "RMF"}) {
+    EXPECT_TRUE(
+        verdicts().at(Model::parse(name).index()).oscillation_found)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace commroute

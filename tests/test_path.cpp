@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/path.hpp"
+#include "support/error.hpp"
+
+namespace commroute {
+namespace {
+
+TEST(Path, EpsilonProperties) {
+  const Path eps = Path::epsilon();
+  EXPECT_TRUE(eps.empty());
+  EXPECT_EQ(eps.size(), 0u);
+  EXPECT_EQ(eps.to_string(), "(eps)");
+  EXPECT_THROW(eps.source(), PreconditionError);
+  EXPECT_THROW(eps.destination(), PreconditionError);
+  EXPECT_THROW(eps.tail(), PreconditionError);
+  EXPECT_EQ(eps.next_hop(), kNoNode);
+}
+
+TEST(Path, EndpointsAndNextHop) {
+  const Path p{3, 1, 0};
+  EXPECT_EQ(p.source(), 3u);
+  EXPECT_EQ(p.destination(), 0u);
+  EXPECT_EQ(p.next_hop(), 1u);
+  EXPECT_EQ(Path{5}.next_hop(), kNoNode);
+}
+
+TEST(Path, Contains) {
+  const Path p{3, 1, 0};
+  EXPECT_TRUE(p.contains(1));
+  EXPECT_TRUE(p.contains(3));
+  EXPECT_FALSE(p.contains(2));
+  EXPECT_FALSE(Path::epsilon().contains(0));
+}
+
+TEST(Path, Simplicity) {
+  EXPECT_TRUE((Path{1, 2, 0}).is_simple());
+  EXPECT_FALSE((Path{1, 2, 1}).is_simple());
+  EXPECT_TRUE(Path::epsilon().is_simple());
+  EXPECT_TRUE((Path{7}).is_simple());
+}
+
+TEST(Path, ExtendPrepends) {
+  const Path p{1, 0};
+  const Path q = p.extended_by(5);
+  EXPECT_EQ(q, (Path{5, 1, 0}));
+  EXPECT_EQ(q.source(), 5u);
+  EXPECT_EQ(q.destination(), 0u);
+  EXPECT_THROW(Path::epsilon().extended_by(1), PreconditionError);
+}
+
+TEST(Path, TailInvertsExtend) {
+  const Path p{1, 0};
+  EXPECT_EQ(p.extended_by(9).tail(), p);
+  EXPECT_EQ((Path{4}).tail(), Path::epsilon());
+}
+
+TEST(Path, Suffixes) {
+  const Path p{5, 1, 2, 0};
+  EXPECT_TRUE(p.has_suffix(Path{2, 0}));
+  EXPECT_TRUE(p.has_suffix(Path{0}));
+  EXPECT_TRUE(p.has_suffix(p));
+  EXPECT_TRUE(p.has_suffix(Path::epsilon()));
+  EXPECT_FALSE(p.has_suffix(Path{1, 0}));
+  EXPECT_FALSE((Path{0}).has_suffix(p));
+}
+
+TEST(Path, ComparisonAndHash) {
+  const Path a{1, 0};
+  const Path b{1, 0};
+  const Path c{2, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  std::unordered_set<Path> set{a, b, c, Path::epsilon()};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(Path, HashDistinguishesPrefixSharing) {
+  EXPECT_NE(std::hash<Path>{}(Path{1, 2}), std::hash<Path>{}(Path{1}));
+  EXPECT_NE(std::hash<Path>{}(Path{1, 2}), std::hash<Path>{}(Path{2, 1}));
+}
+
+TEST(Path, ToStringUsesIndices) {
+  EXPECT_EQ((Path{3, 1, 0}).to_string(), "3>1>0");
+  EXPECT_EQ((Path{9}).to_string(), "9");
+}
+
+}  // namespace
+}  // namespace commroute

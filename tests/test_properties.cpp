@@ -1,0 +1,201 @@
+// Cross-cutting property tests tying the subsystems together.
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hpp"
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "model/model.hpp"
+#include "realization/closure.hpp"
+#include "realization/paper_data.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "spp/solver.hpp"
+#include "trace/recording.hpp"
+#include "trace/seq_match.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+// Every fair execution that converges must end in a stable, consistent
+// path assignment — across random instances and all 24 models.
+class ConvergenceIsStableTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvergenceIsStableTest, FairConvergenceEndsInAStableSolution) {
+  const Model m = Model::from_index(GetParam());
+  Rng rng(900 + GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const spp::Instance inst = spp::random_policy(rng, {.nodes = 5});
+    engine::RandomFairScheduler sched(
+        m, inst, rng.split(),
+        {.drop_prob = m.reliable() ? 0.0 : 0.2, .sweep_period = 8});
+    const auto run = engine::run(inst, sched,
+                                 {.max_steps = 30000,
+                                  .record_trace = false});
+    if (run.outcome == engine::Outcome::kConverged) {
+      EXPECT_TRUE(spp::is_solution(inst, run.final_assignment))
+          << m.name() << "\n"
+          << inst.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConvergenceIsStableTest,
+                         ::testing::Range(0, Model::kCount),
+                         [](const auto& suite_info) {
+                           return Model::from_index(suite_info.param).name();
+                         });
+
+// The checker's quiescent outcomes under reliable models are exactly
+// stable solutions.
+TEST(Properties, ReliableQuiescentStatesAreStableSolutions) {
+  for (const auto make :
+       {spp::disagree, spp::good_gadget, spp::example_a4}) {
+    const spp::Instance inst = make();
+    for (const char* name : {"REA", "REO", "RMS"}) {
+      const auto r = checker::explore(inst, Model::parse(name),
+                                      {.max_channel_length = 3,
+                                       .max_states = 120000});
+      for (const auto& q : r.quiescent_assignments) {
+        EXPECT_TRUE(spp::is_solution(inst, q)) << name;
+      }
+    }
+  }
+}
+
+// Dropping every copy of a message forever is unfair; our schedulers
+// never do it, so U-model runs that converge satisfy the drop clause.
+TEST(Properties, FairUnreliableRunsLeaveNoOutstandingDrops) {
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const spp::Instance inst = spp::random_shortest(rng, {.nodes = 6});
+    engine::RandomFairScheduler sched(Model::parse("UMS"), inst,
+                                      rng.split(),
+                                      {.drop_prob = 0.4,
+                                       .sweep_period = 8});
+    const auto run = engine::run(inst, sched, {.max_steps = 50000});
+    ASSERT_EQ(run.outcome, engine::Outcome::kConverged);
+    EXPECT_EQ(run.outstanding_drops, 0u);
+  }
+}
+
+// The published Figures 3 and 4 are internally consistent: closing them
+// under the transitivity rules produces no contradiction. (This validates
+// our transcription as much as the matrices.)
+TEST(Properties, PublishedMatricesAreTransitivelyConsistent) {
+  std::vector<realization::Fact> facts;
+  for (const Model& a : Model::all()) {
+    for (const Model& b : Model::all()) {
+      if (a == b) {
+        continue;
+      }
+      const realization::RelationBound bound =
+          realization::paper_bound(a, b);
+      if (realization::level(bound.lo) > 0) {
+        facts.push_back({a, b, realization::FactKind::kLowerBound,
+                         bound.lo, "published"});
+      }
+      if (realization::level(bound.hi) < 4) {
+        facts.push_back({a, b, realization::FactKind::kUpperBound,
+                         bound.hi, "published"});
+      }
+    }
+  }
+  EXPECT_NO_THROW(realization::RealizationTable::closure(facts));
+}
+
+// Step-level containments behind Prop. 3.3: every legal step of the
+// contained model is legal in the containing model.
+TEST(Properties, StepContainmentLattice) {
+  const spp::Instance inst = spp::example_a2();
+  Rng rng(77);
+
+  const auto contains = [](const Model& small, const Model& big) {
+    // Reliability: R steps are U steps.
+    const bool rel_ok =
+        small.reliability == big.reliability ||
+        big.reliability == model::Reliability::kUnreliable;
+    // Neighbors: 1 and E steps are M steps.
+    const bool nb_ok =
+        small.neighbors == big.neighbors ||
+        big.neighbors == model::NeighborMode::kMultiple;
+    // Messages: O and A steps are F steps; O, A, F steps are S steps.
+    const bool msg_ok =
+        small.messages == big.messages ||
+        (big.messages == model::MessageMode::kForced &&
+         small.messages != model::MessageMode::kSome) ||
+        big.messages == model::MessageMode::kSome;
+    return rel_ok && nb_ok && msg_ok;
+  };
+
+  for (const Model& small : Model::all()) {
+    // Sample steps of `small` from a running execution.
+    engine::RandomFairScheduler sched(small, inst, rng.split(),
+                                      {.drop_prob = 0.3});
+    engine::NetworkState state(inst);
+    std::vector<model::ActivationStep> sample;
+    for (int i = 0; i < 25; ++i) {
+      const auto step = sched.next(state);
+      engine::execute_step(state, step);
+      sample.push_back(step);
+    }
+    for (const Model& big : Model::all()) {
+      if (!contains(small, big)) {
+        continue;
+      }
+      for (const auto& step : sample) {
+        EXPECT_TRUE(model::step_allowed(big, inst, step))
+            << small.name() << " step rejected by " << big.name();
+      }
+    }
+  }
+}
+
+// Self-realization sanity: replaying a recording yields the identical
+// trace (the engine is deterministic).
+TEST(Properties, ReplayIsDeterministic) {
+  const spp::Instance inst = spp::example_a2();
+  Rng rng(5);
+  engine::RandomFairScheduler sched(Model::parse("UMS"), inst, rng,
+                                    {.drop_prob = 0.3});
+  engine::NetworkState state(inst);
+  model::ActivationScript script;
+  for (int i = 0; i < 50; ++i) {
+    const auto step = sched.next(state);
+    engine::execute_step(state, step);
+    script.push_back(step);
+  }
+  const auto rec1 = trace::record_script(inst, script);
+  const auto rec2 = trace::record_script(inst, script);
+  EXPECT_TRUE(trace::matches_exactly(rec1.trace, rec2.trace));
+  EXPECT_TRUE(rec1.final_state == rec2.final_state);
+}
+
+// Strong quiescence is terminal: executing any legal step of any model in
+// a strongly quiescent state changes nothing.
+TEST(Properties, StrongQuiescenceIsTerminal) {
+  const spp::Instance inst = spp::good_gadget();
+  engine::RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  const auto run = engine::run(inst, sched);
+  ASSERT_EQ(run.outcome, engine::Outcome::kConverged);
+
+  // Rebuild the final state by replay.
+  engine::NetworkState state(inst);
+  engine::RoundRobinScheduler replay_sched(Model::parse("RMS"), inst);
+  for (std::uint64_t i = 0; i < run.steps; ++i) {
+    engine::execute_step(state, replay_sched.next(state));
+  }
+  ASSERT_TRUE(engine::strongly_quiescent(state));
+
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    engine::NetworkState copy = state;
+    const auto effect =
+        engine::execute_step(copy, model::poll_all_step(inst, v));
+    EXPECT_TRUE(effect.sent.empty());
+    EXPECT_TRUE(copy == state);
+  }
+}
+
+}  // namespace
+}  // namespace commroute

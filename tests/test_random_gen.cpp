@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "spp/random_gen.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(RandomGen, TreeHasOnePathPerNode) {
+  Rng rng(1);
+  const Instance inst = random_tree(rng, 8);
+  EXPECT_EQ(inst.node_count(), 8u);
+  for (NodeId v = 1; v < inst.node_count(); ++v) {
+    ASSERT_EQ(inst.permitted(v).size(), 1u);
+    EXPECT_EQ(inst.permitted(v)[0].source(), v);
+    EXPECT_EQ(inst.permitted(v)[0].destination(), inst.destination());
+  }
+}
+
+TEST(RandomGen, TreeRejectsTooFewNodes) {
+  Rng rng(1);
+  EXPECT_THROW(random_tree(rng, 1), PreconditionError);
+}
+
+TEST(RandomGen, ShortestRanksByLength) {
+  Rng rng(2);
+  const Instance inst = random_shortest(rng, {.nodes = 7});
+  for (NodeId v = 1; v < inst.node_count(); ++v) {
+    const auto& paths = inst.permitted(v);
+    ASSERT_FALSE(paths.empty());
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+      EXPECT_LE(paths[i - 1].size(), paths[i].size());
+    }
+  }
+}
+
+TEST(RandomGen, PolicyGuaranteesAPathPerNode) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = random_policy(rng, {.nodes = 7});
+    for (NodeId v = 1; v < inst.node_count(); ++v) {
+      EXPECT_FALSE(inst.permitted(v).empty());
+    }
+  }
+}
+
+TEST(RandomGen, RespectsPathCaps) {
+  Rng rng(4);
+  RandomInstanceParams params;
+  params.nodes = 8;
+  params.extra_edge_prob = 0.6;
+  params.max_paths_per_node = 3;
+  const Instance inst = random_policy(rng, params);
+  for (NodeId v = 1; v < inst.node_count(); ++v) {
+    EXPECT_LE(inst.permitted(v).size(), 3u);
+  }
+}
+
+TEST(RandomGen, RespectsLengthCap) {
+  Rng rng(5);
+  RandomInstanceParams params;
+  params.nodes = 8;
+  params.max_path_len = 3;
+  const Instance inst = random_shortest(rng, params);
+  for (NodeId v = 1; v < inst.node_count(); ++v) {
+    for (const Path& p : inst.permitted(v)) {
+      EXPECT_LE(p.size(), 4u);  // max_path_len edges = len+1 nodes
+    }
+  }
+}
+
+TEST(RandomGen, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  const Instance ia = random_policy(a, {.nodes = 6});
+  const Instance ib = random_policy(b, {.nodes = 6});
+  EXPECT_EQ(ia.to_string(), ib.to_string());
+}
+
+TEST(RandomGen, InstancesPassValidation) {
+  // Construction already validates; exercising many seeds is the test.
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    EXPECT_NO_THROW(random_policy(rng, {.nodes = 6}));
+    EXPECT_NO_THROW(random_shortest(rng, {.nodes = 5}));
+    EXPECT_NO_THROW(random_tree(rng, 5));
+  }
+}
+
+}  // namespace
+}  // namespace commroute::spp

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "realization/closure.hpp"
+#include "realization/matrix.hpp"
+#include "realization/paper_data.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::Model;
+
+const RealizationTable& closure_table() {
+  static const RealizationTable table = RealizationTable::closure();
+  return table;
+}
+
+// The central reproduction claim: closing the foundational facts under the
+// Fig. 1/2 transitivity rules regenerates the published matrices. Every
+// published bound must be re-derived (no "looser" cells) and nothing may
+// contradict the paper.
+TEST(Closure, ReproducesFigure3WithoutLossOrContradiction) {
+  const MatrixComparison cmp =
+      compare_with_paper(closure_table(), Figure::kFig3Reliable);
+  EXPECT_FALSE(cmp.has_contradiction()) << cmp.summary();
+  EXPECT_FALSE(cmp.has_looser()) << cmp.summary();
+  // 272 of 276 cells match exactly; 4 are tightened corollaries (see
+  // EXPERIMENTS.md).
+  EXPECT_EQ(cmp.equal, 272u) << cmp.summary();
+}
+
+TEST(Closure, ReproducesFigure4Exactly) {
+  const MatrixComparison cmp =
+      compare_with_paper(closure_table(), Figure::kFig4Unreliable);
+  EXPECT_EQ(cmp.equal, cmp.cells) << cmp.summary();
+  EXPECT_TRUE(cmp.diffs.empty());
+}
+
+TEST(Closure, TheFourTightenedCellsAreKnown) {
+  const MatrixComparison cmp =
+      compare_with_paper(closure_table(), Figure::kFig3Reliable);
+  ASSERT_EQ(cmp.diffs.size(), 4u);
+  std::vector<std::string> cells;
+  for (const CellDiff& d : cmp.diffs) {
+    EXPECT_EQ(d.kind, "tighter");
+    cells.push_back(d.realized.name() + "/" + d.realizer.name());
+  }
+  std::sort(cells.begin(), cells.end());
+  const std::vector<std::string> expected{"U1O/R1O", "U1O/RMO", "UMO/R1O",
+                                          "UMO/RMO"};
+  EXPECT_EQ(cells, expected);
+}
+
+// Spot-check the cells discussed in the paper's text.
+TEST(Closure, QueueingModelsAreUniversal) {
+  // "RMS is able to realize all reliable channel models exactly and all
+  //  unreliable channel models either with repetition or exactly."
+  const Model rms = Model::parse("RMS");
+  for (const Model& a : Model::all()) {
+    const RelationBound& b = closure_table().cell(a, rms);
+    if (a.reliable()) {
+      EXPECT_EQ(b.lo, Strength::kExact) << a.name();
+    } else {
+      EXPECT_GE(level(b.lo), level(Strength::kRepetition)) << a.name();
+    }
+  }
+  // "UMS is able to exactly realize all models."
+  const Model ums = Model::parse("UMS");
+  for (const Model& a : Model::all()) {
+    EXPECT_EQ(closure_table().cell(a, ums).lo, Strength::kExact)
+        << a.name();
+  }
+}
+
+TEST(Closure, SevenReliableModelsCaptureAllOscillations) {
+  // "among the reliable channel models, R1O, RMO, R1S, RMS, RES, R1F, and
+  //  RMF are all able to capture all of the oscillations of all other
+  //  models".
+  for (const char* name :
+       {"R1O", "RMO", "R1S", "RMS", "RES", "R1F", "RMF"}) {
+    const Model b = Model::parse(name);
+    for (const Model& a : Model::all()) {
+      EXPECT_GE(level(closure_table().cell(a, b).lo),
+                level(Strength::kSubsequence))
+          << b.name() << " should capture " << a.name();
+    }
+  }
+}
+
+TEST(Closure, FiveModelsProvablyMissOscillations) {
+  // "REO, REF, R1A, RMA, and REA are provably unable to capture some
+  //  oscillations".
+  for (const char* name : {"REO", "REF", "R1A", "RMA", "REA"}) {
+    const RelationBound& b =
+        closure_table().cell(Model::parse("R1O"), Model::parse(name));
+    EXPECT_EQ(b.hi, Strength::kNotPreserving) << name;
+  }
+}
+
+TEST(Closure, Corollary314Instances) {
+  // Cor. 3.14: Ryz cannot be realized with repetition in Ry'O (z != O).
+  for (const char* a : {"R1S", "RMS", "RES", "R1F", "RMF", "REF", "R1A",
+                        "RMA", "REA"}) {
+    for (const char* b : {"R1O", "RMO"}) {
+      const RelationBound& bound =
+          closure_table().cell(Model::parse(a), Model::parse(b));
+      EXPECT_LE(level(bound.hi), level(Strength::kSubsequence))
+          << a << " in " << b;
+    }
+  }
+}
+
+TEST(Closure, DiagonalIsExact) {
+  for (const Model& m : Model::all()) {
+    const RelationBound& b = closure_table().cell(m, m);
+    EXPECT_EQ(b.lo, Strength::kExact);
+    EXPECT_EQ(b.hi, Strength::kExact);
+  }
+}
+
+TEST(Closure, RulePPropagatesLowerBounds) {
+  // REA -> RMA (exact) and RMA -> R1A (repetition) compose to
+  // REA -> R1A at repetition (the paper's Fig. 3 lists exactly 3).
+  const RelationBound& b =
+      closure_table().cell(Model::parse("REA"), Model::parse("R1A"));
+  EXPECT_EQ(b.lo, Strength::kRepetition);
+  EXPECT_EQ(b.hi, Strength::kRepetition);
+}
+
+TEST(Closure, ExplainShowsProvenance) {
+  const std::string text = closure_table().explain(Model::parse("REA"),
+                                                   Model::parse("R1O"));
+  EXPECT_NE(text.find("R1O"), std::string::npos);
+  EXPECT_NE(text.find("Prop. 3.11"), std::string::npos);
+  const std::string derived = closure_table().explain(
+      Model::parse("R1S"), Model::parse("R1O"));
+  EXPECT_NE(derived.find("Prop. 3.6"), std::string::npos);
+}
+
+TEST(Closure, EmptyFactSetYieldsUnknownTable) {
+  const RealizationTable empty = RealizationTable::closure({});
+  const RelationBound& b =
+      empty.cell(Model::parse("R1O"), Model::parse("RMS"));
+  EXPECT_TRUE(b.unknown());
+}
+
+TEST(Closure, RenderedMatrixHasAllRowsAndColumns) {
+  const std::string fig3 =
+      render_matrix(closure_table(), Figure::kFig3Reliable);
+  for (const Model& m : Model::all()) {
+    EXPECT_NE(fig3.find(m.name()), std::string::npos) << m.name();
+  }
+  const std::string paper = render_paper_matrix(Figure::kFig4Unreliable);
+  EXPECT_NE(paper.find("UEA"), std::string::npos);
+}
+
+TEST(Closure, ComparisonSummaryFormat) {
+  const MatrixComparison cmp =
+      compare_with_paper(closure_table(), Figure::kFig3Reliable);
+  EXPECT_NE(cmp.summary().find("cells identical"), std::string::npos);
+  EXPECT_EQ(cmp.cells, 276u);
+}
+
+}  // namespace
+}  // namespace commroute::realization

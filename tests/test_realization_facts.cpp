@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "realization/facts.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::Model;
+
+const Fact* find_fact(const std::string& source, const std::string& a,
+                      const std::string& b) {
+  for (const Fact& f : foundational_facts()) {
+    if (f.source == source && f.realized == Model::parse(a) &&
+        f.realizer == Model::parse(b)) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Facts, TotalCount) {
+  // 24 reflexive + 12 (P3.3.1) + 6 (P3.3.2) + 12 (P3.3.3)
+  // + 16 (P3.3.4) + 8 (T3.5) + 2 (P3.4) + 2 (P3.6) + 1 (T3.7)
+  // + 5 (T3.8) + 6 (T3.9) + 4 (P3.10-13) = 98.
+  EXPECT_EQ(foundational_facts().size(), 98u);
+}
+
+TEST(Facts, ReflexivityForEveryModel) {
+  std::size_t count = 0;
+  for (const Fact& f : foundational_facts()) {
+    if (f.source == "reflexivity") {
+      EXPECT_EQ(f.realized, f.realizer);
+      EXPECT_EQ(f.kind, FactKind::kLowerBound);
+      EXPECT_EQ(f.strength, Strength::kExact);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 24u);
+}
+
+TEST(Facts, Prop331CoversAllTwelvePairs) {
+  std::size_t count = 0;
+  for (const Fact& f : foundational_facts()) {
+    if (f.source == "Prop. 3.3(1)") {
+      EXPECT_TRUE(f.realized.reliable());
+      EXPECT_FALSE(f.realizer.reliable());
+      EXPECT_EQ(f.realized.neighbors, f.realizer.neighbors);
+      EXPECT_EQ(f.realized.messages, f.realizer.messages);
+      EXPECT_EQ(f.strength, Strength::kExact);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(Facts, KeyTheoremInstances) {
+  const Fact* t35 = find_fact("Thm. 3.5", "RMS", "R1S");
+  ASSERT_NE(t35, nullptr);
+  EXPECT_EQ(t35->kind, FactKind::kLowerBound);
+  EXPECT_EQ(t35->strength, Strength::kRepetition);
+
+  const Fact* p36r = find_fact("Prop. 3.6", "R1S", "R1O");
+  ASSERT_NE(p36r, nullptr);
+  EXPECT_EQ(p36r->strength, Strength::kSubsequence);
+
+  const Fact* p36u = find_fact("Prop. 3.6", "U1S", "U1O");
+  ASSERT_NE(p36u, nullptr);
+  EXPECT_EQ(p36u->strength, Strength::kRepetition);
+
+  const Fact* t37 = find_fact("Thm. 3.7", "U1O", "R1S");
+  ASSERT_NE(t37, nullptr);
+  EXPECT_EQ(t37->strength, Strength::kExact);
+}
+
+TEST(Facts, NegativeResultsAreUpperBounds) {
+  const Fact* t38 = find_fact("Thm. 3.8", "R1O", "REA");
+  ASSERT_NE(t38, nullptr);
+  EXPECT_EQ(t38->kind, FactKind::kUpperBound);
+  EXPECT_EQ(t38->strength, Strength::kNotPreserving);
+
+  const Fact* p310 = find_fact("Prop. 3.10", "REO", "R1O");
+  ASSERT_NE(p310, nullptr);
+  EXPECT_EQ(p310->kind, FactKind::kUpperBound);
+  EXPECT_EQ(p310->strength, Strength::kRepetition);
+
+  const Fact* p311 = find_fact("Prop. 3.11", "REA", "R1O");
+  ASSERT_NE(p311, nullptr);
+  EXPECT_EQ(p311->strength, Strength::kSubsequence);
+
+  const Fact* p312 = find_fact("Prop. 3.12", "REA", "R1S");
+  ASSERT_NE(p312, nullptr);
+  EXPECT_EQ(p312->strength, Strength::kRepetition);
+}
+
+TEST(Facts, Thm38And39CoverTheFiveStrongModels) {
+  std::map<std::string, int> targets;
+  for (const Fact& f : foundational_facts()) {
+    if (f.source == "Thm. 3.8") {
+      EXPECT_EQ(f.realized, Model::parse("R1O"));
+      ++targets[f.realizer.name()];
+    }
+  }
+  EXPECT_EQ(targets.size(), 5u);
+  for (const char* name : {"REO", "REF", "R1A", "RMA", "REA"}) {
+    EXPECT_EQ(targets[name], 1) << name;
+  }
+}
+
+}  // namespace
+}  // namespace commroute::realization

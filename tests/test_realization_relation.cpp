@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "realization/relation.hpp"
+
+namespace commroute::realization {
+namespace {
+
+TEST(Strength, LevelsAreOrdered) {
+  EXPECT_LT(level(Strength::kNotPreserving), level(Strength::kOscillation));
+  EXPECT_LT(level(Strength::kOscillation), level(Strength::kSubsequence));
+  EXPECT_LT(level(Strength::kSubsequence), level(Strength::kRepetition));
+  EXPECT_LT(level(Strength::kRepetition), level(Strength::kExact));
+}
+
+TEST(Strength, MinAndFromLevel) {
+  EXPECT_EQ(min_strength(Strength::kExact, Strength::kSubsequence),
+            Strength::kSubsequence);
+  EXPECT_EQ(strength_from_level(3), Strength::kRepetition);
+  EXPECT_THROW(strength_from_level(5), PreconditionError);
+  EXPECT_THROW(strength_from_level(-1), PreconditionError);
+}
+
+TEST(RelationBound, DefaultIsFullyUnknown) {
+  const RelationBound b;
+  EXPECT_TRUE(b.unknown());
+  EXPECT_FALSE(b.known_exactly());
+  EXPECT_EQ(b.paper_notation(), "");
+}
+
+TEST(RelationBound, TightenLoAndHi) {
+  RelationBound b;
+  EXPECT_TRUE(b.tighten_lo(Strength::kSubsequence, "test"));
+  EXPECT_FALSE(b.tighten_lo(Strength::kSubsequence, "again"));
+  EXPECT_FALSE(b.tighten_lo(Strength::kOscillation, "weaker"));
+  EXPECT_EQ(b.lo_source, "test");
+  EXPECT_TRUE(b.tighten_hi(Strength::kRepetition, "upper"));
+  EXPECT_EQ(b.paper_notation(), "2,3");
+}
+
+TEST(RelationBound, ContradictionThrows) {
+  RelationBound b;
+  b.tighten_lo(Strength::kRepetition, "lower");
+  EXPECT_THROW(b.tighten_hi(Strength::kSubsequence, "upper"),
+               PreconditionError);
+  RelationBound c;
+  c.tighten_hi(Strength::kSubsequence, "upper");
+  EXPECT_THROW(c.tighten_lo(Strength::kRepetition, "lower"),
+               PreconditionError);
+}
+
+TEST(RelationBound, PaperNotationAllShapes) {
+  const auto notate = [](int lo, int hi) {
+    RelationBound b;
+    b.lo = strength_from_level(lo);
+    b.hi = strength_from_level(hi);
+    return b.paper_notation();
+  };
+  EXPECT_EQ(notate(0, 0), "-1");
+  EXPECT_EQ(notate(4, 4), "4");
+  EXPECT_EQ(notate(3, 3), "3");
+  EXPECT_EQ(notate(2, 2), "2");
+  EXPECT_EQ(notate(0, 4), "");
+  EXPECT_EQ(notate(3, 4), ">=3");
+  EXPECT_EQ(notate(2, 4), ">=2");
+  EXPECT_EQ(notate(0, 2), "<=2");
+  EXPECT_EQ(notate(0, 3), "<=3");
+  EXPECT_EQ(notate(2, 3), "2,3");
+}
+
+TEST(RelationBound, ParseRoundTripsEveryShape) {
+  for (const char* cell : {"-1", "2", "3", "4", "", ">=2", ">=3", "<=2",
+                           "<=3", "2,3"}) {
+    const RelationBound b = parse_paper_notation(cell);
+    EXPECT_EQ(b.paper_notation(), cell) << cell;
+  }
+}
+
+TEST(RelationBound, ParseDiagonalAndWhitespace) {
+  const RelationBound diag = parse_paper_notation("-");
+  EXPECT_EQ(diag.lo, Strength::kExact);
+  EXPECT_EQ(diag.hi, Strength::kExact);
+  const RelationBound spaced = parse_paper_notation("  3 ");
+  EXPECT_EQ(spaced.paper_notation(), "3");
+}
+
+TEST(RelationBound, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_paper_notation("5"), PreconditionError);
+  EXPECT_THROW(parse_paper_notation(">=9"), PreconditionError);
+  EXPECT_THROW(parse_paper_notation("3,2"), PreconditionError);
+}
+
+TEST(RelationBound, OverlapAndContainment) {
+  const auto make = [](int lo, int hi) {
+    RelationBound b;
+    b.lo = strength_from_level(lo);
+    b.hi = strength_from_level(hi);
+    return b;
+  };
+  EXPECT_TRUE(make(2, 4).overlaps(make(3, 3)));
+  EXPECT_TRUE(make(2, 4).contains(make(3, 3)));
+  EXPECT_FALSE(make(3, 3).contains(make(2, 4)));
+  EXPECT_FALSE(make(0, 1).overlaps(make(2, 4)));
+  EXPECT_TRUE(make(0, 2).overlaps(make(2, 4)));
+}
+
+TEST(Strength, ToStringNames) {
+  EXPECT_EQ(to_string(Strength::kExact), "exact");
+  EXPECT_EQ(to_string(Strength::kRepetition), "repetition");
+  EXPECT_EQ(to_string(Strength::kSubsequence), "subsequence");
+  EXPECT_EQ(to_string(Strength::kOscillation), "oscillation-preserving");
+  EXPECT_EQ(to_string(Strength::kNotPreserving),
+            "not-oscillation-preserving");
+}
+
+}  // namespace
+}  // namespace commroute::realization

@@ -1,0 +1,91 @@
+// Cross-registry consistency sweep: for every registered gadget and a
+// spectrum of models, the checker's findings must cohere with the static
+// analyses (solver and dispute-wheel detector).
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hpp"
+#include "spp/dispute_wheel.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+struct SweepCase {
+  std::string gadget;
+  std::string model;
+};
+
+class RegistrySweepTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {
+ protected:
+  static const spp::Instance& gadget(int index) {
+    static const auto all = spp::all_gadgets();
+    return all[static_cast<std::size_t>(index)].instance;
+  }
+  static std::string gadget_name(int index) {
+    static const auto all = spp::all_gadgets();
+    return all[static_cast<std::size_t>(index)].name;
+  }
+};
+
+TEST_P(RegistrySweepTest, CheckerCoheresWithStaticAnalysis) {
+  const auto& [index, model_name] = GetParam();
+  const spp::Instance& inst = gadget(index);
+  const Model m = Model::parse(model_name);
+
+  const auto result = checker::explore(
+      inst, m, {.max_channel_length = 2, .max_states = 30000});
+
+  const auto solutions = spp::stable_assignments(inst);
+
+  // Every quiescent outcome of a reliable model is a stable solution.
+  if (m.reliable()) {
+    for (const auto& q : result.quiescent_assignments) {
+      EXPECT_TRUE(spp::is_solution(inst, q))
+          << gadget_name(index) << " under " << model_name;
+    }
+  }
+  // No stable solutions => no quiescent state is reachable — under
+  // reliable models. Unreliable models can reach quiescent non-solutions
+  // through unfair drop patterns (a route lost and never retransmitted),
+  // which the explorer reports as reachability facts (see
+  // docs/CHECKER.md).
+  if (solutions.empty() && m.reliable()) {
+    EXPECT_TRUE(result.quiescent_assignments.empty())
+        << gadget_name(index) << " under " << model_name;
+  }
+  // An oscillation requires a dispute wheel (contrapositive of the
+  // no-dispute-wheel safety theorem).
+  if (result.oscillation_found) {
+    EXPECT_FALSE(spp::is_dispute_wheel_free(inst))
+        << gadget_name(index) << " under " << model_name;
+  }
+  // Dispute-wheel-free + exhaustive => provably no oscillation.
+  if (spp::is_dispute_wheel_free(inst) && result.exhaustive) {
+    EXPECT_FALSE(result.oscillation_found)
+        << gadget_name(index) << " under " << model_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GadgetsTimesModels, RegistrySweepTest,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values("R1O", "RMS", "REA", "U1O")),
+    [](const auto& suite_info) {
+      static const auto all = spp::all_gadgets();
+      std::string name =
+          all[static_cast<std::size_t>(std::get<0>(suite_info.param))].name +
+          "_" + std::get<1>(suite_info.param);
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace commroute

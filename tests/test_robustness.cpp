@@ -1,0 +1,121 @@
+// Robustness tests: malformed inputs must produce typed errors, never
+// crashes or silent misbehavior.
+#include <gtest/gtest.h>
+
+#include "engine/executor.hpp"
+#include "model/model.hpp"
+#include "spp/builder.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/serialize.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace commroute {
+namespace {
+
+TEST(Robustness, SerializerSurvivesGarbageInput) {
+  Rng rng(99);
+  const std::string alphabet =
+      "dest edge prefer xyd: #\n\t ,0123456789abc";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    const std::size_t len = rng.below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      soup += alphabet[static_cast<std::size_t>(
+          rng.below(alphabet.size()))];
+    }
+    try {
+      spp::parse_instance(soup);
+    } catch (const Error&) {
+      // Typed errors are the only acceptable failure mode.
+    }
+  }
+}
+
+TEST(Robustness, ModelParserSurvivesGarbage) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string name;
+    const std::size_t len = rng.below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      name += static_cast<char>('A' + rng.below(26));
+    }
+    try {
+      model::Model::parse(name);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Robustness, PathParserSurvivesGarbage) {
+  const spp::Instance inst = spp::disagree();
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const std::size_t len = rng.below(10);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>('a' + rng.below(26));
+    }
+    try {
+      inst.parse_path(text);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, ExecutorRejectsMalformedStepsAtomically) {
+  // A step failing validation must not partially mutate state.
+  const spp::Instance inst = spp::disagree();
+  engine::NetworkState state(inst);
+  const engine::NetworkState before = state;
+  model::ActivationStep bad;
+  bad.nodes = {inst.graph().node("x")};
+  bad.reads = {model::ReadSpec{inst.graph().channel(
+                                   inst.graph().node("x"),
+                                   inst.graph().node("y")),
+                               1u,
+                               {}}};  // channel into y, not into x
+  EXPECT_THROW(engine::execute_step(state, bad), PreconditionError);
+  EXPECT_TRUE(state == before);
+}
+
+TEST(Robustness, BuilderRejectsPathsThroughUnknownNodes) {
+  spp::InstanceBuilder b("d");
+  b.edge("x", "d");
+  b.prefer("x", {"xqd"});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Robustness, DegenerateInstanceSingleEdge) {
+  // The smallest legal instance: one node plus the destination.
+  spp::InstanceBuilder b("d");
+  b.edge("x", "d");
+  b.prefer("x", {"xd"});
+  const spp::Instance inst = b.build();
+  engine::NetworkState state(inst);
+  engine::execute_step(state,
+                       model::poll_all_step(inst, inst.destination()));
+  engine::execute_step(
+      state, model::poll_all_step(inst, inst.graph().node("x")));
+  EXPECT_EQ(state.assignment(inst.graph().node("x")),
+            inst.parse_path("xd"));
+}
+
+TEST(Robustness, NodeWithNoPermittedPaths) {
+  // A node may permit nothing: it must stay at epsilon forever without
+  // disturbing anyone.
+  spp::InstanceBuilder b("d");
+  b.edge("x", "d").edge("y", "d");
+  b.prefer("x", {"xd"});
+  // y gets no prefer() call at all.
+  const spp::Instance inst = b.build();
+  engine::NetworkState state(inst);
+  engine::execute_step(state,
+                       model::poll_all_step(inst, inst.destination()));
+  const NodeId y = inst.graph().node("y");
+  engine::execute_step(state, model::poll_all_step(inst, y));
+  EXPECT_TRUE(state.assignment(y).empty());
+}
+
+}  // namespace
+}  // namespace commroute

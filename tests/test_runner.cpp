@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/solver.hpp"
+#include "test_util.hpp"
+
+namespace commroute::engine {
+namespace {
+
+using model::Model;
+
+TEST(Runner, GoodGadgetConvergesUnderRoundRobin) {
+  const spp::Instance inst = spp::good_gadget();
+  for (const Model& m : Model::all()) {
+    RoundRobinScheduler sched(m, inst);
+    const RunResult result = run(inst, sched, {.enforce_model = m});
+    EXPECT_EQ(result.outcome, Outcome::kConverged) << m.name();
+    EXPECT_TRUE(spp::is_solution(inst, result.final_assignment))
+        << m.name();
+  }
+}
+
+TEST(Runner, ConvergedResultIsTheUniqueSolution) {
+  const spp::Instance inst = spp::good_gadget();
+  const auto sols = spp::stable_assignments(inst);
+  ASSERT_EQ(sols.size(), 1u);
+  RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  const RunResult result = run(inst, sched);
+  EXPECT_EQ(result.final_assignment, sols[0]);
+}
+
+TEST(Runner, DisagreeOscillatesUnderTheA1Script) {
+  const spp::Instance inst = spp::disagree();
+  const auto [script, loop_from] =
+      testutil::disagree_r1o_oscillation(inst);
+  ScriptedScheduler sched(script, loop_from);
+  const RunResult result =
+      run(inst, sched, {.enforce_model = Model::parse("R1O")});
+  EXPECT_EQ(result.outcome, Outcome::kOscillating);
+  EXPECT_GT(result.cycle_length, 0u);
+  // The oscillation changes x's and y's assignments within the cycle.
+  EXPECT_GT(result.trace.change_count(), 4u);
+}
+
+TEST(Runner, BadGadgetNeverConverges) {
+  const spp::Instance inst = spp::bad_gadget();
+  for (const char* name : {"R1O", "RMS", "REA", "UMS"}) {
+    RoundRobinScheduler sched(Model::parse(name), inst);
+    const RunResult result = run(inst, sched, {.max_steps = 3000});
+    EXPECT_NE(result.outcome, Outcome::kConverged) << name;
+  }
+}
+
+TEST(Runner, ScriptExhaustionStopsTheRun) {
+  const spp::Instance inst = spp::disagree();
+  model::ActivationScript script{model::read_one_step(
+      inst, inst.graph().node("d"), inst.graph().node("x"))};
+  ScriptedScheduler sched(script);
+  const RunResult result = run(inst, sched);
+  EXPECT_EQ(result.outcome, Outcome::kExhausted);
+  EXPECT_EQ(result.steps, 1u);
+}
+
+TEST(Runner, TraceRecordsInitialAndEveryStep) {
+  const spp::Instance inst = spp::good_gadget();
+  RoundRobinScheduler sched(Model::parse("REA"), inst);
+  const RunResult result = run(inst, sched);
+  EXPECT_EQ(result.trace.size(), result.steps + 1);
+  EXPECT_EQ(result.trace.back(), result.final_assignment);
+}
+
+TEST(Runner, TraceRecordingCanBeDisabled) {
+  const spp::Instance inst = spp::good_gadget();
+  RoundRobinScheduler sched(Model::parse("REA"), inst);
+  const RunResult result = run(inst, sched, {.record_trace = false});
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Runner, StronglyQuiescentRequiresPendingAnnouncements) {
+  const spp::Instance inst = spp::disagree();
+  const NetworkState initial(inst);
+  // Channels are empty initially, but d's first announcement is pending.
+  EXPECT_TRUE(initial.quiescent());
+  EXPECT_FALSE(strongly_quiescent(initial));
+}
+
+TEST(Runner, CountsMessages) {
+  const spp::Instance inst = spp::good_gadget();
+  RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  const RunResult result = run(inst, sched);
+  EXPECT_GT(result.messages_sent, 0u);
+  EXPECT_EQ(result.messages_dropped, 0u);
+}
+
+TEST(Runner, RandomFairConvergesOnSafeInstanceAllModels) {
+  const spp::Instance inst = spp::good_gadget();
+  for (const Model& m : Model::all()) {
+    RandomFairScheduler sched(m, inst, Rng(m.index()),
+                              {.drop_prob = 0.2, .sweep_period = 8});
+    const RunResult result =
+        run(inst, sched, {.max_steps = 5000, .enforce_model = m});
+    EXPECT_EQ(result.outcome, Outcome::kConverged) << m.name();
+    EXPECT_TRUE(spp::is_solution(inst, result.final_assignment))
+        << m.name();
+    EXPECT_EQ(result.outstanding_drops, 0u) << m.name();
+  }
+}
+
+TEST(Runner, ModelEnforcementRejectsIllegalScript) {
+  const spp::Instance inst = spp::disagree();
+  model::ActivationScript script{model::read_every_one_step(
+      inst, inst.graph().node("x"))};
+  ScriptedScheduler sched(script);
+  EXPECT_THROW(run(inst, sched, {.enforce_model = Model::parse("R1O")}),
+               PreconditionError);
+}
+
+TEST(Runner, OutcomeToString) {
+  EXPECT_EQ(to_string(Outcome::kConverged), "converged");
+  EXPECT_EQ(to_string(Outcome::kOscillating), "oscillating");
+  EXPECT_EQ(to_string(Outcome::kExhausted), "exhausted");
+}
+
+}  // namespace
+}  // namespace commroute::engine

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/state.hpp"
+#include "model/fairness.hpp"
+#include "spp/gadgets.hpp"
+#include "support/error.hpp"
+
+namespace commroute::engine {
+namespace {
+
+using model::Model;
+
+TEST(ScriptedScheduler, PlaysInOrderThenExhausts) {
+  const spp::Instance inst = spp::disagree();
+  const NodeId d = inst.graph().node("d");
+  const NodeId x = inst.graph().node("x");
+  model::ActivationScript script{model::read_one_step(inst, d, x),
+                                 model::read_one_step(inst, x, d)};
+  ScriptedScheduler sched(script);
+  NetworkState state(inst);
+  EXPECT_FALSE(sched.exhausted());
+  EXPECT_EQ(*sched.remaining(), 2u);
+  EXPECT_EQ(sched.next(state).node(), d);
+  EXPECT_EQ(sched.next(state).node(), x);
+  EXPECT_TRUE(sched.exhausted());
+  EXPECT_THROW(sched.next(state), PreconditionError);
+}
+
+TEST(ScriptedScheduler, LoopsFromGivenIndex) {
+  const spp::Instance inst = spp::disagree();
+  const NodeId d = inst.graph().node("d");
+  const NodeId x = inst.graph().node("x");
+  const NodeId y = inst.graph().node("y");
+  model::ActivationScript script{model::read_one_step(inst, d, x),
+                                 model::read_one_step(inst, x, d),
+                                 model::read_one_step(inst, y, d)};
+  ScriptedScheduler sched(script, 1);
+  NetworkState state(inst);
+  EXPECT_FALSE(sched.remaining().has_value());
+  EXPECT_EQ(sched.next(state).node(), d);
+  EXPECT_EQ(sched.next(state).node(), x);
+  EXPECT_EQ(sched.next(state).node(), y);
+  EXPECT_EQ(sched.next(state).node(), x);  // looped
+  EXPECT_EQ(sched.next(state).node(), y);
+  EXPECT_FALSE(sched.exhausted());
+}
+
+TEST(ScriptedScheduler, SignatureIsPosition) {
+  const spp::Instance inst = spp::disagree();
+  model::ActivationScript script{
+      model::read_one_step(inst, inst.graph().node("d"),
+                           inst.graph().node("x"))};
+  ScriptedScheduler sched(script, 0);
+  NetworkState state(inst);
+  const auto sig0 = sched.signature();
+  sched.next(state);
+  const auto sig1 = sched.signature();
+  ASSERT_TRUE(sig0.has_value());
+  EXPECT_EQ(*sig0, *sig1);  // looped back to position 0
+}
+
+class SchedulerModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerModelTest, RoundRobinProducesOnlyLegalSteps) {
+  const Model m = Model::from_index(GetParam());
+  const spp::Instance inst = spp::example_a2();
+  RoundRobinScheduler sched(m, inst);
+  NetworkState state(inst);
+  for (int i = 0; i < 200; ++i) {
+    const model::ActivationStep step = sched.next(state);
+    model::require_step_allowed(m, inst, step);
+    execute_step(state, step);
+  }
+}
+
+TEST_P(SchedulerModelTest, RoundRobinIsFair) {
+  const Model m = Model::from_index(GetParam());
+  const spp::Instance inst = spp::disagree();
+  RoundRobinScheduler sched(m, inst);
+  NetworkState state(inst);
+  model::FairnessMonitor fairness(inst.graph().channel_count());
+  const std::size_t period = sched.period();
+  for (std::size_t i = 0; i < 3 * period; ++i) {
+    fairness.begin_step();
+    const model::ActivationStep step = sched.next(state);
+    for (const auto& read : step.reads) {
+      fairness.attempt(read.channel);
+    }
+    execute_step(state, step);
+  }
+  EXPECT_TRUE(fairness.all_channels_attempted());
+  EXPECT_LE(fairness.max_attempt_gap(), period);
+}
+
+TEST_P(SchedulerModelTest, RandomFairProducesOnlyLegalSteps) {
+  const Model m = Model::from_index(GetParam());
+  const spp::Instance inst = spp::example_a2();
+  RandomFairScheduler sched(m, inst, Rng(GetParam()),
+                            {.drop_prob = 0.3, .sweep_period = 16});
+  NetworkState state(inst);
+  for (int i = 0; i < 300; ++i) {
+    const model::ActivationStep step = sched.next(state);
+    model::require_step_allowed(m, inst, step);
+    execute_step(state, step);
+  }
+}
+
+TEST_P(SchedulerModelTest, RandomFairAttemptsEveryChannel) {
+  const Model m = Model::from_index(GetParam());
+  const spp::Instance inst = spp::disagree();
+  RandomFairScheduler sched(m, inst, Rng(1000 + GetParam()),
+                            {.drop_prob = 0.2, .sweep_period = 8});
+  NetworkState state(inst);
+  model::FairnessMonitor fairness(inst.graph().channel_count());
+  for (int i = 0; i < 400; ++i) {
+    fairness.begin_step();
+    const model::ActivationStep step = sched.next(state);
+    for (const auto& read : step.reads) {
+      fairness.attempt(read.channel);
+    }
+    execute_step(state, step);
+  }
+  EXPECT_TRUE(fairness.all_channels_attempted());
+  // A sweep of all channels happens at least every sweep_period steps, so
+  // the gap is bounded by sweep_period plus the sweep length.
+  EXPECT_LE(fairness.max_attempt_gap(),
+            8u + inst.graph().channel_count() + inst.node_count());
+}
+
+TEST_P(SchedulerModelTest, RandomFairNeverDropsNewestMessage) {
+  const Model m = Model::from_index(GetParam());
+  if (m.reliable()) {
+    GTEST_SKIP() << "drop discipline only applies to unreliable models";
+  }
+  const spp::Instance inst = spp::example_a2();
+  RandomFairScheduler sched(m, inst, Rng(7),
+                            {.drop_prob = 0.9, .sweep_period = 32});
+  NetworkState state(inst);
+  for (int i = 0; i < 500; ++i) {
+    const model::ActivationStep step = sched.next(state);
+    for (const auto& read : step.reads) {
+      const std::size_t in_channel = state.channel(read.channel).size();
+      for (const std::uint32_t dropped : read.drops) {
+        EXPECT_LT(dropped, in_channel)
+            << "dropped the newest message of a channel";
+      }
+    }
+    execute_step(state, step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SchedulerModelTest,
+                         ::testing::Range(0, model::Model::kCount),
+                         [](const auto& suite_info) {
+                           return Model::from_index(suite_info.param).name();
+                         });
+
+}  // namespace
+}  // namespace commroute::engine

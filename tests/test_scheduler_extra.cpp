@@ -1,0 +1,150 @@
+// Tests for the event-driven scheduler and run statistics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "engine/scheduler.hpp"
+#include "model/multi.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::engine {
+namespace {
+
+using model::Model;
+
+TEST(EventDriven, StepsAreLegalInR1O) {
+  const spp::Instance inst = spp::example_a2();
+  EventDrivenScheduler sched(inst);
+  NetworkState state(inst);
+  for (int i = 0; i < 200; ++i) {
+    const auto step = sched.next(state);
+    model::require_step_allowed(Model::parse("R1O"), inst, step);
+    execute_step(state, step);
+  }
+}
+
+TEST(EventDriven, ConvergesOnSafeInstances) {
+  for (const auto& make : {spp::good_gadget, spp::example_a3,
+                           spp::example_a5}) {
+    const spp::Instance inst = make();
+    EventDrivenScheduler sched(inst);
+    const auto run = engine::run(inst, sched, {.max_steps = 5000});
+    EXPECT_EQ(run.outcome, Outcome::kConverged);
+  }
+}
+
+TEST(EventDriven, TriggersTheDestinationsFirstAnnouncement) {
+  const spp::Instance inst = spp::good_gadget();
+  EventDrivenScheduler sched(inst);
+  NetworkState state(inst);
+  // All channels start empty: the idle rotation must reach d and fire its
+  // announcement within one pass over the nodes.
+  std::size_t steps = 0;
+  while (state.messages_in_flight() == 0 && steps < inst.node_count()) {
+    execute_step(state, sched.next(state));
+    ++steps;
+  }
+  EXPECT_GT(state.messages_in_flight(), 0u);
+}
+
+TEST(EventDriven, ServesMessagesPromptly) {
+  // Once messages exist, every step consumes one until drained.
+  const spp::Instance inst = spp::good_gadget();
+  EventDrivenScheduler sched(inst);
+  NetworkState state(inst);
+  const auto run_until_messages = [&] {
+    while (state.messages_in_flight() == 0) {
+      execute_step(state, sched.next(state));
+    }
+  };
+  run_until_messages();
+  const std::size_t before = state.messages_in_flight();
+  const auto step = sched.next(state);
+  const StepEffect effect = execute_step(state, step);
+  ASSERT_EQ(effect.reads.size(), 1u);
+  EXPECT_EQ(effect.reads[0].processed, 1u);
+  EXPECT_LE(state.messages_in_flight(), before + effect.sent.size());
+}
+
+TEST(EventDriven, HasASignatureForCycleDetection) {
+  const spp::Instance inst = spp::disagree();
+  EventDrivenScheduler sched(inst);
+  EXPECT_TRUE(sched.signature().has_value());
+}
+
+TEST(MultiNodeRandom, StepsAreLegalUnrestrictedSteps) {
+  const spp::Instance inst = spp::example_a2();
+  for (const char* base : {"R1A", "RMS", "REO", "U1O"}) {
+    const model::ExtendedModel m =
+        model::ExtendedModel::parse(std::string("multi-") + base);
+    MultiNodeRandomScheduler sched(Model::parse(base), inst,
+                                   Rng(11), 0.5, 16);
+    NetworkState state(inst);
+    for (int i = 0; i < 150; ++i) {
+      const auto step = sched.next(state);
+      model::require_extended_step_allowed(m, inst, step);
+      execute_step(state, step);
+    }
+  }
+}
+
+TEST(MultiNodeRandom, ConvergesOnSafeInstances) {
+  const spp::Instance inst = spp::good_gadget();
+  for (const char* base : {"RMS", "REA"}) {
+    MultiNodeRandomScheduler sched(Model::parse(base), inst, Rng(5));
+    const auto run = engine::run(inst, sched, {.max_steps = 5000});
+    EXPECT_EQ(run.outcome, Outcome::kConverged) << base;
+  }
+}
+
+TEST(MultiNodeRandom, SweepCoversEveryChannelOverTime) {
+  const spp::Instance inst = spp::disagree();
+  MultiNodeRandomScheduler sched(Model::parse("R1O"), inst, Rng(2),
+                                 /*node_prob=*/0.0, /*sweep_period=*/2);
+  NetworkState state(inst);
+  std::vector<bool> attempted(inst.graph().channel_count(), false);
+  for (int i = 0; i < 40; ++i) {
+    const auto step = sched.next(state);
+    for (const auto& read : step.reads) {
+      attempted[read.channel] = true;
+    }
+    execute_step(state, step);
+  }
+  for (ChannelIdx c = 0; c < inst.graph().channel_count(); ++c) {
+    EXPECT_TRUE(attempted[c]) << inst.graph().channel_name(c);
+  }
+}
+
+TEST(RunStats, NodeActivationsSumToStepsForSingleNodeSchedules) {
+  const spp::Instance inst = spp::good_gadget();
+  RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  const auto run = engine::run(inst, sched);
+  ASSERT_EQ(run.node_activations.size(), inst.node_count());
+  const std::uint64_t total = std::accumulate(
+      run.node_activations.begin(), run.node_activations.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, run.steps);
+}
+
+TEST(RunStats, SynchronousActivationsCountEveryNodePerStep) {
+  const spp::Instance inst = spp::good_gadget();
+  SynchronousScheduler sched(Model::parse("REA"), inst);
+  const auto run = engine::run(inst, sched, {.max_steps = 1000});
+  ASSERT_EQ(run.outcome, Outcome::kConverged);
+  for (const std::uint64_t count : run.node_activations) {
+    EXPECT_EQ(count, run.steps);
+  }
+}
+
+TEST(RunStats, ChannelOccupancyHighWaterMark) {
+  const spp::Instance inst = spp::disagree();
+  RoundRobinScheduler sched(Model::parse("RMS"), inst);
+  const auto run = engine::run(inst, sched);
+  EXPECT_GE(run.max_channel_occupancy, 1u);
+  EXPECT_LE(run.max_channel_occupancy, 8u);
+}
+
+}  // namespace
+}  // namespace commroute::engine

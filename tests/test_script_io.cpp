@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "checker/explorer.hpp"
+#include "engine/executor.hpp"
+#include "engine/runner.hpp"
+#include "engine/scheduler.hpp"
+#include "model/script_io.hpp"
+#include "spp/gadgets.hpp"
+#include "support/error.hpp"
+
+namespace commroute::model {
+namespace {
+
+TEST(ScriptIo, ParsesBasicSteps) {
+  const spp::Instance inst = spp::disagree();
+  const ActivationScript script = parse_script(inst, R"(
+    # DISAGREE warm-up
+    d | x->d f=1
+    x | d->x f=inf
+    y | d->y f=2 g={1}
+  )");
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_EQ(script[0].node(), inst.graph().node("d"));
+  EXPECT_FALSE(script[1].reads[0].count.has_value());
+  EXPECT_EQ(*script[2].reads[0].count, 2u);
+  EXPECT_EQ(script[2].reads[0].drops, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(ScriptIo, ParsesMultiNodeSteps) {
+  const spp::Instance inst = spp::disagree();
+  const ActivationScript script =
+      parse_script(inst, "x,y | d->x f=inf ; d->y f=inf\n");
+  ASSERT_EQ(script.size(), 1u);
+  EXPECT_EQ(script[0].nodes.size(), 2u);
+  EXPECT_EQ(script[0].reads.size(), 2u);
+}
+
+TEST(ScriptIo, ErrorsCarryLineNumbers) {
+  const spp::Instance inst = spp::disagree();
+  try {
+    parse_script(inst, "d | x->d f=1\nz | x->d f=1\n");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScriptIo, RejectsMalformedSteps) {
+  const spp::Instance inst = spp::disagree();
+  EXPECT_THROW(parse_script(inst, "d x->d f=1\n"), ParseError);  // no bar
+  EXPECT_THROW(parse_script(inst, "d | x=>d f=1\n"), ParseError);
+  EXPECT_THROW(parse_script(inst, "d | x->d\n"), ParseError);  // no f
+  EXPECT_THROW(parse_script(inst, "d | x->d f=abc\n"), ParseError);
+  EXPECT_THROW(parse_script(inst, "d | x->d f=1 q=2\n"), ParseError);
+  // Structurally invalid (channel into x read by d).
+  EXPECT_THROW(parse_script(inst, "d | d->x f=1\n"), PreconditionError);
+}
+
+TEST(ScriptIo, RoundTripsGeneratedScripts) {
+  const spp::Instance inst = spp::example_a2();
+  engine::RandomFairScheduler sched(Model::parse("UMS"), inst, Rng(3),
+                                    {.drop_prob = 0.3});
+  engine::NetworkState state(inst);
+  ActivationScript script;
+  for (int i = 0; i < 40; ++i) {
+    const auto step = sched.next(state);
+    engine::execute_step(state, step);
+    script.push_back(step);
+  }
+  const std::string text = format_script(inst, script);
+  const ActivationScript parsed = parse_script(inst, text);
+  ASSERT_EQ(parsed.size(), script.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(parsed[i].to_string(inst), script[i].to_string(inst)) << i;
+  }
+  EXPECT_EQ(format_script(inst, parsed), text);
+}
+
+TEST(ScriptIo, RoundTripsCheckerWitnesses) {
+  const spp::Instance inst = spp::disagree();
+  const auto r = checker::explore(
+      inst, Model::parse("R1O"),
+      {.max_channel_length = 3, .extract_witness = true});
+  ASSERT_TRUE(r.oscillation_found);
+  ActivationScript script = r.witness_prefix;
+  script.insert(script.end(), r.witness_cycle.begin(),
+                r.witness_cycle.end());
+  const ActivationScript parsed =
+      parse_script(inst, format_script(inst, script));
+  ASSERT_EQ(parsed.size(), script.size());
+  // The parsed witness still oscillates.
+  engine::ScriptedScheduler sched(parsed, r.witness_prefix.size());
+  const auto run =
+      engine::run(inst, sched, {.max_steps = 5 * parsed.size() + 50});
+  EXPECT_EQ(run.outcome, engine::Outcome::kOscillating);
+}
+
+}  // namespace
+}  // namespace commroute::model

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "trace/seq_match.hpp"
+
+namespace commroute::trace {
+namespace {
+
+// Assignments for a 1-node pseudo-network: each distinct path is a state.
+Assignment A() { return {Path{1}}; }
+Assignment B() { return {Path{2}}; }
+Assignment C() { return {Path{3}}; }
+
+Trace make(const std::vector<Assignment>& states) {
+  Trace t(states.front());
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    t.record(states[i]);
+  }
+  return t;
+}
+
+TEST(SeqMatch, ExactRequiresIdenticalSequences) {
+  EXPECT_TRUE(matches_exactly(make({A(), B()}), make({A(), B()})));
+  EXPECT_FALSE(matches_exactly(make({A(), B()}), make({A(), B(), B()})));
+  EXPECT_FALSE(matches_exactly(make({A(), B()}), make({B(), A()})));
+}
+
+TEST(SeqMatch, RepetitionAcceptsStretchedCopies) {
+  EXPECT_TRUE(matches_with_repetition(make({A(), B()}),
+                                      make({A(), A(), B(), B(), B()})));
+  EXPECT_TRUE(matches_with_repetition(make({A(), B(), C()}),
+                                      make({A(), B(), C()})));
+}
+
+TEST(SeqMatch, RepetitionRejectsNewStates) {
+  EXPECT_FALSE(matches_with_repetition(make({A(), C()}),
+                                       make({A(), B(), C()})));
+}
+
+TEST(SeqMatch, RepetitionRejectsReordering) {
+  EXPECT_FALSE(matches_with_repetition(make({A(), B(), C()}),
+                                       make({A(), C(), B()})));
+}
+
+TEST(SeqMatch, RepetitionIsStutterInvariant) {
+  // The original may contain no-op stutters that the candidate omits
+  // (finite-prefix reading of Def. 3.2; see seq_match.hpp).
+  EXPECT_TRUE(matches_with_repetition(make({A(), A(), B()}),
+                                      make({A(), B()})));
+  EXPECT_TRUE(matches_with_repetition(make({A(), B(), B(), A()}),
+                                      make({A(), A(), B(), A()})));
+}
+
+TEST(SeqMatch, RepetitionHandlesAlternation) {
+  EXPECT_TRUE(matches_with_repetition(
+      make({A(), B(), A(), B()}),
+      make({A(), B(), B(), A(), B(), B()})));
+  EXPECT_FALSE(matches_with_repetition(make({A(), B(), A()}),
+                                       make({A(), B()})));
+}
+
+TEST(SeqMatch, SubsequenceEmbedsCollapsedOriginal) {
+  EXPECT_TRUE(matches_as_subsequence(make({A(), C()}),
+                                     make({A(), B(), C()})));
+  EXPECT_TRUE(matches_as_subsequence(make({A(), A(), C()}),
+                                     make({A(), B(), C()})));
+  EXPECT_FALSE(matches_as_subsequence(make({A(), C()}),
+                                      make({C(), A()})));
+  EXPECT_FALSE(matches_as_subsequence(make({A(), B(), A()}),
+                                      make({A(), B()})));
+}
+
+TEST(SeqMatch, HierarchyExactImpliesRepetitionImpliesSubsequence) {
+  const Trace orig = make({A(), B(), C()});
+  const Trace same = make({A(), B(), C()});
+  EXPECT_TRUE(matches_exactly(orig, same));
+  EXPECT_TRUE(matches_with_repetition(orig, same));
+  EXPECT_TRUE(matches_as_subsequence(orig, same));
+
+  const Trace stretched = make({A(), B(), B(), C()});
+  EXPECT_FALSE(matches_exactly(orig, stretched));
+  EXPECT_TRUE(matches_with_repetition(orig, stretched));
+  EXPECT_TRUE(matches_as_subsequence(orig, stretched));
+
+  const Trace padded = make({A(), B(), A(), B(), C()});
+  EXPECT_FALSE(matches_exactly(orig, padded));
+  EXPECT_FALSE(matches_with_repetition(orig, padded));
+  EXPECT_TRUE(matches_as_subsequence(orig, padded));
+}
+
+TEST(SeqMatch, StrongestMatchRanksCorrectly) {
+  const Trace orig = make({A(), B()});
+  EXPECT_EQ(strongest_match(orig, make({A(), B()})), MatchKind::kExact);
+  EXPECT_EQ(strongest_match(orig, make({A(), A(), B()})),
+            MatchKind::kRepetition);
+  EXPECT_EQ(strongest_match(orig, make({A(), C(), B()})),
+            MatchKind::kSubsequence);
+  EXPECT_EQ(strongest_match(orig, make({B(), A()})), MatchKind::kNone);
+}
+
+TEST(SeqMatch, FirstDivergenceFindsTheStep) {
+  EXPECT_FALSE(first_divergence(make({A(), B()}), make({A(), B()}))
+                   .has_value());
+  EXPECT_EQ(*first_divergence(make({A(), B()}), make({A(), C()})), 1u);
+  EXPECT_EQ(*first_divergence(make({A(), B()}), make({A(), B(), C()})),
+            2u);
+  EXPECT_EQ(*first_divergence(make({B()}), make({A()})), 0u);
+}
+
+TEST(SeqMatch, ToStringNames) {
+  EXPECT_EQ(to_string(MatchKind::kNone), "none");
+  EXPECT_EQ(to_string(MatchKind::kSubsequence), "subsequence");
+  EXPECT_EQ(to_string(MatchKind::kRepetition), "repetition");
+  EXPECT_EQ(to_string(MatchKind::kExact), "exact");
+}
+
+}  // namespace
+}  // namespace commroute::trace

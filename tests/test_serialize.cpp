@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "spp/gadgets.hpp"
+#include "spp/serialize.hpp"
+#include "support/error.hpp"
+
+namespace commroute::spp {
+namespace {
+
+TEST(Serialize, ParsesDisagree) {
+  const Instance inst = parse_instance(R"(
+    # DISAGREE
+    dest d
+    edge x d
+    edge y d
+    edge x y
+    prefer x: xyd xd
+    prefer y: yxd yd
+  )");
+  EXPECT_EQ(inst.node_count(), 3u);
+  EXPECT_EQ(inst.graph().name(inst.destination()), "d");
+  const NodeId x = inst.graph().node("x");
+  EXPECT_EQ(*inst.rank(x, inst.parse_path("xyd")), 0u);
+  EXPECT_EQ(*inst.rank(x, inst.parse_path("xd")), 1u);
+}
+
+TEST(Serialize, ParsesMultiCharNamesWithCommas) {
+  const Instance inst = parse_instance(R"(
+    dest dst
+    edge n1 dst
+    edge n2 dst
+    edge n1 n2
+    prefer n1: n1 n2 dst, n1 dst
+    prefer n2: n2 dst
+  )");
+  const NodeId n1 = inst.graph().node("n1");
+  EXPECT_EQ(inst.permitted(n1).size(), 2u);
+  EXPECT_EQ(inst.permitted(n1)[0].size(), 3u);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)  {
+  const Instance inst = parse_instance(
+      "dest d   # the destination\n\n# a comment line\nedge x d\n"
+      "prefer x: xd\n");
+  EXPECT_EQ(inst.node_count(), 2u);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    parse_instance("dest d\nedge x\n");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Serialize, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_instance("edge x d\n"), ParseError);  // no dest
+  EXPECT_THROW(parse_instance("dest d\nfrobnicate x\n"), ParseError);
+  EXPECT_THROW(parse_instance("dest d\ndest e\n"), ParseError);
+  EXPECT_THROW(parse_instance("dest d\nprefer x xd\n"), ParseError);
+  EXPECT_THROW(parse_instance("dest d\nprefer : xd\n"), ParseError);
+}
+
+TEST(Serialize, ValidationErrorsPropagate) {
+  // Path through a missing edge fails instance validation.
+  EXPECT_THROW(parse_instance(R"(
+    dest d
+    edge x d
+    edge y d
+    prefer x: xyd
+  )"),
+               PreconditionError);
+}
+
+TEST(Serialize, RoundTripsEveryGadget) {
+  for (const auto& [name, inst] : all_gadgets()) {
+    const std::string text = format_instance(inst);
+    const Instance parsed = parse_instance(text);
+    EXPECT_EQ(parsed.to_string(), inst.to_string()) << name;
+    EXPECT_EQ(parsed.graph().edge_count(), inst.graph().edge_count())
+        << name;
+    EXPECT_EQ(parsed.destination(), inst.destination()) << name;
+  }
+}
+
+TEST(Serialize, RoundTripsMultiCharInstances) {
+  const Instance inst = disagree_chain(2);  // names x0, y0, x1, y1
+  const Instance parsed = parse_instance(format_instance(inst));
+  EXPECT_EQ(parsed.to_string(), inst.to_string());
+}
+
+TEST(Serialize, FormatIsStable) {
+  const Instance inst = disagree();
+  EXPECT_EQ(format_instance(parse_instance(format_instance(inst))),
+            format_instance(inst));
+}
+
+}  // namespace
+}  // namespace commroute::spp

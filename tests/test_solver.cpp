@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "spp/builder.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "spp/solver.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::spp {
+namespace {
+
+PathAssignment parse_assignment(const Instance& inst,
+                                const std::vector<std::string>& paths) {
+  PathAssignment out;
+  out.reserve(paths.size());
+  for (const std::string& p : paths) {
+    out.push_back(inst.parse_path(p));
+  }
+  return out;
+}
+
+TEST(Solver, ConsistencyRequiresNextHopAgreement) {
+  const Instance inst = disagree();  // nodes: d, x, y
+  EXPECT_TRUE(is_consistent(inst, parse_assignment(inst, {"d", "xd", "yd"})));
+  EXPECT_TRUE(
+      is_consistent(inst, parse_assignment(inst, {"d", "xyd", "yd"})));
+  // x claims the route through y while y has the direct route withdrawn.
+  EXPECT_FALSE(
+      is_consistent(inst, parse_assignment(inst, {"d", "xyd", ""})));
+  // Both claim the route through each other: circular, inconsistent.
+  EXPECT_FALSE(
+      is_consistent(inst, parse_assignment(inst, {"d", "xyd", "yxd"})));
+}
+
+TEST(Solver, ConsistencyRequiresDestinationSelfPath) {
+  const Instance inst = disagree();
+  PathAssignment pi = parse_assignment(inst, {"d", "xd", "yd"});
+  pi[inst.destination()] = Path::epsilon();
+  EXPECT_FALSE(is_consistent(inst, pi));
+}
+
+TEST(Solver, StabilityIsBestResponseFixedPoint) {
+  const Instance inst = disagree();
+  // (d, xd, yd): consistent but x would deviate to xyd -> unstable.
+  const PathAssignment all_direct =
+      parse_assignment(inst, {"d", "xd", "yd"});
+  EXPECT_TRUE(is_consistent(inst, all_direct));
+  EXPECT_FALSE(is_stable(inst, all_direct));
+
+  const PathAssignment solution =
+      parse_assignment(inst, {"d", "xyd", "yd"});
+  EXPECT_TRUE(is_stable(inst, solution));
+  EXPECT_TRUE(is_solution(inst, solution));
+}
+
+TEST(Solver, BestResponseComputesGreedyChoice) {
+  const Instance inst = disagree();
+  const PathAssignment from = parse_assignment(inst, {"d", "", ""});
+  const PathAssignment br = best_response(inst, from);
+  // With no neighbor routes, both pick the direct route via d's path.
+  EXPECT_EQ(br[inst.graph().node("x")], inst.parse_path("xd"));
+  EXPECT_EQ(br[inst.graph().node("y")], inst.parse_path("yd"));
+}
+
+TEST(Solver, BestResponseSkipsLoopingExtensions) {
+  const Instance inst = disagree();
+  // If y routes through x, x cannot extend y's path (it contains x).
+  const PathAssignment from = parse_assignment(inst, {"d", "xd", "yxd"});
+  const PathAssignment br = best_response(inst, from);
+  EXPECT_EQ(br[inst.graph().node("x")], inst.parse_path("xd"));
+}
+
+TEST(Solver, LimitShortCircuits) {
+  const Instance inst = disagree();
+  EXPECT_EQ(stable_assignments(inst, 1).size(), 1u);
+  EXPECT_EQ(stable_assignments(inst, 0).size(), 2u);
+}
+
+TEST(Solver, SolutionsOfRandomTreesAreUnique) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = random_tree(rng, 6);
+    const auto sols = stable_assignments(inst);
+    ASSERT_EQ(sols.size(), 1u);
+    // The unique solution assigns every node its tree path.
+    for (NodeId v = 0; v < inst.node_count(); ++v) {
+      if (v == inst.destination()) {
+        continue;
+      }
+      EXPECT_EQ(sols[0][v], inst.permitted(v)[0]);
+    }
+  }
+}
+
+TEST(Solver, EverySolutionItFindsIsASolution) {
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = random_policy(rng, {.nodes = 5});
+    for (const PathAssignment& pi : stable_assignments(inst)) {
+      EXPECT_TRUE(is_solution(inst, pi));
+    }
+  }
+}
+
+TEST(Solver, AssignmentNameFormat) {
+  const Instance inst = disagree();
+  EXPECT_EQ(assignment_name(inst, parse_assignment(inst, {"d", "xd", ""})),
+            "(d, xd, (eps))");
+}
+
+}  // namespace
+}  // namespace commroute::spp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "engine/state.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::engine {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  spp::Instance inst = spp::disagree();
+  NodeId d = inst.graph().node("d");
+  NodeId x = inst.graph().node("x");
+  NodeId y = inst.graph().node("y");
+};
+
+TEST_F(StateTest, InitialStateMatchesDefinition21) {
+  const NetworkState s(inst);
+  // pi_d(0) = (d); everything else epsilon.
+  EXPECT_EQ(s.assignment(d), Path{d});
+  EXPECT_TRUE(s.assignment(x).empty());
+  EXPECT_TRUE(s.assignment(y).empty());
+  // rho(c; 0) = epsilon; channels empty; nothing exported.
+  for (ChannelIdx c = 0; c < inst.graph().channel_count(); ++c) {
+    EXPECT_TRUE(s.known(c).empty());
+    EXPECT_TRUE(s.channel(c).empty());
+    EXPECT_FALSE(s.last_exported(c).has_value());
+  }
+  EXPECT_TRUE(s.quiescent());
+  EXPECT_EQ(s.messages_in_flight(), 0u);
+  EXPECT_EQ(s.max_channel_length(), 0u);
+}
+
+TEST_F(StateTest, EqualityAndHashCoverAllComponents) {
+  NetworkState a(inst), b(inst);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.hash(), b.hash());
+
+  b.set_assignment(x, inst.parse_path("xd"));
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+
+  b = NetworkState(inst);
+  b.set_known(0, inst.parse_path("xd"));
+  EXPECT_FALSE(a == b);
+
+  b = NetworkState(inst);
+  b.mutable_channel(0).push(Message{inst.parse_path("xd"), 0});
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+
+  b = NetworkState(inst);
+  b.set_last_exported(0, Path::epsilon());
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(StateTest, QuiescenceTracksChannels) {
+  NetworkState s(inst);
+  s.mutable_channel(2).push(Message{inst.parse_path("xd"), 0});
+  EXPECT_FALSE(s.quiescent());
+  EXPECT_EQ(s.messages_in_flight(), 1u);
+  EXPECT_EQ(s.max_channel_length(), 1u);
+  s.mutable_channel(2).pop_front();
+  EXPECT_TRUE(s.quiescent());
+}
+
+TEST_F(StateTest, CopySemantics) {
+  NetworkState a(inst);
+  a.mutable_channel(1).push(Message{inst.parse_path("yd"), 0});
+  NetworkState b = a;
+  EXPECT_TRUE(a == b);
+  b.mutable_channel(1).pop_front();
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.channel(1).size(), 1u);  // deep copy
+}
+
+TEST_F(StateTest, ToStringShowsAssignmentsAndChannels) {
+  NetworkState s(inst);
+  s.set_assignment(x, inst.parse_path("xd"));
+  s.mutable_channel(inst.graph().channel(x, y))
+      .push(Message{inst.parse_path("xd"), 0});
+  const std::string out = s.to_string();
+  EXPECT_NE(out.find("x=xd"), std::string::npos);
+  EXPECT_NE(out.find("x->y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::engine

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace commroute {
+namespace {
+
+TEST(Error, RequireThrowsPreconditionWithContext) {
+  try {
+    CR_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInvariant) {
+  EXPECT_THROW(CR_ASSERT(false, "broken"), InvariantError);
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw ParseError("x"); }, Error);
+  EXPECT_THROW(
+      { throw InvariantError("x"); }, Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowHitsAllResidues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.below(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.range(3, 2), PreconditionError);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(17);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), PreconditionError);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(42);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitTrimmedDropsEmpties) {
+  const auto parts = split_trimmed(" a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(">=3", ">="));
+  EXPECT_FALSE(starts_with("3", ">="));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Hash, RangeHashDistinguishesLengthAndOrder) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{3, 2, 1};
+  const std::vector<int> c{1, 2};
+  EXPECT_NE(hash_range(a), hash_range(b));
+  EXPECT_NE(hash_range(a), hash_range(c));
+  EXPECT_EQ(hash_range(a), hash_range(std::vector<int>{1, 2, 3}));
+}
+
+TEST(Table, RendersHeaderAndAlignment) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line has the same length (padded columns).
+  std::size_t first_len = out.find('\n');
+  EXPECT_NE(first_len, std::string::npos);
+}
+
+TEST(Table, SeparatorAndShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2", "3", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute

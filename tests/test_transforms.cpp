@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.hpp"
+#include "engine/scheduler.hpp"
+#include "realization/transforms.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "test_util.hpp"
+#include "trace/seq_match.hpp"
+
+namespace commroute::realization {
+namespace {
+
+using model::ActivationScript;
+using model::Model;
+
+// A transform's claimed Strength maps onto the MatchKind ladder
+// (Strength::kSubsequence=2 <-> MatchKind::kSubsequence=1 etc.).
+trace::MatchKind required_kind(Strength s) {
+  switch (s) {
+    case Strength::kExact:
+      return trace::MatchKind::kExact;
+    case Strength::kRepetition:
+      return trace::MatchKind::kRepetition;
+    case Strength::kSubsequence:
+      return trace::MatchKind::kSubsequence;
+    default:
+      return trace::MatchKind::kNone;
+  }
+}
+
+bool satisfies(trace::MatchKind got, trace::MatchKind want) {
+  return static_cast<int>(got) >= static_cast<int>(want);
+}
+
+ActivationScript random_script(const spp::Instance& inst, const Model& m,
+                               Rng rng, int steps) {
+  engine::RandomFairScheduler sched(
+      m, inst, rng,
+      {.drop_prob = m.reliable() ? 0.0 : 0.35, .sweep_period = 16});
+  engine::NetworkState state(inst);
+  ActivationScript script;
+  for (int i = 0; i < steps; ++i) {
+    const auto step = sched.next(state);
+    engine::execute_step(state, step);
+    script.push_back(step);
+  }
+  return script;
+}
+
+void check_case(const TransformCase& c, const spp::Instance& inst,
+                const ActivationScript& script) {
+  const trace::Recording rec = trace::record_script(inst, script, c.from);
+  const ActivationScript out = apply_transform(c, inst, rec);
+  for (const auto& step : out) {
+    model::require_step_allowed(c.to, inst, step);
+  }
+  const trace::Recording replay = trace::record_script(inst, out, c.to);
+  const trace::MatchKind got =
+      trace::strongest_match(rec.trace, replay.trace);
+  EXPECT_TRUE(satisfies(got, required_kind(c.claimed)))
+      << c.name << " " << c.from.name() << "->" << c.to.name()
+      << ": claimed " << to_string(c.claimed) << ", got "
+      << trace::to_string(got);
+}
+
+TEST(Transforms, RegistryCoversEveryTheoremInstance) {
+  const auto cases = all_transform_cases();
+  EXPECT_EQ(cases.size(), 59u);
+  std::size_t identities = 0, expand = 0;
+  for (const auto& c : cases) {
+    if (c.rule == TransformRule::kIdentity) {
+      ++identities;
+    }
+    if (c.rule == TransformRule::kExpandMulti) {
+      ++expand;
+    }
+  }
+  EXPECT_EQ(identities, 46u);  // P3.3: 12 + 6 + 12 + 16
+  EXPECT_EQ(expand, 8u);       // Thm 3.5: 2 reliabilities x 4 modes
+}
+
+// Parameterized sweep: every transform case on gadgets and random
+// instances with randomized fair executions.
+class TransformCaseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransformCaseTest, HoldsOnDisagree) {
+  const TransformCase c = all_transform_cases()[GetParam()];
+  const spp::Instance inst = spp::disagree();
+  check_case(c, inst, random_script(inst, c.from, Rng(GetParam()), 60));
+}
+
+TEST_P(TransformCaseTest, HoldsOnExampleA2) {
+  const TransformCase c = all_transform_cases()[GetParam()];
+  const spp::Instance inst = spp::example_a2();
+  check_case(c, inst,
+             random_script(inst, c.from, Rng(1000 + GetParam()), 80));
+}
+
+TEST_P(TransformCaseTest, HoldsOnRandomInstances) {
+  const TransformCase c = all_transform_cases()[GetParam()];
+  Rng rng(5000 + GetParam());
+  for (int trial = 0; trial < 3; ++trial) {
+    const spp::Instance inst = spp::random_policy(rng, {.nodes = 5});
+    check_case(c, inst, random_script(inst, c.from, rng.split(), 50));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, TransformCaseTest,
+    ::testing::Range<std::size_t>(0, all_transform_cases().size()),
+    [](const auto& suite_info) {
+      const TransformCase c = all_transform_cases()[suite_info.param];
+      std::string name = c.from.name() + "_to_" + c.to.name() + "_" +
+                         std::to_string(suite_info.param);
+      return name;
+    });
+
+// The Thm. 3.7 construction must be *exact*, not merely stutter-exact.
+TEST(Transforms, AccumulateSkipsIsStrictlyExact) {
+  const spp::Instance inst = spp::disagree();
+  TransformCase t37;
+  for (const auto& c : all_transform_cases()) {
+    if (c.rule == TransformRule::kAccumulateSkips) {
+      t37 = c;
+    }
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto script =
+        random_script(inst, t37.from, Rng(200 + trial), 80);
+    const trace::Recording rec =
+        trace::record_script(inst, script, t37.from);
+    const auto out = apply_transform(t37, inst, rec);
+    const trace::Recording replay =
+        trace::record_script(inst, out, t37.to);
+    EXPECT_TRUE(trace::matches_exactly(rec.trace, replay.trace))
+        << "trial " << trial;
+  }
+}
+
+// The Prop. 3.6 flag construction preserves the destination's initial
+// announcement even when the R1S script first activates d with f = 0.
+TEST(Transforms, FlagBatchesSurvivesEmptyFirstDestinationRead) {
+  const spp::Instance inst = spp::disagree();
+  const NodeId d = inst.graph().node("d");
+  const NodeId x = inst.graph().node("x");
+  ActivationScript script;
+  script.push_back(model::make_step(
+      d, {model::ReadSpec{inst.graph().channel(x, d), 0u, {}}}));
+  script.push_back(model::read_one_step(inst, x, d));
+  TransformCase flag;
+  for (const auto& c : all_transform_cases()) {
+    if (c.rule == TransformRule::kFlagBatches) {
+      flag = c;
+    }
+  }
+  const trace::Recording rec =
+      trace::record_script(inst, script, flag.from);
+  const auto out = apply_transform(flag, inst, rec);
+  const trace::Recording replay = trace::record_script(inst, out, flag.to);
+  EXPECT_EQ(replay.final_state.assignment(x), inst.parse_path("xd"));
+  EXPECT_TRUE(trace::matches_as_subsequence(rec.trace, replay.trace));
+}
+
+// Identity embeddings return the script verbatim.
+TEST(Transforms, IdentityReturnsSameScript) {
+  const spp::Instance inst = spp::disagree();
+  TransformCase ident;
+  for (const auto& c : all_transform_cases()) {
+    if (c.rule == TransformRule::kIdentity &&
+        c.from == Model::parse("R1O")) {
+      ident = c;
+      break;
+    }
+  }
+  const auto script = random_script(inst, ident.from, Rng(3), 20);
+  const trace::Recording rec =
+      trace::record_script(inst, script, ident.from);
+  const auto out = apply_transform(ident, inst, rec);
+  ASSERT_EQ(out.size(), script.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].to_string(inst), script[i].to_string(inst));
+  }
+}
+
+}  // namespace
+}  // namespace commroute::realization
