@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example_a4.dir/bench_example_a4.cpp.o"
+  "CMakeFiles/bench_example_a4.dir/bench_example_a4.cpp.o.d"
+  "bench_example_a4"
+  "bench_example_a4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example_a4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multinode_ablation.dir/bench_multinode_ablation.cpp.o"
+  "CMakeFiles/bench_multinode_ablation.dir/bench_multinode_ablation.cpp.o.d"
+  "bench_multinode_ablation"
+  "bench_multinode_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multinode_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

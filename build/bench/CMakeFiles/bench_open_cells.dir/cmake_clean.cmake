@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_cells.dir/bench_open_cells.cpp.o"
+  "CMakeFiles/bench_open_cells.dir/bench_open_cells.cpp.o.d"
+  "bench_open_cells"
+  "bench_open_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_policy_lab.dir/bgp_policy_lab.cpp.o"
+  "CMakeFiles/bgp_policy_lab.dir/bgp_policy_lab.cpp.o.d"
+  "bgp_policy_lab"
+  "bgp_policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

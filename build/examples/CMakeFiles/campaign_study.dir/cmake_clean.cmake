@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_study.dir/campaign_study.cpp.o"
+  "CMakeFiles/campaign_study.dir/campaign_study.cpp.o.d"
+  "campaign_study"
+  "campaign_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

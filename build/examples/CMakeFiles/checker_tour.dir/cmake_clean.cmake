@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_tour.dir/checker_tour.cpp.o"
+  "CMakeFiles/checker_tour.dir/checker_tour.cpp.o.d"
+  "checker_tour"
+  "checker_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

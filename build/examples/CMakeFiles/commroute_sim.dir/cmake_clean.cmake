@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commroute_sim.dir/commroute_sim.cpp.o"
+  "CMakeFiles/commroute_sim.dir/commroute_sim.cpp.o.d"
+  "commroute_sim"
+  "commroute_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commroute_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

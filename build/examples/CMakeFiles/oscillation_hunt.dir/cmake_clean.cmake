@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillation_hunt.dir/oscillation_hunt.cpp.o"
+  "CMakeFiles/oscillation_hunt.dir/oscillation_hunt.cpp.o.d"
+  "oscillation_hunt"
+  "oscillation_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillation_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realization_explorer.dir/realization_explorer.cpp.o"
+  "CMakeFiles/realization_explorer.dir/realization_explorer.cpp.o.d"
+  "realization_explorer"
+  "realization_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realization_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

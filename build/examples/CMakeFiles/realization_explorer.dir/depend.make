@@ -1,0 +1,2 @@
+# Empty dependencies file for realization_explorer.
+# This may be replaced when dependencies are built.

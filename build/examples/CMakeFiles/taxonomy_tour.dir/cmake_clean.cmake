@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_tour.dir/taxonomy_tour.cpp.o"
+  "CMakeFiles/taxonomy_tour.dir/taxonomy_tour.cpp.o.d"
+  "taxonomy_tour"
+  "taxonomy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/compile.cpp" "src/CMakeFiles/commroute.dir/bgp/compile.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/bgp/compile.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/CMakeFiles/commroute.dir/bgp/policy.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/bgp/policy.cpp.o.d"
+  "/root/repo/src/bgp/random_topology.cpp" "src/CMakeFiles/commroute.dir/bgp/random_topology.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/bgp/random_topology.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/CMakeFiles/commroute.dir/bgp/session.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/bgp/session.cpp.o.d"
+  "/root/repo/src/bgp/topology.cpp" "src/CMakeFiles/commroute.dir/bgp/topology.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/bgp/topology.cpp.o.d"
+  "/root/repo/src/checker/explorer.cpp" "src/CMakeFiles/commroute.dir/checker/explorer.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/checker/explorer.cpp.o.d"
+  "/root/repo/src/checker/minimize.cpp" "src/CMakeFiles/commroute.dir/checker/minimize.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/checker/minimize.cpp.o.d"
+  "/root/repo/src/checker/successors.cpp" "src/CMakeFiles/commroute.dir/checker/successors.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/checker/successors.cpp.o.d"
+  "/root/repo/src/checker/targeted.cpp" "src/CMakeFiles/commroute.dir/checker/targeted.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/checker/targeted.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/CMakeFiles/commroute.dir/core/graph.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/core/graph.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/CMakeFiles/commroute.dir/core/path.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/core/path.cpp.o.d"
+  "/root/repo/src/engine/channel.cpp" "src/CMakeFiles/commroute.dir/engine/channel.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/engine/channel.cpp.o.d"
+  "/root/repo/src/engine/executor.cpp" "src/CMakeFiles/commroute.dir/engine/executor.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/engine/executor.cpp.o.d"
+  "/root/repo/src/engine/runner.cpp" "src/CMakeFiles/commroute.dir/engine/runner.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/engine/runner.cpp.o.d"
+  "/root/repo/src/engine/scheduler.cpp" "src/CMakeFiles/commroute.dir/engine/scheduler.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/engine/scheduler.cpp.o.d"
+  "/root/repo/src/engine/state.cpp" "src/CMakeFiles/commroute.dir/engine/state.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/engine/state.cpp.o.d"
+  "/root/repo/src/model/activation.cpp" "src/CMakeFiles/commroute.dir/model/activation.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/model/activation.cpp.o.d"
+  "/root/repo/src/model/fairness.cpp" "src/CMakeFiles/commroute.dir/model/fairness.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/model/fairness.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/CMakeFiles/commroute.dir/model/model.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/model/model.cpp.o.d"
+  "/root/repo/src/model/multi.cpp" "src/CMakeFiles/commroute.dir/model/multi.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/model/multi.cpp.o.d"
+  "/root/repo/src/model/script_io.cpp" "src/CMakeFiles/commroute.dir/model/script_io.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/model/script_io.cpp.o.d"
+  "/root/repo/src/realization/closure.cpp" "src/CMakeFiles/commroute.dir/realization/closure.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/closure.cpp.o.d"
+  "/root/repo/src/realization/compose.cpp" "src/CMakeFiles/commroute.dir/realization/compose.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/compose.cpp.o.d"
+  "/root/repo/src/realization/facts.cpp" "src/CMakeFiles/commroute.dir/realization/facts.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/facts.cpp.o.d"
+  "/root/repo/src/realization/machine_facts.cpp" "src/CMakeFiles/commroute.dir/realization/machine_facts.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/machine_facts.cpp.o.d"
+  "/root/repo/src/realization/matrix.cpp" "src/CMakeFiles/commroute.dir/realization/matrix.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/matrix.cpp.o.d"
+  "/root/repo/src/realization/paper_data.cpp" "src/CMakeFiles/commroute.dir/realization/paper_data.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/paper_data.cpp.o.d"
+  "/root/repo/src/realization/relation.cpp" "src/CMakeFiles/commroute.dir/realization/relation.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/relation.cpp.o.d"
+  "/root/repo/src/realization/transforms.cpp" "src/CMakeFiles/commroute.dir/realization/transforms.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/realization/transforms.cpp.o.d"
+  "/root/repo/src/spp/builder.cpp" "src/CMakeFiles/commroute.dir/spp/builder.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/builder.cpp.o.d"
+  "/root/repo/src/spp/dispute_wheel.cpp" "src/CMakeFiles/commroute.dir/spp/dispute_wheel.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/dispute_wheel.cpp.o.d"
+  "/root/repo/src/spp/dot.cpp" "src/CMakeFiles/commroute.dir/spp/dot.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/dot.cpp.o.d"
+  "/root/repo/src/spp/gadgets.cpp" "src/CMakeFiles/commroute.dir/spp/gadgets.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/gadgets.cpp.o.d"
+  "/root/repo/src/spp/instance.cpp" "src/CMakeFiles/commroute.dir/spp/instance.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/instance.cpp.o.d"
+  "/root/repo/src/spp/random_gen.cpp" "src/CMakeFiles/commroute.dir/spp/random_gen.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/random_gen.cpp.o.d"
+  "/root/repo/src/spp/serialize.cpp" "src/CMakeFiles/commroute.dir/spp/serialize.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/serialize.cpp.o.d"
+  "/root/repo/src/spp/solver.cpp" "src/CMakeFiles/commroute.dir/spp/solver.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/spp/solver.cpp.o.d"
+  "/root/repo/src/study/campaign.cpp" "src/CMakeFiles/commroute.dir/study/campaign.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/study/campaign.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/commroute.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/commroute.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/commroute.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/commroute.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/support/table.cpp.o.d"
+  "/root/repo/src/trace/recording.cpp" "src/CMakeFiles/commroute.dir/trace/recording.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/trace/recording.cpp.o.d"
+  "/root/repo/src/trace/seq_match.cpp" "src/CMakeFiles/commroute.dir/trace/seq_match.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/trace/seq_match.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/commroute.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/commroute.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

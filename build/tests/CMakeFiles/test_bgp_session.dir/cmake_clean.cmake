@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_session.dir/test_bgp_session.cpp.o"
+  "CMakeFiles/test_bgp_session.dir/test_bgp_session.cpp.o.d"
+  "test_bgp_session"
+  "test_bgp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

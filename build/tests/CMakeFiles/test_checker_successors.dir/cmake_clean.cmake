@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_successors.dir/test_checker_successors.cpp.o"
+  "CMakeFiles/test_checker_successors.dir/test_checker_successors.cpp.o.d"
+  "test_checker_successors"
+  "test_checker_successors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_successors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_targeted.dir/test_checker_targeted.cpp.o"
+  "CMakeFiles/test_checker_targeted.dir/test_checker_targeted.cpp.o.d"
+  "test_checker_targeted"
+  "test_checker_targeted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_targeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closure_rules.dir/test_closure_rules.cpp.o"
+  "CMakeFiles/test_closure_rules.dir/test_closure_rules.cpp.o.d"
+  "test_closure_rules"
+  "test_closure_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closure_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispute_wheel.dir/test_dispute_wheel.cpp.o"
+  "CMakeFiles/test_dispute_wheel.dir/test_dispute_wheel.cpp.o.d"
+  "test_dispute_wheel"
+  "test_dispute_wheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispute_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

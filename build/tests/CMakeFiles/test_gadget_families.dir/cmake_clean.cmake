@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadget_families.dir/test_gadget_families.cpp.o"
+  "CMakeFiles/test_gadget_families.dir/test_gadget_families.cpp.o.d"
+  "test_gadget_families"
+  "test_gadget_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadget_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

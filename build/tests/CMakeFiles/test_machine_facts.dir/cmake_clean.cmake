@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_facts.dir/test_machine_facts.cpp.o"
+  "CMakeFiles/test_machine_facts.dir/test_machine_facts.cpp.o.d"
+  "test_machine_facts"
+  "test_machine_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

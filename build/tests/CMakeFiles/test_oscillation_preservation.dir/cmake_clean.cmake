@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscillation_preservation.dir/test_oscillation_preservation.cpp.o"
+  "CMakeFiles/test_oscillation_preservation.dir/test_oscillation_preservation.cpp.o.d"
+  "test_oscillation_preservation"
+  "test_oscillation_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscillation_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_gen.dir/test_random_gen.cpp.o"
+  "CMakeFiles/test_random_gen.dir/test_random_gen.cpp.o.d"
+  "test_random_gen"
+  "test_random_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realization_closure.dir/test_realization_closure.cpp.o"
+  "CMakeFiles/test_realization_closure.dir/test_realization_closure.cpp.o.d"
+  "test_realization_closure"
+  "test_realization_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realization_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

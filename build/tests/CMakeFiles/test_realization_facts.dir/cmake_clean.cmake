@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realization_facts.dir/test_realization_facts.cpp.o"
+  "CMakeFiles/test_realization_facts.dir/test_realization_facts.cpp.o.d"
+  "test_realization_facts"
+  "test_realization_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realization_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realization_relation.dir/test_realization_relation.cpp.o"
+  "CMakeFiles/test_realization_relation.dir/test_realization_relation.cpp.o.d"
+  "test_realization_relation"
+  "test_realization_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realization_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_extra.dir/test_scheduler_extra.cpp.o"
+  "CMakeFiles/test_scheduler_extra.dir/test_scheduler_extra.cpp.o.d"
+  "test_scheduler_extra"
+  "test_scheduler_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_match.dir/test_seq_match.cpp.o"
+  "CMakeFiles/test_seq_match.dir/test_seq_match.cpp.o.d"
+  "test_seq_match"
+  "test_seq_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
