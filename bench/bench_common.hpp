@@ -1,10 +1,12 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the figure-reproduction benches. All human output
+// routes through bench::out() (bench_json.hpp), so every bench can run
+// in quiet JSON-only mode via --json / COMMROUTE_BENCH_JSON=1.
 #pragma once
 
-#include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "model/activation.hpp"
 #include "spp/instance.hpp"
 #include "support/table.hpp"
@@ -13,7 +15,7 @@
 namespace commroute::bench {
 
 inline void banner(const std::string& title) {
-  std::cout << "\n=== " << title << " ===\n\n";
+  out() << "\n=== " << title << " ===\n\n";
 }
 
 /// Builds the paper's node-activation scripts: one step per named node,
@@ -41,12 +43,12 @@ inline void print_activation_table(const spp::Instance& inst,
     table.add_row({std::to_string(t + 1), inst.graph().name(v),
                    inst.path_name(rec.trace.at(t + 1)[v])});
   }
-  std::cout << table.render();
+  out() << table.render();
 }
 
 /// Exit code helper: prints the verdict line and returns 0/1.
 inline int verdict(bool ok, const std::string& what) {
-  std::cout << "\n[" << (ok ? "OK" : "MISMATCH") << "] " << what << "\n";
+  out() << "\n[" << (ok ? "OK" : "MISMATCH") << "] " << what << "\n";
   return ok ? 0 : 1;
 }
 

@@ -1,0 +1,105 @@
+// Shared main() for the google-benchmark perf benches. Normal mode is
+// the stock console reporter; --json / COMMROUTE_BENCH_JSON=1 captures
+// every run instead and writes BENCH_<name>.json (wall_ms plus a peak
+// throughput metric) via bench_json.hpp, printing the same JSON object
+// to stdout.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace commroute::bench {
+
+class CaptureReporter : public benchmark::BenchmarkReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ms_per_iter = 0.0;
+    double items_per_second = 0.0;  ///< 0 when the bench sets no items
+  };
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration) {
+        continue;  // skip aggregate (mean/median/stddev) rows
+      }
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      if (run.iterations > 0) {
+        row.real_ms_per_iter =
+            run.real_accumulated_time /
+            static_cast<double>(run.iterations) * 1e3;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        row.items_per_second = it->second.value;
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// `throughput_key` names the peak-throughput metric in the JSON output
+/// (items/sec when the benches report items, iterations/sec otherwise).
+inline int gbench_main(const std::string& name,
+                       const std::string& throughput_key, int argc,
+                       char** argv) {
+  const bool json = parse_json_mode(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (!json) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  CaptureReporter reporter;
+  const auto t0 = std::chrono::steady_clock::now();
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  benchmark::Shutdown();
+
+  BenchJson output(name);
+  double peak_throughput = 0.0;
+  for (const CaptureReporter::Row& row : reporter.rows()) {
+    obs::JsonWriter w;
+    w.field("name", row.name)
+        .field("iterations", row.iterations)
+        .field("real_ms_per_iter", row.real_ms_per_iter);
+    double throughput = 0.0;
+    if (row.items_per_second > 0.0) {
+      w.field("items_per_second", row.items_per_second);
+      throughput = row.items_per_second;
+    } else if (row.real_ms_per_iter > 0.0) {
+      throughput = 1e3 / row.real_ms_per_iter;  // iterations/sec
+    }
+    peak_throughput = std::max(peak_throughput, throughput);
+    output.add_result(w);
+  }
+  output.set_metric("wall_ms", wall_ms);
+  output.set_metric(throughput_key, peak_throughput);
+  output.write();
+  std::cout << output.to_json() << "\n";
+  return 0;
+}
+
+}  // namespace commroute::bench

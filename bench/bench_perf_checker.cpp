@@ -1,7 +1,9 @@
 // Checker microbenchmarks (google-benchmark): exhaustive exploration and
-// targeted realization-search cost on the paper's gadgets.
+// targeted realization-search cost on the paper's gadgets. Run with
+// --json to write BENCH_perf_checker.json instead of the console table.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "checker/explorer.hpp"
 #include "checker/successors.hpp"
 #include "checker/targeted.hpp"
@@ -22,6 +24,8 @@ void BM_ExploreDisagree(benchmark::State& state) {
     states_explored = r.states;
     benchmark::DoNotOptimize(r);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * states_explored));  // states/sec
   state.SetLabel(m.name() + " (" + std::to_string(states_explored) +
                  " states)");
 }
@@ -77,4 +81,7 @@ BENCHMARK(BM_TargetedSearchA3Exact)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return commroute::bench::gbench_main("perf_checker", "states_per_sec",
+                                       argc, argv);
+}

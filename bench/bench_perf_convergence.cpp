@@ -1,8 +1,11 @@
 // Extension experiment (E-PERF2): how the communication model affects
 // convergence *cost* on safe instances — steps and messages to strong
 // quiescence under deterministic round-robin and randomized fair
-// schedules, across all 24 models and three instance families.
+// schedules, across all 24 models and three instance families. Run with
+// --json to write BENCH_perf_convergence.json (per model x family rows
+// plus wall-ms / steps-per-sec totals).
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -30,7 +33,9 @@ std::uint64_t median(std::vector<std::uint64_t> v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::parse_json_mode(argc, argv);
+  bench::BenchJson output("perf_convergence");
   bench::banner(
       "Convergence cost across the taxonomy (steps / messages to "
       "quiescence)");
@@ -45,9 +50,12 @@ int main() {
            bgp::random_as_topology(topo_rng, {.as_count = 8}), "as0")});
 
   bool ok = true;
+  double total_ms = 0.0;
+  std::uint64_t total_steps = 0;
+  const auto t_start = std::chrono::steady_clock::now();
   for (const Family& family : families) {
-    std::cout << family.name << " (" << family.instance.node_count()
-              << " nodes):\n";
+    bench::out() << family.name << " (" << family.instance.node_count()
+                 << " nodes):\n";
     TextTable table;
     table.set_header({"model", "rr steps", "rr msgs", "rand steps (med)",
                       "rand msgs (med)", "rand drops (med)"});
@@ -57,6 +65,7 @@ int main() {
           engine::run(family.instance, rr,
                       {.max_steps = 100000, .record_trace = false});
       ok = ok && rr_result.outcome == engine::Outcome::kConverged;
+      total_steps += rr_result.steps;
 
       std::vector<std::uint64_t> steps, msgs, drops;
       for (std::uint64_t seed = 0; seed < 7; ++seed) {
@@ -70,20 +79,44 @@ int main() {
         steps.push_back(r.steps);
         msgs.push_back(r.messages_sent);
         drops.push_back(r.messages_dropped);
+        total_steps += r.steps;
       }
       table.add_row({m.name(), std::to_string(rr_result.steps),
                      std::to_string(rr_result.messages_sent),
                      std::to_string(median(steps)),
                      std::to_string(median(msgs)),
                      std::to_string(median(drops))});
+      obs::JsonWriter row;
+      row.field("name", family.name)
+          .field("model", m.name())
+          .field("rr_steps", rr_result.steps)
+          .field("rr_messages", rr_result.messages_sent)
+          .field("rand_steps_median", median(steps))
+          .field("rand_messages_median", median(msgs))
+          .field("rand_drops_median", median(drops));
+      output.add_result(row);
     }
-    std::cout << table.render() << "\n";
+    bench::out() << table.render() << "\n";
   }
+  total_ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t_start)
+                 .count();
 
-  std::cout << "Reading guide: polling models (wxA) drain channels and "
-               "need the fewest activations; message-passing models (wxO) "
-               "need the most; unreliable variants pay for retransmitted "
-               "state through extra activations, not extra messages.\n";
+  bench::out() << "Reading guide: polling models (wxA) drain channels "
+                  "and need the fewest activations; message-passing "
+                  "models (wxO) need the most; unreliable variants pay "
+                  "for retransmitted state through extra activations, "
+                  "not extra messages.\n";
+
+  if (json) {
+    output.set_metric("wall_ms", total_ms);
+    output.set_metric(
+        "steps_per_sec",
+        total_ms > 0.0 ? static_cast<double>(total_steps) / (total_ms / 1e3)
+                       : 0.0);
+    output.write();
+    std::cout << output.to_json() << "\n";
+  }
 
   return bench::verdict(ok,
                         "all safe instances converged in all 24 models "

@@ -1,7 +1,9 @@
 // Engine microbenchmarks (google-benchmark): step execution throughput
-// per model, state hashing/copying, and scheduler overhead.
+// per model, state hashing/copying, and scheduler overhead. Run with
+// --json to write BENCH_perf_engine.json instead of the console table.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "engine/executor.hpp"
 #include "engine/runner.hpp"
 #include "engine/scheduler.hpp"
@@ -97,4 +99,7 @@ BENCHMARK(BM_SchedulerNext);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return commroute::bench::gbench_main("perf_engine", "steps_per_sec",
+                                       argc, argv);
+}

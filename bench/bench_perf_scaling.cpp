@@ -1,7 +1,8 @@
 // Extension experiment: scaling behavior of the engine with network
 // size — steps, messages, and wall time to convergence on growing
 // dispute-wheel-free instances, under the queueing model RMS and the
-// polling model REA.
+// polling model REA. Run with --json to write BENCH_perf_scaling.json
+// (per-config rows plus wall-ms / steps-per-sec totals).
 #include <chrono>
 #include <iostream>
 
@@ -10,14 +11,19 @@
 #include "spp/gadgets.hpp"
 #include "spp/random_gen.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace commroute;
   using model::Model;
 
+  const bool json = bench::parse_json_mode(argc, argv);
+  bench::BenchJson output("perf_scaling");
   bench::banner("Scaling — convergence cost vs. network size");
 
   bool ok = true;
-  const auto measure = [&](const spp::Instance& inst, const Model& m) {
+  double total_ms = 0.0;
+  std::uint64_t total_steps = 0;
+  const auto measure = [&](const std::string& label,
+                           const spp::Instance& inst, const Model& m) {
     engine::RoundRobinScheduler sched(m, inst);
     const auto t0 = std::chrono::steady_clock::now();
     const auto run = engine::run(inst, sched,
@@ -28,26 +34,39 @@ int main() {
                           std::chrono::steady_clock::now() - t0)
                           .count();
     ok = ok && run.outcome == engine::Outcome::kConverged;
+    total_ms += ms;
+    total_steps += run.steps;
+    obs::JsonWriter row;
+    row.field("name", label)
+        .field("model", m.name())
+        .field("steps", run.steps)
+        .field("messages_sent", run.messages_sent)
+        .field("wall_ms", ms)
+        .field("steps_per_sec",
+               ms > 0.0 ? static_cast<double>(run.steps) / (ms / 1e3)
+                        : 0.0);
+    output.add_result(row);
     return std::tuple(run.steps, run.messages_sent, ms);
   };
 
-  std::cout << "shortest_ring(k): ring of k nodes around d, two permitted "
-               "paths each\n";
+  bench::out() << "shortest_ring(k): ring of k nodes around d, two "
+                  "permitted paths each\n";
   TextTable ring;
   ring.set_header({"k", "RMS steps", "RMS msgs", "RMS ms", "REA steps",
                    "REA msgs", "REA ms"});
   for (const std::size_t k : {4u, 8u, 16u, 32u, 64u, 128u}) {
     const spp::Instance inst = spp::shortest_ring(k);
-    const auto [s1, m1, t1] = measure(inst, Model::parse("RMS"));
-    const auto [s2, m2, t2] = measure(inst, Model::parse("REA"));
+    const std::string label = "ring-" + std::to_string(k);
+    const auto [s1, m1, t1] = measure(label, inst, Model::parse("RMS"));
+    const auto [s2, m2, t2] = measure(label, inst, Model::parse("REA"));
     ring.add_row({std::to_string(k), std::to_string(s1),
                   std::to_string(m1), std::to_string(t1),
                   std::to_string(s2), std::to_string(m2),
                   std::to_string(t2)});
   }
-  std::cout << ring.render() << "\n";
+  bench::out() << ring.render() << "\n";
 
-  std::cout << "random shortest-path instances (seeded, degree ~3)\n";
+  bench::out() << "random shortest-path instances (seeded, degree ~3)\n";
   TextTable rnd;
   rnd.set_header({"nodes", "paths", "RMS steps", "RMS msgs", "RMS ms"});
   Rng rng(1234);
@@ -57,18 +76,29 @@ int main() {
     params.extra_edge_prob = 3.0 / static_cast<double>(n);
     params.max_paths_per_node = 8;
     const spp::Instance inst = spp::random_shortest(rng, params);
-    const auto [s, m, t] = measure(inst, Model::parse("RMS"));
+    const auto [s, m, t] = measure("random-" + std::to_string(n), inst,
+                                   Model::parse("RMS"));
     rnd.add_row({std::to_string(n),
                  std::to_string(inst.permitted_path_count()),
                  std::to_string(s), std::to_string(m),
                  std::to_string(t)});
   }
-  std::cout << rnd.render() << "\n";
+  bench::out() << rnd.render() << "\n";
 
-  std::cout << "Steps grow linearly in network size for round-robin "
-               "schedules on shortest-path-like policies; per-step cost "
-               "stays flat (flat channel indexing, no allocation on the "
-               "hot path beyond path copies).\n";
+  bench::out() << "Steps grow linearly in network size for round-robin "
+                  "schedules on shortest-path-like policies; per-step "
+                  "cost stays flat (flat channel indexing, no allocation "
+                  "on the hot path beyond path copies).\n";
+
+  if (json) {
+    output.set_metric("wall_ms", total_ms);
+    output.set_metric(
+        "steps_per_sec",
+        total_ms > 0.0 ? static_cast<double>(total_steps) / (total_ms / 1e3)
+                       : 0.0);
+    output.write();
+    std::cout << output.to_json() << "\n";
+  }
 
   return bench::verdict(ok, "all scaling runs converged");
 }

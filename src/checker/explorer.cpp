@@ -1,6 +1,7 @@
 #include "checker/explorer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <sstream>
 #include <unordered_map>
@@ -131,6 +132,13 @@ std::string ExploreResult::summary() const {
   os << (oscillation_found ? "oscillation possible" : "no fair oscillation")
      << " (" << states << " states, " << transitions << " transitions, "
      << (exhaustive ? "exhaustive" : "bounded") << ")";
+  if (state_cap_hit) {
+    os << ", state cap " << state_cap_limit << " hit";
+  }
+  if (channel_bound_hit) {
+    os << ", channel bound " << channel_length_limit << " hit ("
+       << bound_skipped_expansions << " expansions skipped)";
+  }
   if (!quiescent_assignments.empty()) {
     os << ", " << quiescent_assignments.size()
        << " distinct converged outcome(s)";
@@ -143,15 +151,22 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   CR_REQUIRE(instance.graph().channel_count() <= 64,
              "explorer supports at most 64 channels");
 
+  const bool observed = options.obs.attached();
+  const auto explore_start =
+      observed ? std::chrono::steady_clock::now()
+               : std::chrono::steady_clock::time_point{};
+
   ExploreResult result;
   ConfigGraph graph;
   SuccessorOptions successor_options;
   successor_options.max_steps_per_state = options.max_steps_per_state;
+  std::size_t expanded = 0;
 
   bool dummy = false;
   const StateId initial =
       graph.intern(engine::NetworkState(instance), dummy);
   std::deque<StateId> frontier{initial};
+  result.frontier_peak = 1;
 
   std::vector<trace::Assignment> quiescent;
 
@@ -166,10 +181,24 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   while (!frontier.empty()) {
     if (graph.states.size() > options.max_states) {
       result.state_cap_hit = true;
+      result.state_cap_limit = options.max_states;
       break;
     }
     const StateId id = frontier.front();
     frontier.pop_front();
+    ++expanded;
+    if (options.obs.sink != nullptr && options.heartbeat_every > 0 &&
+        expanded % options.heartbeat_every == 0) {
+      obs::Event ev("checker_heartbeat");
+      ev.field("expanded", static_cast<std::uint64_t>(expanded))
+          .field("states", static_cast<std::uint64_t>(graph.states.size()))
+          .field("frontier", static_cast<std::uint64_t>(frontier.size()))
+          .field("transitions",
+                 static_cast<std::uint64_t>(result.transitions))
+          .field("dedup_hits",
+                 static_cast<std::uint64_t>(result.dedup_hits));
+      options.obs.sink->emit(ev);
+    }
 
     // Strongly quiescent states are terminal: no step changes anything.
     if (engine::strongly_quiescent(graph.states[id])) {
@@ -189,6 +218,8 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
       if (next.max_channel_length() > options.max_channel_length) {
         result.channel_bound_hit = true;
+        result.channel_length_limit = options.max_channel_length;
+        ++result.bound_skipped_expansions;
         continue;  // beyond the bound: do not expand
       }
 
@@ -217,9 +248,14 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       ++result.transitions;
       if (is_new) {
         frontier.push_back(to);
+        if (frontier.size() > result.frontier_peak) {
+          result.frontier_peak = frontier.size();
+        }
         if (options.extract_witness) {
           parents.push_back(Parent{id, label.step_index});
         }
+      } else {
+        ++result.dedup_hits;
       }
     }
   }
@@ -237,6 +273,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
           : ((1ULL << instance.graph().channel_count()) - 1);
 
   for (;;) {
+    ++result.scc_prune_passes;
     const auto sccs = tarjan_sccs(graph);
     std::vector<std::uint32_t> scc_of(graph.states.size(), 0);
     for (std::uint32_t s = 0; s < sccs.size(); ++s) {
@@ -372,6 +409,54 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
         }
       }
       break;
+    }
+  }
+
+  if (observed) {
+    const std::uint64_t wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - explore_start)
+            .count());
+    if (options.obs.metrics != nullptr) {
+      obs::Registry& m = *options.obs.metrics;
+      m.counter("checker.explorations").add();
+      m.counter("checker.states").add(result.states);
+      m.counter("checker.transitions").add(result.transitions);
+      m.counter("checker.dedup_hits").add(result.dedup_hits);
+      m.counter("checker.scc_prune_passes").add(result.scc_prune_passes);
+      m.counter("checker.bound_skipped_expansions")
+          .add(result.bound_skipped_expansions);
+      m.counter("checker.wall_us").add(wall_us);
+      m.gauge("checker.frontier_peak").record_max(result.frontier_peak);
+    }
+    if (options.obs.sink != nullptr) {
+      obs::Event ev("checker_summary");
+      ev.field("oscillation_found", result.oscillation_found)
+          .field("exhaustive", result.exhaustive)
+          .field("state_cap_hit", result.state_cap_hit)
+          .field("state_cap_limit",
+                 static_cast<std::uint64_t>(result.state_cap_limit))
+          .field("channel_bound_hit", result.channel_bound_hit)
+          .field("channel_length_limit",
+                 static_cast<std::uint64_t>(result.channel_length_limit))
+          .field("bound_skipped_expansions",
+                 static_cast<std::uint64_t>(result.bound_skipped_expansions))
+          .field("states", static_cast<std::uint64_t>(result.states))
+          .field("transitions",
+                 static_cast<std::uint64_t>(result.transitions))
+          .field("dedup_hits",
+                 static_cast<std::uint64_t>(result.dedup_hits))
+          .field("frontier_peak",
+                 static_cast<std::uint64_t>(result.frontier_peak))
+          .field("scc_prune_passes",
+                 static_cast<std::uint64_t>(result.scc_prune_passes))
+          .field("witness_scc_size",
+                 static_cast<std::uint64_t>(result.witness_scc_size))
+          .field("quiescent_outcomes",
+                 static_cast<std::uint64_t>(
+                     result.quiescent_assignments.size()))
+          .field("wall_us", wall_us);
+      options.obs.sink->emit(ev);
     }
   }
 

@@ -29,6 +29,7 @@
 #include "engine/state.hpp"
 #include "model/activation.hpp"
 #include "model/model.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 namespace commroute::checker {
@@ -44,6 +45,14 @@ struct ExploreOptions {
   /// proportional to the number of transitions; leave off for large
   /// sweeps.
   bool extract_witness = false;
+  /// Optional metrics registry / JSONL event sink. Detached (the
+  /// default) adds nothing measurable; attached, explore() publishes
+  /// expansion/dedup/frontier aggregates and emits a periodic
+  /// "checker_heartbeat" plus a final "checker_summary" event.
+  obs::Instrumentation obs;
+  /// With a sink attached, emit a heartbeat every this many expanded
+  /// states (0 disables heartbeats).
+  std::size_t heartbeat_every = 10000;
 };
 
 struct ExploreResult {
@@ -56,6 +65,22 @@ struct ExploreResult {
 
   std::size_t states = 0;
   std::size_t transitions = 0;
+
+  /// Which configured bound truncated exploration, at what value (0 when
+  /// the corresponding bound was not hit) — so a non-exhaustive verdict
+  /// tells the caller exactly which limit fired.
+  std::size_t state_cap_limit = 0;       ///< ExploreOptions::max_states
+  std::size_t channel_length_limit = 0;  ///< ExploreOptions::max_channel_length
+  /// Successor expansions discarded because they exceeded the channel
+  /// bound (each is a reachable configuration the verdict does not cover).
+  std::size_t bound_skipped_expansions = 0;
+
+  /// Exploration statistics: successors that deduplicated into an
+  /// already-interned state, the frontier's high-water mark, and how
+  /// many passes the drop-fairness SCC pruning fixpoint took.
+  std::size_t dedup_hits = 0;
+  std::size_t frontier_peak = 0;
+  std::size_t scc_prune_passes = 0;
 
   /// Distinct assignments of strongly quiescent (converged) states.
   std::vector<trace::Assignment> quiescent_assignments;

@@ -1,5 +1,6 @@
 #include "engine/runner.hpp"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "engine/executor.hpp"
@@ -48,6 +49,9 @@ bool strongly_quiescent(const NetworkState& state) {
 
 RunResult run(const spp::Instance& instance, Scheduler& scheduler,
               const RunOptions& options) {
+  const bool observed = options.obs.attached();
+  const auto run_start = observed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   NetworkState state(instance);
   model::FairnessMonitor fairness(instance.graph().channel_count());
 
@@ -132,14 +136,26 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
       result.messages_dropped += read.dropped;
     }
     result.messages_sent += effect.sent.size();
+    bool any_changed = false;
     for (const NodeEffect& node : effect.nodes) {
       ++result.node_activations[node.node];
       if (node.changed) {
         ++total_changes;
+        any_changed = true;
       }
     }
     result.max_channel_occupancy =
         std::max(result.max_channel_occupancy, state.max_channel_length());
+
+    if (options.obs.sink != nullptr && options.emit_step_events) {
+      obs::Event ev("engine_step");
+      ev.field("step", result.steps)
+          .field("nodes", static_cast<std::uint64_t>(effect.nodes.size()))
+          .field("sent", static_cast<std::uint64_t>(effect.sent.size()))
+          .field("reads", static_cast<std::uint64_t>(effect.reads.size()))
+          .field("changed", any_changed);
+      options.obs.sink->emit(ev);
+    }
 
     if (options.record_trace) {
       result.trace.record(state.assignments());
@@ -161,6 +177,38 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   result.final_assignment = state.assignments();
   result.max_attempt_gap = fairness.max_attempt_gap();
   result.outstanding_drops = fairness.outstanding_drops();
+
+  if (observed) {
+    const std::uint64_t wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count());
+    if (options.obs.metrics != nullptr) {
+      obs::Registry& m = *options.obs.metrics;
+      m.counter("engine.runs").add();
+      m.counter("engine.steps").add(result.steps);
+      m.counter("engine.messages_sent").add(result.messages_sent);
+      m.counter("engine.messages_dropped").add(result.messages_dropped);
+      m.counter("engine.wall_us").add(wall_us);
+      m.gauge("engine.max_channel_occupancy")
+          .record_max(result.max_channel_occupancy);
+      m.histogram("engine.run_steps", obs::exponential_buckets(16, 4.0, 8))
+          .observe(result.steps);
+    }
+    if (options.obs.sink != nullptr) {
+      obs::Event ev("engine_run");
+      ev.field("outcome", to_string(result.outcome))
+          .field("steps", result.steps)
+          .field("messages_sent", result.messages_sent)
+          .field("messages_dropped", result.messages_dropped)
+          .field("max_channel_occupancy",
+                 static_cast<std::uint64_t>(result.max_channel_occupancy))
+          .field("cycle_start", result.cycle_start)
+          .field("cycle_length", result.cycle_length)
+          .field("wall_us", wall_us);
+      options.obs.sink->emit(ev);
+    }
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "engine/scheduler.hpp"
 #include "engine/state.hpp"
 #include "model/fairness.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 namespace commroute::engine {
@@ -36,6 +37,14 @@ struct RunOptions {
   bool detect_cycles = true;  ///< needs a scheduler with a signature
   /// Validate every step against this model (single-node rule included).
   std::optional<model::Model> enforce_model;
+  /// Optional metrics registry / JSONL event sink. Detached (the
+  /// default) adds nothing to the hot path; attached, run() publishes
+  /// step/message/occupancy aggregates and emits an "engine_run"
+  /// summary event.
+  obs::Instrumentation obs;
+  /// With a sink attached, also emit one "engine_step" event per
+  /// executed step (step effects: nodes touched, sends, reads, drops).
+  bool emit_step_events = false;
 };
 
 struct RunResult {

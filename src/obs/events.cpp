@@ -1,0 +1,11 @@
+#include "obs/events.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::obs {
+
+FileSink::FileSink(const std::string& path) : out_(path, std::ios::trunc) {
+  CR_REQUIRE(out_.is_open(), "cannot open event sink file: " + path);
+}
+
+}  // namespace commroute::obs

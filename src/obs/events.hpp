@@ -1,0 +1,87 @@
+// Structured event traces: instrumented code builds Events (a type tag
+// plus ordered fields) and hands them to an EventSink, which writes one
+// JSON object per line (JSONL). Sinks are attached by pointer; a null
+// sink means the emitting code skips event construction entirely.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace commroute::obs {
+
+/// One structured record. The first field is always "type".
+class Event {
+ public:
+  explicit Event(std::string_view type) { writer_.field("type", type); }
+
+  template <typename T>
+  Event& field(std::string_view key, T&& value) {
+    writer_.field(key, std::forward<T>(value));
+    return *this;
+  }
+  Event& raw_field(std::string_view key, std::string_view json) {
+    writer_.raw_field(key, json);
+    return *this;
+  }
+
+  /// The event as a single-line JSON object (no trailing newline).
+  std::string to_json() const { return writer_.str(); }
+
+ private:
+  JsonWriter writer_;
+};
+
+/// Receives emitted events. Implementations must tolerate high emit
+/// rates (heartbeats are periodic, but step traces are per-step).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Writes JSONL to a caller-owned stream, flushing per event so long
+/// explorations can be tailed live.
+class StreamSink : public EventSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(&out) {}
+  void emit(const Event& event) override {
+    (*out_) << event.to_json() << '\n';
+    out_->flush();
+  }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Owns a JSONL output file (truncates on open; throws on failure).
+class FileSink : public EventSink {
+ public:
+  explicit FileSink(const std::string& path);
+  void emit(const Event& event) override {
+    out_ << event.to_json() << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Collects serialized events in memory (tests and post-hoc export).
+class MemorySink : public EventSink {
+ public:
+  void emit(const Event& event) override {
+    lines_.push_back(event.to_json());
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace commroute::obs

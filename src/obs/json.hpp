@@ -1,0 +1,80 @@
+// Minimal JSON support for the observability layer: an ordered-field
+// object writer (used by metric snapshots, JSONL events, and the bench
+// output) and a small validating parser (used by tests and tools that
+// round-trip the emitted records). Deliberately not a general JSON
+// library: one object per writer, no incremental arrays, no comments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace commroute::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Formats a finite double with the shortest precision that round-trips;
+/// non-finite values render as null (JSON has no NaN/Inf).
+std::string json_number(double value);
+
+/// Builds one JSON object with fields in insertion order. str() renders
+/// the complete object; a writer is copyable so events can be stored.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const std::string& value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, int value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, bool value);
+  /// Inserts `json` verbatim as the value (for nested objects/arrays).
+  JsonWriter& raw_field(std::string_view key, std::string_view json);
+
+  std::string str() const;
+
+ private:
+  void begin_field(std::string_view key);
+  std::string body_;
+};
+
+/// Parsed JSON value. Objects preserve field order; lookup is linear
+/// (records in this codebase have a handful of fields).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Storage value;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value); }
+  bool is_bool() const { return std::holds_alternative<bool>(value); }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  bool is_string() const { return std::holds_alternative<std::string>(value); }
+  bool is_array() const { return std::holds_alternative<Array>(value); }
+  bool is_object() const { return std::holds_alternative<Object>(value); }
+
+  bool as_bool() const { return std::get<bool>(value); }
+  double as_number() const { return std::get<double>(value); }
+  const std::string& as_string() const { return std::get<std::string>(value); }
+  const Array& as_array() const { return std::get<Array>(value); }
+  const Object& as_object() const { return std::get<Object>(value); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace commroute::obs

@@ -1,0 +1,136 @@
+// Metrics registry for the hot loops: monotonic counters, gauges,
+// fixed-bucket histograms, and RAII scoped timers. Everything is plain
+// uint64_t + steady_clock — no atomics, no strings on the update path,
+// and zero overhead when no registry is attached (instrumented code
+// holds a nullable pointer and publishes aggregates once per run).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commroute::obs {
+
+/// A monotonically increasing count (steps executed, messages sent).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time value (frontier size, channel-occupancy high-water).
+class Gauge {
+ public:
+  void set(std::uint64_t v) { value_ = v; }
+  /// Keeps the maximum ever seen (high-water-mark semantics).
+  void record_max(std::uint64_t v) {
+    if (v > value_) {
+      value_ = v;
+    }
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram: each bucket counts observations `<=` its
+/// upper bound; one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing.
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  const std::vector<std::uint64_t>& upper_bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// `count` strictly increasing bounds starting at `start`, each `factor`
+/// times the previous (rounded up to stay strictly increasing).
+std::vector<std::uint64_t> exponential_buckets(std::uint64_t start,
+                                               double factor, int count);
+
+/// One metric in a registry snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t value = 0;  ///< counter/gauge value; histogram count
+  std::uint64_t sum = 0;    ///< histogram only
+  std::vector<std::uint64_t> bounds;  ///< histogram only
+  std::vector<std::uint64_t> counts;  ///< histogram only (bounds + overflow)
+};
+
+/// Owns metrics by name. References returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (node-based map),
+/// so hot loops can resolve a name once and update through the pointer.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first creation; later calls return the existing
+  /// histogram unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  /// All metrics, name-sorted within each kind.
+  std::vector<MetricSample> snapshot() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII timer: on destruction adds the elapsed microseconds to the target
+/// counter. A null target disables the timer entirely (the clock is
+/// never read), making the detached path free.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* target)
+      : target_(target),
+        start_(target != nullptr ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{}) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (target_ != nullptr) {
+      target_->add(elapsed_us());
+    }
+  }
+
+  /// Microseconds since construction; 0 when disabled.
+  std::uint64_t elapsed_us() const {
+    if (target_ == nullptr) {
+      return 0;
+    }
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+ private:
+  Counter* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace commroute::obs

@@ -1,10 +1,13 @@
 #include "study/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 
 #include "engine/scheduler.hpp"
+#include "obs/json.hpp"
 #include "support/error.hpp"
 
 namespace commroute::study {
@@ -54,15 +57,66 @@ std::uint64_t CampaignResult::median_steps(
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
   out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
-         "messages_dropped,max_channel_occupancy\n";
+         "messages_dropped,max_channel_occupancy,wall_ms\n";
   for (const CampaignRow& row : rows) {
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
     out << row.instance << ',' << row.model.name() << ','
         << to_string(row.scheduler) << ',' << row.seed << ','
         << engine::to_string(row.outcome) << ',' << row.steps << ','
         << row.messages_sent << ',' << row.messages_dropped << ','
-        << row.max_channel_occupancy << '\n';
+        << row.max_channel_occupancy << ',' << wall << '\n';
   }
   return out.str();
+}
+
+namespace {
+
+obs::JsonWriter row_json(const CampaignRow& row) {
+  obs::JsonWriter w;
+  w.field("instance", row.instance)
+      .field("model", row.model.name())
+      .field("scheduler", to_string(row.scheduler))
+      .field("seed", row.seed)
+      .field("outcome", engine::to_string(row.outcome))
+      .field("steps", row.steps)
+      .field("messages_sent", row.messages_sent)
+      .field("messages_dropped", row.messages_dropped)
+      .field("max_channel_occupancy",
+             static_cast<std::uint64_t>(row.max_channel_occupancy))
+      .field("wall_ms", row.wall_ms);
+  return w;
+}
+
+}  // namespace
+
+std::string CampaignResult::to_json() const {
+  std::string rows_json = "[";
+  double total_wall_ms = 0.0;
+  std::uint64_t total_steps = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) {
+      rows_json += ',';
+    }
+    rows_json += row_json(rows[i]).str();
+    total_wall_ms += rows[i].wall_ms;
+    total_steps += rows[i].steps;
+  }
+  rows_json += ']';
+
+  obs::JsonWriter summary;
+  summary.field("rows", static_cast<std::uint64_t>(rows.size()))
+      .field("total_steps", total_steps)
+      .field("total_wall_ms", total_wall_ms)
+      .field("converged_rate", outcome_rate(engine::Outcome::kConverged))
+      .field("oscillating_rate",
+             outcome_rate(engine::Outcome::kOscillating))
+      .field("exhausted_rate", outcome_rate(engine::Outcome::kExhausted));
+
+  obs::JsonWriter top;
+  top.raw_field("rows", rows_json);
+  top.raw_field("summary", summary.str());
+  return top.str();
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec) {
@@ -86,6 +140,9 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           engine::RunOptions options;
           options.max_steps = spec.max_steps;
           options.record_trace = false;
+          // Engine aggregates accumulate in the campaign's registry; the
+          // sink stays campaign-level (one event per row, not per run).
+          options.obs.metrics = spec.obs.metrics;
           switch (kind) {
             case SchedulerKind::kRoundRobin:
               scheduler = std::make_unique<engine::RoundRobinScheduler>(
@@ -111,6 +168,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
               break;
           }
 
+          const auto row_start = std::chrono::steady_clock::now();
           const engine::RunResult run =
               engine::run(*instance, *scheduler, options);
           CampaignRow row;
@@ -123,10 +181,36 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           row.messages_sent = run.messages_sent;
           row.messages_dropped = run.messages_dropped;
           row.max_channel_occupancy = run.max_channel_occupancy;
+          row.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - row_start)
+                            .count();
+          if (spec.obs.sink != nullptr) {
+            obs::Event ev("campaign_row");
+            ev.raw_field("row", row_json(row).str());
+            spec.obs.sink->emit(ev);
+          }
+          if (spec.obs.metrics != nullptr) {
+            obs::Registry& metrics = *spec.obs.metrics;
+            metrics.counter("campaign.rows").add();
+            metrics.counter("campaign.steps").add(row.steps);
+            metrics.counter("campaign.wall_us")
+                .add(static_cast<std::uint64_t>(row.wall_ms * 1000.0));
+          }
           result.rows.push_back(std::move(row));
         }
       }
     }
+  }
+  if (spec.obs.sink != nullptr) {
+    obs::Event ev("campaign_summary");
+    ev.field("rows", static_cast<std::uint64_t>(result.rows.size()))
+        .field("converged_rate",
+               result.outcome_rate(engine::Outcome::kConverged))
+        .field("oscillating_rate",
+               result.outcome_rate(engine::Outcome::kOscillating))
+        .field("exhausted_rate",
+               result.outcome_rate(engine::Outcome::kExhausted));
+    spec.obs.sink->emit(ev);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 
 #include "engine/runner.hpp"
 #include "model/model.hpp"
+#include "obs/obs.hpp"
 #include "spp/instance.hpp"
 
 namespace commroute::study {
@@ -32,6 +33,10 @@ struct CampaignSpec {
   std::uint64_t seeds = 5;          ///< per randomized configuration
   std::uint64_t max_steps = 50000;
   double drop_prob = 0.2;           ///< for unreliable random schedules
+  /// Optional metrics registry / JSONL event sink. Attached, the driver
+  /// emits one "campaign_row" event per completed row and a final
+  /// "campaign_summary", and publishes row/step/wall aggregates.
+  obs::Instrumentation obs;
 };
 
 /// One (instance, model, scheduler, seed) outcome.
@@ -45,6 +50,7 @@ struct CampaignRow {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::size_t max_channel_occupancy = 0;
+  double wall_ms = 0.0;  ///< wall time of this row's engine::run
 };
 
 struct CampaignResult {
@@ -59,6 +65,11 @@ struct CampaignResult {
 
   /// CSV with a header row; one line per CampaignRow.
   std::string to_csv() const;
+
+  /// Machine-readable export: {"rows":[...],"summary":{...}} with one
+  /// object per CampaignRow (all columns of the CSV plus wall_ms) and
+  /// aggregate outcome rates.
+  std::string to_json() const;
 };
 
 /// Runs the full cross product. Event-driven configurations are skipped

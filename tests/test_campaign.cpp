@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/json.hpp"
 #include "spp/gadgets.hpp"
 #include "study/campaign.hpp"
 #include "support/error.hpp"
@@ -117,6 +118,40 @@ TEST(Campaign, UnreliableRunsRecordDrops) {
   }
   EXPECT_GT(occupancy, 1u);
   EXPECT_GT(dropped, 0u);
+}
+
+TEST(Campaign, CsvCarriesPerRowWallTime) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("RMS")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GE(result.rows[0].wall_ms, 0.0);
+  EXPECT_NE(result.to_csv().find("wall_ms"), std::string::npos);
+}
+
+TEST(Campaign, JsonExportParsesAndMatchesRows) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("RMS"), Model::parse("REA")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  const CampaignResult result = run_campaign(spec);
+  const auto parsed = obs::json_parse(result.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const obs::JsonValue* rows = parsed->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_EQ(rows->as_array().size(), result.rows.size());
+  const obs::JsonValue& first = rows->as_array().front();
+  EXPECT_EQ(first.find("instance")->as_string(), "GOOD");
+  EXPECT_EQ(first.find("outcome")->as_string(), "converged");
+  EXPECT_GE(first.find("wall_ms")->as_number(), 0.0);
+  const obs::JsonValue* summary = parsed->find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->find("converged_rate")->as_number(), 1.0);
 }
 
 }  // namespace

@@ -173,5 +173,49 @@ TEST(Explorer, StateAndTransitionCountsAreConsistent) {
   EXPECT_GE(r.transitions, r.states - 1);  // reached via some edge
 }
 
+// A truncated verdict names the bound that fired and its value.
+TEST(Explorer, TruncationReportsTheLimitingBound) {
+  const spp::Instance inst = spp::disagree();
+
+  ExploreOptions capped;
+  capped.max_channel_length = 3;
+  capped.max_states = 4;
+  const ExploreResult by_states = explore(inst, Model::parse("RMS"), capped);
+  EXPECT_TRUE(by_states.state_cap_hit);
+  EXPECT_EQ(by_states.state_cap_limit, 4u);
+  EXPECT_EQ(by_states.channel_length_limit, 0u);
+  EXPECT_NE(by_states.summary().find("state cap 4 hit"),
+            std::string::npos);
+
+  ExploreOptions narrow;
+  narrow.max_channel_length = 0;
+  const ExploreResult by_channel =
+      explore(inst, Model::parse("RMS"), narrow);
+  EXPECT_TRUE(by_channel.channel_bound_hit);
+  EXPECT_EQ(by_channel.channel_length_limit, 0u);
+  EXPECT_GE(by_channel.bound_skipped_expansions, 1u);
+  EXPECT_NE(by_channel.summary().find("channel bound 0 hit"),
+            std::string::npos);
+
+  // An untruncated exploration reports no limits.
+  const ExploreResult full = explore(inst, Model::parse("REA"),
+                                     {.max_channel_length = 3});
+  EXPECT_TRUE(full.exhaustive);
+  EXPECT_EQ(full.state_cap_limit, 0u);
+  EXPECT_EQ(full.channel_length_limit, 0u);
+  EXPECT_EQ(full.bound_skipped_expansions, 0u);
+}
+
+TEST(Explorer, ExplorationStatisticsArePopulated) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r = explore(inst, Model::parse("RMS"),
+                                  {.max_channel_length = 3});
+  EXPECT_GE(r.frontier_peak, 1u);
+  EXPECT_GE(r.scc_prune_passes, 1u);
+  // The disagree configuration graph has reconverging paths, so some
+  // successors must deduplicate.
+  EXPECT_GT(r.dedup_hits, 0u);
+}
+
 }  // namespace
 }  // namespace commroute::checker

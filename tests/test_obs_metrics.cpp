@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace commroute::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetOverwritesRecordMaxKeepsHighWater) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3u);
+  g.record_max(7);
+  g.record_max(5);
+  EXPECT_EQ(g.value(), 7u);
+}
+
+TEST(Histogram, BucketSemanticsAreLeInclusive) {
+  Histogram h({10, 100});
+  h.observe(5);
+  h.observe(10);   // boundary lands in the le=10 bucket
+  h.observe(11);
+  h.observe(1000);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1026u);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({10, 10}), PreconditionError);
+  EXPECT_THROW(Histogram({10, 5}), PreconditionError);
+}
+
+TEST(Histogram, ExponentialBucketsGrowByFactor) {
+  const auto bounds = exponential_buckets(16, 4.0, 4);
+  EXPECT_EQ(bounds, (std::vector<std::uint64_t>{16, 64, 256, 1024}));
+}
+
+TEST(Registry, ReturnsTheSameMetricPerName) {
+  Registry r;
+  Counter& c = r.counter("a");
+  r.counter("a").add(2);
+  EXPECT_EQ(c.value(), 2u);
+  Gauge& g = r.gauge("g");
+  r.gauge("g").record_max(9);
+  EXPECT_EQ(g.value(), 9u);
+  Histogram& h = r.histogram("h", {1, 2});
+  r.histogram("h", {99}).observe(1);  // bounds of later calls ignored
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.upper_bounds(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Registry, SnapshotListsEveryMetric) {
+  Registry r;
+  r.counter("steps").add(5);
+  r.gauge("frontier").set(3);
+  r.histogram("lat", {10}).observe(4);
+  const auto samples = r.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+  for (const MetricSample& s : samples) {
+    if (s.name == "steps") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kCounter);
+      EXPECT_EQ(s.value, 5u);
+      saw_counter = true;
+    } else if (s.name == "frontier") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kGauge);
+      EXPECT_EQ(s.value, 3u);
+      saw_gauge = true;
+    } else if (s.name == "lat") {
+      EXPECT_EQ(s.kind, MetricSample::Kind::kHistogram);
+      EXPECT_EQ(s.value, 1u);  // count
+      EXPECT_EQ(s.sum, 4u);
+      EXPECT_EQ(s.counts.size(), 2u);
+      saw_histogram = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_histogram);
+}
+
+TEST(Registry, ToJsonRoundTripsThroughTheParser) {
+  Registry r;
+  r.counter("engine.steps").add(123);
+  r.gauge("checker.frontier_peak").record_max(17);
+  r.histogram("engine.run_steps", {16, 64}).observe(20);
+  const auto parsed = json_parse(r.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* steps = counters->find("engine.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_DOUBLE_EQ(steps->as_number(), 123.0);
+  const JsonValue* gauges = parsed->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("checker.frontier_peak"), nullptr);
+  const JsonValue* histograms = parsed->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hist = histograms->find("engine.run_steps");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_EQ(buckets->as_array().size(), 3u);  // two bounds + overflow
+}
+
+TEST(ScopedTimer, RecordsElapsedIntoCounterOnDestruction) {
+  Counter c;
+  {
+    ScopedTimer t(&c);
+    while (t.elapsed_us() < 1) {
+      // spin until at least one microsecond elapsed
+    }
+  }
+  EXPECT_GE(c.value(), 1u);
+}
+
+TEST(ScopedTimer, ElapsedIsMonotonic) {
+  Counter c;
+  ScopedTimer t(&c);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = t.elapsed_us();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(ScopedTimer, NullTargetIsDisabled) {
+  ScopedTimer t(nullptr);
+  EXPECT_EQ(t.elapsed_us(), 0u);
+}
+
+TEST(JsonNumber, FormatsRoundTrippably) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  const double v = 0.1;
+  char* end = nullptr;
+  EXPECT_EQ(std::strtod(json_number(v).c_str(), &end), v);
+}
+
+}  // namespace
+}  // namespace commroute::obs
