@@ -4,16 +4,27 @@
 //
 //   $ ./campaign_study            # summary table to stdout
 //   $ ./campaign_study --csv      # raw CSV instead (pipe to a file)
+//   $ ./campaign_study --trace campaign.json   # span trace for Perfetto
 #include <iostream>
 #include <string>
 
+#include "obs/chrome_trace.hpp"
 #include "spp/gadgets.hpp"
 #include "study/campaign.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace commroute;
-  const bool csv = (argc > 1 && std::string(argv[1]) == "--csv");
+  bool csv = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
 
   const auto gadgets = spp::all_gadgets();
   study::CampaignSpec spec;
@@ -26,7 +37,18 @@ int main(int argc, char** argv) {
   spec.seeds = 3;
   spec.max_steps = 30000;
 
+  obs::SpanCollector spans;
+  if (!trace_path.empty()) {
+    spec.obs.spans = &spans;
+  }
+
   const study::CampaignResult result = study::run_campaign(spec);
+
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(spans, trace_path);
+    std::cerr << "Wrote " << spans.size() << " span(s) to " << trace_path
+              << " — open in chrome://tracing or ui.perfetto.dev\n";
+  }
 
   if (csv) {
     std::cout << result.to_csv();

@@ -3,18 +3,33 @@
 // minimization — on one small custom network.
 //
 //   $ ./checker_tour
+//   $ ./checker_tour --trace tour.json   # span trace for Perfetto
 #include <iostream>
+#include <string>
 
 #include "checker/explorer.hpp"
 #include "checker/minimize.hpp"
 #include "checker/targeted.hpp"
 #include "engine/runner.hpp"
+#include "obs/chrome_trace.hpp"
 #include "spp/builder.hpp"
 #include "trace/recording.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace commroute;
   using model::Model;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  obs::SpanCollector spans;
+  obs::Instrumentation tour_obs;
+  if (!trace_path.empty()) {
+    tour_obs.spans = &spans;
+  }
 
   // DISAGREE with a decoy: x has a third, useless route through w.
   spp::InstanceBuilder b("d");
@@ -27,11 +42,14 @@ int main() {
   std::cout << inst.to_string() << "\n";
 
   // 1. Exhaustive checking: can it oscillate under R1O? Under REA?
-  const checker::ExploreOptions opts{.max_channel_length = 3,
-                                     .extract_witness = true};
+  checker::ExploreOptions opts{.max_channel_length = 3,
+                               .extract_witness = true};
+  opts.obs = tour_obs;
   const auto weak = checker::explore(inst, Model::parse("R1O"), opts);
+  checker::ExploreOptions strong_opts{.max_channel_length = 3};
+  strong_opts.obs = tour_obs;
   const auto strong = checker::explore(inst, Model::parse("REA"),
-                                       {.max_channel_length = 3});
+                                       strong_opts);
   std::cout << "R1O: " << weak.summary() << "\n";
   std::cout << "REA: " << strong.summary() << "\n\n";
 
@@ -42,10 +60,10 @@ int main() {
     script.insert(script.end(), weak.witness_cycle.begin(),
                   weak.witness_cycle.end());
     engine::ScriptedScheduler sched(script, loop_from);
-    const auto run = engine::run(
-        inst, sched,
-        {.max_steps = 5 * script.size() + 50,
-         .enforce_model = Model::parse("R1O")});
+    engine::RunOptions replay_opts{.max_steps = 5 * script.size() + 50,
+                                   .enforce_model = Model::parse("R1O")};
+    replay_opts.obs = tour_obs;
+    const auto run = engine::run(inst, sched, replay_opts);
     std::cout << "Replaying the checker's witness ("
               << weak.witness_prefix.size() << " prefix + "
               << weak.witness_cycle.size() << " cycle steps): "
@@ -57,8 +75,9 @@ int main() {
   //    R1O? (Here yes — this instance has no Fig. 7-style trap.)
   {
     engine::RoundRobinScheduler sched(Model::parse("REA"), inst);
-    const auto run = engine::run(inst, sched,
-                                 {.enforce_model = Model::parse("REA")});
+    engine::RunOptions run_opts{.enforce_model = Model::parse("REA")};
+    run_opts.obs = tour_obs;
+    const auto run = engine::run(inst, sched, run_opts);
     trace::Trace target = run.trace;
     const auto exact = checker::find_realization(
         inst, Model::parse("R1O"), target, trace::MatchKind::kExact);
@@ -67,13 +86,21 @@ int main() {
   }
 
   // 4. Minimization: strip the decoy route, keep the oscillation.
+  checker::ExploreOptions minimize_opts{.max_channel_length = 3};
+  minimize_opts.obs = tour_obs;
   const auto minimized = checker::minimize_oscillating_instance(
-      inst, Model::parse("R1O"), {.max_channel_length = 3});
+      inst, Model::parse("R1O"), minimize_opts);
   std::cout << "Minimized oscillating core (removed "
             << minimized.removed_paths << " path(s)):\n"
             << minimized.instance.to_string();
   std::cout << "\nThe decoy xwd is gone; what remains is DISAGREE plus "
                "spectators — the canonical conflict this library is "
                "about.\n";
+
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(spans, trace_path);
+    std::cout << "\nWrote " << spans.size() << " span(s) to " << trace_path
+              << " — open in chrome://tracing or ui.perfetto.dev\n";
+  }
   return 0;
 }

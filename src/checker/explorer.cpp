@@ -155,12 +155,27 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   const auto explore_start =
       observed ? std::chrono::steady_clock::now()
                : std::chrono::steady_clock::time_point{};
+  obs::Span explore_span = options.obs.span("checker.explore");
+  if (explore_span.enabled()) {
+    explore_span.attr("model", m.name());
+  }
+  obs::Histogram* expand_hist =
+      options.obs.spans != nullptr
+          ? options.obs.histogram("checker.expand_us",
+                                  obs::exponential_buckets(1, 4.0, 10))
+          : nullptr;
 
   ExploreResult result;
   ConfigGraph graph;
   SuccessorOptions successor_options;
   successor_options.max_steps_per_state = options.max_steps_per_state;
   std::size_t expanded = 0;
+  auto last_heartbeat = explore_start;
+  /// Expansions grouped under one checker.frontier_batch span, so a
+  /// Perfetto view shows exploration progress at a glance without
+  /// per-state slices drowning the track.
+  constexpr std::size_t kExpansionsPerBatchSpan = 256;
+  obs::Span batch_span;
 
   bool dummy = false;
   const StateId initial =
@@ -184,21 +199,45 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       result.state_cap_limit = options.max_states;
       break;
     }
+    if (options.obs.spans != nullptr &&
+        expanded % kExpansionsPerBatchSpan == 0) {
+      batch_span.finish();  // before begin(), so batches are siblings
+      batch_span = options.obs.span("checker.frontier_batch");
+    }
     const StateId id = frontier.front();
     frontier.pop_front();
     ++expanded;
-    if (options.obs.sink != nullptr && options.heartbeat_every > 0 &&
-        expanded % options.heartbeat_every == 0) {
-      obs::Event ev("checker_heartbeat");
-      ev.field("expanded", static_cast<std::uint64_t>(expanded))
-          .field("states", static_cast<std::uint64_t>(graph.states.size()))
-          .field("frontier", static_cast<std::uint64_t>(frontier.size()))
-          .field("transitions",
-                 static_cast<std::uint64_t>(result.transitions))
-          .field("dedup_hits",
-                 static_cast<std::uint64_t>(result.dedup_hits));
-      options.obs.sink->emit(ev);
+    if (options.obs.sink != nullptr) {
+      const bool count_due = options.heartbeat_every > 0 &&
+                             expanded % options.heartbeat_every == 0;
+      bool time_due = false;
+      auto now = std::chrono::steady_clock::time_point{};
+      if (count_due || options.heartbeat_interval_ms > 0) {
+        now = std::chrono::steady_clock::now();
+        time_due = options.heartbeat_interval_ms > 0 &&
+                   now - last_heartbeat >= std::chrono::milliseconds(
+                                               options.heartbeat_interval_ms);
+      }
+      if (count_due || time_due) {
+        last_heartbeat = now;
+        obs::Event ev("checker_heartbeat");
+        ev.field("expanded", static_cast<std::uint64_t>(expanded))
+            .field("states",
+                   static_cast<std::uint64_t>(graph.states.size()))
+            .field("frontier", static_cast<std::uint64_t>(frontier.size()))
+            .field("transitions",
+                   static_cast<std::uint64_t>(result.transitions))
+            .field("dedup_hits",
+                   static_cast<std::uint64_t>(result.dedup_hits))
+            .field("elapsed_ms",
+                   static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - explore_start)
+                           .count()));
+        options.obs.sink->emit(ev);
+      }
     }
+    obs::Span expand_span = options.obs.span("checker.expand");
 
     // Strongly quiescent states are terminal: no step changes anything.
     if (engine::strongly_quiescent(graph.states[id])) {
@@ -258,7 +297,15 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
         ++result.dedup_hits;
       }
     }
+    if (expand_span.enabled()) {
+      expand_span.attr("successors",
+                       static_cast<std::uint64_t>(steps.size()));
+      if (expand_hist != nullptr) {
+        expand_hist->observe(expand_span.elapsed_us());
+      }
+    }
   }
+  batch_span.finish();
 
   result.states = graph.states.size();
   result.quiescent_assignments = std::move(quiescent);
@@ -274,6 +321,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
   for (;;) {
     ++result.scc_prune_passes;
+    obs::Span pass_span = options.obs.span("checker.scc_prune_pass");
     const auto sccs = tarjan_sccs(graph);
     std::vector<std::uint32_t> scc_of(graph.states.size(), 0);
     for (std::uint32_t s = 0; s < sccs.size(); ++s) {
@@ -417,6 +465,18 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - explore_start)
             .count());
+    if (explore_span.enabled()) {
+      explore_span
+          .attr("states", static_cast<std::uint64_t>(result.states))
+          .attr("transitions",
+                static_cast<std::uint64_t>(result.transitions))
+          .attr("oscillation_found", result.oscillation_found);
+      explore_span.finish();
+    }
+    if (obs::Histogram* h = options.obs.histogram(
+            "checker.explore_us", obs::exponential_buckets(16, 4.0, 10))) {
+      h->observe(wall_us);
+    }
     if (options.obs.metrics != nullptr) {
       obs::Registry& m = *options.obs.metrics;
       m.counter("checker.explorations").add();

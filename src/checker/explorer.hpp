@@ -45,14 +45,21 @@ struct ExploreOptions {
   /// proportional to the number of transitions; leave off for large
   /// sweeps.
   bool extract_witness = false;
-  /// Optional metrics registry / JSONL event sink. Detached (the
-  /// default) adds nothing measurable; attached, explore() publishes
-  /// expansion/dedup/frontier aggregates and emits a periodic
-  /// "checker_heartbeat" plus a final "checker_summary" event.
+  /// Optional metrics registry / JSONL event sink / span collector.
+  /// Detached (the default) adds nothing measurable; attached,
+  /// explore() publishes expansion/dedup/frontier aggregates, emits a
+  /// periodic "checker_heartbeat" plus a final "checker_summary" event,
+  /// and traces checker.explore > checker.frontier_batch >
+  /// checker.expand plus per-pass checker.scc_prune_pass spans.
   obs::Instrumentation obs;
   /// With a sink attached, emit a heartbeat every this many expanded
-  /// states (0 disables heartbeats).
+  /// states (0 disables count-based heartbeats).
   std::size_t heartbeat_every = 10000;
+  /// Also emit a heartbeat whenever this many milliseconds pass without
+  /// one (checked per expansion; 0 disables). Count-based heartbeats go
+  /// quiet exactly when expansions get slow — the time-based interval
+  /// keeps long stalls visible. Every heartbeat carries `elapsed_ms`.
+  std::uint64_t heartbeat_interval_ms = 0;
 };
 
 struct ExploreResult {

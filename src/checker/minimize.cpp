@@ -48,6 +48,9 @@ bool oscillates(const spp::Instance& instance, const model::Model& m,
 MinimizeResult minimize_oscillating_instance(const spp::Instance& instance,
                                              const model::Model& m,
                                              const ExploreOptions& options) {
+  // Every candidate re-exploration below nests its checker.explore
+  // spans (and metrics/events) under this one via the shared handle.
+  obs::Span minimize_span = options.obs.span("checker.minimize");
   CR_REQUIRE(oscillates(instance, m, options),
              "instance does not oscillate under " + m.name() +
                  " within the given bounds");
@@ -76,6 +79,10 @@ MinimizeResult minimize_oscillating_instance(const spp::Instance& instance,
     }
   }
   result.minimal = true;
+  if (minimize_span.enabled()) {
+    minimize_span.attr("removed_paths",
+                       static_cast<std::uint64_t>(result.removed_paths));
+  }
   return result;
 }
 

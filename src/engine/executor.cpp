@@ -122,7 +122,8 @@ void announce(NetworkState& state, const NodeEffect& node_effect,
 }  // namespace
 
 StepEffect execute_step(NetworkState& state,
-                        const model::ActivationStep& step) {
+                        const model::ActivationStep& step,
+                        obs::SpanCollector* spans) {
   model::validate_step(state.instance(), step);
 
   StepEffect effect;
@@ -132,7 +133,12 @@ StepEffect execute_step(NetworkState& state,
   }
   effect.nodes.reserve(step.nodes.size());
   for (const NodeId v : step.nodes) {
+    obs::Span activate = obs::begin_span(spans, "engine.activate");
     effect.nodes.push_back(select(state, v));
+    if (activate.enabled()) {
+      activate.attr("node", static_cast<std::uint64_t>(v))
+          .attr("changed", effect.nodes.back().changed);
+    }
   }
   for (const NodeEffect& node_effect : effect.nodes) {
     announce(state, node_effect, effect.sent);

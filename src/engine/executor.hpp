@@ -24,6 +24,7 @@
 
 #include "engine/state.hpp"
 #include "model/activation.hpp"
+#include "obs/spans.hpp"
 
 namespace commroute::engine {
 
@@ -63,8 +64,11 @@ struct StepEffect {
 
 /// Executes one step, mutating `state`. The step must satisfy
 /// model::validate_step for `state.instance()`; callers enforcing a model
-/// should check model::step_allowed first.
+/// should check model::step_allowed first. With a span collector
+/// attached, each updating node's select+announce is traced as an
+/// "engine.activate" span (null = free, the usual guard idiom).
 StepEffect execute_step(NetworkState& state,
-                        const model::ActivationStep& step);
+                        const model::ActivationStep& step,
+                        obs::SpanCollector* spans = nullptr);
 
 }  // namespace commroute::engine

@@ -52,6 +52,7 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   const bool observed = options.obs.attached();
   const auto run_start = observed ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
+  obs::Span run_span = options.obs.span("engine.run");
   NetworkState state(instance);
   model::FairnessMonitor fairness(instance.graph().channel_count());
 
@@ -116,14 +117,19 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
       break;  // kExhausted
     }
 
+    obs::Span step_span = options.obs.span("engine.step");
     const model::ActivationStep step = scheduler.next(state);
     if (options.enforce_model.has_value()) {
       model::require_step_allowed(*options.enforce_model, instance, step);
     }
 
     fairness.begin_step();
-    const StepEffect effect = execute_step(state, step);
+    const StepEffect effect =
+        execute_step(state, step, options.obs.spans);
     ++result.steps;
+    if (step_span.enabled()) {
+      step_span.attr("step", result.steps);
+    }
 
     for (const ReadEffect& read : effect.reads) {
       fairness.attempt(read.channel);
@@ -183,6 +189,15 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - run_start)
             .count());
+    if (run_span.enabled()) {
+      run_span.attr("outcome", to_string(result.outcome))
+          .attr("steps", result.steps);
+      run_span.finish();
+    }
+    if (obs::Histogram* h = options.obs.histogram(
+            "engine.run_us", obs::exponential_buckets(16, 4.0, 10))) {
+      h->observe(wall_us);
+    }
     if (options.obs.metrics != nullptr) {
       obs::Registry& m = *options.obs.metrics;
       m.counter("engine.runs").add();

@@ -37,10 +37,11 @@ struct RunOptions {
   bool detect_cycles = true;  ///< needs a scheduler with a signature
   /// Validate every step against this model (single-node rule included).
   std::optional<model::Model> enforce_model;
-  /// Optional metrics registry / JSONL event sink. Detached (the
-  /// default) adds nothing to the hot path; attached, run() publishes
-  /// step/message/occupancy aggregates and emits an "engine_run"
-  /// summary event.
+  /// Optional metrics registry / JSONL event sink / span collector.
+  /// Detached (the default) adds nothing to the hot path; attached,
+  /// run() publishes step/message/occupancy aggregates, emits an
+  /// "engine_run" summary event, and traces engine.run > engine.step >
+  /// engine.activate spans (export with obs::write_chrome_trace).
   obs::Instrumentation obs;
   /// With a sink attached, also emit one "engine_step" event per
   /// executed step (step effects: nodes touched, sends, reads, drops).

@@ -1,0 +1,279 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace commroute::obs {
+
+namespace {
+
+/// The event's duration in microseconds, if it carries one.
+std::optional<std::uint64_t> event_duration_us(const JsonValue& event) {
+  if (const JsonValue* v = event.find("dur_us");
+      v != nullptr && v->is_number()) {
+    return static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const JsonValue* v = event.find("wall_us");
+      v != nullptr && v->is_number()) {
+    return static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const JsonValue* v = event.find("wall_ms");
+      v != nullptr && v->is_number()) {
+    return static_cast<std::uint64_t>(v->as_number() * 1000.0);
+  }
+  if (const JsonValue* row = event.find("row"); row != nullptr) {
+    if (const JsonValue* v = row->find("wall_ms");
+        v != nullptr && v->is_number()) {
+      return static_cast<std::uint64_t>(v->as_number() * 1000.0);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                         int pct) {
+  return sorted[(sorted.size() - 1) * static_cast<std::size_t>(pct) / 100];
+}
+
+}  // namespace
+
+JsonlSummary summarize_jsonl(std::istream& in) {
+  JsonlSummary summary;
+  struct Acc {
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> durations_us;
+  };
+  std::map<std::string, Acc> by_type;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++summary.lines;
+    const auto parsed = json_parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      ++summary.malformed;
+      continue;
+    }
+    const JsonValue* type = parsed->find("type");
+    Acc& acc = by_type[(type != nullptr && type->is_string())
+                           ? type->as_string()
+                           : "(untyped)"];
+    ++acc.count;
+    if (const auto dur = event_duration_us(*parsed); dur.has_value()) {
+      acc.durations_us.push_back(*dur);
+    }
+  }
+
+  for (auto& [type, acc] : by_type) {
+    EventTypeSummary row;
+    row.type = type;
+    row.count = acc.count;
+    if (!acc.durations_us.empty()) {
+      std::sort(acc.durations_us.begin(), acc.durations_us.end());
+      row.timed = acc.durations_us.size();
+      for (const std::uint64_t d : acc.durations_us) {
+        row.total_us += d;
+      }
+      row.p50_us = percentile(acc.durations_us, 50);
+      row.p90_us = percentile(acc.durations_us, 90);
+      row.p99_us = percentile(acc.durations_us, 99);
+      row.max_us = acc.durations_us.back();
+    }
+    summary.types.push_back(std::move(row));
+  }
+  std::stable_sort(summary.types.begin(), summary.types.end(),
+                   [](const EventTypeSummary& a, const EventTypeSummary& b) {
+                     return a.count > b.count;
+                   });
+  return summary;
+}
+
+std::vector<SpanRecord> spans_from_jsonl(std::istream& in) {
+  std::vector<SpanRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto parsed = json_parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      continue;
+    }
+    const JsonValue* type = parsed->find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->as_string() != "span") {
+      continue;
+    }
+    const JsonValue* name = parsed->find("name");
+    const JsonValue* ts = parsed->find("ts_us");
+    const JsonValue* dur = parsed->find("dur_us");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      continue;
+    }
+    SpanRecord rec;
+    rec.name = name->as_string();
+    rec.start_us = static_cast<std::uint64_t>(ts->as_number());
+    rec.dur_us = static_cast<std::uint64_t>(dur->as_number());
+    const auto u32 = [&](const char* key) -> std::uint32_t {
+      const JsonValue* v = parsed->find(key);
+      return (v != nullptr && v->is_number())
+                 ? static_cast<std::uint32_t>(v->as_number())
+                 : 0;
+    };
+    rec.id = u32("id");
+    rec.parent = u32("parent");
+    rec.tid = u32("tid");
+    if (const JsonValue* args = parsed->find("args");
+        args != nullptr && args->is_object()) {
+      rec.args_json = json_render(*args);
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<SpanRecord> spans_from_chrome_trace(const JsonValue& doc) {
+  std::vector<SpanRecord> records;
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return records;
+  }
+  for (const JsonValue& event : events->as_array()) {
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") {
+      continue;
+    }
+    const JsonValue* name = event.find("name");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* dur = event.find("dur");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      continue;
+    }
+    SpanRecord rec;
+    rec.name = name->as_string();
+    rec.start_us = static_cast<std::uint64_t>(ts->as_number());
+    rec.dur_us = static_cast<std::uint64_t>(dur->as_number());
+    if (const JsonValue* tid = event.find("tid");
+        tid != nullptr && tid->is_number()) {
+      rec.tid = static_cast<std::uint32_t>(tid->as_number());
+    }
+    if (const JsonValue* args = event.find("args"); args != nullptr) {
+      if (const JsonValue* id = args->find("id");
+          id != nullptr && id->is_number()) {
+        rec.id = static_cast<std::uint32_t>(id->as_number());
+      }
+      if (const JsonValue* parent = args->find("parent");
+          parent != nullptr && parent->is_number()) {
+        rec.parent = static_cast<std::uint32_t>(parent->as_number());
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<SpanStat> span_self_times(
+    const std::vector<SpanRecord>& records) {
+  // Direct-children duration per span id (id 0 = roots, discarded).
+  std::unordered_map<std::uint32_t, std::uint64_t> child_us;
+  for (const SpanRecord& rec : records) {
+    if (rec.parent != 0) {
+      child_us[rec.parent] += rec.dur_us;
+    }
+  }
+
+  std::map<std::string, SpanStat> by_name;
+  for (const SpanRecord& rec : records) {
+    SpanStat& stat = by_name[rec.name];
+    stat.name = rec.name;
+    ++stat.count;
+    stat.total_us += rec.dur_us;
+    stat.max_us = std::max(stat.max_us, rec.dur_us);
+    const auto it = child_us.find(rec.id);
+    const std::uint64_t children = it != child_us.end() ? it->second : 0;
+    // Clock granularity can make children sum past the parent; clamp.
+    stat.self_us += rec.dur_us > children ? rec.dur_us - children : 0;
+  }
+
+  std::vector<SpanStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) {
+    stats.push_back(std::move(stat));
+  }
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const SpanStat& a, const SpanStat& b) {
+                     return a.self_us > b.self_us;
+                   });
+  return stats;
+}
+
+namespace {
+
+/// name -> real_ms_per_iter rows of one BENCH_<name>.json document,
+/// in document order.
+std::vector<std::pair<std::string, double>> bench_rows(
+    const JsonValue& doc, const char* which) {
+  const JsonValue* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) {
+    throw ParseError(std::string(which) +
+                     " is not bench JSON (missing \"results\" array)");
+  }
+  std::vector<std::pair<std::string, double>> rows;
+  for (const JsonValue& row : results->as_array()) {
+    const JsonValue* name = row.find("name");
+    const JsonValue* ms = row.find("real_ms_per_iter");
+    if (name == nullptr || !name->is_string() || ms == nullptr ||
+        !ms->is_number()) {
+      throw ParseError(std::string(which) +
+                       " has a result row without name/real_ms_per_iter");
+    }
+    rows.emplace_back(name->as_string(), ms->as_number());
+  }
+  return rows;
+}
+
+}  // namespace
+
+BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& current,
+                     double threshold_pct) {
+  const auto base_rows = bench_rows(baseline, "baseline");
+  const auto current_rows = bench_rows(current, "current");
+  std::unordered_map<std::string, double> current_ms;
+  for (const auto& [name, ms] : current_rows) {
+    current_ms.emplace(name, ms);
+  }
+
+  BenchDiff diff;
+  diff.threshold_pct = threshold_pct;
+  for (const auto& [name, base] : base_rows) {
+    const auto it = current_ms.find(name);
+    if (it == current_ms.end()) {
+      diff.only_in_baseline.push_back(name);
+      continue;
+    }
+    BenchDelta delta;
+    delta.name = name;
+    delta.base_ms = base;
+    delta.current_ms = it->second;
+    delta.delta_pct =
+        base > 0.0 ? (it->second - base) / base * 100.0 : 0.0;
+    delta.regression = delta.delta_pct > threshold_pct;
+    diff.regression = diff.regression || delta.regression;
+    diff.deltas.push_back(std::move(delta));
+  }
+  std::unordered_map<std::string, double> base_ms(base_rows.begin(),
+                                                  base_rows.end());
+  for (const auto& [name, ms] : current_rows) {
+    if (base_ms.find(name) == base_ms.end()) {
+      diff.only_in_current.push_back(name);
+    }
+  }
+  return diff;
+}
+
+}  // namespace commroute::obs

@@ -1,0 +1,87 @@
+// Consumers for the observability artifacts: JSONL event-trace
+// aggregation, span self-time accounting, and BENCH_<name>.json
+// comparison. This is the library core behind the commroute-obs CLI,
+// kept here so the logic is unit-testable without spawning processes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/spans.hpp"
+
+namespace commroute::obs {
+
+/// Aggregate of one event type in a JSONL trace.
+struct EventTypeSummary {
+  std::string type;
+  std::uint64_t count = 0;
+  std::uint64_t timed = 0;     ///< events that carried a duration
+  std::uint64_t total_us = 0;  ///< sum over timed events
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+struct JsonlSummary {
+  std::vector<EventTypeSummary> types;  ///< by count, descending
+  std::size_t lines = 0;                ///< non-empty lines seen
+  std::size_t malformed = 0;            ///< lines that failed to parse
+};
+
+/// Aggregates a JSONL event stream per event type. An event contributes
+/// latency stats when it carries a duration: `dur_us` (spans), `wall_us`
+/// (engine/checker summaries), `wall_ms` (x1000), or a nested
+/// `row.wall_ms` (campaign rows). Malformed lines are counted, not fatal.
+JsonlSummary summarize_jsonl(std::istream& in);
+
+/// Span records from a JSONL stream ("span" events; others ignored).
+std::vector<SpanRecord> spans_from_jsonl(std::istream& in);
+
+/// Span records from a Chrome trace document produced by
+/// chrome_trace_json / `commroute-obs convert` ("X" slices; hierarchy
+/// restored from args.id/args.parent). Attributes are not recovered.
+std::vector<SpanRecord> spans_from_chrome_trace(const JsonValue& doc);
+
+/// Per-name span aggregate. Self time is a span's duration minus its
+/// direct children's durations — where time is actually spent.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;  ///< inclusive
+  std::uint64_t self_us = 0;   ///< inclusive minus direct children
+  std::uint64_t max_us = 0;    ///< largest single inclusive duration
+};
+
+/// Aggregates by span name, sorted by self time descending.
+std::vector<SpanStat> span_self_times(
+    const std::vector<SpanRecord>& records);
+
+/// One benchmark's baseline-vs-current comparison.
+struct BenchDelta {
+  std::string name;
+  double base_ms = 0.0;
+  double current_ms = 0.0;
+  double delta_pct = 0.0;  ///< positive = slower than baseline
+  bool regression = false;
+};
+
+struct BenchDiff {
+  std::vector<BenchDelta> deltas;  ///< baseline order
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_current;
+  double threshold_pct = 10.0;
+  bool regression = false;  ///< any delta beyond the threshold
+};
+
+/// Compares two BENCH_<name>.json documents (the bench --json output)
+/// benchmark-by-benchmark on real_ms_per_iter. A benchmark regresses
+/// when it is more than `threshold_pct` percent slower than baseline.
+/// Throws ParseError when either document lacks the bench shape.
+BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& current,
+                     double threshold_pct);
+
+}  // namespace commroute::obs

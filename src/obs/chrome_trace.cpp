@@ -1,0 +1,157 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <istream>
+
+#include "support/error.hpp"
+
+namespace commroute::obs {
+
+namespace {
+
+/// {"id":...,"parent":...} merged with the span's own attributes.
+std::string span_args(std::uint32_t id, std::uint32_t parent,
+                      const std::string& attrs_json) {
+  JsonWriter args;
+  args.field("id", static_cast<std::uint64_t>(id))
+      .field("parent", static_cast<std::uint64_t>(parent));
+  std::string out = args.str();
+  if (attrs_json.size() > 2) {  // more than "{}"
+    out.pop_back();
+    out += ',';
+    out.append(attrs_json, 1, attrs_json.size() - 1);
+  }
+  return out;
+}
+
+std::string complete_slice(const std::string& name, std::uint64_t ts,
+                           std::uint64_t dur, std::uint32_t tid,
+                           const std::string& args_json) {
+  JsonWriter w;
+  w.field("name", name)
+      .field("cat", "commroute")
+      .field("ph", "X")
+      .field("ts", ts)
+      .field("dur", dur)
+      .field("pid", 1)
+      .field("tid", static_cast<std::uint64_t>(tid));
+  w.raw_field("args", args_json);
+  return w.str();
+}
+
+std::string assemble(const std::vector<std::string>& events) {
+  std::string body =
+      R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+      R"("args":{"name":"commroute"}})";
+  for (const std::string& event : events) {
+    body += ',';
+    body += event;
+  }
+  JsonWriter top;
+  top.raw_field("traceEvents", "[" + body + "]");
+  top.field("displayTimeUnit", "ms");
+  return top.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanCollector& collector) {
+  std::vector<std::string> events;
+  for (const SpanRecord& rec : collector.snapshot()) {
+    events.push_back(complete_slice(
+        rec.name, rec.start_us, rec.dur_us, rec.tid,
+        span_args(rec.id, rec.parent, rec.args_json)));
+  }
+  return assemble(events);
+}
+
+void write_chrome_trace(const SpanCollector& collector,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  CR_REQUIRE(out.is_open(), "cannot write " + path);
+  out << chrome_trace_json(collector) << "\n";
+}
+
+JsonlConversion chrome_trace_from_jsonl(std::istream& in) {
+  JsonlConversion result;
+  std::vector<std::string> events;
+  std::uint64_t fallback_ts = 0;  ///< synthetic clock for untimed events
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto parsed = json_parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      ++result.skipped;
+      continue;
+    }
+    const JsonValue* type = parsed->find("type");
+    const std::string name =
+        (type != nullptr && type->is_string()) ? type->as_string() : "event";
+
+    if (name == "span") {
+      const JsonValue* ts = parsed->find("ts_us");
+      const JsonValue* dur = parsed->find("dur_us");
+      const JsonValue* tid = parsed->find("tid");
+      const JsonValue* id = parsed->find("id");
+      const JsonValue* parent = parsed->find("parent");
+      const JsonValue* span_name = parsed->find("name");
+      if (ts == nullptr || !ts->is_number() || dur == nullptr ||
+          !dur->is_number() || span_name == nullptr ||
+          !span_name->is_string()) {
+        ++result.skipped;
+        continue;
+      }
+      const JsonValue* attrs = parsed->find("args");
+      events.push_back(complete_slice(
+          span_name->as_string(),
+          static_cast<std::uint64_t>(ts->as_number()),
+          static_cast<std::uint64_t>(dur->as_number()),
+          (tid != nullptr && tid->is_number())
+              ? static_cast<std::uint32_t>(tid->as_number())
+              : 0,
+          span_args((id != nullptr && id->is_number())
+                        ? static_cast<std::uint32_t>(id->as_number())
+                        : 0,
+                    (parent != nullptr && parent->is_number())
+                        ? static_cast<std::uint32_t>(parent->as_number())
+                        : 0,
+                    (attrs != nullptr && attrs->is_object())
+                        ? json_render(*attrs)
+                        : std::string())));
+      ++result.events;
+      continue;
+    }
+
+    // Any other event becomes an instant mark; heartbeats carry their
+    // own position (elapsed_ms), everything else ticks a synthetic
+    // per-line clock so ordering survives.
+    const JsonValue* elapsed = parsed->find("elapsed_ms");
+    const std::uint64_t ts =
+        (elapsed != nullptr && elapsed->is_number())
+            ? static_cast<std::uint64_t>(elapsed->as_number() * 1000.0)
+            : fallback_ts++;
+    JsonWriter args;
+    for (const auto& [key, value] : parsed->as_object()) {
+      if (key != "type") {
+        args.raw_field(key, json_render(value));
+      }
+    }
+    JsonWriter w;
+    w.field("name", name)
+        .field("cat", "commroute")
+        .field("ph", "i")
+        .field("s", "t")
+        .field("ts", ts)
+        .field("pid", 1)
+        .field("tid", 0);
+    w.raw_field("args", args.str());
+    events.push_back(w.str());
+    ++result.events;
+  }
+  result.trace_json = assemble(events);
+  return result;
+}
+
+}  // namespace commroute::obs

@@ -1,0 +1,40 @@
+// Chrome trace-event / Perfetto JSON export. Renders a SpanCollector's
+// finished spans (or a JSONL event trace) as one JSON-object-format
+// trace document — {"traceEvents":[...]} with complete ("X") slices
+// carrying ts/dur in microseconds — that loads directly in
+// chrome://tracing and ui.perfetto.dev.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/spans.hpp"
+
+namespace commroute::obs {
+
+/// Renders the collector's finished spans as a Chrome trace-event JSON
+/// document. Every span becomes a complete ("X") slice with `ts` and
+/// `dur` in microseconds; the span's id/parent/attributes travel in
+/// `args` so tooling can rebuild the hierarchy losslessly.
+std::string chrome_trace_json(const SpanCollector& collector);
+
+/// Writes chrome_trace_json to `path` (truncates; throws on failure).
+void write_chrome_trace(const SpanCollector& collector,
+                        const std::string& path);
+
+/// Result of a JSONL -> Chrome trace conversion.
+struct JsonlConversion {
+  std::string trace_json;
+  std::size_t events = 0;   ///< lines converted into trace events
+  std::size_t skipped = 0;  ///< malformed or non-object lines dropped
+};
+
+/// Converts a JSONL event stream (the obs sink format) into a Chrome
+/// trace document. "span" events map losslessly onto "X" slices;
+/// every other event becomes an instant ("i") mark, placed at
+/// `elapsed_ms` when the event carries one (heartbeats) and on a
+/// synthetic per-line timeline otherwise, with all its fields in `args`.
+/// Malformed lines are counted and skipped, never fatal.
+JsonlConversion chrome_trace_from_jsonl(std::istream& in);
+
+}  // namespace commroute::obs

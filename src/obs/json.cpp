@@ -131,6 +131,11 @@ const JsonValue* JsonValue::find(std::string_view key) const {
 
 namespace {
 
+/// Recursion ceiling for nested arrays/objects: deep enough for any
+/// record this codebase emits, shallow enough that hostile input (e.g.
+/// 100k opening brackets fed to commroute-obs) cannot blow the stack.
+constexpr int kMaxDepth = 256;
+
 struct Cursor {
   std::string_view text;
   std::size_t pos = 0;
@@ -159,7 +164,7 @@ struct Cursor {
   }
 };
 
-bool parse_value(Cursor& c, JsonValue& out);
+bool parse_value(Cursor& c, JsonValue& out, int depth);
 
 bool parse_string_body(Cursor& c, std::string& out) {
   // Opening quote already consumed.
@@ -167,6 +172,9 @@ bool parse_string_body(Cursor& c, std::string& out) {
     const char ch = c.text[c.pos++];
     if (ch == '"') {
       return true;
+    }
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;  // raw control characters must be escaped
     }
     if (ch != '\\') {
       out += ch;
@@ -245,26 +253,30 @@ bool parse_number(Cursor& c, JsonValue& out) {
   const std::size_t start = c.pos;
   if (c.eat('-')) {
   }
+  // JSON requires a digit here: "+1", ".5", and bare "-" are rejected.
+  if (c.done() || c.peek() < '0' || c.peek() > '9') {
+    return false;
+  }
   while (!c.done() && ((c.peek() >= '0' && c.peek() <= '9') ||
                        c.peek() == '.' || c.peek() == 'e' ||
                        c.peek() == 'E' || c.peek() == '+' ||
                        c.peek() == '-')) {
     ++c.pos;
   }
-  if (c.pos == start) {
-    return false;
-  }
   const std::string token(c.text.substr(start, c.pos - start));
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
-    return false;
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    return false;  // malformed, or overflowed past double range
   }
   out.value = v;
   return true;
 }
 
-bool parse_value(Cursor& c, JsonValue& out) {
+bool parse_value(Cursor& c, JsonValue& out, int depth) {
+  if (depth > kMaxDepth) {
+    return false;
+  }
   c.skip_ws();
   if (c.done()) {
     return false;
@@ -292,7 +304,7 @@ bool parse_value(Cursor& c, JsonValue& out) {
         return false;
       }
       JsonValue member;
-      if (!parse_value(c, member)) {
+      if (!parse_value(c, member, depth + 1)) {
         return false;
       }
       obj.emplace_back(std::move(key), std::move(member));
@@ -317,7 +329,7 @@ bool parse_value(Cursor& c, JsonValue& out) {
     }
     for (;;) {
       JsonValue element;
-      if (!parse_value(c, element)) {
+      if (!parse_value(c, element, depth + 1)) {
         return false;
       }
       arr.push_back(std::move(element));
@@ -361,7 +373,7 @@ bool parse_value(Cursor& c, JsonValue& out) {
 std::optional<JsonValue> json_parse(std::string_view text) {
   Cursor c{text};
   JsonValue v;
-  if (!parse_value(c, v)) {
+  if (!parse_value(c, v, 0)) {
     return std::nullopt;
   }
   c.skip_ws();
@@ -369,6 +381,46 @@ std::optional<JsonValue> json_parse(std::string_view text) {
     return std::nullopt;  // trailing garbage
   }
   return v;
+}
+
+std::string json_render(const JsonValue& value) {
+  if (value.is_null()) {
+    return "null";
+  }
+  if (value.is_bool()) {
+    return value.as_bool() ? "true" : "false";
+  }
+  if (value.is_number()) {
+    return json_number(value.as_number());
+  }
+  if (value.is_string()) {
+    return "\"" + json_escape(value.as_string()) + "\"";
+  }
+  if (value.is_array()) {
+    std::string out = "[";
+    const JsonValue::Array& arr = value.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += json_render(arr[i]);
+    }
+    out += ']';
+    return out;
+  }
+  std::string out = "{";
+  const JsonValue::Object& obj = value.as_object();
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    out += json_escape(obj[i].first);
+    out += "\":";
+    out += json_render(obj[i].second);
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace commroute::obs

@@ -74,7 +74,16 @@ class JsonValue {
 };
 
 /// Parses one complete JSON document (trailing whitespace allowed,
-/// trailing garbage rejected). nullopt on any syntax error.
+/// trailing garbage rejected). nullopt on any syntax error. Hardened
+/// for untrusted input: nesting beyond 256 levels, non-standard numbers
+/// (leading '+', bare '.', overflow to infinity), and raw control
+/// characters inside strings are all rejected rather than crashing or
+/// silently accepted. Bytes >= 0x80 pass through verbatim (the parser
+/// does not validate UTF-8), and duplicate keys are kept in order.
 std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Renders a parsed value back to compact JSON text (objects keep field
+/// order). Round-trips json_parse output up to number formatting.
+std::string json_render(const JsonValue& value);
 
 }  // namespace commroute::obs

@@ -1,0 +1,121 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+
+namespace commroute::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    collector_ = other.collector_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    tid_ = other.tid_;
+    start_ = other.start_;
+    name_ = std::move(other.name_);
+    args_ = std::move(other.args_);
+    has_args_ = other.has_args_;
+    other.collector_ = nullptr;
+  }
+  return *this;
+}
+
+std::uint64_t Span::elapsed_us() const {
+  if (collector_ == nullptr) {
+    return 0;
+  }
+  const auto d = std::chrono::steady_clock::now() - start_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void Span::finish() {
+  if (collector_ == nullptr) {
+    return;
+  }
+  const std::uint64_t dur_us = elapsed_us();
+  collector_->record(*this, dur_us);
+  collector_ = nullptr;
+}
+
+SpanCollector::ThreadState& SpanCollector::state_for(
+    std::thread::id thread) {
+  for (ThreadState& state : threads_) {
+    if (state.thread == thread) {
+      return state;
+    }
+  }
+  threads_.push_back(ThreadState{
+      thread, static_cast<std::uint32_t>(threads_.size()), {}});
+  return threads_.back();
+}
+
+Span SpanCollector::begin(std::string_view name) {
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = state_for(std::this_thread::get_id());
+  const std::uint32_t id = next_id_++;
+  const std::uint32_t parent = state.open.empty() ? 0 : state.open.back();
+  state.open.push_back(id);
+  return Span(this, id, parent, state.tid, start, name);
+}
+
+void SpanCollector::record(Span& span, std::uint64_t dur_us) {
+  SpanRecord rec;
+  rec.id = span.id_;
+  rec.parent = span.parent_;
+  rec.tid = span.tid_;
+  rec.start_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(span.start_ -
+                                                            epoch_)
+          .count());
+  rec.dur_us = dur_us;
+  rec.name = std::move(span.name_);
+  if (span.has_args_) {
+    rec.args_json = span.args_.str();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Close the span in its thread's open stack. RAII nesting makes this
+  // the top entry; a moved span finished out of order is found deeper.
+  for (ThreadState& state : threads_) {
+    if (state.tid != span.tid_) {
+      continue;
+    }
+    const auto it =
+        std::find(state.open.rbegin(), state.open.rend(), span.id_);
+    if (it != state.open.rend()) {
+      state.open.erase(std::next(it).base());
+    }
+    break;
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void spans_to_jsonl(const SpanCollector& collector, EventSink& sink) {
+  for (const SpanRecord& rec : collector.snapshot()) {
+    Event event("span");
+    event.field("name", rec.name)
+        .field("id", static_cast<std::uint64_t>(rec.id))
+        .field("parent", static_cast<std::uint64_t>(rec.parent))
+        .field("tid", static_cast<std::uint64_t>(rec.tid))
+        .field("ts_us", rec.start_us)
+        .field("dur_us", rec.dur_us);
+    if (!rec.args_json.empty()) {
+      event.raw_field("args", rec.args_json);
+    }
+    sink.emit(event);
+  }
+}
+
+}  // namespace commroute::obs

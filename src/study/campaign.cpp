@@ -125,6 +125,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   CR_REQUIRE(!spec.schedulers.empty(), "campaign needs schedulers");
 
   CampaignResult result;
+  obs::Span campaign_span = spec.obs.span("campaign.run");
   for (const auto& [name, instance] : spec.instances) {
     CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
     for (const model::Model& m : spec.models) {
@@ -140,9 +141,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           engine::RunOptions options;
           options.max_steps = spec.max_steps;
           options.record_trace = false;
-          // Engine aggregates accumulate in the campaign's registry; the
-          // sink stays campaign-level (one event per row, not per run).
+          // Engine aggregates accumulate in the campaign's registry and
+          // engine spans nest under the row span; the sink stays
+          // campaign-level (one event per row, not per run).
           options.obs.metrics = spec.obs.metrics;
+          options.obs.spans = spec.obs.spans;
           switch (kind) {
             case SchedulerKind::kRoundRobin:
               scheduler = std::make_unique<engine::RoundRobinScheduler>(
@@ -169,8 +172,16 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           }
 
           const auto row_start = std::chrono::steady_clock::now();
+          obs::Span row_span = spec.obs.span("campaign.row");
+          if (row_span.enabled()) {
+            row_span.attr("instance", name)
+                .attr("model", m.name())
+                .attr("scheduler", to_string(kind))
+                .attr("seed", seed);
+          }
           const engine::RunResult run =
               engine::run(*instance, *scheduler, options);
+          row_span.finish();
           CampaignRow row;
           row.instance = name;
           row.model = m;

@@ -33,9 +33,11 @@ struct CampaignSpec {
   std::uint64_t seeds = 5;          ///< per randomized configuration
   std::uint64_t max_steps = 50000;
   double drop_prob = 0.2;           ///< for unreliable random schedules
-  /// Optional metrics registry / JSONL event sink. Attached, the driver
-  /// emits one "campaign_row" event per completed row and a final
-  /// "campaign_summary", and publishes row/step/wall aggregates.
+  /// Optional metrics registry / JSONL event sink / span collector.
+  /// Attached, the driver emits one "campaign_row" event per completed
+  /// row and a final "campaign_summary", publishes row/step/wall
+  /// aggregates, and traces campaign.run > campaign.row > engine.run
+  /// spans (the registry and span collector forward to each row's run).
   obs::Instrumentation obs;
 };
 

@@ -1,0 +1,214 @@
+// The analysis core behind commroute-obs: JSONL aggregation, span
+// self-time accounting, Chrome-trace import, and the bench-diff perf
+// gate (the injected-regression case is the acceptance criterion the
+// CI gate rests on).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "support/error.hpp"
+
+namespace commroute {
+namespace {
+
+obs::JsonValue parse_or_die(const std::string& text) {
+  const auto parsed = obs::json_parse(text);
+  EXPECT_TRUE(parsed.has_value()) << "invalid JSON: " << text;
+  return parsed.value_or(obs::JsonValue{});
+}
+
+const obs::EventTypeSummary* find_type(const obs::JsonlSummary& summary,
+                                       const std::string& type) {
+  for (const obs::EventTypeSummary& row : summary.types) {
+    if (row.type == type) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SummarizeJsonl, AggregatesPerTypeWithEveryDurationSpelling) {
+  std::istringstream in(
+      "{\"type\":\"span\",\"dur_us\":100}\n"
+      "{\"type\":\"span\",\"dur_us\":200}\n"
+      "{\"type\":\"span\",\"dur_us\":300}\n"
+      "{\"type\":\"engine_run\",\"wall_us\":5000}\n"
+      "{\"type\":\"engine_run\",\"wall_ms\":2}\n"
+      "{\"type\":\"campaign_row\",\"row\":{\"wall_ms\":1.5}}\n"
+      "{\"type\":\"no_dur\",\"states\":4}\n"
+      "{\"notype\":1}\n"
+      "\n"
+      "this is not json\n");
+  const obs::JsonlSummary summary = obs::summarize_jsonl(in);
+  EXPECT_EQ(summary.lines, 9u);  // blank line skipped
+  EXPECT_EQ(summary.malformed, 1u);
+  ASSERT_EQ(summary.types.size(), 5u);
+  EXPECT_EQ(summary.types.front().type, "span");  // count-descending
+
+  const obs::EventTypeSummary* span = find_type(summary, "span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 3u);
+  EXPECT_EQ(span->timed, 3u);
+  EXPECT_EQ(span->total_us, 600u);
+  EXPECT_EQ(span->p50_us, 200u);
+  EXPECT_EQ(span->max_us, 300u);
+
+  const obs::EventTypeSummary* run = find_type(summary, "engine_run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->timed, 2u);
+  EXPECT_EQ(run->total_us, 7000u);  // wall_us + wall_ms * 1000
+
+  const obs::EventTypeSummary* row = find_type(summary, "campaign_row");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->total_us, 1500u);  // nested row.wall_ms
+
+  const obs::EventTypeSummary* bare = find_type(summary, "no_dur");
+  ASSERT_NE(bare, nullptr);
+  EXPECT_EQ(bare->count, 1u);
+  EXPECT_EQ(bare->timed, 0u);
+
+  EXPECT_NE(find_type(summary, "(untyped)"), nullptr);
+}
+
+TEST(SpanSelfTimes, SubtractsDirectChildrenAndSortsBySelf) {
+  std::vector<obs::SpanRecord> records;
+  const auto add = [&](std::uint32_t id, std::uint32_t parent,
+                       std::uint64_t dur, const char* name) {
+    obs::SpanRecord rec;
+    rec.id = id;
+    rec.parent = parent;
+    rec.dur_us = dur;
+    rec.name = name;
+    records.push_back(std::move(rec));
+  };
+  add(1, 0, 100, "root");
+  add(2, 1, 30, "child");
+  add(3, 1, 20, "child");
+  add(4, 2, 25, "leaf");
+
+  const std::vector<obs::SpanStat> stats = obs::span_self_times(records);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "root");
+  EXPECT_EQ(stats[0].self_us, 50u);  // 100 - (30 + 20)
+  EXPECT_EQ(stats[0].total_us, 100u);
+
+  const obs::SpanStat& child = stats[1].name == "child" ? stats[1] : stats[2];
+  EXPECT_EQ(child.count, 2u);
+  EXPECT_EQ(child.total_us, 50u);
+  EXPECT_EQ(child.self_us, 25u);  // (30 - 25) + 20; only DIRECT children
+  EXPECT_EQ(child.max_us, 30u);
+
+  const obs::SpanStat& leaf = stats[1].name == "leaf" ? stats[1] : stats[2];
+  EXPECT_EQ(leaf.self_us, 25u);
+}
+
+TEST(SpanSelfTimes, ClampsWhenChildrenOutlastTheParent) {
+  std::vector<obs::SpanRecord> records(2);
+  records[0].id = 1;
+  records[0].dur_us = 10;
+  records[0].name = "parent";
+  records[1].id = 2;
+  records[1].parent = 1;
+  records[1].dur_us = 50;  // clock granularity artifact
+  records[1].name = "child";
+  const auto stats = obs::span_self_times(records);
+  for (const obs::SpanStat& stat : stats) {
+    if (stat.name == "parent") {
+      EXPECT_EQ(stat.self_us, 0u);  // clamped, not wrapped
+    }
+  }
+}
+
+TEST(SpansFromChromeTrace, ReadsSlicesAndIgnoresMetadata) {
+  const auto doc = parse_or_die(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":100,\"pid\":1,"
+      "\"tid\":0,\"args\":{\"id\":1,\"parent\":0}},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"ts\":10,\"dur\":50,\"pid\":1,"
+      "\"tid\":2,\"args\":{\"id\":2,\"parent\":1}},"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1},"
+      "{\"name\":\"mark\",\"ph\":\"i\",\"ts\":5}"
+      "],\"displayTimeUnit\":\"ms\"}");
+  const auto records = obs::spans_from_chrome_trace(doc);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[1].parent, 1u);
+  EXPECT_EQ(records[1].tid, 2u);
+  EXPECT_EQ(records[1].start_us, 10u);
+  EXPECT_EQ(records[1].dur_us, 50u);
+
+  // Not a trace document at all: empty, not a crash.
+  EXPECT_TRUE(obs::spans_from_chrome_trace(parse_or_die("{}")).empty());
+}
+
+obs::JsonValue bench_doc(const std::string& results) {
+  return parse_or_die("{\"name\":\"fixture\",\"metrics\":{},\"results\":[" +
+                      results + "]}");
+}
+
+std::string bench_row(const std::string& name, double ms) {
+  return "{\"name\":\"" + name +
+         "\",\"iterations\":10,\"real_ms_per_iter\":" +
+         obs::json_number(ms) + "}";
+}
+
+TEST(BenchDiff, FlagsOnlyDeltasBeyondTheThreshold) {
+  const auto baseline = bench_doc(bench_row("A", 2.0) + "," +
+                                  bench_row("B", 4.0) + "," +
+                                  bench_row("C", 1.0));
+  const auto current = bench_doc(bench_row("A", 2.1) + "," +  // +5%
+                                 bench_row("B", 4.6) + "," +  // +15%
+                                 bench_row("C", 0.8));        // -20%
+  const obs::BenchDiff diff = obs::bench_diff(baseline, current, 10.0);
+  EXPECT_TRUE(diff.regression);
+  ASSERT_EQ(diff.deltas.size(), 3u);
+  EXPECT_FALSE(diff.deltas[0].regression);
+  EXPECT_NEAR(diff.deltas[0].delta_pct, 5.0, 1e-9);
+  EXPECT_TRUE(diff.deltas[1].regression);
+  EXPECT_NEAR(diff.deltas[1].delta_pct, 15.0, 1e-9);
+  EXPECT_FALSE(diff.deltas[2].regression);  // improvements never flag
+  EXPECT_NEAR(diff.deltas[2].delta_pct, -20.0, 1e-9);
+
+  // The same +15% passes under a looser threshold.
+  EXPECT_FALSE(obs::bench_diff(baseline, current, 20.0).regression);
+}
+
+TEST(BenchDiff, TracksBenchmarksPresentOnOnlyOneSide) {
+  const auto baseline = bench_doc(bench_row("A", 2.0) + "," +
+                                  bench_row("OLD", 1.0));
+  const auto current = bench_doc(bench_row("A", 2.0) + "," +
+                                 bench_row("NEW", 3.0));
+  const obs::BenchDiff diff = obs::bench_diff(baseline, current, 10.0);
+  EXPECT_FALSE(diff.regression);
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  ASSERT_EQ(diff.only_in_baseline.size(), 1u);
+  EXPECT_EQ(diff.only_in_baseline[0], "OLD");
+  ASSERT_EQ(diff.only_in_current.size(), 1u);
+  EXPECT_EQ(diff.only_in_current[0], "NEW");
+}
+
+TEST(BenchDiff, ZeroBaselineNeverDividesByZero) {
+  const auto baseline = bench_doc(bench_row("A", 0.0));
+  const auto current = bench_doc(bench_row("A", 5.0));
+  const obs::BenchDiff diff = obs::bench_diff(baseline, current, 10.0);
+  EXPECT_DOUBLE_EQ(diff.deltas[0].delta_pct, 0.0);
+  EXPECT_FALSE(diff.regression);
+}
+
+TEST(BenchDiff, RejectsDocumentsWithoutTheBenchShape) {
+  const auto good = bench_doc(bench_row("A", 1.0));
+  EXPECT_THROW(obs::bench_diff(parse_or_die("{\"foo\":1}"), good, 10.0),
+               ParseError);
+  EXPECT_THROW(obs::bench_diff(good, parse_or_die("{\"foo\":1}"), 10.0),
+               ParseError);
+  const auto missing_ms =
+      parse_or_die("{\"results\":[{\"name\":\"A\"}]}");
+  EXPECT_THROW(obs::bench_diff(good, missing_ms, 10.0), ParseError);
+}
+
+}  // namespace
+}  // namespace commroute

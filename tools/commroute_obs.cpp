@@ -1,0 +1,233 @@
+// commroute-obs: consumer CLI for the observability artifacts the
+// library emits — JSONL event traces, span traces, and BENCH_*.json
+// perf output. Closes the loop PR-wise: what the instrumented loops
+// write, this tool aggregates, converts, and gates on.
+//
+//   commroute-obs summarize RUN.jsonl              per-type counts + latency quantiles
+//   commroute-obs spans TRACE[.jsonl|.json] [--top N]   self-time table
+//   commroute-obs convert RUN.jsonl OUT.json       Chrome trace / Perfetto export
+//   commroute-obs bench-diff BASE.json CUR.json [--threshold PCT]
+//                                                  perf gate: exit 1 on regression
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace commroute;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+int usage() {
+  std::cerr
+      << "usage: commroute-obs <command> [args]\n"
+         "  summarize FILE.jsonl               aggregate a JSONL event "
+         "trace per event type\n"
+         "  spans FILE [--top N]               span self-time table "
+         "(JSONL or Chrome trace input)\n"
+         "  convert FILE.jsonl OUT.json        JSONL -> Chrome "
+         "trace-event JSON (open in Perfetto)\n"
+         "  bench-diff BASELINE.json CURRENT.json [--threshold PCT]\n"
+         "                                     compare BENCH_*.json runs; "
+         "exit 1 beyond threshold (default 10)\n";
+  return kExitUsage;
+}
+
+std::ifstream open_or_die(const std::string& path) {
+  std::ifstream in(path);
+  CR_REQUIRE(in.is_open(), "cannot open " + path);
+  return in;
+}
+
+std::string format_us(std::uint64_t us) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.2fms",
+                  static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluus",
+                  static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return usage();
+  }
+  std::ifstream in = open_or_die(args[0]);
+  const obs::JsonlSummary summary = obs::summarize_jsonl(in);
+
+  TextTable table;
+  table.set_header({"type", "count", "timed", "total", "p50", "p90",
+                    "p99", "max"});
+  for (const obs::EventTypeSummary& row : summary.types) {
+    table.add_row({row.type, std::to_string(row.count),
+                   std::to_string(row.timed), format_us(row.total_us),
+                   format_us(row.p50_us), format_us(row.p90_us),
+                   format_us(row.p99_us), format_us(row.max_us)});
+  }
+  std::cout << table.render();
+  std::cout << summary.lines << " line(s), " << summary.malformed
+            << " malformed\n";
+  return kExitOk;
+}
+
+std::vector<obs::SpanRecord> load_spans(const std::string& path) {
+  // A Chrome trace document is one JSON object spanning the whole file;
+  // a span trace is JSONL. Try the document parse first.
+  std::ifstream in = open_or_die(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (const auto doc = obs::json_parse(buffer.str());
+      doc.has_value() && doc->find("traceEvents") != nullptr) {
+    return obs::spans_from_chrome_trace(*doc);
+  }
+  buffer.clear();
+  buffer.seekg(0);
+  return obs::spans_from_jsonl(buffer);
+}
+
+int cmd_spans(const std::vector<std::string>& args) {
+  std::size_t top = 20;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 1) {
+    return usage();
+  }
+  const std::vector<obs::SpanRecord> records = load_spans(files[0]);
+  if (records.empty()) {
+    std::cout << "no spans in " << files[0] << "\n";
+    return kExitOk;
+  }
+  const std::vector<obs::SpanStat> stats = obs::span_self_times(records);
+
+  TextTable table;
+  table.set_header({"span", "count", "self", "total", "max"});
+  for (std::size_t i = 0; i < stats.size() && i < top; ++i) {
+    const obs::SpanStat& s = stats[i];
+    table.add_row({s.name, std::to_string(s.count), format_us(s.self_us),
+                   format_us(s.total_us), format_us(s.max_us)});
+  }
+  std::cout << table.render();
+  std::cout << records.size() << " span(s), " << stats.size()
+            << " distinct name(s)\n";
+  return kExitOk;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return usage();
+  }
+  std::ifstream in = open_or_die(args[0]);
+  const obs::JsonlConversion conversion = obs::chrome_trace_from_jsonl(in);
+  std::ofstream out(args[1], std::ios::trunc);
+  CR_REQUIRE(out.is_open(), "cannot write " + args[1]);
+  out << conversion.trace_json << "\n";
+  std::cout << args[1] << ": " << conversion.events << " event(s), "
+            << conversion.skipped
+            << " skipped — open in chrome://tracing or ui.perfetto.dev\n";
+  return kExitOk;
+}
+
+obs::JsonValue parse_file_or_die(const std::string& path) {
+  std::ifstream in = open_or_die(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = obs::json_parse(buffer.str());
+  CR_REQUIRE(doc.has_value(), path + " is not valid JSON");
+  return *doc;
+}
+
+int cmd_bench_diff(const std::vector<std::string>& args) {
+  double threshold = 10.0;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold" && i + 1 < args.size()) {
+      threshold = std::stod(args[++i]);
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) {
+    return usage();
+  }
+  const obs::BenchDiff diff = obs::bench_diff(
+      parse_file_or_die(files[0]), parse_file_or_die(files[1]), threshold);
+
+  TextTable table;
+  table.set_header({"benchmark", "baseline", "current", "delta", ""});
+  for (const obs::BenchDelta& d : diff.deltas) {
+    char base[32], cur[32], delta[32];
+    std::snprintf(base, sizeof base, "%.3fms", d.base_ms);
+    std::snprintf(cur, sizeof cur, "%.3fms", d.current_ms);
+    std::snprintf(delta, sizeof delta, "%+.1f%%", d.delta_pct);
+    table.add_row({d.name, base, cur, delta,
+                   d.regression ? "REGRESSION" : ""});
+  }
+  std::cout << table.render();
+  for (const std::string& name : diff.only_in_baseline) {
+    std::cout << "missing from current: " << name << "\n";
+  }
+  for (const std::string& name : diff.only_in_current) {
+    std::cout << "new in current: " << name << "\n";
+  }
+  if (diff.regression) {
+    std::cout << "FAIL: at least one benchmark regressed more than "
+              << threshold << "%\n";
+    return kExitRegression;
+  }
+  std::cout << "OK: no benchmark regressed more than " << threshold
+            << "%\n";
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "summarize") {
+      return cmd_summarize(args);
+    }
+    if (command == "spans") {
+      return cmd_spans(args);
+    }
+    if (command == "convert") {
+      return cmd_convert(args);
+    }
+    if (command == "bench-diff") {
+      return cmd_bench_diff(args);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const commroute::Error& e) {
+    std::cerr << "commroute-obs: " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "commroute-obs: " << e.what() << "\n";
+    return kExitUsage;
+  }
+}
