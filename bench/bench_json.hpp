@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/meta.hpp"
 #include "support/error.hpp"
 
 namespace commroute::bench {
@@ -31,6 +32,7 @@ inline bool json_mode() { return json_mode_flag(); }
 /// Strips --json from argv (so later flag parsing never sees it) and
 /// enables JSON mode when present. Call first thing in main().
 inline bool parse_json_mode(int& argc, char** argv) {
+  obs::set_process_argv(argc, argv);  // stamp the artifact headers
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
@@ -78,8 +80,11 @@ class BenchJson {
       rows += results_[i];
     }
     rows += ']';
+    obs::JsonWriter meta;
+    obs::add_metadata_fields(meta);
     obs::JsonWriter top;
     top.field("name", name_);
+    top.raw_field("meta", meta.str());
     top.raw_field("metrics", metrics.str());
     top.raw_field("results", rows);
     return top.str();

@@ -5,24 +5,30 @@
 //   $ ./campaign_study            # summary table to stdout
 //   $ ./campaign_study --csv      # raw CSV instead (pipe to a file)
 //   $ ./campaign_study --trace campaign.json   # span trace for Perfetto
+//   $ ./campaign_study --recordings DIR   # flight-record non-converged
+//                                         # runs into DIR (ring buffer)
 #include <iostream>
 #include <string>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/meta.hpp"
 #include "spp/gadgets.hpp"
 #include "study/campaign.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace commroute;
+  obs::set_process_argv(argc, argv);
   bool csv = false;
-  std::string trace_path;
+  std::string trace_path, recording_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       csv = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--recordings" && i + 1 < argc) {
+      recording_dir = argv[++i];
     }
   }
 
@@ -36,6 +42,7 @@ int main(int argc, char** argv) {
                      study::SchedulerKind::kRandomFair};
   spec.seeds = 3;
   spec.max_steps = 30000;
+  spec.recording_dir = recording_dir;
 
   obs::SpanCollector spans;
   if (!trace_path.empty()) {

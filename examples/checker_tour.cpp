@@ -4,6 +4,9 @@
 //
 //   $ ./checker_tour
 //   $ ./checker_tour --trace tour.json   # span trace for Perfetto
+//   $ ./checker_tour --witness osc.recording.jsonl
+//                                        # export the found oscillation
+//                                        # witness as a recording
 #include <iostream>
 #include <string>
 
@@ -12,17 +15,22 @@
 #include "checker/targeted.hpp"
 #include "engine/runner.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/meta.hpp"
 #include "spp/builder.hpp"
 #include "trace/recording.hpp"
+#include "trace/recording_io.hpp"
 
 int main(int argc, char** argv) {
   using namespace commroute;
   using model::Model;
 
-  std::string trace_path;
+  obs::set_process_argv(argc, argv);
+  std::string trace_path, witness_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::string(argv[i]) == "--witness" && i + 1 < argc) {
+      witness_path = argv[++i];
     }
   }
   obs::SpanCollector spans;
@@ -69,6 +77,19 @@ int main(int argc, char** argv) {
               << weak.witness_cycle.size() << " cycle steps): "
               << engine::to_string(run.outcome) << ", cycle length "
               << run.cycle_length << "\n\n";
+
+    // Export the witness as a durable recording: same JSONL schema as
+    // the flight recorder, so commroute-obs replay/flaps/oscillation all
+    // work on checker output too.
+    if (!witness_path.empty()) {
+      trace::RecordingDoc doc = trace::record_witness(
+          inst, weak.witness_prefix, weak.witness_cycle);
+      doc.meta.instance_name = "disagree-with-decoy";
+      doc.meta.model = "R1O";
+      trace::save_recording(witness_path, inst, doc);
+      std::cout << "Wrote the oscillation witness to " << witness_path
+                << " (inspect with commroute-obs)\n\n";
+    }
   }
 
   // 3. Targeted search: is the REA converged trace exactly realizable in

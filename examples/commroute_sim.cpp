@@ -15,6 +15,9 @@
 //                   --replay FILE  play an activation script (see
 //                                  docs/FORMAT.md and model/script_io.hpp)
 //                   --loop-from N  with --replay: loop the script suffix
+//                   --record FILE  flight-record the full run to FILE
+//                                  (inspect with commroute-obs replay /
+//                                  flaps / oscillation)
 //
 // Examples:
 //   commroute_sim DISAGREE RMS
@@ -28,6 +31,7 @@
 
 #include "engine/runner.hpp"
 #include "model/script_io.hpp"
+#include "obs/meta.hpp"
 #include "spp/gadgets.hpp"
 #include "spp/serialize.hpp"
 
@@ -38,7 +42,7 @@ using namespace commroute;
 int usage() {
   std::cerr << "usage: commroute_sim --list | <gadget|file> <model> "
                "[rr|random|event|sync] [--steps N] [--seed S] [--drop P] "
-               "[--trace]\n";
+               "[--trace] [--record FILE]\n";
   return 2;
 }
 
@@ -60,6 +64,7 @@ spp::Instance load_instance(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  commroute::obs::set_process_argv(argc, argv);
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     return usage();
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
     std::uint64_t steps = 20000, seed = 1;
     double drop = 0.2;
     bool show_trace = false;
-    std::string replay_file;
+    std::string replay_file, record_file;
     std::optional<std::size_t> loop_from;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--steps" && i + 1 < args.size()) {
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
         drop = std::stod(args[++i]);
       } else if (args[i] == "--replay" && i + 1 < args.size()) {
         replay_file = args[++i];
+      } else if (args[i] == "--record" && i + 1 < args.size()) {
+        record_file = args[++i];
       } else if (args[i] == "--loop-from" && i + 1 < args.size()) {
         loop_from = std::stoull(args[++i]);
       } else if (args[i] == "--trace") {
@@ -147,6 +154,15 @@ int main(int argc, char** argv) {
       return usage();
     }
 
+    if (!record_file.empty()) {
+      options.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+      options.flight.flush_path = record_file;
+      options.flight.flush_always = true;
+      options.flight.instance_name = args[0];
+      options.flight.scheduler = scheduler_name;
+      options.flight.seed = seed;
+    }
+
     std::cout << instance.to_string() << "\n";
     const engine::RunResult result =
         engine::run(instance, *scheduler, options);
@@ -170,6 +186,11 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     if (show_trace) {
       std::cout << "\n" << result.trace.to_string(instance);
+    }
+    if (!result.recording_path.empty()) {
+      std::cout << "recording written to " << result.recording_path
+                << " (inspect with commroute-obs replay/flaps/"
+                   "oscillation)\n";
     }
     return 0;
   } catch (const Error& e) {

@@ -1,12 +1,82 @@
 #include "engine/runner.hpp"
 
 #include <chrono>
+#include <deque>
 #include <unordered_map>
 
 #include "engine/executor.hpp"
 #include "support/error.hpp"
 
 namespace commroute::engine {
+
+namespace {
+
+/// Bounded capture of the executed steps for the flight recorder: a ring
+/// of (step, pi-after, I/O) entries whose window-initial assignment
+/// advances as old entries fall off.
+class FlightRecorder {
+ public:
+  FlightRecorder(const FlightRecorderOptions& options,
+                 trace::Assignment initial)
+      : options_(options), window_initial_(std::move(initial)) {}
+
+  void capture(const model::ActivationStep& step, const StepEffect& effect,
+               const NetworkState& state) {
+    Entry entry;
+    entry.step = step;
+    entry.pi = state.assignments();
+    for (const SentMessage& sent : effect.sent) {
+      entry.io.sent.push_back(sent.channel);
+    }
+    for (const ReadEffect& read : effect.reads) {
+      entry.io.reads.push_back(
+          trace::StepIo::Read{read.channel, read.processed, read.dropped});
+    }
+    window_.push_back(std::move(entry));
+    if (options_.mode == FlightRecorderOptions::Mode::kRing &&
+        window_.size() > options_.ring_capacity) {
+      window_initial_ = std::move(window_.front().pi);
+      ++first_step_;
+      window_.pop_front();
+    }
+  }
+
+  trace::RecordingDoc finish(const RunOptions& options,
+                             Outcome outcome) && {
+    trace::RecordingDoc doc;
+    doc.meta.instance_name = options_.instance_name;
+    doc.meta.scheduler = options_.scheduler;
+    doc.meta.seed = options_.seed;
+    if (options.enforce_model.has_value()) {
+      doc.meta.model = options.enforce_model->name();
+    }
+    doc.meta.outcome = to_string(outcome);
+    doc.meta.first_step = first_step_;
+    doc.initial = std::move(window_initial_);
+    doc.steps.reserve(window_.size());
+    doc.assignments.reserve(window_.size());
+    doc.io.reserve(window_.size());
+    for (Entry& entry : window_) {
+      doc.steps.push_back(std::move(entry.step));
+      doc.assignments.push_back(std::move(entry.pi));
+      doc.io.push_back(std::move(entry.io));
+    }
+    return doc;
+  }
+
+ private:
+  struct Entry {
+    model::ActivationStep step;
+    trace::Assignment pi;
+    trace::StepIo io;
+  };
+  const FlightRecorderOptions& options_;
+  trace::Assignment window_initial_;
+  std::deque<Entry> window_;
+  std::uint64_t first_step_ = 1;
+};
+
+}  // namespace
 
 std::string to_string(Outcome outcome) {
   switch (outcome) {
@@ -55,6 +125,16 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   obs::Span run_span = options.obs.span("engine.run");
   NetworkState state(instance);
   model::FairnessMonitor fairness(instance.graph().channel_count());
+
+  const bool recording =
+      options.flight.mode != FlightRecorderOptions::Mode::kOff;
+  std::optional<FlightRecorder> recorder;
+  if (recording) {
+    CR_REQUIRE(options.flight.mode != FlightRecorderOptions::Mode::kRing ||
+                   options.flight.ring_capacity > 0,
+               "flight recorder ring capacity must be positive");
+    recorder.emplace(options.flight, state.assignments());
+  }
 
   RunResult result;
   result.node_activations.assign(instance.node_count(), 0);
@@ -166,6 +246,9 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
     if (options.record_trace) {
       result.trace.record(state.assignments());
     }
+    if (recording) {
+      recorder->capture(step, effect, state);
+    }
 
     if (can_detect_cycles) {
       if (const Seen* repeat = find_repeat(state)) {
@@ -183,6 +266,32 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   result.final_assignment = state.assignments();
   result.max_attempt_gap = fairness.max_attempt_gap();
   result.outstanding_drops = fairness.outstanding_drops();
+
+  if (recording) {
+    result.recording = std::move(*recorder).finish(options, result.outcome);
+    const bool flush = !options.flight.flush_path.empty() &&
+                       (options.flight.flush_always ||
+                        result.outcome != Outcome::kConverged);
+    if (flush) {
+      obs::Span flush_span = options.obs.span("engine.flush_recording");
+      trace::save_recording(options.flight.flush_path, instance,
+                            *result.recording);
+      result.recording_path = options.flight.flush_path;
+      flush_span.finish();
+      if (options.obs.metrics != nullptr) {
+        options.obs.metrics->counter("engine.recordings_flushed").add();
+      }
+      if (options.obs.sink != nullptr) {
+        obs::Event ev("recording_flushed");
+        ev.field("path", result.recording_path)
+            .field("outcome", to_string(result.outcome))
+            .field("first_step", result.recording->meta.first_step)
+            .field("steps", static_cast<std::uint64_t>(
+                                result.recording->steps.size()));
+        options.obs.sink->emit(ev);
+      }
+    }
+  }
 
   if (observed) {
     const std::uint64_t wall_us = static_cast<std::uint64_t>(

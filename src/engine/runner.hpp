@@ -19,6 +19,7 @@
 #include "engine/state.hpp"
 #include "model/fairness.hpp"
 #include "obs/obs.hpp"
+#include "trace/recording_io.hpp"
 #include "trace/trace.hpp"
 
 namespace commroute::engine {
@@ -30,6 +31,30 @@ enum class Outcome {
 };
 
 std::string to_string(Outcome outcome);
+
+/// Flight recorder: durable capture of the executed activation sequence
+/// and its pi-sequence, either in full or as a bounded ring of the last
+/// N steps, auto-flushed to disk when the run fails to converge. Off by
+/// default; the detached path adds one predicted branch per step.
+struct FlightRecorderOptions {
+  enum class Mode {
+    kOff,   ///< no capture
+    kRing,  ///< keep the last `ring_capacity` steps (forensics window)
+    kFull,  ///< keep every step (replayable recording)
+  };
+  Mode mode = Mode::kOff;
+  std::size_t ring_capacity = 256;
+  /// When non-empty, the recording is written here (JSONL, see
+  /// trace/recording_io.hpp) after the run — always with `flush_always`,
+  /// otherwise only on a non-converged outcome.
+  std::string flush_path;
+  bool flush_always = false;
+  /// Metadata stamped into the flushed header (model is taken from
+  /// RunOptions::enforce_model when set).
+  std::string instance_name;
+  std::string scheduler;
+  std::uint64_t seed = 0;
+};
 
 struct RunOptions {
   std::uint64_t max_steps = 20000;
@@ -46,6 +71,8 @@ struct RunOptions {
   /// With a sink attached, also emit one "engine_step" event per
   /// executed step (step effects: nodes touched, sends, reads, drops).
   bool emit_step_events = false;
+  /// Flight recorder (off by default; see FlightRecorderOptions).
+  FlightRecorderOptions flight;
 };
 
 struct RunResult {
@@ -67,6 +94,11 @@ struct RunResult {
   std::vector<std::uint64_t> node_activations;
   /// High-water mark of any single channel's queue length.
   std::size_t max_channel_occupancy = 0;
+  /// Present when the flight recorder was on: the recorded window
+  /// (complete in kFull mode, the last N steps in kRing mode).
+  std::optional<trace::RecordingDoc> recording;
+  /// Where the recording was flushed ("" when it was not).
+  std::string recording_path;
 };
 
 /// True when `state` is strongly quiescent (see file comment).

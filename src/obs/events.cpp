@@ -1,11 +1,15 @@
 #include "obs/events.hpp"
 
+#include "obs/meta.hpp"
 #include "support/error.hpp"
 
 namespace commroute::obs {
 
 FileSink::FileSink(const std::string& path) : out_(path, std::ios::trunc) {
   CR_REQUIRE(out_.is_open(), "cannot open event sink file: " + path);
+  // Every durable JSONL artifact opens with the self-describing meta
+  // record (schema version, creation time, git describe, argv).
+  emit(metadata_event());
 }
 
 }  // namespace commroute::obs

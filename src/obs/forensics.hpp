@@ -1,0 +1,89 @@
+// Convergence forensics over recorded executions: per-node route-flap
+// timelines, oscillation-cycle extraction on the collapsed pi-sequence,
+// and channel-occupancy time series. Works on any RecordingDoc window —
+// complete recordings and flight-recorder ring windows alike — which
+// makes non-converging runs inspectable after the fact ("BGP Stability
+// is Precarious" uses exactly these route-flap timelines as the unit of
+// stability analysis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "spp/instance.hpp"
+#include "trace/recording_io.hpp"
+
+namespace commroute::obs {
+
+/// One node's route-flap history over the recorded window.
+struct NodeFlapTimeline {
+  NodeId node = kNoNode;
+  std::string name;
+  std::uint64_t changes = 0;      ///< steps where pi_node changed
+  std::uint64_t withdrawals = 0;  ///< of those, changes to epsilon
+  /// Global step index of the first/last change (0 = never changed).
+  std::uint64_t first_change_step = 0;
+  std::uint64_t last_change_step = 0;
+  /// Distinct pi_node values seen in the window (initial included).
+  std::size_t distinct_paths = 0;
+};
+
+struct FlapReport {
+  std::vector<NodeFlapTimeline> nodes;  ///< by changes desc, then NodeId
+  std::uint64_t steps = 0;              ///< recorded window length
+  std::uint64_t first_step = 1;
+  std::uint64_t total_changes = 0;      ///< sum over nodes
+};
+
+/// Route-flap timelines for every node of the instance.
+FlapReport flap_timelines(const spp::Instance& instance,
+                          const trace::RecordingDoc& doc,
+                          const Instrumentation& obs = {});
+
+/// A recurring-state cycle found on the collapsed pi-sequence.
+struct OscillationCycle {
+  bool found = false;
+  std::size_t period = 0;  ///< minimal cycle length, in collapsed states
+  /// The recurring distinct assignments, in cycle order starting at the
+  /// first re-entered state.
+  std::vector<trace::Assignment> cycle;
+  /// Global step index at which each cycle state was first entered.
+  std::vector<std::uint64_t> witness_steps;
+  std::uint64_t cycle_start_step = 0;  ///< first witness step
+  std::size_t collapsed_states = 0;    ///< collapsed sequence length
+};
+
+/// Extracts the oscillation cycle from the recorded window: finds the
+/// earliest repeated collapsed assignment whose period the rest of the
+/// sequence keeps (so transient revisits during convergence are
+/// rejected), then reduces to the minimal period. Heuristic caveat: a
+/// run that converges *onto* a previously visited assignment as its very
+/// last collapsed state is indistinguishable from a cycle re-entry in
+/// the pi-sequence alone — gate on the recording's outcome metadata when
+/// it matters (the CLI does).
+OscillationCycle extract_cycle(const trace::RecordingDoc& doc,
+                               const Instrumentation& obs = {});
+
+/// One channel's queue-occupancy history across the recorded window,
+/// reconstructed from the per-step I/O summaries (sends minus reads).
+struct ChannelOccupancy {
+  ChannelIdx channel = kNoChannel;
+  std::string name;                  ///< "u->v"
+  std::vector<std::size_t> series;   ///< occupancy after each step
+  std::size_t peak = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Occupancy time series for every channel. Requires per-step I/O
+/// summaries (throws PreconditionError when the recording has none).
+/// For a ring window the series is relative to the (unknown) occupancy
+/// at the window start, clamped at zero.
+std::vector<ChannelOccupancy> channel_occupancy(
+    const spp::Instance& instance, const trace::RecordingDoc& doc,
+    const Instrumentation& obs = {});
+
+}  // namespace commroute::obs

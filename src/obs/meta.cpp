@@ -1,0 +1,64 @@
+#include "obs/meta.hpp"
+
+#include <chrono>
+
+namespace commroute::obs {
+
+namespace {
+
+std::string& argv_storage() {
+  static std::string argv_line;
+  return argv_line;
+}
+
+}  // namespace
+
+void set_process_argv(int argc, const char* const* argv) {
+  if (!argv_storage().empty() || argc <= 0) {
+    return;
+  }
+  std::string joined;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) {
+      joined += ' ';
+    }
+    joined += argv[i];
+  }
+  argv_storage() = std::move(joined);
+}
+
+const std::string& process_argv() { return argv_storage(); }
+
+std::string git_describe() {
+#ifdef COMMROUTE_GIT_DESCRIBE
+  return COMMROUTE_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::uint64_t unix_time_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonWriter& add_metadata_fields(JsonWriter& w) {
+  w.field("schema_version", kArtifactSchemaVersion)
+      .field("created_unix_ms", unix_time_ms())
+      .field("git", git_describe())
+      .field("argv", process_argv());
+  return w;
+}
+
+Event metadata_event() {
+  Event ev("meta");
+  ev.field("schema_version", kArtifactSchemaVersion)
+      .field("created_unix_ms", unix_time_ms())
+      .field("git", git_describe())
+      .field("argv", process_argv());
+  return ev;
+}
+
+}  // namespace commroute::obs

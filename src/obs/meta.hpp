@@ -1,0 +1,42 @@
+// Run metadata for self-describing artifacts. Every durable artifact the
+// library writes (JSONL event/trace sinks, BENCH_*.json, recordings)
+// opens with the same header fields — schema_version, created_unix_ms,
+// git describe, argv — so a file found on disk months later still says
+// what produced it and whether a reader understands its layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+
+namespace commroute::obs {
+
+/// Version of the artifact layouts (JSONL event records, bench JSON,
+/// recording JSONL). Bump on any incompatible field change.
+inline constexpr int kArtifactSchemaVersion = 1;
+
+/// Captures the process command line once, first thing in main().
+/// Subsequent calls are ignored (the first capture wins).
+void set_process_argv(int argc, const char* const* argv);
+
+/// The captured command line, space-joined; "" when never captured.
+const std::string& process_argv();
+
+/// `git describe --always --dirty` of the built tree (baked in at
+/// configure time); "unknown" when the build was not configured in git.
+std::string git_describe();
+
+/// Milliseconds since the Unix epoch, from the system clock.
+std::uint64_t unix_time_ms();
+
+/// Appends the shared header fields (schema_version, created_unix_ms,
+/// git, argv) to `w` and returns it.
+JsonWriter& add_metadata_fields(JsonWriter& w);
+
+/// The self-description record: {"type":"meta",...header fields...}.
+/// JSONL artifacts emit this as their first line.
+Event metadata_event();
+
+}  // namespace commroute::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 
@@ -57,7 +58,7 @@ std::uint64_t CampaignResult::median_steps(
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
   out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
-         "messages_dropped,max_channel_occupancy,wall_ms\n";
+         "messages_dropped,max_channel_occupancy,wall_ms,recording_path\n";
   for (const CampaignRow& row : rows) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
@@ -65,7 +66,8 @@ std::string CampaignResult::to_csv() const {
         << to_string(row.scheduler) << ',' << row.seed << ','
         << engine::to_string(row.outcome) << ',' << row.steps << ','
         << row.messages_sent << ',' << row.messages_dropped << ','
-        << row.max_channel_occupancy << ',' << wall << '\n';
+        << row.max_channel_occupancy << ',' << wall << ','
+        << row.recording_path << '\n';
   }
   return out.str();
 }
@@ -84,7 +86,8 @@ obs::JsonWriter row_json(const CampaignRow& row) {
       .field("messages_dropped", row.messages_dropped)
       .field("max_channel_occupancy",
              static_cast<std::uint64_t>(row.max_channel_occupancy))
-      .field("wall_ms", row.wall_ms);
+      .field("wall_ms", row.wall_ms)
+      .field("recording_path", row.recording_path);
   return w;
 }
 
@@ -125,6 +128,9 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   CR_REQUIRE(!spec.schedulers.empty(), "campaign needs schedulers");
 
   CampaignResult result;
+  if (!spec.recording_dir.empty()) {
+    std::filesystem::create_directories(spec.recording_dir);
+  }
   obs::Span campaign_span = spec.obs.span("campaign.run");
   for (const auto& [name, instance] : spec.instances) {
     CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
@@ -146,6 +152,21 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           // campaign-level (one event per row, not per run).
           options.obs.metrics = spec.obs.metrics;
           options.obs.spans = spec.obs.spans;
+          if (!spec.recording_dir.empty()) {
+            options.flight.mode =
+                spec.recording_ring == 0
+                    ? engine::FlightRecorderOptions::Mode::kFull
+                    : engine::FlightRecorderOptions::Mode::kRing;
+            options.flight.ring_capacity = spec.recording_ring;
+            options.flight.instance_name = name;
+            options.flight.scheduler = to_string(kind);
+            options.flight.seed = seed;
+            options.flight.flush_path =
+                (std::filesystem::path(spec.recording_dir) /
+                 (name + "_" + m.name() + "_" + to_string(kind) + "_" +
+                  std::to_string(seed) + ".recording.jsonl"))
+                    .string();
+          }
           switch (kind) {
             case SchedulerKind::kRoundRobin:
               scheduler = std::make_unique<engine::RoundRobinScheduler>(
@@ -192,6 +213,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
           row.messages_sent = run.messages_sent;
           row.messages_dropped = run.messages_dropped;
           row.max_channel_occupancy = run.max_channel_occupancy;
+          row.recording_path = run.recording_path;
           row.wall_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - row_start)
                             .count();

@@ -39,6 +39,15 @@ struct CampaignSpec {
   /// aggregates, and traces campaign.run > campaign.row > engine.run
   /// spans (the registry and span collector forward to each row's run).
   obs::Instrumentation obs;
+  /// When non-empty, every row runs with the flight recorder armed and
+  /// non-converged rows flush
+  /// <dir>/<instance>_<model>_<scheduler>_<seed>.recording.jsonl, the
+  /// path stamped into CampaignRow::recording_path (the directory is
+  /// created if needed). Converged rows write nothing.
+  std::string recording_dir;
+  /// Ring capacity for the per-row flight recorder; 0 records the full
+  /// run (replayable, but memory grows with max_steps).
+  std::size_t recording_ring = 512;
 };
 
 /// One (instance, model, scheduler, seed) outcome.
@@ -53,6 +62,8 @@ struct CampaignRow {
   std::uint64_t messages_dropped = 0;
   std::size_t max_channel_occupancy = 0;
   double wall_ms = 0.0;  ///< wall time of this row's engine::run
+  /// Flight-recorder artifact for this row ("" when none was flushed).
+  std::string recording_path;
 };
 
 struct CampaignResult {

@@ -1,0 +1,170 @@
+// Durable recordings: versioned JSONL serialization of executions, load
+// with structural validation, and deterministic replay.
+//
+// The paper's central objects are activation sequences and the
+// path-assignment sequences {pi(t)} they induce (Defs. 2.2/2.3); a
+// RecordingDoc is exactly one finite window of that pair, made durable:
+//
+//   {"type":"recording_header","schema_version":1,...,"instance":"...",
+//    "initial":["d","",""]}
+//   {"type":"recording_step","t":1,"step":"x | d->x f=inf",
+//    "pi":["d","xd",""],"sent":[2],"reads":[[0,1,0]]}
+//   ...
+//   {"type":"recording_footer","steps":N,"changes":K}
+//
+// The header embeds the full instance (spp/serialize.hpp text format) and
+// the run metadata (model, scheduler, seed, outcome, argv, git), so a
+// recording file is self-contained: it can be re-executed, diffed, and
+// analyzed with no other artifact. Steps use the script_io one-line
+// syntax; paths are space-separated node names ("" = epsilon).
+//
+// A recording is *complete* when it starts at step 1 (first_step == 1);
+// the flight recorder's ring mode produces *partial* recordings (the last
+// N steps only), which support forensics but not replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/activation.hpp"
+#include "obs/obs.hpp"
+#include "spp/instance.hpp"
+#include "trace/recording.hpp"
+#include "trace/trace.hpp"
+
+namespace commroute::trace {
+
+/// Layout version written into every recording header; readers reject
+/// anything newer.
+inline constexpr int kRecordingSchemaVersion = 1;
+
+/// Per-step channel I/O summary, enough to reconstruct channel-occupancy
+/// time series without storing full channel contents.
+struct StepIo {
+  struct Read {
+    ChannelIdx channel = kNoChannel;
+    std::uint32_t processed = 0;  ///< messages removed from the channel
+    std::uint32_t dropped = 0;    ///< of those, how many were dropped
+    bool operator==(const Read& o) const {
+      return channel == o.channel && processed == o.processed &&
+             dropped == o.dropped;
+    }
+  };
+  std::vector<ChannelIdx> sent;  ///< channels written during announce
+  std::vector<Read> reads;
+  bool operator==(const StepIo& o) const {
+    return sent == o.sent && reads == o.reads;
+  }
+};
+
+/// Run metadata stamped into the header record.
+struct RecordingMeta {
+  std::string kind = "recording";  ///< "recording" | "witness"
+  std::string instance_name;       ///< label, e.g. "BAD-GADGET" ("" ok)
+  std::string model;               ///< taxonomy model name ("" = none)
+  std::string scheduler;           ///< free-form ("" = unknown)
+  std::uint64_t seed = 0;
+  std::string outcome;  ///< engine outcome string ("" = unknown)
+  /// Global 1-based index of the first recorded step. 1 = complete
+  /// recording (replayable); > 1 = ring-buffer window (forensics only).
+  std::uint64_t first_step = 1;
+  /// Witness structure (kind == "witness"): the serialized script is
+  /// prefix + `witness_repetitions` copies of the cycle.
+  std::uint64_t witness_prefix_len = 0;
+  std::uint64_t witness_cycle_len = 0;
+};
+
+/// One recorded execution window: the activation steps and the
+/// assignment pi(t) after each, plus pi before the window.
+struct RecordingDoc {
+  RecordingMeta meta;
+  Assignment initial;  ///< pi(first_step - 1)
+  std::vector<model::ActivationStep> steps;
+  std::vector<Assignment> assignments;  ///< pi after each step
+  std::vector<StepIo> io;  ///< parallel to steps, or empty (no I/O info)
+
+  /// True when the window starts at the initial state (replayable).
+  bool complete() const { return meta.first_step == 1; }
+
+  /// initial followed by the per-step assignments: the {pi(t)} window.
+  std::vector<Assignment> pi_sequence() const;
+
+  /// pi_sequence() with consecutive duplicates removed (Def. 3.2's
+  /// collapsed view).
+  std::vector<Assignment> collapsed() const;
+};
+
+/// Converts an in-memory Recording (trace/recording.hpp) to a complete
+/// document, keeping per-step I/O summaries from the recorded effects.
+RecordingDoc doc_from_recording(const Recording& recording,
+                                RecordingMeta meta = {});
+
+/// Executes prefix + `repetitions` copies of cycle from the initial
+/// state and packages the result as a witness recording (kind
+/// "witness"); this is the durable form of a checker oscillation witness
+/// (ExploreResult::witness_prefix / witness_cycle). Steps are validated
+/// structurally.
+RecordingDoc record_witness(const spp::Instance& instance,
+                            const model::ActivationScript& prefix,
+                            const model::ActivationScript& cycle,
+                            std::size_t repetitions = 2);
+
+/// Serializes header + steps + footer as JSONL.
+void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
+                           const RecordingDoc& doc);
+std::string recording_to_jsonl(const spp::Instance& instance,
+                               const RecordingDoc& doc);
+
+/// Writes the JSONL to `path` (truncating); throws PreconditionError
+/// when the file cannot be opened.
+void save_recording(const std::string& path, const spp::Instance& instance,
+                    const RecordingDoc& doc);
+
+/// A loaded recording owns the instance parsed from its header.
+struct LoadedRecording {
+  spp::Instance instance;
+  RecordingDoc doc;
+
+  explicit LoadedRecording(spp::Instance inst)
+      : instance(std::move(inst)) {}
+};
+
+/// Parses and structurally validates a serialized recording: header
+/// first (schema_version understood, instance parses, initial assignment
+/// well-formed), steps contiguous from first_step with parseable,
+/// structurally valid activation steps and full assignments, footer step
+/// count matching. Leading "meta" records are skipped. Throws ParseError
+/// with a line number on any violation.
+LoadedRecording load_recording_jsonl(std::istream& in);
+LoadedRecording load_recording_file(const std::string& path);
+
+/// First point where a replay deviated from the stored recording.
+struct ReplayDivergence {
+  std::uint64_t step = 0;  ///< global step index of the divergent step
+  NodeId node = kNoNode;   ///< first node whose assignment differs
+  Path expected;           ///< stored pi_node
+  Path actual;             ///< re-executed pi_node
+};
+
+struct ReplayResult {
+  bool identical = false;          ///< every per-step assignment matched
+  std::uint64_t steps_replayed = 0;
+  std::optional<ReplayDivergence> divergence;
+  Trace trace;  ///< the re-executed {pi(t)} sequence
+};
+
+/// Deterministic replay: re-executes the recording's script against its
+/// instance from the initial state and diffs per-step path assignments.
+/// The engine's step semantics (Def. 2.3) are deterministic given the
+/// quadruple, so a clean load must replay identically; a divergence
+/// means the recording was tampered with or the reader/engine disagree.
+/// Requires a complete recording (throws PreconditionError on a ring
+/// window). With instrumentation attached, traces a replay.run span and
+/// publishes replay.steps / replay.divergences counters.
+ReplayResult replay_recording(const LoadedRecording& loaded,
+                              const obs::Instrumentation& obs = {});
+
+}  // namespace commroute::trace

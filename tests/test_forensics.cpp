@@ -1,0 +1,123 @@
+// Convergence forensics: route-flap timelines, oscillation-cycle
+// extraction on the collapsed pi-sequence, and channel-occupancy
+// reconstruction — exercised on the paper's Appendix-A gadgets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/runner.hpp"
+#include "obs/forensics.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+engine::RunResult recorded_run(const spp::Instance& instance,
+                               const std::string& model_name) {
+  const Model m = Model::parse(model_name);
+  engine::RoundRobinScheduler sched(m, instance);
+  engine::RunOptions options;
+  options.enforce_model = m;
+  options.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  engine::RunResult result = engine::run(instance, sched, options);
+  EXPECT_TRUE(result.recording.has_value());
+  return result;
+}
+
+TEST(Forensics, FlapTimelinesOnBadGadget) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_run(bad, "R1O");
+  ASSERT_EQ(run.outcome, engine::Outcome::kOscillating);
+  const obs::FlapReport report =
+      obs::flap_timelines(bad, *run.recording);
+
+  EXPECT_EQ(report.steps, run.steps);
+  EXPECT_EQ(report.first_step, 1u);
+  EXPECT_EQ(report.nodes.size(), bad.node_count());
+  // Changes equal the trace's own change count, and the report is
+  // sorted most-flappy first.
+  EXPECT_EQ(report.total_changes, run.trace.change_count());
+  EXPECT_TRUE(std::is_sorted(
+      report.nodes.begin(), report.nodes.end(),
+      [](const obs::NodeFlapTimeline& a, const obs::NodeFlapTimeline& b) {
+        return a.changes > b.changes;
+      }));
+  for (const obs::NodeFlapTimeline& node : report.nodes) {
+    if (node.name == "d") {
+      // The destination never changes its (trivial) route.
+      EXPECT_EQ(node.changes, 0u);
+      EXPECT_EQ(node.distinct_paths, 1u);
+    } else {
+      // Every BAD GADGET rim node keeps flapping between its two
+      // permitted paths (plus the initial epsilon).
+      EXPECT_GE(node.changes, 2u);
+      EXPECT_EQ(node.distinct_paths, 3u);
+      EXPECT_GE(node.last_change_step, node.first_change_step);
+      EXPECT_LE(node.last_change_step, run.steps);
+    }
+  }
+}
+
+TEST(Forensics, ExtractCycleFindsTheBadGadgetOscillation) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_run(bad, "R1O");
+  ASSERT_EQ(run.outcome, engine::Outcome::kOscillating);
+  const obs::OscillationCycle cycle = obs::extract_cycle(*run.recording);
+
+  ASSERT_TRUE(cycle.found);
+  EXPECT_GE(cycle.period, 2u);
+  EXPECT_EQ(cycle.cycle.size(), cycle.period);
+  EXPECT_EQ(cycle.witness_steps.size(), cycle.period);
+  EXPECT_EQ(cycle.cycle_start_step, cycle.witness_steps.front());
+  EXPECT_TRUE(std::is_sorted(cycle.witness_steps.begin(),
+                             cycle.witness_steps.end()));
+  // A minimal cycle visits each assignment exactly once.
+  for (std::size_t i = 0; i < cycle.cycle.size(); ++i) {
+    for (std::size_t j = i + 1; j < cycle.cycle.size(); ++j) {
+      EXPECT_NE(cycle.cycle[i], cycle.cycle[j]);
+    }
+  }
+}
+
+TEST(Forensics, NoCycleInAMonotoneConvergingRun) {
+  const spp::Instance good = spp::good_gadget();
+  const engine::RunResult run = recorded_run(good, "RMS");
+  ASSERT_EQ(run.outcome, engine::Outcome::kConverged);
+  const obs::OscillationCycle cycle = obs::extract_cycle(*run.recording);
+  EXPECT_FALSE(cycle.found);
+  EXPECT_EQ(cycle.period, 0u);
+  EXPECT_GE(cycle.collapsed_states, 2u);
+}
+
+TEST(Forensics, ChannelOccupancyMatchesRunAggregates) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_run(bad, "R1O");
+  const std::vector<obs::ChannelOccupancy> channels =
+      obs::channel_occupancy(bad, *run.recording);
+
+  ASSERT_EQ(channels.size(), bad.graph().channel_count());
+  std::uint64_t sent = 0, dropped = 0;
+  std::size_t peak = 0;
+  for (const obs::ChannelOccupancy& ch : channels) {
+    EXPECT_EQ(ch.series.size(), run.steps);
+    sent += ch.sent;
+    dropped += ch.dropped;
+    peak = std::max(peak, ch.peak);
+  }
+  EXPECT_EQ(sent, run.messages_sent);
+  EXPECT_EQ(dropped, run.messages_dropped);
+  EXPECT_EQ(peak, run.max_channel_occupancy);
+}
+
+TEST(Forensics, ChannelOccupancyRequiresIoSummaries) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_run(bad, "R1O");
+  trace::RecordingDoc stripped = *run.recording;
+  stripped.io.clear();
+  EXPECT_THROW(obs::channel_occupancy(bad, stripped), PreconditionError);
+}
+
+}  // namespace
+}  // namespace commroute

@@ -99,8 +99,16 @@ TEST(FileSink, WritesParseableJsonl) {
   }
   in.close();
   std::remove(path.c_str());
-  ASSERT_EQ(lines.size(), 2u);
-  EXPECT_EQ(parse_or_die(lines[0]).find("type")->as_string(), "file");
+  // Durable sinks self-describe: the first record is the metadata header.
+  ASSERT_EQ(lines.size(), 3u);
+  const auto meta = parse_or_die(lines[0]);
+  EXPECT_EQ(meta.find("type")->as_string(), "meta");
+  ASSERT_NE(meta.find("schema_version"), nullptr);
+  EXPECT_GE(meta.find("schema_version")->as_number(), 1.0);
+  ASSERT_NE(meta.find("created_unix_ms"), nullptr);
+  ASSERT_NE(meta.find("git"), nullptr);
+  EXPECT_EQ(parse_or_die(lines[1]).find("type")->as_string(), "file");
+  EXPECT_EQ(parse_or_die(lines[2]).find("type")->as_string(), "second");
 }
 
 TEST(Instrumentation, DetachedIsANoop) {

@@ -1,0 +1,204 @@
+// Recording serialization: JSONL round-trip (runs and checker
+// witnesses), load-time structural validation, and deterministic replay
+// including tamper detection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "checker/explorer.hpp"
+#include "engine/runner.hpp"
+#include "model/script_io.hpp"
+#include "spp/gadgets.hpp"
+#include "trace/recording_io.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+/// A deterministic oscillating run with the flight recorder in full
+/// mode: BAD GADGET has no stable assignment, so round-robin provably
+/// cycles (45 steps under R1O).
+engine::RunResult recorded_bad_gadget_run(const spp::Instance& instance) {
+  const Model m = Model::parse("R1O");
+  engine::RoundRobinScheduler sched(m, instance);
+  engine::RunOptions options;
+  options.enforce_model = m;
+  options.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  options.flight.instance_name = "BAD-GADGET";
+  options.flight.scheduler = "round-robin";
+  engine::RunResult result = engine::run(instance, sched, options);
+  EXPECT_EQ(result.outcome, engine::Outcome::kOscillating);
+  EXPECT_TRUE(result.recording.has_value());
+  return result;
+}
+
+TEST(RecordingIo, RoundTripPreservesDocument) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const trace::RecordingDoc& doc = *run.recording;
+
+  const std::string jsonl = trace::recording_to_jsonl(bad, doc);
+  std::istringstream in(jsonl);
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+
+  EXPECT_EQ(loaded.instance.node_count(), bad.node_count());
+  EXPECT_EQ(loaded.doc.meta.kind, "recording");
+  EXPECT_EQ(loaded.doc.meta.instance_name, "BAD-GADGET");
+  EXPECT_EQ(loaded.doc.meta.model, "R1O");
+  EXPECT_EQ(loaded.doc.meta.scheduler, "round-robin");
+  EXPECT_EQ(loaded.doc.meta.outcome, "oscillating");
+  EXPECT_EQ(loaded.doc.meta.first_step, 1u);
+  EXPECT_TRUE(loaded.doc.complete());
+
+  EXPECT_EQ(loaded.doc.initial, doc.initial);
+  EXPECT_EQ(loaded.doc.assignments, doc.assignments);
+  EXPECT_EQ(loaded.doc.io, doc.io);
+  // Steps survive the script-syntax round-trip verbatim.
+  EXPECT_EQ(model::format_script(loaded.instance, loaded.doc.steps),
+            model::format_script(bad, doc.steps));
+}
+
+TEST(RecordingIo, WitnessRoundTripAndReplay) {
+  const spp::Instance dis = spp::disagree();
+  checker::ExploreOptions opts;
+  opts.max_channel_length = 3;
+  opts.extract_witness = true;
+  const auto explored = checker::explore(dis, Model::parse("R1O"), opts);
+  ASSERT_TRUE(explored.oscillation_found);
+  ASSERT_FALSE(explored.witness_cycle.empty());
+
+  const trace::RecordingDoc doc = trace::record_witness(
+      dis, explored.witness_prefix, explored.witness_cycle);
+  EXPECT_EQ(doc.meta.kind, "witness");
+  EXPECT_EQ(doc.meta.witness_prefix_len, explored.witness_prefix.size());
+  EXPECT_EQ(doc.meta.witness_cycle_len, explored.witness_cycle.size());
+  EXPECT_EQ(doc.steps.size(), explored.witness_prefix.size() +
+                                  2 * explored.witness_cycle.size());
+
+  const std::string jsonl = trace::recording_to_jsonl(dis, doc);
+  std::istringstream in(jsonl);
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  EXPECT_EQ(loaded.doc.meta.kind, "witness");
+  EXPECT_EQ(loaded.doc.meta.witness_cycle_len,
+            explored.witness_cycle.size());
+  EXPECT_EQ(loaded.doc.assignments, doc.assignments);
+
+  const trace::ReplayResult replayed = trace::replay_recording(loaded);
+  EXPECT_TRUE(replayed.identical);
+  EXPECT_EQ(replayed.steps_replayed, doc.steps.size());
+}
+
+TEST(RecordingIo, SaveLoadReplayIsDeterministic) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string path = "test_recording_io_roundtrip.recording.jsonl";
+  trace::save_recording(path, bad, *run.recording);
+
+  const trace::LoadedRecording loaded = trace::load_recording_file(path);
+  std::remove(path.c_str());
+  const trace::ReplayResult replayed = trace::replay_recording(loaded);
+  EXPECT_TRUE(replayed.identical);
+  EXPECT_FALSE(replayed.divergence.has_value());
+  EXPECT_EQ(replayed.steps_replayed, run.steps);
+  // The replayed {pi(t)} collapses to the same sequence the original run
+  // produced (record -> serialize -> load -> replay is lossless).
+  EXPECT_EQ(replayed.trace.collapsed(), run.trace.collapsed());
+}
+
+TEST(RecordingIo, TamperedAssignmentIsReportedAsDivergence) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string jsonl = trace::recording_to_jsonl(bad, *run.recording);
+  std::istringstream in(jsonl);
+  trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+
+  // Flip one mid-run assignment back to its predecessor at a step where
+  // the run actually changed it.
+  std::size_t tampered = loaded.doc.assignments.size();
+  for (std::size_t t = 1; t < loaded.doc.assignments.size(); ++t) {
+    if (loaded.doc.assignments[t] != loaded.doc.assignments[t - 1]) {
+      loaded.doc.assignments[t] = loaded.doc.assignments[t - 1];
+      tampered = t;
+      break;
+    }
+  }
+  ASSERT_LT(tampered, loaded.doc.assignments.size());
+
+  const trace::ReplayResult replayed = trace::replay_recording(loaded);
+  EXPECT_FALSE(replayed.identical);
+  ASSERT_TRUE(replayed.divergence.has_value());
+  EXPECT_EQ(replayed.divergence->step,
+            loaded.doc.meta.first_step + tampered);
+  EXPECT_NE(replayed.divergence->expected, replayed.divergence->actual);
+}
+
+TEST(RecordingIo, PartialRecordingCannotBeReplayed) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string jsonl = trace::recording_to_jsonl(bad, *run.recording);
+  std::istringstream in(jsonl);
+  trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  loaded.doc.meta.first_step = 2;  // pretend it is a ring window
+  EXPECT_FALSE(loaded.doc.complete());
+  EXPECT_THROW(trace::replay_recording(loaded), PreconditionError);
+}
+
+TEST(RecordingIo, LoadRejectsMalformedInput) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string jsonl = trace::recording_to_jsonl(bad, *run.recording);
+
+  const auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return trace::load_recording_jsonl(in);
+  };
+
+  // Empty input.
+  EXPECT_THROW(load(""), ParseError);
+
+  // Truncated: drop the footer line.
+  const std::size_t footer =
+      jsonl.rfind("{\"type\":\"recording_footer\"");
+  ASSERT_NE(footer, std::string::npos);
+  EXPECT_THROW(load(jsonl.substr(0, footer)), ParseError);
+
+  // A schema version newer than this reader.
+  std::string newer = jsonl;
+  const std::string tag = "\"schema_version\":1";
+  ASSERT_NE(newer.find(tag), std::string::npos);
+  newer.replace(newer.find(tag), tag.size(), "\"schema_version\":99");
+  EXPECT_THROW(load(newer), ParseError);
+
+  // Out-of-order steps: swap the first two step lines.
+  std::istringstream lines_in(jsonl);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(lines_in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 4u);
+  std::swap(lines[1], lines[2]);
+  std::string swapped;
+  for (const std::string& l : lines) {
+    swapped += l + "\n";
+  }
+  EXPECT_THROW(load(swapped), ParseError);
+}
+
+TEST(RecordingIo, LoadSkipsLeadingSinkMetadataRecord) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string jsonl =
+      "{\"type\":\"meta\",\"schema_version\":1}\n" +
+      trace::recording_to_jsonl(bad, *run.recording);
+  std::istringstream in(jsonl);
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  EXPECT_EQ(loaded.doc.steps.size(), run.recording->steps.size());
+}
+
+}  // namespace
+}  // namespace commroute

@@ -1,13 +1,22 @@
 // commroute-obs: consumer CLI for the observability artifacts the
-// library emits — JSONL event traces, span traces, and BENCH_*.json
-// perf output. Closes the loop PR-wise: what the instrumented loops
-// write, this tool aggregates, converts, and gates on.
+// library emits — JSONL event traces, span traces, BENCH_*.json perf
+// output, and flight-recorder recordings. Closes the loop PR-wise: what
+// the instrumented loops write, this tool aggregates, converts, gates
+// on, replays, and dissects.
 //
 //   commroute-obs summarize RUN.jsonl              per-type counts + latency quantiles
 //   commroute-obs spans TRACE[.jsonl|.json] [--top N]   self-time table
 //   commroute-obs convert RUN.jsonl OUT.json       Chrome trace / Perfetto export
 //   commroute-obs bench-diff BASE.json CUR.json [--threshold PCT]
 //                                                  perf gate: exit 1 on regression
+//   commroute-obs replay REC.recording.jsonl       deterministic re-execution diff
+//   commroute-obs flaps REC.recording.jsonl        per-node route-flap timelines
+//   commroute-obs oscillation REC.recording.jsonl  cycle extraction
+//
+// Input handling: a missing or unreadable file exits 2 with a clear
+// message; an empty file is a valid zero-event input for summarize /
+// spans / convert and a hard error (exit 2) where structure is required
+// (bench-diff and the recording commands).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,15 +26,22 @@
 
 #include "obs/analysis.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
+#include "obs/meta.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 #include "support/table.hpp"
+#include "trace/recording_io.hpp"
 
 namespace {
 
 using namespace commroute;
 
 constexpr int kExitOk = 0;
-constexpr int kExitRegression = 1;
+// Exit 1 = the analysis itself says "no": a perf regression, a replay
+// divergence, or no oscillation found. Exit 2 = usage / input errors.
+constexpr int kExitFinding = 1;
 constexpr int kExitUsage = 2;
 
 int usage() {
@@ -39,14 +55,38 @@ int usage() {
          "trace-event JSON (open in Perfetto)\n"
          "  bench-diff BASELINE.json CURRENT.json [--threshold PCT]\n"
          "                                     compare BENCH_*.json runs; "
-         "exit 1 beyond threshold (default 10)\n";
+         "exit 1 beyond threshold (default 10)\n"
+         "  replay FILE.recording.jsonl [--json]\n"
+         "                                     re-execute a recording and "
+         "diff per-step assignments; exit 1 on divergence\n"
+         "  flaps FILE.recording.jsonl [--json]\n"
+         "                                     per-node route-flap "
+         "timelines + channel occupancy peaks\n"
+         "  oscillation FILE.recording.jsonl [--json]\n"
+         "                                     extract the recurring "
+         "pi-cycle; exit 1 when none is found\n";
   return kExitUsage;
 }
 
-std::ifstream open_or_die(const std::string& path) {
+/// Opens `path` for reading; on failure prints the message every
+/// subcommand shares and leaves the stream !is_open().
+std::ifstream open_input(const std::string& path) {
   std::ifstream in(path);
-  CR_REQUIRE(in.is_open(), "cannot open " + path);
+  if (!in.is_open()) {
+    std::cerr << "commroute-obs: cannot open " << path
+              << ": no such file or not readable\n";
+  }
   return in;
+}
+
+std::string slurp(std::ifstream& in) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool blank(const std::string& content) {
+  return trim(content).empty();
 }
 
 std::string format_us(std::uint64_t us) {
@@ -67,8 +107,15 @@ int cmd_summarize(const std::vector<std::string>& args) {
   if (args.size() != 1) {
     return usage();
   }
-  std::ifstream in = open_or_die(args[0]);
+  std::ifstream in = open_input(args[0]);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
   const obs::JsonlSummary summary = obs::summarize_jsonl(in);
+  if (summary.lines == 0) {
+    std::cout << args[0] << ": empty input (0 events)\n";
+    return kExitOk;
+  }
 
   TextTable table;
   table.set_header({"type", "count", "timed", "total", "p50", "p90",
@@ -85,21 +132,6 @@ int cmd_summarize(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
-std::vector<obs::SpanRecord> load_spans(const std::string& path) {
-  // A Chrome trace document is one JSON object spanning the whole file;
-  // a span trace is JSONL. Try the document parse first.
-  std::ifstream in = open_or_die(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  if (const auto doc = obs::json_parse(buffer.str());
-      doc.has_value() && doc->find("traceEvents") != nullptr) {
-    return obs::spans_from_chrome_trace(*doc);
-  }
-  buffer.clear();
-  buffer.seekg(0);
-  return obs::spans_from_jsonl(buffer);
-}
-
 int cmd_spans(const std::vector<std::string>& args) {
   std::size_t top = 20;
   std::vector<std::string> files;
@@ -113,7 +145,21 @@ int cmd_spans(const std::vector<std::string>& args) {
   if (files.size() != 1) {
     return usage();
   }
-  const std::vector<obs::SpanRecord> records = load_spans(files[0]);
+  std::ifstream in = open_input(files[0]);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
+  // A Chrome trace document is one JSON object spanning the whole file;
+  // a span trace is JSONL. Try the document parse first.
+  const std::string content = slurp(in);
+  std::vector<obs::SpanRecord> records;
+  if (const auto doc = obs::json_parse(content);
+      doc.has_value() && doc->find("traceEvents") != nullptr) {
+    records = obs::spans_from_chrome_trace(*doc);
+  } else {
+    std::istringstream jsonl(content);
+    records = obs::spans_from_jsonl(jsonl);
+  }
   if (records.empty()) {
     std::cout << "no spans in " << files[0] << "\n";
     return kExitOk;
@@ -137,7 +183,10 @@ int cmd_convert(const std::vector<std::string>& args) {
   if (args.size() != 2) {
     return usage();
   }
-  std::ifstream in = open_or_die(args[0]);
+  std::ifstream in = open_input(args[0]);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
   const obs::JsonlConversion conversion = obs::chrome_trace_from_jsonl(in);
   std::ofstream out(args[1], std::ios::trunc);
   CR_REQUIRE(out.is_open(), "cannot write " + args[1]);
@@ -148,13 +197,23 @@ int cmd_convert(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
-obs::JsonValue parse_file_or_die(const std::string& path) {
-  std::ifstream in = open_or_die(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const auto doc = obs::json_parse(buffer.str());
-  CR_REQUIRE(doc.has_value(), path + " is not valid JSON");
-  return *doc;
+std::optional<obs::JsonValue> parse_json_file(const std::string& path,
+                                              const char* expected) {
+  std::ifstream in = open_input(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  const std::string content = slurp(in);
+  if (blank(content)) {
+    std::cerr << "commroute-obs: " << path << ": empty file (expected "
+              << expected << ")\n";
+    return std::nullopt;
+  }
+  auto doc = obs::json_parse(content);
+  if (!doc.has_value()) {
+    std::cerr << "commroute-obs: " << path << " is not valid JSON\n";
+  }
+  return doc;
 }
 
 int cmd_bench_diff(const std::vector<std::string>& args) {
@@ -170,8 +229,16 @@ int cmd_bench_diff(const std::vector<std::string>& args) {
   if (files.size() != 2) {
     return usage();
   }
-  const obs::BenchDiff diff = obs::bench_diff(
-      parse_file_or_die(files[0]), parse_file_or_die(files[1]), threshold);
+  const auto baseline = parse_json_file(files[0], "BENCH_*.json");
+  if (!baseline.has_value()) {
+    return kExitUsage;
+  }
+  const auto current = parse_json_file(files[1], "BENCH_*.json");
+  if (!current.has_value()) {
+    return kExitUsage;
+  }
+  const obs::BenchDiff diff = obs::bench_diff(*baseline, *current,
+                                              threshold);
 
   TextTable table;
   table.set_header({"benchmark", "baseline", "current", "delta", ""});
@@ -193,16 +260,327 @@ int cmd_bench_diff(const std::vector<std::string>& args) {
   if (diff.regression) {
     std::cout << "FAIL: at least one benchmark regressed more than "
               << threshold << "%\n";
-    return kExitRegression;
+    return kExitFinding;
   }
   std::cout << "OK: no benchmark regressed more than " << threshold
             << "%\n";
   return kExitOk;
 }
 
+// ---- Recording commands --------------------------------------------------
+
+/// Loads a recording with the shared missing/empty/malformed handling;
+/// nullopt means the error is already reported (exit 2).
+std::optional<trace::LoadedRecording> load_recording(
+    const std::string& path) {
+  std::ifstream in = open_input(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  const std::string content = slurp(in);
+  if (blank(content)) {
+    std::cerr << "commroute-obs: " << path
+              << ": empty file (expected a flight-recorder recording)\n";
+    return std::nullopt;
+  }
+  std::istringstream stream(content);
+  try {
+    return trace::load_recording_jsonl(stream);
+  } catch (const Error& e) {
+    std::cerr << "commroute-obs: " << path << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+struct RecordingArgs {
+  std::string file;
+  bool json = false;
+  bool ok = false;
+};
+
+RecordingArgs parse_recording_args(const std::vector<std::string>& args) {
+  RecordingArgs out;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      out.json = true;
+    } else if (out.file.empty()) {
+      out.file = arg;
+    } else {
+      return out;  // too many positionals
+    }
+  }
+  out.ok = !out.file.empty();
+  return out;
+}
+
+std::string assignment_text(const spp::Instance& inst,
+                            const trace::Assignment& a) {
+  std::string out;
+  for (NodeId v = 0; v < static_cast<NodeId>(a.size()); ++v) {
+    if (v > 0) {
+      out += ' ';
+    }
+    out += inst.graph().name(v) + "=" + inst.path_name(a[v]);
+  }
+  return out;
+}
+
+void describe_recording(const trace::LoadedRecording& loaded) {
+  const trace::RecordingMeta& meta = loaded.doc.meta;
+  std::cout << meta.kind << " of "
+            << (meta.instance_name.empty() ? "<unnamed instance>"
+                                           : meta.instance_name)
+            << " (" << loaded.instance.node_count() << " nodes)";
+  if (!meta.model.empty()) {
+    std::cout << ", model " << meta.model;
+  }
+  if (!meta.scheduler.empty()) {
+    std::cout << ", scheduler " << meta.scheduler;
+  }
+  std::cout << ": steps " << meta.first_step << ".."
+            << (meta.first_step + loaded.doc.steps.size() - 1);
+  if (!meta.outcome.empty()) {
+    std::cout << ", outcome " << meta.outcome;
+  }
+  std::cout << (loaded.doc.complete() ? "" : " [partial ring window]")
+            << "\n";
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  const auto loaded = load_recording(opts.file);
+  if (!loaded.has_value()) {
+    return kExitUsage;
+  }
+  if (!loaded->doc.complete()) {
+    std::cerr << "commroute-obs: " << opts.file
+              << ": partial (ring-buffer) recording starting at step "
+              << loaded->doc.meta.first_step
+              << " cannot be replayed; record in full mode for replay\n";
+    return kExitUsage;
+  }
+  const trace::ReplayResult result = trace::replay_recording(*loaded);
+  const std::size_t collapsed = loaded->doc.collapsed().size();
+
+  if (opts.json) {
+    obs::JsonWriter w;
+    w.field("type", "replay_report");
+    obs::add_metadata_fields(w);
+    w.field("file", opts.file)
+        .field("steps_replayed", result.steps_replayed)
+        .field("identical", result.identical)
+        .field("collapsed_states",
+               static_cast<std::uint64_t>(collapsed));
+    if (result.divergence.has_value()) {
+      obs::JsonWriter d;
+      d.field("step", result.divergence->step)
+          .field("node",
+                 loaded->instance.graph().name(result.divergence->node))
+          .field("expected",
+                 loaded->instance.path_name(result.divergence->expected))
+          .field("actual",
+                 loaded->instance.path_name(result.divergence->actual));
+      w.raw_field("divergence", d.str());
+    }
+    std::cout << w.str() << "\n";
+  } else {
+    describe_recording(*loaded);
+    if (result.identical) {
+      std::cout << "replayed " << result.steps_replayed
+                << " step(s): identical per-step path assignments ("
+                << collapsed << " collapsed states)\n";
+    } else if (result.divergence.has_value()) {
+      const trace::ReplayDivergence& d = *result.divergence;
+      std::cout << "DIVERGENCE at step " << d.step << ": node "
+                << loaded->instance.graph().name(d.node) << " expected "
+                << loaded->instance.path_name(d.expected) << ", got "
+                << loaded->instance.path_name(d.actual) << "\n";
+    }
+  }
+  return result.identical ? kExitOk : kExitFinding;
+}
+
+int cmd_flaps(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  const auto loaded = load_recording(opts.file);
+  if (!loaded.has_value()) {
+    return kExitUsage;
+  }
+  const obs::FlapReport report =
+      obs::flap_timelines(loaded->instance, loaded->doc);
+  const bool have_io = !loaded->doc.io.empty();
+  std::vector<obs::ChannelOccupancy> occupancy;
+  if (have_io) {
+    occupancy = obs::channel_occupancy(loaded->instance, loaded->doc);
+  }
+
+  if (opts.json) {
+    std::string nodes = "[";
+    for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+      const obs::NodeFlapTimeline& n = report.nodes[i];
+      if (i > 0) {
+        nodes += ',';
+      }
+      obs::JsonWriter w;
+      w.field("node", n.name)
+          .field("changes", n.changes)
+          .field("withdrawals", n.withdrawals)
+          .field("first_change_step", n.first_change_step)
+          .field("last_change_step", n.last_change_step)
+          .field("distinct_paths",
+                 static_cast<std::uint64_t>(n.distinct_paths));
+      nodes += w.str();
+    }
+    nodes += ']';
+    std::string channels = "[";
+    for (std::size_t i = 0; i < occupancy.size(); ++i) {
+      const obs::ChannelOccupancy& c = occupancy[i];
+      if (i > 0) {
+        channels += ',';
+      }
+      obs::JsonWriter w;
+      w.field("channel", c.name)
+          .field("peak", static_cast<std::uint64_t>(c.peak))
+          .field("sent", c.sent)
+          .field("processed", c.processed)
+          .field("dropped", c.dropped);
+      std::string series = "[";
+      for (std::size_t t = 0; t < c.series.size(); ++t) {
+        if (t > 0) {
+          series += ',';
+        }
+        series += std::to_string(c.series[t]);
+      }
+      series += ']';
+      w.raw_field("series", series);
+      channels += w.str();
+    }
+    channels += ']';
+    obs::JsonWriter top;
+    top.field("type", "flap_report");
+    obs::add_metadata_fields(top);
+    top.field("file", opts.file)
+        .field("steps", report.steps)
+        .field("first_step", report.first_step)
+        .field("total_changes", report.total_changes);
+    top.raw_field("nodes", nodes);
+    top.raw_field("channels", channels);
+    std::cout << top.str() << "\n";
+    return kExitOk;
+  }
+
+  describe_recording(*loaded);
+  TextTable table;
+  table.set_header({"node", "changes", "withdrawals", "first", "last",
+                    "distinct paths"});
+  for (const obs::NodeFlapTimeline& n : report.nodes) {
+    table.add_row({n.name, std::to_string(n.changes),
+                   std::to_string(n.withdrawals),
+                   std::to_string(n.first_change_step),
+                   std::to_string(n.last_change_step),
+                   std::to_string(n.distinct_paths)});
+  }
+  std::cout << table.render();
+  std::cout << report.total_changes << " assignment change(s) over "
+            << report.steps << " recorded step(s)\n";
+  if (have_io) {
+    TextTable channels;
+    channels.set_header({"channel", "peak", "sent", "processed",
+                         "dropped"});
+    for (const obs::ChannelOccupancy& c : occupancy) {
+      channels.add_row({c.name, std::to_string(c.peak),
+                        std::to_string(c.sent),
+                        std::to_string(c.processed),
+                        std::to_string(c.dropped)});
+    }
+    std::cout << "\n" << channels.render();
+  }
+  return kExitOk;
+}
+
+int cmd_oscillation(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  const auto loaded = load_recording(opts.file);
+  if (!loaded.has_value()) {
+    return kExitUsage;
+  }
+  // A converged recording's pi-sequence can transiently revisit its
+  // final state; the outcome metadata is authoritative there.
+  const bool converged = loaded->doc.meta.outcome == "converged";
+  const obs::OscillationCycle cycle =
+      converged ? obs::OscillationCycle{}
+                : obs::extract_cycle(loaded->doc);
+
+  if (opts.json) {
+    obs::JsonWriter w;
+    w.field("type", "oscillation_report");
+    obs::add_metadata_fields(w);
+    w.field("file", opts.file)
+        .field("found", cycle.found)
+        .field("collapsed_states",
+               static_cast<std::uint64_t>(
+                   converged ? loaded->doc.collapsed().size()
+                             : cycle.collapsed_states));
+    if (cycle.found) {
+      w.field("period", static_cast<std::uint64_t>(cycle.period))
+          .field("cycle_start_step", cycle.cycle_start_step);
+      std::string states = "[";
+      for (std::size_t k = 0; k < cycle.cycle.size(); ++k) {
+        if (k > 0) {
+          states += ',';
+        }
+        states += '"' +
+                  obs::json_escape(
+                      assignment_text(loaded->instance, cycle.cycle[k])) +
+                  '"';
+      }
+      states += ']';
+      w.raw_field("cycle", states);
+      std::string steps = "[";
+      for (std::size_t k = 0; k < cycle.witness_steps.size(); ++k) {
+        if (k > 0) {
+          steps += ',';
+        }
+        steps += std::to_string(cycle.witness_steps[k]);
+      }
+      steps += ']';
+      w.raw_field("witness_steps", steps);
+    }
+    std::cout << w.str() << "\n";
+    return cycle.found ? kExitOk : kExitFinding;
+  }
+
+  describe_recording(*loaded);
+  if (!cycle.found) {
+    std::cout << (converged
+                      ? "recording converged; no oscillation to extract\n"
+                      : "no recurring pi-cycle found in the recorded "
+                        "window\n");
+    return kExitFinding;
+  }
+  std::cout << "oscillation cycle: period " << cycle.period
+            << " (collapsed states), entered at step "
+            << cycle.cycle_start_step << "\n";
+  for (std::size_t k = 0; k < cycle.cycle.size(); ++k) {
+    std::cout << "  [step " << cycle.witness_steps[k] << "] "
+              << assignment_text(loaded->instance, cycle.cycle[k]) << "\n";
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  commroute::obs::set_process_argv(argc, argv);
   if (argc < 2) {
     return usage();
   }
@@ -220,6 +598,15 @@ int main(int argc, char** argv) {
     }
     if (command == "bench-diff") {
       return cmd_bench_diff(args);
+    }
+    if (command == "replay") {
+      return cmd_replay(args);
+    }
+    if (command == "flaps") {
+      return cmd_flaps(args);
+    }
+    if (command == "oscillation") {
+      return cmd_oscillation(args);
     }
     std::cerr << "unknown command: " << command << "\n";
     return usage();
