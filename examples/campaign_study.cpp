@@ -7,6 +7,10 @@
 //   $ ./campaign_study --trace campaign.json   # span trace for Perfetto
 //   $ ./campaign_study --recordings DIR   # flight-record non-converged
 //                                         # runs into DIR (ring buffer)
+//   $ ./campaign_study --threads N   # worker threads (0 = all cores,
+//                                    # 1 = serial); output is identical
+//                                    # for any N, modulo wall_ms
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -20,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace commroute;
   obs::set_process_argv(argc, argv);
   bool csv = false;
+  std::size_t threads = 0;
   std::string trace_path, recording_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -29,6 +34,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--recordings" && i + 1 < argc) {
       recording_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     }
   }
 
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   spec.seeds = 3;
   spec.max_steps = 30000;
   spec.recording_dir = recording_dir;
+  spec.threads = threads;
 
   obs::SpanCollector spans;
   if (!trace_path.empty()) {

@@ -105,6 +105,17 @@ struct RunResult {
 bool strongly_quiescent(const NetworkState& state);
 
 /// Runs `scheduler` on a fresh state of `instance`.
+///
+/// Thread safety: run() keeps all mutable state (NetworkState, fairness
+/// monitor, cycle table, flight recorder) in locals and only reads the
+/// shared `instance`, so concurrent calls are safe provided each call
+/// gets its own Scheduler and its own (or thread-safe) obs handles:
+/// Registry is unsynchronized — parallel drivers attach per-worker
+/// registry shards and merge (Registry::merge_from); SpanCollector is
+/// internally locked; a shared EventSink must be wrapped in
+/// obs::SynchronizedSink. Flight-recorder flush paths must be distinct
+/// per concurrent call. This is the contract the parallel campaign
+/// driver (study::run_campaign) builds on.
 RunResult run(const spp::Instance& instance, Scheduler& scheduler,
               const RunOptions& options = {});
 

@@ -5,7 +5,9 @@
 
 namespace commroute::obs {
 
-FileSink::FileSink(const std::string& path) : out_(path, std::ios::trunc) {
+FileSink::FileSink(const std::string& path, std::size_t flush_every)
+    : out_(path, std::ios::trunc),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
   CR_REQUIRE(out_.is_open(), "cannot open event sink file: " + path);
   // Every durable JSONL artifact opens with the self-describing meta
   // record (schema version, creation time, git describe, argv).

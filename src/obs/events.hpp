@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -45,30 +46,69 @@ class EventSink {
   virtual void emit(const Event& event) = 0;
 };
 
-/// Writes JSONL to a caller-owned stream, flushing per event so long
-/// explorations can be tailed live.
+/// Writes JSONL to a caller-owned stream. `flush_every = 1` (the
+/// default) flushes per event so long explorations can be tailed live;
+/// a larger batch turns the per-event syscall into one per N events
+/// (the destructor always flushes what is pending, so nothing is lost
+/// on orderly shutdown).
 class StreamSink : public EventSink {
  public:
-  explicit StreamSink(std::ostream& out) : out_(&out) {}
+  explicit StreamSink(std::ostream& out, std::size_t flush_every = 1)
+      : out_(&out), flush_every_(flush_every == 0 ? 1 : flush_every) {}
+  ~StreamSink() override { out_->flush(); }
   void emit(const Event& event) override {
     (*out_) << event.to_json() << '\n';
-    out_->flush();
+    if (++pending_ >= flush_every_) {
+      pending_ = 0;
+      out_->flush();
+    }
   }
 
  private:
   std::ostream* out_;
+  std::size_t flush_every_;
+  std::size_t pending_ = 0;
 };
 
 /// Owns a JSONL output file (truncates on open; throws on failure).
+/// Flushes every `flush_every` events and on destruction — batched by
+/// default because campaign/checker drivers emit rows at syscall-hostile
+/// rates. Durable artifacts that must survive a crash mid-run (the
+/// flight-recorder recordings) are written whole by
+/// trace::save_recording and do not pass through this sink.
 class FileSink : public EventSink {
  public:
-  explicit FileSink(const std::string& path);
+  explicit FileSink(const std::string& path, std::size_t flush_every = 64);
+  ~FileSink() override { out_.flush(); }
   void emit(const Event& event) override {
     out_ << event.to_json() << '\n';
+    if (++pending_ >= flush_every_) {
+      pending_ = 0;
+      out_.flush();
+    }
   }
 
  private:
   std::ofstream out_;
+  std::size_t flush_every_;
+  std::size_t pending_ = 0;
+};
+
+/// Serializing decorator: makes any sink safe to share across worker
+/// threads by taking a mutex around every emit. Lines from concurrent
+/// emitters interleave whole, never byte-wise. The wrapped sink is
+/// borrowed and must outlive the wrapper.
+class SynchronizedSink : public EventSink {
+ public:
+  explicit SynchronizedSink(EventSink& wrapped) : wrapped_(&wrapped) {}
+  void emit(const Event& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wrapped_->emit(event);
+  }
+
+ private:
+  EventSink* wrapped_;
+  std::mutex mutex_;
 };
 
 /// Collects serialized events in memory (tests and post-hoc export).

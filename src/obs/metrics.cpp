@@ -23,6 +23,16 @@ void Histogram::observe(std::uint64_t v) {
   sum_ += v;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  CR_REQUIRE(bounds_ == other.bounds_,
+             "Histogram::merge_from requires identical bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<std::uint64_t> exponential_buckets(std::uint64_t start,
                                                double factor, int count) {
   CR_REQUIRE(start > 0 && factor > 1.0 && count > 0,
@@ -55,6 +65,23 @@ Histogram& Registry::histogram(const std::string& name,
   }
   return histograms_.emplace(name, Histogram(std::move(bounds)))
       .first->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].record_max(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge_from(h);
+    }
+  }
 }
 
 std::vector<MetricSample> Registry::snapshot() const {

@@ -48,6 +48,10 @@ class Histogram {
 
   void observe(std::uint64_t v);
 
+  /// Adds another histogram's observations. Requires identical bounds
+  /// (merging shards of the same metric, not arbitrary histograms).
+  void merge_from(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
   const std::vector<std::uint64_t>& upper_bounds() const { return bounds_; }
@@ -88,6 +92,15 @@ class Registry {
   /// histogram unchanged.
   Histogram& histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds);
+
+  /// Folds another registry into this one: counters add, gauges keep
+  /// the maximum (high-water semantics), histograms add bucket-wise
+  /// (same-name histograms must share bounds). This is how per-worker
+  /// registry shards collapse into a campaign-level registry after a
+  /// parallel sweep; because every combiner is commutative and
+  /// associative, the merged aggregates are identical regardless of
+  /// which worker ran which row.
+  void merge_from(const Registry& other);
 
   /// All metrics, name-sorted within each kind.
   std::vector<MetricSample> snapshot() const;

@@ -45,8 +45,7 @@ SpanCollector::ThreadState& SpanCollector::state_for(
       return state;
     }
   }
-  threads_.push_back(ThreadState{
-      thread, static_cast<std::uint32_t>(threads_.size()), {}});
+  threads_.push_back(ThreadState{thread, next_tid_++, {}});
   return threads_.back();
 }
 
@@ -90,6 +89,33 @@ void SpanCollector::record(Span& span, std::uint64_t dur_us) {
     break;
   }
   records_.push_back(std::move(rec));
+}
+
+void SpanCollector::merge_from(const SpanCollector& other) {
+  if (&other == this) {
+    return;
+  }
+  std::scoped_lock lock(mutex_, other.mutex_);
+  const std::uint32_t id_base = next_id_ - 1;
+  const std::uint32_t tid_base = next_tid_;
+  const std::int64_t shift_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(other.epoch_ -
+                                                            epoch_)
+          .count();
+  records_.reserve(records_.size() + other.records_.size());
+  for (const SpanRecord& rec : other.records_) {
+    SpanRecord merged = rec;
+    merged.id += id_base;
+    if (merged.parent != 0) {
+      merged.parent += id_base;
+    }
+    merged.tid += tid_base;
+    const std::int64_t ts = static_cast<std::int64_t>(rec.start_us) + shift_us;
+    merged.start_us = ts > 0 ? static_cast<std::uint64_t>(ts) : 0;
+    records_.push_back(std::move(merged));
+  }
+  next_id_ += other.next_id_ - 1;
+  next_tid_ += other.next_tid_;
 }
 
 std::vector<SpanRecord> SpanCollector::snapshot() const {

@@ -104,6 +104,15 @@ class SpanCollector {
   /// Copy of all finished records, in finish order.
   std::vector<SpanRecord> snapshot() const;
 
+  /// Appends another collector's *finished* records to this one, with
+  /// ids, parents, and tids offset into fresh ranges and timestamps
+  /// re-based from `other`'s epoch onto this collector's epoch (so the
+  /// merged timeline stays consistent). Parent links between `other`'s
+  /// own records are preserved; its roots stay roots. Spans still open
+  /// in `other` are not migrated. This is how per-worker span shards
+  /// collapse into a campaign-level collector after a parallel sweep.
+  void merge_from(const SpanCollector& other);
+
   /// Number of finished records so far.
   std::size_t size() const;
 
@@ -122,6 +131,7 @@ class SpanCollector {
   mutable std::mutex mutex_;
   std::chrono::steady_clock::time_point epoch_;
   std::uint32_t next_id_ = 1;
+  std::uint32_t next_tid_ = 0;
   std::vector<ThreadState> threads_;
   std::vector<SpanRecord> records_;
 };

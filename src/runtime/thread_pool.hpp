@@ -1,0 +1,128 @@
+// Fixed-size worker pool for embarrassingly-parallel drivers (the
+// campaign runner, future sharded checkers). Tasks are plain
+// std::function thunks served FIFO by a fixed set of worker threads;
+// parallel_for_each layers dynamic index claiming, dense worker ids,
+// ordered result collection (the caller writes results[i]), and
+// first-failure exception propagation on top.
+//
+// Determinism contract: the pool itself never reorders *results* — any
+// ordering an algorithm needs is expressed by indexing into caller-owned
+// storage, so output bytes never depend on which worker ran which index.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace commroute::runtime {
+
+/// A fixed set of worker threads serving a FIFO queue of thunks.
+/// submit() never blocks; the destructor drains the queue, then joins.
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (at least
+  /// one worker either way).
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Runs every queued task, then stops and joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (wrap with parallel_for_each
+  /// or catch yourself); an escaping exception terminates the process.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Resolves `threads` the way the parallel drivers do: 0 means
+/// hardware_concurrency(), and the result is clamped to at least 1.
+std::size_t resolve_threads(std::size_t threads);
+
+/// Runs `fn(worker, index)` for every index in [0, count), distributing
+/// indices dynamically across min(pool.size(), count) tasks, and blocks
+/// until all indices finished. `worker` is a dense id in
+/// [0, min(pool.size(), count)) identifying the claiming task — use it
+/// to index per-worker shards (statistics, registries) that are merged
+/// deterministically after the call returns.
+///
+/// Exception safety: the first failing index (lowest index wins among
+/// concurrent failures) aborts further claiming; already-claimed indices
+/// run to completion, then the stored exception is rethrown on the
+/// calling thread.
+template <typename Fn>
+void parallel_for_each(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) {
+    return;
+  }
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t next = 0;
+    std::size_t running = 0;
+    bool abort = false;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+  Shared shared;
+  const std::size_t workers = std::min(pool.size(), count);
+  shared.running = workers;
+
+  auto drain = [&shared, count, &fn](std::size_t worker) {
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (shared.abort || shared.next >= count) {
+          break;
+        }
+        index = shared.next++;
+      }
+      try {
+        fn(worker, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (shared.error == nullptr || index < shared.error_index) {
+          shared.error = std::current_exception();
+          shared.error_index = index;
+        }
+        shared.abort = true;
+      }
+    }
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (--shared.running == 0) {
+      shared.done.notify_all();
+    }
+  };
+
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.submit([&drain, w] { drain(w); });
+  }
+  // The calling thread doubles as worker 0, so a one-thread pool (or a
+  // pool busy with other work) still makes progress.
+  drain(0);
+
+  std::unique_lock<std::mutex> lock(shared.mutex);
+  shared.done.wait(lock, [&shared] { return shared.running == 0; });
+  if (shared.error != nullptr) {
+    std::rethrow_exception(shared.error);
+  }
+}
+
+}  // namespace commroute::runtime

@@ -5,11 +5,17 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "engine/scheduler.hpp"
 #include "obs/json.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace commroute::study {
 
@@ -62,12 +68,12 @@ std::string CampaignResult::to_csv() const {
   for (const CampaignRow& row : rows) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
-    out << row.instance << ',' << row.model.name() << ','
-        << to_string(row.scheduler) << ',' << row.seed << ','
+    out << csv_quote(row.instance) << ',' << csv_quote(row.model.name())
+        << ',' << to_string(row.scheduler) << ',' << row.seed << ','
         << engine::to_string(row.outcome) << ',' << row.steps << ','
         << row.messages_sent << ',' << row.messages_dropped << ','
         << row.max_channel_occupancy << ',' << wall << ','
-        << row.recording_path << '\n';
+        << csv_quote(row.recording_path) << '\n';
   }
   return out.str();
 }
@@ -122,16 +128,55 @@ std::string CampaignResult::to_json() const {
   return top.str();
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec) {
-  CR_REQUIRE(!spec.instances.empty(), "campaign needs instances");
-  CR_REQUIRE(!spec.models.empty(), "campaign needs models");
-  CR_REQUIRE(!spec.schedulers.empty(), "campaign needs schedulers");
+namespace {
 
-  CampaignResult result;
-  if (!spec.recording_dir.empty()) {
-    std::filesystem::create_directories(spec.recording_dir);
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_row_seed(std::string_view instance, int model_index,
+                              SchedulerKind scheduler, std::uint64_t seed) {
+  // FNV-1a over the instance name, then splitmix64-finalized absorption
+  // of the remaining coordinates. Every coordinate perturbs the whole
+  // state, so (seed, model) pairs never collide across instances or
+  // schedulers the way the old `seed * 7919 + model` derivation did.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : instance) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
   }
-  obs::Span campaign_span = spec.obs.span("campaign.run");
+  h = mix64(h ^ static_cast<std::uint64_t>(model_index));
+  h = mix64(h ^ (static_cast<std::uint64_t>(scheduler) << 32));
+  h = mix64(h ^ seed);
+  return h;
+}
+
+namespace {
+
+/// One pre-enumerated row of the sweep. Everything execution needs is
+/// resolved up front (including the recording path), so rows can run on
+/// any worker in any order without coordination.
+struct RowTask {
+  std::string instance;
+  const spp::Instance* inst = nullptr;
+  model::Model model;
+  SchedulerKind kind = SchedulerKind::kRoundRobin;
+  std::uint64_t seed = 0;
+  std::string flush_path;  ///< "" = flight recorder off for this row
+};
+
+/// Enumerates the cross product in deterministic (instance, model,
+/// scheduler, seed) order — the order rows, CSV lines, and campaign_row
+/// events appear in regardless of thread count. Recording filenames are
+/// built from sanitized components and de-collided with an index suffix
+/// (sanitization is lossy: "a/b" and "a_b" both map to "a_b").
+std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
+  std::vector<RowTask> tasks;
+  std::set<std::string> used_names;
   for (const auto& [name, instance] : spec.instances) {
     CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
     for (const model::Model& m : spec.models) {
@@ -143,97 +188,214 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
         const bool randomized = (kind == SchedulerKind::kRandomFair);
         const std::uint64_t runs = randomized ? spec.seeds : 1;
         for (std::uint64_t seed = 0; seed < runs; ++seed) {
-          std::unique_ptr<engine::Scheduler> scheduler;
-          engine::RunOptions options;
-          options.max_steps = spec.max_steps;
-          options.record_trace = false;
-          // Engine aggregates accumulate in the campaign's registry and
-          // engine spans nest under the row span; the sink stays
-          // campaign-level (one event per row, not per run).
-          options.obs.metrics = spec.obs.metrics;
-          options.obs.spans = spec.obs.spans;
+          RowTask task;
+          task.instance = name;
+          task.inst = instance;
+          task.model = m;
+          task.kind = kind;
+          task.seed = seed;
           if (!spec.recording_dir.empty()) {
-            options.flight.mode =
-                spec.recording_ring == 0
-                    ? engine::FlightRecorderOptions::Mode::kFull
-                    : engine::FlightRecorderOptions::Mode::kRing;
-            options.flight.ring_capacity = spec.recording_ring;
-            options.flight.instance_name = name;
-            options.flight.scheduler = to_string(kind);
-            options.flight.seed = seed;
-            options.flight.flush_path =
-                (std::filesystem::path(spec.recording_dir) /
-                 (name + "_" + m.name() + "_" + to_string(kind) + "_" +
-                  std::to_string(seed) + ".recording.jsonl"))
-                    .string();
+            const std::string base = sanitize_path_component(name) + "_" +
+                                     sanitize_path_component(m.name()) +
+                                     "_" +
+                                     sanitize_path_component(
+                                         to_string(kind)) +
+                                     "_" + std::to_string(seed);
+            std::string candidate = base;
+            for (int suffix = 2; !used_names.insert(candidate).second;
+                 ++suffix) {
+              candidate = base + "." + std::to_string(suffix);
+            }
+            task.flush_path = (std::filesystem::path(spec.recording_dir) /
+                               (candidate + ".recording.jsonl"))
+                                  .string();
           }
-          switch (kind) {
-            case SchedulerKind::kRoundRobin:
-              scheduler = std::make_unique<engine::RoundRobinScheduler>(
-                  m, *instance);
-              options.enforce_model = m;
-              break;
-            case SchedulerKind::kRandomFair:
-              scheduler = std::make_unique<engine::RandomFairScheduler>(
-                  m, *instance, Rng(seed * 7919 + m.index()),
-                  engine::RandomFairOptions{
-                      .drop_prob = m.reliable() ? 0.0 : spec.drop_prob,
-                      .sweep_period = 16});
-              options.enforce_model = m;
-              break;
-            case SchedulerKind::kSynchronous:
-              scheduler = std::make_unique<engine::SynchronousScheduler>(
-                  m, *instance);
-              break;
-            case SchedulerKind::kEventDriven:
-              scheduler = std::make_unique<engine::EventDrivenScheduler>(
-                  *instance);
-              options.enforce_model = m;
-              break;
-          }
-
-          const auto row_start = std::chrono::steady_clock::now();
-          obs::Span row_span = spec.obs.span("campaign.row");
-          if (row_span.enabled()) {
-            row_span.attr("instance", name)
-                .attr("model", m.name())
-                .attr("scheduler", to_string(kind))
-                .attr("seed", seed);
-          }
-          const engine::RunResult run =
-              engine::run(*instance, *scheduler, options);
-          row_span.finish();
-          CampaignRow row;
-          row.instance = name;
-          row.model = m;
-          row.scheduler = kind;
-          row.seed = seed;
-          row.outcome = run.outcome;
-          row.steps = run.steps;
-          row.messages_sent = run.messages_sent;
-          row.messages_dropped = run.messages_dropped;
-          row.max_channel_occupancy = run.max_channel_occupancy;
-          row.recording_path = run.recording_path;
-          row.wall_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - row_start)
-                            .count();
-          if (spec.obs.sink != nullptr) {
-            obs::Event ev("campaign_row");
-            ev.raw_field("row", row_json(row).str());
-            spec.obs.sink->emit(ev);
-          }
-          if (spec.obs.metrics != nullptr) {
-            obs::Registry& metrics = *spec.obs.metrics;
-            metrics.counter("campaign.rows").add();
-            metrics.counter("campaign.steps").add(row.steps);
-            metrics.counter("campaign.wall_us")
-                .add(static_cast<std::uint64_t>(row.wall_ms * 1000.0));
-          }
-          result.rows.push_back(std::move(row));
+          tasks.push_back(std::move(task));
         }
       }
     }
   }
+  return tasks;
+}
+
+/// Executes one row. `obs` is the executing worker's instrumentation
+/// shard (or the campaign-level handle on the serial path); the event
+/// sink is deliberately absent here — campaign_row events are emitted by
+/// the driver in enumeration order.
+CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
+                        const obs::Instrumentation& obs) {
+  std::unique_ptr<engine::Scheduler> scheduler;
+  engine::RunOptions options;
+  options.max_steps = spec.max_steps;
+  options.record_trace = false;
+  // Engine aggregates accumulate in the worker's registry shard and
+  // engine spans nest under the row span; both merge into the
+  // campaign-level handles after the sweep.
+  options.obs.metrics = obs.metrics;
+  options.obs.spans = obs.spans;
+  if (!task.flush_path.empty()) {
+    options.flight.mode = spec.recording_ring == 0
+                              ? engine::FlightRecorderOptions::Mode::kFull
+                              : engine::FlightRecorderOptions::Mode::kRing;
+    options.flight.ring_capacity = spec.recording_ring;
+    options.flight.instance_name = task.instance;
+    options.flight.scheduler = to_string(task.kind);
+    options.flight.seed = task.seed;
+    options.flight.flush_path = task.flush_path;
+  }
+  switch (task.kind) {
+    case SchedulerKind::kRoundRobin:
+      scheduler = std::make_unique<engine::RoundRobinScheduler>(task.model,
+                                                                *task.inst);
+      options.enforce_model = task.model;
+      break;
+    case SchedulerKind::kRandomFair:
+      scheduler = std::make_unique<engine::RandomFairScheduler>(
+          task.model, *task.inst,
+          Rng(derive_row_seed(task.instance, task.model.index(), task.kind,
+                              task.seed)),
+          engine::RandomFairOptions{
+              .drop_prob = task.model.reliable() ? 0.0 : spec.drop_prob,
+              .sweep_period = 16});
+      options.enforce_model = task.model;
+      break;
+    case SchedulerKind::kSynchronous:
+      scheduler = std::make_unique<engine::SynchronousScheduler>(
+          task.model, *task.inst);
+      break;
+    case SchedulerKind::kEventDriven:
+      scheduler =
+          std::make_unique<engine::EventDrivenScheduler>(*task.inst);
+      options.enforce_model = task.model;
+      break;
+  }
+
+  const auto row_start = std::chrono::steady_clock::now();
+  obs::Span row_span = obs.span("campaign.row");
+  if (row_span.enabled()) {
+    row_span.attr("instance", task.instance)
+        .attr("model", task.model.name())
+        .attr("scheduler", to_string(task.kind))
+        .attr("seed", task.seed);
+  }
+  const engine::RunResult run = engine::run(*task.inst, *scheduler, options);
+  row_span.finish();
+  CampaignRow row;
+  row.instance = task.instance;
+  row.model = task.model;
+  row.scheduler = task.kind;
+  row.seed = task.seed;
+  row.outcome = run.outcome;
+  row.steps = run.steps;
+  row.messages_sent = run.messages_sent;
+  row.messages_dropped = run.messages_dropped;
+  row.max_channel_occupancy = run.max_channel_occupancy;
+  row.recording_path = run.recording_path;
+  row.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - row_start)
+                    .count();
+  if (obs.metrics != nullptr) {
+    obs::Registry& metrics = *obs.metrics;
+    metrics.counter("campaign.rows").add();
+    metrics.counter("campaign.steps").add(row.steps);
+    metrics.counter("campaign.wall_us")
+        .add(static_cast<std::uint64_t>(row.wall_ms * 1000.0));
+  }
+  return row;
+}
+
+void emit_row_event(obs::EventSink& sink, const CampaignRow& row) {
+  obs::Event ev("campaign_row");
+  ev.raw_field("row", row_json(row).str());
+  sink.emit(ev);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  CR_REQUIRE(!spec.instances.empty(), "campaign needs instances");
+  CR_REQUIRE(!spec.models.empty(), "campaign needs models");
+  CR_REQUIRE(!spec.schedulers.empty(), "campaign needs schedulers");
+
+  if (!spec.recording_dir.empty()) {
+    std::filesystem::create_directories(spec.recording_dir);
+  }
+  const std::vector<RowTask> tasks = enumerate_rows(spec);
+  CampaignResult result;
+  result.rows.resize(tasks.size());
+
+  obs::Span campaign_span = spec.obs.span("campaign.run");
+  const std::size_t threads =
+      std::min(runtime::resolve_threads(spec.threads),
+               std::max<std::size_t>(tasks.size(), 1));
+
+  if (threads <= 1) {
+    // Serial path: rows run on the calling thread against the
+    // campaign-level instrumentation directly (spans nest under
+    // campaign.run, no shards to merge).
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      result.rows[i] = run_one_row(spec, tasks[i], spec.obs);
+      if (spec.obs.sink != nullptr) {
+        emit_row_event(*spec.obs.sink, result.rows[i]);
+      }
+    }
+  } else {
+    runtime::ThreadPool pool(threads);
+    const std::size_t workers = std::min(pool.size(), tasks.size());
+    // Per-worker instrumentation shards: each worker owns a registry
+    // and span collector, so the engine hot path never contends on (or
+    // races through) the campaign-level handles. Shards merge below in
+    // worker order; every combiner is commutative, so the merged
+    // aggregates do not depend on which worker ran which row.
+    struct Shard {
+      obs::Registry metrics;
+      obs::SpanCollector spans;
+    };
+    std::vector<Shard> shards(workers);
+
+    // The shared sink is serialized (SynchronizedSink) and fed in
+    // enumeration order: whichever worker completes the row that fills
+    // the gap at `next_emit` drains the ready prefix, so a tailing
+    // reader sees exactly the serial event stream.
+    std::optional<obs::SynchronizedSink> sync_sink;
+    if (spec.obs.sink != nullptr) {
+      sync_sink.emplace(*spec.obs.sink);
+    }
+    std::mutex emit_mutex;
+    std::size_t next_emit = 0;
+    std::vector<char> ready(tasks.size(), 0);
+
+    runtime::parallel_for_each(
+        pool, tasks.size(), [&](std::size_t worker, std::size_t i) {
+          Shard& shard = shards[worker];
+          obs::Instrumentation shard_obs;
+          if (spec.obs.metrics != nullptr) {
+            shard_obs.metrics = &shard.metrics;
+          }
+          if (spec.obs.spans != nullptr) {
+            shard_obs.spans = &shard.spans;
+          }
+          result.rows[i] = run_one_row(spec, tasks[i], shard_obs);
+          if (sync_sink.has_value()) {
+            std::lock_guard<std::mutex> lock(emit_mutex);
+            ready[i] = 1;
+            while (next_emit < tasks.size() && ready[next_emit] != 0) {
+              emit_row_event(*sync_sink, result.rows[next_emit]);
+              ++next_emit;
+            }
+          }
+        });
+
+    for (Shard& shard : shards) {
+      if (spec.obs.metrics != nullptr) {
+        spec.obs.metrics->merge_from(shard.metrics);
+      }
+      if (spec.obs.spans != nullptr) {
+        spec.obs.spans->merge_from(shard.spans);
+      }
+    }
+  }
+
   if (spec.obs.sink != nullptr) {
     obs::Event ev("campaign_summary");
     ev.field("rows", static_cast<std::uint64_t>(result.rows.size()))

@@ -4,8 +4,10 @@
 // to run your own studies on top of the library.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/runner.hpp"
@@ -48,6 +50,12 @@ struct CampaignSpec {
   /// Ring capacity for the per-row flight recorder; 0 records the full
   /// run (replayable, but memory grows with max_steps).
   std::size_t recording_ring = 512;
+  /// Worker threads for the row sweep: 0 = hardware_concurrency(),
+  /// 1 = serial (runs on the calling thread exactly like the historical
+  /// driver). Rows are independent, so any thread count produces
+  /// identical rows, CSV/JSON bytes (timing fields aside), campaign_row
+  /// event order, and merged metric aggregates — see run_campaign.
+  std::size_t threads = 0;
 };
 
 /// One (instance, model, scheduler, seed) outcome.
@@ -85,9 +93,26 @@ struct CampaignResult {
   std::string to_json() const;
 };
 
+/// Stream seed for one (instance, model, scheduler, seed) row: a
+/// splitmix64-style hash over all four coordinates, so distinct rows
+/// get decorrelated RNG streams (two instances never replay the same
+/// random-fair schedule) while reruns of the same row stay bit-for-bit
+/// reproducible.
+std::uint64_t derive_row_seed(std::string_view instance, int model_index,
+                              SchedulerKind scheduler, std::uint64_t seed);
+
 /// Runs the full cross product. Event-driven configurations are skipped
 /// for non-wxO models (they cannot be legal there); synchronous and
 /// round-robin run once per configuration regardless of `seeds`.
+///
+/// Rows are enumerated up front in deterministic (instance, model,
+/// scheduler, seed) order and executed across `spec.threads` workers.
+/// Regardless of thread count the result is deterministic: rows land in
+/// enumeration order, campaign_row events are emitted in that order as
+/// the completed prefix grows, and per-worker metric/span shards are
+/// merged into `spec.obs` at the end (counters add, gauges max,
+/// histograms add — all order-independent). Only wall-clock fields
+/// (wall_ms, *.wall_us) vary between runs.
 CampaignResult run_campaign(const CampaignSpec& spec);
 
 }  // namespace commroute::study

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "support/error.hpp"
+
 namespace commroute {
 
 std::string_view trim(std::string_view text) {
@@ -51,6 +53,97 @@ std::string join(const std::vector<std::string>& pieces,
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;
+}
+
+std::string csv_quote(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> csv_parse(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool quoted = false;
+  bool field_started = false;  // current record has at least one field
+  std::size_t i = 0;
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = true;
+  };
+  const auto end_record = [&] {
+    if (field_started || !field.empty()) {
+      end_field();
+      records.push_back(std::move(record));
+      record.clear();
+      field_started = false;
+    }
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          quoted = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+      field_started = true;
+      ++i;
+    } else if (c == ',') {
+      end_field();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      end_record();
+      // Swallow one CRLF pair as a single separator.
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+        ++i;
+      }
+      ++i;
+    } else {
+      field += c;
+      field_started = true;
+      ++i;
+    }
+  }
+  CR_REQUIRE(!quoted, "csv_parse: unterminated quoted field");
+  end_record();
+  return records;
+}
+
+std::string sanitize_path_component(std::string_view name) {
+  if (name.empty()) {
+    return "_";
+  }
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '.' || c == '_' || c == '-';
+    out += safe ? c : '_';
+  }
+  return out;
 }
 
 }  // namespace commroute

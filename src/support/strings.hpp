@@ -21,4 +21,21 @@ std::string join(const std::vector<std::string>& pieces,
 /// True if `text` starts with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// RFC-4180 CSV field: returns `field` unchanged when it contains no
+/// comma, double quote, CR, or LF; otherwise wraps it in double quotes
+/// with embedded quotes doubled.
+std::string csv_quote(std::string_view field);
+
+/// Parses an RFC-4180 document (quoted fields, doubled quotes, embedded
+/// newlines inside quotes) into records of fields. Accepts both LF and
+/// CRLF record separators; a trailing newline does not produce an empty
+/// record. Throws ParseError on an unterminated quoted field.
+std::vector<std::vector<std::string>> csv_parse(std::string_view text);
+
+/// Makes `name` safe to embed in a filename: every character outside
+/// [A-Za-z0-9._-] becomes '_', and an empty input becomes "_". Note the
+/// mapping is lossy (distinct names can collide); de-collide at the
+/// call site.
+std::string sanitize_path_component(std::string_view name);
+
 }  // namespace commroute

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <set>
+
 #include "obs/json.hpp"
 #include "spp/gadgets.hpp"
 #include "study/campaign.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace commroute::study {
 namespace {
@@ -106,9 +111,9 @@ TEST(Campaign, UnreliableRunsRecordDrops) {
   spec.instances = {{"CYCLIC4", &cyclic}};
   spec.models = {Model::parse("UMS")};
   spec.schedulers = {SchedulerKind::kRandomFair};
-  spec.seeds = 4;
+  spec.seeds = 8;
   spec.max_steps = 3000;
-  spec.drop_prob = 0.4;
+  spec.drop_prob = 0.5;
   const CampaignResult result = run_campaign(spec);
   std::uint64_t dropped = 0;
   std::size_t occupancy = 0;
@@ -152,6 +157,92 @@ TEST(Campaign, JsonExportParsesAndMatchesRows) {
   const obs::JsonValue* summary = parsed->find("summary");
   ASSERT_NE(summary, nullptr);
   EXPECT_DOUBLE_EQ(summary->find("converged_rate")->as_number(), 1.0);
+}
+
+TEST(Campaign, RowSeedsDifferAcrossEveryCoordinate) {
+  const std::uint64_t base =
+      derive_row_seed("GOOD", 3, SchedulerKind::kRandomFair, 0);
+  // Each coordinate alone must change the derived stream seed.
+  EXPECT_NE(base, derive_row_seed("BAD", 3, SchedulerKind::kRandomFair, 0));
+  EXPECT_NE(base, derive_row_seed("GOOD", 4, SchedulerKind::kRandomFair, 0));
+  EXPECT_NE(base, derive_row_seed("GOOD", 3, SchedulerKind::kRoundRobin, 0));
+  EXPECT_NE(base, derive_row_seed("GOOD", 3, SchedulerKind::kRandomFair, 1));
+  // ... while reruns stay bit-for-bit reproducible.
+  EXPECT_EQ(base, derive_row_seed("GOOD", 3, SchedulerKind::kRandomFair, 0));
+}
+
+TEST(Campaign, TwoInstancesGetDecorrelatedRandomStreams) {
+  // The old `seed * 7919 + model_index` derivation ignored the instance
+  // entirely: every instance replayed the identical random-fair stream.
+  Rng a(derive_row_seed("INSTANCE-A", 0, SchedulerKind::kRandomFair, 0));
+  Rng b(derive_row_seed("INSTANCE-B", 0, SchedulerKind::kRandomFair, 0));
+  bool diverged = false;
+  for (int i = 0; i < 8 && !diverged; ++i) {
+    diverged = a.next() != b.next();
+  }
+  EXPECT_TRUE(diverged);
+  // And (seed, model) pairs no longer collide: under the old scheme
+  // (seed=1, model=0) and (seed=0, model=7919) mapped to the same Rng.
+  EXPECT_NE(derive_row_seed("X", 0, SchedulerKind::kRandomFair, 1),
+            derive_row_seed("X", 7919, SchedulerKind::kRandomFair, 0));
+}
+
+TEST(Campaign, CsvEscapesHostileNamesAndRoundTrips) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  // Names with the full RFC-4180 arsenal: commas, quotes, both at once.
+  spec.instances = {{"evil,instance", &good},
+                    {"quoted\"name", &good},
+                    {"both,\"of,them\"", &good}};
+  spec.models = {Model::parse("RMS")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 3u);
+
+  const auto records = csv_parse(result.to_csv());
+  ASSERT_EQ(records.size(), result.rows.size() + 1);  // header + rows
+  ASSERT_EQ(records[0].size(), 11u);
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const auto& fields = records[i + 1];
+    ASSERT_EQ(fields.size(), 11u) << "row " << i;
+    EXPECT_EQ(fields[0], result.rows[i].instance);
+    EXPECT_EQ(fields[1], result.rows[i].model.name());
+    EXPECT_EQ(fields[4], "converged");
+  }
+}
+
+TEST(Campaign, RecordingPathsAreSanitizedAndCollisionFree) {
+  const spp::Instance bad = spp::bad_gadget();
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "campaign_rec_paths")
+          .string();
+  std::filesystem::remove_all(dir);
+  CampaignSpec spec;
+  // "bad/gadget" would escape the recording dir if concatenated raw, and
+  // it collides with "bad_gadget" after sanitization.
+  spec.instances = {{"bad/gadget", &bad}, {"bad_gadget", &bad}};
+  spec.models = {Model::parse("R1O")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  spec.max_steps = 2000;
+  spec.recording_dir = dir;
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 2u);
+
+  std::set<std::string> paths;
+  for (const CampaignRow& row : result.rows) {
+    // BAD-GADGET never converges, so both rows must have flushed.
+    ASSERT_FALSE(row.recording_path.empty()) << row.instance;
+    EXPECT_TRUE(std::filesystem::exists(row.recording_path))
+        << row.recording_path;
+    // The artifact stayed inside the recording dir...
+    const auto parent =
+        std::filesystem::path(row.recording_path).parent_path();
+    EXPECT_EQ(parent, std::filesystem::path(dir)) << row.recording_path;
+    paths.insert(row.recording_path);
+  }
+  // ...and the colliding sanitized names were de-collided.
+  EXPECT_EQ(paths.size(), 2u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

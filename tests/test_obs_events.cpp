@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checker/explorer.hpp"
@@ -261,6 +262,77 @@ TEST(Campaign, EmitsRowEventsAndExportsJson) {
   ASSERT_NE(exported.find("summary"), nullptr);
   EXPECT_DOUBLE_EQ(exported.find("summary")->find("rows")->as_number(),
                    static_cast<double>(result.rows.size()));
+}
+
+TEST(StreamSink, BatchedModeFlushesEveryNAndOnDestruct) {
+  std::ostringstream out;
+  {
+    obs::StreamSink sink(out, /*flush_every=*/3);
+    sink.emit(obs::Event("a"));
+    sink.emit(obs::Event("b"));
+    sink.emit(obs::Event("c"));  // batch boundary: explicit flush
+    sink.emit(obs::Event("d"));  // pending until destruct
+  }
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(obs::json_parse(line).has_value()) << line;
+  }
+}
+
+TEST(FileSink, BatchedFlushLosesNothingOnOrderlyShutdown) {
+  const std::string path = ::testing::TempDir() + "/batched_sink.jsonl";
+  {
+    obs::FileSink sink(path, /*flush_every=*/1000);
+    for (int i = 0; i < 10; ++i) {
+      sink.emit(obs::Event("tick"));
+    }
+  }  // well under the batch size: the destructor flush must cover it
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(obs::json_parse(line).has_value()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 11u);  // meta header + 10 ticks
+  std::remove(path.c_str());
+}
+
+TEST(SynchronizedSink, ForwardsToTheWrappedSink) {
+  obs::MemorySink inner;
+  obs::SynchronizedSink sync(inner);
+  sync.emit(obs::Event("one"));
+  sync.emit(obs::Event("two"));
+  ASSERT_EQ(inner.lines().size(), 2u);
+  EXPECT_NE(inner.lines()[0].find("\"one\""), std::string::npos);
+}
+
+TEST(SynchronizedSink, ConcurrentEmittersProduceWholeLines) {
+  std::ostringstream out;
+  {
+    obs::StreamSink stream(out, /*flush_every=*/16);
+    obs::SynchronizedSink sync(stream);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&sync, t] {
+        for (int i = 0; i < 50; ++i) {
+          obs::Event ev("worker_event");
+          ev.field("worker", static_cast<std::uint64_t>(t))
+              .field("i", static_cast<std::uint64_t>(i));
+          sync.emit(ev);
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  const auto lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 200u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(obs::json_parse(line).has_value()) << line;
+  }
 }
 
 }  // namespace

@@ -145,6 +145,58 @@ TEST(ScopedTimer, NullTargetIsDisabled) {
   EXPECT_EQ(t.elapsed_us(), 0u);
 }
 
+TEST(RegistryMerge, CountersAddGaugesMaxHistogramsAddBucketwise) {
+  Registry target;
+  target.counter("c").add(10);
+  target.gauge("g").record_max(5);
+  target.histogram("h", {10, 100}).observe(7);
+
+  Registry shard;
+  shard.counter("c").add(3);
+  shard.counter("only_in_shard").add(1);
+  shard.gauge("g").record_max(9);
+  shard.gauge("low").record_max(2);
+  shard.histogram("h", {10, 100}).observe(50);
+  shard.histogram("h", {10, 100}).observe(5000);
+  shard.histogram("new_h", {1}).observe(0);
+
+  target.merge_from(shard);
+  EXPECT_EQ(target.counter("c").value(), 13u);
+  EXPECT_EQ(target.counter("only_in_shard").value(), 1u);
+  EXPECT_EQ(target.gauge("g").value(), 9u);
+  EXPECT_EQ(target.gauge("low").value(), 2u);
+  const Histogram& h = target.histogram("h", {});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 7u + 50u + 5000u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(target.histogram("new_h", {}).count(), 1u);
+}
+
+TEST(RegistryMerge, IsOrderIndependent) {
+  // Merge combiners commute, so shard order cannot change the result —
+  // the property the parallel campaign's determinism guarantee rests on.
+  Registry a, b;
+  a.counter("x").add(2);
+  a.gauge("g").record_max(4);
+  b.counter("x").add(5);
+  b.gauge("g").record_max(3);
+
+  Registry ab, ba;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.counter("x").value(), ba.counter("x").value());
+  EXPECT_EQ(ab.gauge("g").value(), ba.gauge("g").value());
+}
+
+TEST(RegistryMerge, MismatchedHistogramBoundsThrow) {
+  Registry target, shard;
+  target.histogram("h", {1, 2}).observe(1);
+  shard.histogram("h", {1, 3}).observe(1);
+  EXPECT_THROW(target.merge_from(shard), PreconditionError);
+}
+
 TEST(JsonNumber, FormatsRoundTrippably) {
   EXPECT_EQ(json_number(1.5), "1.5");
   EXPECT_EQ(json_number(0.0), "0");

@@ -456,5 +456,80 @@ TEST(Campaign, RowsNestUnderTheCampaignAndEngineRunsUnderRows) {
   }
 }
 
+TEST(SpanCollectorMerge, OffsetsIdsParentsAndTids) {
+  obs::SpanCollector target;
+  {
+    obs::Span main_span = target.begin("main");
+  }
+
+  obs::SpanCollector shard;
+  {
+    obs::Span outer = shard.begin("outer");
+    obs::Span inner = shard.begin("inner");
+  }
+
+  target.merge_from(shard);
+  const auto records = target.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+
+  // Ids stay unique after the merge.
+  std::vector<std::uint32_t> ids;
+  for (const auto& rec : records) {
+    ids.push_back(rec.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+  // The shard's internal parent link survived the offset: "inner" still
+  // points at "outer", and "outer" stayed a root.
+  const obs::SpanRecord* outer = nullptr;
+  const obs::SpanRecord* inner = nullptr;
+  const obs::SpanRecord* main_rec = nullptr;
+  for (const auto& rec : records) {
+    if (rec.name == "outer") outer = &rec;
+    if (rec.name == "inner") inner = &rec;
+    if (rec.name == "main") main_rec = &rec;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(main_rec, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  // Same OS thread, but distinct collectors: merged records get a fresh
+  // dense tid so timelines never collide.
+  EXPECT_NE(outer->tid, main_rec->tid);
+  EXPECT_EQ(inner->tid, outer->tid);
+}
+
+TEST(SpanCollectorMerge, NewSpansAfterMergeStayUnique) {
+  obs::SpanCollector target;
+  obs::SpanCollector shard;
+  {
+    obs::Span s = shard.begin("shard_span");
+  }
+  target.merge_from(shard);
+  {
+    obs::Span later = target.begin("after_merge");
+  }
+  const auto records = target.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].id, records[1].id);
+  EXPECT_NE(records[0].tid, records[1].tid);
+}
+
+TEST(SpanCollectorMerge, RebasesTimestampsOntoTheTargetEpoch) {
+  obs::SpanCollector target;  // earlier epoch
+  obs::SpanCollector shard;
+  {
+    obs::Span s = shard.begin("work");
+  }
+  target.merge_from(shard);
+  // The shard was created after the target, so the re-based timestamp
+  // cannot underflow below the target's epoch.
+  const auto records = target.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GE(records[0].start_us, 0u);
+}
+
 }  // namespace
 }  // namespace commroute

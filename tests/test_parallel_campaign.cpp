@@ -1,0 +1,177 @@
+// Parallel campaign determinism: any thread count must produce the
+// same rows in the same order, byte-identical CSV/JSON once the (only
+// nondeterministic) wall-clock fields are normalized, the campaign_row
+// event stream in enumeration order, and identical merged metric
+// aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "spp/gadgets.hpp"
+#include "study/campaign.hpp"
+
+namespace commroute::study {
+namespace {
+
+using model::Model;
+
+CampaignSpec sweep_spec(const spp::Instance& bad, const spp::Instance& good,
+                        std::size_t threads) {
+  CampaignSpec spec;
+  spec.instances = {{"BAD-GADGET", &bad}, {"GOOD", &good}};
+  spec.models = Model::all();
+  spec.schedulers = {SchedulerKind::kRoundRobin, SchedulerKind::kRandomFair,
+                     SchedulerKind::kSynchronous};
+  spec.seeds = 2;
+  spec.max_steps = 400;
+  spec.threads = threads;
+  return spec;
+}
+
+/// Wall time is the one legitimately nondeterministic column; zero it
+/// so the byte-comparison below checks everything else.
+void normalize(CampaignResult& result) {
+  for (CampaignRow& row : result.rows) {
+    row.wall_ms = 0.0;
+  }
+}
+
+TEST(ParallelCampaign, ThreadCountDoesNotChangeCsvOrJsonBytes) {
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  CampaignResult serial = run_campaign(sweep_spec(bad, good, 1));
+  CampaignResult parallel = run_campaign(sweep_spec(bad, good, 8));
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  ASSERT_GT(serial.rows.size(), 100u);  // a real sweep, not a toy
+  normalize(serial);
+  normalize(parallel);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+TEST(ParallelCampaign, RowEventsArriveInEnumerationOrder) {
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  obs::MemorySink serial_sink;
+  CampaignSpec serial_spec = sweep_spec(bad, good, 1);
+  serial_spec.obs.sink = &serial_sink;
+  const CampaignResult serial = run_campaign(serial_spec);
+
+  obs::MemorySink parallel_sink;
+  CampaignSpec parallel_spec = sweep_spec(bad, good, 8);
+  parallel_spec.obs.sink = &parallel_sink;
+  run_campaign(parallel_spec);
+
+  ASSERT_EQ(serial_sink.lines().size(), parallel_sink.lines().size());
+  ASSERT_EQ(serial_sink.lines().size(), serial.rows.size() + 1);  // + summary
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const auto serial_ev = obs::json_parse(serial_sink.lines()[i]);
+    const auto parallel_ev = obs::json_parse(parallel_sink.lines()[i]);
+    ASSERT_TRUE(serial_ev.has_value() && parallel_ev.has_value());
+    const obs::JsonValue* s = serial_ev->find("row");
+    const obs::JsonValue* p = parallel_ev->find("row");
+    ASSERT_NE(s, nullptr);
+    ASSERT_NE(p, nullptr);
+    for (const char* key : {"instance", "model", "scheduler", "outcome"}) {
+      EXPECT_EQ(s->find(key)->as_string(), p->find(key)->as_string())
+          << "event " << i << " key " << key;
+    }
+    EXPECT_DOUBLE_EQ(s->find("seed")->as_number(),
+                     p->find("seed")->as_number())
+        << "event " << i;
+    EXPECT_DOUBLE_EQ(s->find("steps")->as_number(),
+                     p->find("steps")->as_number())
+        << "event " << i;
+  }
+}
+
+TEST(ParallelCampaign, MergedMetricAggregatesMatchSerial) {
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  obs::Registry serial_metrics;
+  CampaignSpec serial_spec = sweep_spec(bad, good, 1);
+  serial_spec.obs.metrics = &serial_metrics;
+  run_campaign(serial_spec);
+
+  obs::Registry parallel_metrics;
+  CampaignSpec parallel_spec = sweep_spec(bad, good, 8);
+  parallel_spec.obs.metrics = &parallel_metrics;
+  run_campaign(parallel_spec);
+
+  // Everything except wall-clock counters/histograms is deterministic.
+  for (const char* name :
+       {"campaign.rows", "campaign.steps", "engine.runs", "engine.steps",
+        "engine.messages_sent", "engine.messages_dropped"}) {
+    EXPECT_EQ(serial_metrics.counter(name).value(),
+              parallel_metrics.counter(name).value())
+        << name;
+  }
+  EXPECT_GT(serial_metrics.counter("campaign.rows").value(), 100u);
+  EXPECT_EQ(serial_metrics.gauge("engine.max_channel_occupancy").value(),
+            parallel_metrics.gauge("engine.max_channel_occupancy").value());
+  // The steps histogram is time-independent; bucket counts must agree.
+  const obs::Histogram& hs = serial_metrics.histogram("engine.run_steps", {});
+  const obs::Histogram& hp =
+      parallel_metrics.histogram("engine.run_steps", {});
+  EXPECT_EQ(hs.count(), hp.count());
+  EXPECT_EQ(hs.sum(), hp.sum());
+  EXPECT_EQ(hs.bucket_counts(), hp.bucket_counts());
+}
+
+TEST(ParallelCampaign, SpanShardsMergeIntoTheCampaignCollector) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("RMS"), Model::parse("REA")};
+  spec.schedulers = {SchedulerKind::kRoundRobin, SchedulerKind::kRandomFair};
+  spec.seeds = 3;
+  spec.threads = 4;
+  obs::SpanCollector spans;
+  spec.obs.spans = &spans;
+  const CampaignResult result = run_campaign(spec);
+
+  std::size_t row_spans = 0, run_spans = 0;
+  for (const obs::SpanRecord& rec : spans.snapshot()) {
+    row_spans += rec.name == "campaign.row";
+    run_spans += rec.name == "engine.run";
+  }
+  EXPECT_EQ(row_spans, result.rows.size());
+  EXPECT_EQ(run_spans, result.rows.size());
+  // Merged ids must stay unique (the offsets worked).
+  std::vector<std::uint32_t> ids;
+  for (const obs::SpanRecord& rec : spans.snapshot()) {
+    ids.push_back(rec.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(ParallelCampaign, AutoThreadCountMatchesSerialBytes) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec auto_spec;
+  auto_spec.instances = {{"GOOD", &good}};
+  auto_spec.models = {Model::parse("UMS")};
+  auto_spec.schedulers = {SchedulerKind::kRandomFair};
+  auto_spec.seeds = 4;
+  auto_spec.threads = 0;  // hardware_concurrency
+  CampaignResult auto_result = run_campaign(auto_spec);
+
+  CampaignSpec serial_spec = auto_spec;
+  serial_spec.threads = 1;
+  CampaignResult serial_result = run_campaign(serial_spec);
+
+  normalize(auto_result);
+  normalize(serial_result);
+  EXPECT_EQ(auto_result.to_csv(), serial_result.to_csv());
+}
+
+}  // namespace
+}  // namespace commroute::study

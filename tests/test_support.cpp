@@ -168,6 +168,54 @@ TEST(Table, RendersHeaderAndAlignment) {
   EXPECT_NE(first_len, std::string::npos);
 }
 
+TEST(Csv, QuoteLeavesSafeFieldsAlone) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote(""), "");
+  EXPECT_EQ(csv_quote("with space"), "with space");
+}
+
+TEST(Csv, QuoteEscapesDelimitersAndQuotes) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_quote("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Csv, ParseRoundTripsHostileFields) {
+  const std::vector<std::string> fields{
+      "plain", "a,b", "say \"hi\"", "", "multi\nline", "tail"};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      line += ',';
+    }
+    line += csv_quote(fields[i]);
+  }
+  line += '\n';
+  const auto records = csv_parse(line);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], fields);
+}
+
+TEST(Csv, ParseHandlesCrlfAndMissingTrailingNewline) {
+  const auto records = csv_parse("a,b\r\nc,d");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW(csv_parse("\"oops"), PreconditionError);
+}
+
+TEST(Strings, SanitizePathComponent) {
+  EXPECT_EQ(sanitize_path_component("safe-name_1.0"), "safe-name_1.0");
+  EXPECT_EQ(sanitize_path_component("a/b"), "a_b");
+  EXPECT_EQ(sanitize_path_component("../escape"), ".._escape");
+  EXPECT_EQ(sanitize_path_component("sp ace:colon"), "sp_ace_colon");
+  EXPECT_EQ(sanitize_path_component(""), "_");
+}
+
 TEST(Table, SeparatorAndShortRows) {
   TextTable t;
   t.set_header({"a", "b", "c"});
