@@ -4,13 +4,32 @@
 
 namespace commroute::engine {
 
+const Message& Channel::at(std::size_t i) const {
+  CR_REQUIRE(i < messages_.size(),
+             "Channel::at index " + std::to_string(i) +
+                 " out of range (size " +
+                 std::to_string(messages_.size()) + ")");
+  return messages_[i];
+}
+
+Message& Channel::at_mutable(std::size_t i) {
+  CR_REQUIRE(i < messages_.size(),
+             "Channel::at_mutable index " + std::to_string(i) +
+                 " out of range (size " +
+                 std::to_string(messages_.size()) + ")");
+  return messages_[i];
+}
+
 void Channel::pop_front() {
   CR_REQUIRE(!messages_.empty(), "pop_front on empty channel");
   messages_.pop_front();
 }
 
 void Channel::pop_front_n(std::size_t n) {
-  CR_REQUIRE(n <= messages_.size(), "pop_front_n beyond channel size");
+  CR_REQUIRE(n <= messages_.size(),
+             "Channel::pop_front_n(" + std::to_string(n) +
+                 ") beyond channel size " +
+                 std::to_string(messages_.size()));
   messages_.erase(messages_.begin(),
                   messages_.begin() + static_cast<std::ptrdiff_t>(n));
 }

@@ -35,18 +35,22 @@ class Channel {
   bool empty() const { return messages_.empty(); }
   std::size_t size() const { return messages_.size(); }
 
-  /// i-th oldest message, 0-based.
-  const Message& at(std::size_t i) const { return messages_.at(i); }
+  /// i-th oldest message, 0-based. Requires i < size(); violations
+  /// throw PreconditionError with a diagnostic (scheduler/sim bugs fail
+  /// loudly instead of surfacing as std::out_of_range deep in a run).
+  const Message& at(std::size_t i) const;
 
-  /// Mutable access, used only to adjust engine-invisible tags.
-  Message& at_mutable(std::size_t i) { return messages_.at(i); }
+  /// Mutable access, used only to adjust engine-invisible tags. Same
+  /// precondition as at().
+  Message& at_mutable(std::size_t i);
 
   void push(Message m) { messages_.push_back(std::move(m)); }
 
   /// Removes the oldest message.
   void pop_front();
 
-  /// Removes the `n` oldest messages. Requires n <= size().
+  /// Removes the `n` oldest messages. Requires n <= size(); violations
+  /// throw PreconditionError.
   void pop_front_n(std::size_t n);
 
   const std::deque<Message>& messages() const { return messages_; }

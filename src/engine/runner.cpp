@@ -90,6 +90,19 @@ std::string to_string(Outcome outcome) {
   throw InvariantError("bad Outcome");
 }
 
+std::optional<Outcome> outcome_from_string(std::string_view name) {
+  if (name == "converged") {
+    return Outcome::kConverged;
+  }
+  if (name == "oscillating") {
+    return Outcome::kOscillating;
+  }
+  if (name == "exhausted") {
+    return Outcome::kExhausted;
+  }
+  return std::nullopt;
+}
+
 bool strongly_quiescent(const NetworkState& state) {
   if (!state.quiescent()) {
     return false;
@@ -154,6 +167,21 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
 
   const bool can_detect_cycles =
       options.detect_cycles && scheduler.signature().has_value();
+  result.cycle_detection = can_detect_cycles;
+  if (options.detect_cycles && !can_detect_cycles) {
+    // Requested but unavailable (signature-less scheduler, e.g. the
+    // RandomFairScheduler): record it so kExhausted rows can be told
+    // apart from "could never have detected a cycle".
+    if (options.obs.metrics != nullptr) {
+      options.obs.metrics->gauge("engine.cycle_detection_disabled").set(1);
+    }
+    if (options.obs.sink != nullptr) {
+      obs::Event ev("cycle_detection_disabled");
+      ev.field("reason", "scheduler has no signature")
+          .field("max_steps", options.max_steps);
+      options.obs.sink->emit(ev);
+    }
+  }
 
   auto remember = [&](const NetworkState& s) {
     const auto sig = scheduler.signature();
@@ -329,6 +357,7 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
                  static_cast<std::uint64_t>(result.max_channel_occupancy))
           .field("cycle_start", result.cycle_start)
           .field("cycle_length", result.cycle_length)
+          .field("cycle_detection", result.cycle_detection)
           .field("wall_us", wall_us);
       options.obs.sink->emit(ev);
     }

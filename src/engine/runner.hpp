@@ -32,6 +32,9 @@ enum class Outcome {
 
 std::string to_string(Outcome outcome);
 
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<Outcome> outcome_from_string(std::string_view name);
+
 /// Flight recorder: durable capture of the executed activation sequence
 /// and its pi-sequence, either in full or as a bounded ring of the last
 /// N steps, auto-flushed to disk when the run fails to converge. Off by
@@ -87,6 +90,14 @@ struct RunResult {
   /// first seen and the cycle length.
   std::uint64_t cycle_start = 0;
   std::uint64_t cycle_length = 0;
+  /// True when cycle detection was actually armed for this run: it was
+  /// requested (RunOptions::detect_cycles) AND the scheduler exposes a
+  /// signature. False with detect_cycles on means kExhausted cannot be
+  /// told apart from "oscillating but undetectable" (e.g. the
+  /// RandomFairScheduler has no signature); run() then also publishes a
+  /// cycle_detection_disabled gauge/event when instrumentation is
+  /// attached, so campaign users can see which rows ran blind.
+  bool cycle_detection = false;
   /// Fairness summary of the executed prefix.
   std::uint64_t max_attempt_gap = 0;
   std::size_t outstanding_drops = 0;

@@ -161,6 +161,12 @@ struct RandomFairOptions {
 };
 
 /// Randomized fair scheduler.
+///
+/// Note: exposes no signature(), so engine::run cannot soundly detect
+/// cycles under it — a non-terminating random execution reports
+/// kExhausted, never kOscillating. run() flags this via
+/// RunResult::cycle_detection = false and, when instrumentation is
+/// attached, a cycle_detection_disabled gauge/event.
 class RandomFairScheduler final : public Scheduler {
  public:
   using Options = RandomFairOptions;

@@ -1,0 +1,105 @@
+// Virtual-time discrete-event core: a monotonic virtual clock and a
+// deterministic event queue.
+//
+// The simulation subsystem (docs/SIMULATION.md) measures executions in
+// *virtual microseconds* rather than abstract steps. All ordering is
+// (timestamp, sequence number): two events scheduled for the same
+// virtual instant fire in scheduling order, so a run is a pure function
+// of the instance, the sim options, and the seed — no wall clock, no
+// iteration-order dependence (cf. the ROOT-Sim-style DES approach of
+// Coudert et al., arXiv:1304.4750).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "support/error.hpp"
+
+namespace commroute::sim {
+
+/// Virtual time in microseconds since the start of the simulation.
+using VirtualTime = std::uint64_t;
+
+/// One scheduled occurrence.
+struct Event {
+  enum class Kind : std::uint8_t {
+    kArrival,   ///< a message reaches the receiving end of `channel`
+    kActivate,  ///< `node` runs one processing activation
+  };
+
+  VirtualTime time = 0;
+  /// Assigned by the queue at push time; ties on `time` break by `seq`.
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kActivate;
+  ChannelIdx channel = kNoChannel;  ///< valid for kArrival
+  NodeId node = kNoNode;            ///< valid for kActivate
+};
+
+/// Min-queue over (time, seq). Deterministic: pop order is a pure
+/// function of the push sequence, independent of heap internals.
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Schedules `event` (its `seq` is overwritten with the next sequence
+  /// number) and returns the assigned sequence number.
+  std::uint64_t push(Event event) {
+    event.seq = next_seq_++;
+    const std::uint64_t seq = event.seq;
+    heap_.push(event);
+    return seq;
+  }
+
+  /// Smallest (time, seq) event without removing it. Requires non-empty.
+  const Event& peek() const {
+    CR_REQUIRE(!heap_.empty(), "EventQueue::peek on empty queue");
+    return heap_.top();
+  }
+
+  /// Removes and returns the smallest (time, seq) event. Requires
+  /// non-empty.
+  Event pop() {
+    CR_REQUIRE(!heap_.empty(), "EventQueue::pop on empty queue");
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+  /// Total events ever scheduled (the next sequence number).
+  std::uint64_t scheduled() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Monotonic virtual clock, advanced only by the event loop.
+class VirtualClock {
+ public:
+  VirtualTime now() const { return now_; }
+
+  /// Moves the clock forward to `t` (a no-op when t == now()). Virtual
+  /// time never runs backwards; the event queue's ordering guarantees
+  /// the loop only ever advances.
+  void advance_to(VirtualTime t) {
+    CR_REQUIRE(t >= now_, "VirtualClock::advance_to into the past");
+    now_ = t;
+  }
+
+ private:
+  VirtualTime now_ = 0;
+};
+
+}  // namespace commroute::sim

@@ -1,0 +1,98 @@
+#include "sim/link_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::sim {
+
+std::string to_string(LatencyDist dist) {
+  switch (dist) {
+    case LatencyDist::kFixed:
+      return "fixed";
+    case LatencyDist::kUniform:
+      return "uniform";
+    case LatencyDist::kExponential:
+      return "exp";
+  }
+  throw InvariantError("bad LatencyDist");
+}
+
+LatencyDist parse_latency_dist(const std::string& name) {
+  if (name == "fixed") {
+    return LatencyDist::kFixed;
+  }
+  if (name == "uniform") {
+    return LatencyDist::kUniform;
+  }
+  if (name == "exp" || name == "exponential") {
+    return LatencyDist::kExponential;
+  }
+  throw ParseError("unknown latency distribution: " + name +
+                   " (expected fixed|uniform|exp)");
+}
+
+std::uint64_t LinkModel::sample_latency(Rng& rng) const {
+  std::uint64_t sample = 0;
+  switch (dist) {
+    case LatencyDist::kFixed:
+      sample = latency_us;
+      break;
+    case LatencyDist::kUniform:
+      return latency_us + (jitter_us > 0 ? rng.below(jitter_us + 1) : 0);
+    case LatencyDist::kExponential: {
+      const double mean = static_cast<double>(latency_us);
+      sample = static_cast<std::uint64_t>(
+          std::llround(rng.exponential(mean)));
+      break;
+    }
+  }
+  if (jitter_us > 0) {
+    sample += rng.below(jitter_us + 1);
+  }
+  return sample;
+}
+
+std::string LinkModel::describe() const {
+  std::ostringstream os;
+  os << to_string(dist) << "(" << latency_us << "us)";
+  if (jitter_us > 0) {
+    os << "+j" << jitter_us;
+  }
+  if (loss_prob > 0.0) {
+    os << " loss=" << loss_prob;
+    if (burst_mean > 1.0) {
+      os << " burst=" << burst_mean;
+    }
+  }
+  return os.str();
+}
+
+LossProcess::LossProcess(const LinkModel& link)
+    : loss_prob_(link.loss_prob) {
+  CR_REQUIRE(loss_prob_ >= 0.0 && loss_prob_ < 1.0,
+             "loss_prob must be in [0, 1)");
+  if (loss_prob_ > 0.0 && link.burst_mean > 1.0) {
+    burst_ = true;
+    // Gilbert-Elliott: mean bad-run length L gives p(bad->good) = 1/L;
+    // the detailed-balance condition pi_bad * p_bg = pi_good * p_gb with
+    // stationary pi_bad = loss_prob then fixes p(good->bad).
+    p_bad_to_good_ = 1.0 / link.burst_mean;
+    p_good_to_bad_ =
+        std::min(1.0, p_bad_to_good_ * loss_prob_ / (1.0 - loss_prob_));
+  }
+}
+
+bool LossProcess::sample(Rng& rng) {
+  if (loss_prob_ <= 0.0) {
+    return false;
+  }
+  if (!burst_) {
+    return rng.chance(loss_prob_);
+  }
+  bad_ = bad_ ? !rng.chance(p_bad_to_good_) : rng.chance(p_good_to_bad_);
+  return bad_;
+}
+
+}  // namespace commroute::sim

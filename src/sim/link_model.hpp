@@ -1,0 +1,90 @@
+// Timed delivery conditions: per-channel link models (latency, jitter,
+// loss) and per-node processing models (processing delay, MRAI-style
+// batching).
+//
+// A LinkModel turns the abstract FIFO channel of Sec. 2.1 into a timed
+// link: every message sampled a latency when it is sent, and — on
+// Unreliable communication models only — may be marked lost, in which
+// case the induced activation step drops it via the g-component of the
+// Def. 2.2 quadruple. FIFO order is preserved by clamping arrival times
+// to be non-decreasing per channel.
+//
+// All sampling draws from an explicitly seeded support::Rng in a fixed
+// order, so the timed execution is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace commroute::sim {
+
+/// Latency distribution of a link.
+enum class LatencyDist : std::uint8_t {
+  kFixed,        ///< exactly latency_us
+  kUniform,      ///< uniform in [latency_us, latency_us + jitter_us]
+  kExponential,  ///< exponential with mean latency_us
+};
+
+std::string to_string(LatencyDist dist);
+LatencyDist parse_latency_dist(const std::string& name);
+
+/// Timed behavior of one directed channel.
+struct LinkModel {
+  LatencyDist dist = LatencyDist::kFixed;
+  /// Base latency: the fixed value, the uniform lower bound, or the
+  /// exponential mean, in virtual microseconds.
+  std::uint64_t latency_us = 1000;
+  /// Additive uniform jitter in [0, jitter_us]. For kUniform this is the
+  /// width of the interval; for kFixed / kExponential it is added on top
+  /// of the base sample.
+  std::uint64_t jitter_us = 0;
+  /// Stationary loss probability. Must be 0 for Reliable models (the
+  /// sim rejects a lossy link under a Reliable model) and < 1 always.
+  double loss_prob = 0.0;
+  /// Mean length of a loss burst in messages. 1.0 = iid (Bernoulli)
+  /// loss; > 1 switches the channel to a two-state Gilbert-Elliott
+  /// chain with the same stationary loss_prob.
+  double burst_mean = 1.0;
+
+  /// One latency sample in virtual microseconds.
+  std::uint64_t sample_latency(Rng& rng) const;
+
+  /// Compact human-readable description, e.g. "fixed(1000us)+j200
+  /// loss=0.1".
+  std::string describe() const;
+};
+
+/// Per-channel loss state. iid when burst_mean <= 1; otherwise a
+/// Gilbert-Elliott good/bad chain whose stationary bad probability is
+/// loss_prob and whose mean bad-run length is burst_mean. A loss_prob
+/// of 0 never consumes randomness, so lossless configurations share RNG
+/// streams with reliable ones.
+class LossProcess {
+ public:
+  explicit LossProcess(const LinkModel& link);
+
+  /// Samples whether the next message on this channel is lost.
+  bool sample(Rng& rng);
+
+ private:
+  double loss_prob_;
+  bool burst_ = false;
+  double p_good_to_bad_ = 0.0;
+  double p_bad_to_good_ = 1.0;
+  bool bad_ = false;
+};
+
+/// Timed behavior of one node's update processing.
+struct NodeModel {
+  /// Delay between a triggering arrival and the activation it schedules
+  /// (CPU / route-selection time), in virtual microseconds.
+  std::uint64_t proc_delay_us = 100;
+  /// Minimum virtual time between two activations of the same node — an
+  /// MRAI-style batching timer: arrivals landing inside the interval are
+  /// coalesced into the next activation. 0 disables batching.
+  std::uint64_t mrai_us = 0;
+};
+
+}  // namespace commroute::sim

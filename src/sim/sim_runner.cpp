@@ -1,0 +1,582 @@
+#include "sim/sim_runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "engine/scheduler.hpp"
+#include "engine/state.hpp"
+#include "model/activation.hpp"
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace commroute::sim {
+
+namespace {
+
+/// One message traversing a channel, mirrored from the engine's queue.
+struct InFlight {
+  VirtualTime arrival = 0;
+  bool lost = false;
+};
+
+/// engine::Scheduler that derives steps from the discrete-event loop.
+///
+/// The scheduler mirrors every engine channel with a deque of arrival
+/// times: new messages appearing at a channel's tail since the previous
+/// next() call are the sends of the last executed step, stamped with the
+/// step's virtual time plus a sampled link latency (clamped to preserve
+/// FIFO order). Arrival events schedule node activations (after the
+/// node's processing delay, batched by its MRAI timer); activation
+/// events are shaped into a step that is legal in the configured model
+/// and touches only virtually-arrived messages, deferring the
+/// activation when the model's read shape would reach beyond them.
+class SimScheduler final : public engine::Scheduler {
+ public:
+  SimScheduler(const spp::Instance& instance, const SimOptions& options)
+      : inst_(&instance), opts_(&options), rng_(options.seed) {
+    const Graph& g = instance.graph();
+    links_.assign(g.channel_count(), options.link);
+    for (const auto& [c, link] : options.link_overrides) {
+      CR_REQUIRE(c < g.channel_count(),
+                 "link override: channel " + std::to_string(c) +
+                     " out of range");
+      links_[c] = link;
+    }
+    loss_.reserve(g.channel_count());
+    for (ChannelIdx c = 0; c < g.channel_count(); ++c) {
+      loss_.emplace_back(links_[c]);
+    }
+    nodes_.assign(g.node_count(), options.node);
+    for (const auto& [v, node] : options.node_overrides) {
+      CR_REQUIRE(v < g.node_count(),
+                 "node override: node " + std::to_string(v) +
+                     " out of range");
+      nodes_[v] = node;
+    }
+    inflight_.resize(g.channel_count());
+    last_arrival_.assign(g.channel_count(), 0);
+    activation_scheduled_.assign(g.node_count(), 0);
+    last_activation_.assign(g.node_count(), 0);
+    cursor_.assign(g.node_count(), 0);
+    // Boot: every connected node activates once at t = 0. This fires the
+    // destination's first self-announcement (Def. 2.3 step 4) — without
+    // it no message ever enters the network.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!g.in_channels(v).empty()) {
+        Event boot;
+        boot.time = 0;
+        boot.kind = Event::Kind::kActivate;
+        boot.node = v;
+        queue_.push(boot);
+        activation_scheduled_[v] = 1;
+      }
+    }
+  }
+
+  model::ActivationStep next(const engine::NetworkState& state) override {
+    sync_sends(state);
+    for (;;) {
+      // The run loop only calls next() when the network is not strongly
+      // quiescent: either messages are in flight (their arrival events
+      // are queued) or an activation is pending. Either way the queue
+      // cannot be empty.
+      CR_ASSERT(!queue_.empty(), "sim event queue drained before quiescence");
+      const Event ev = queue_.pop();
+      clock_.advance_to(ev.time);
+      ++events_processed_;
+      if (ev.kind == Event::Kind::kArrival) {
+        obs::Span deliver = opts_->obs.span("sim.deliver");
+        if (deliver.enabled()) {
+          deliver.attr("channel", inst_->graph().channel_name(ev.channel))
+              .attr("t_us", ev.time);
+        }
+        schedule_activation(inst_->graph().channel_id(ev.channel).to);
+        continue;
+      }
+      obs::Span act = opts_->obs.span("sim.event");
+      if (act.enabled()) {
+        act.attr("node", inst_->graph().name(ev.node)).attr("t_us", ev.time);
+      }
+      activation_scheduled_[ev.node] = 0;
+      std::optional<model::ActivationStep> step = build_step(ev.node);
+      if (!step.has_value()) {
+        continue;  // deferred: a later kActivate event was queued
+      }
+      step_time_us_.push_back(clock_.now());
+      last_step_time_ = clock_.now();
+      return std::move(*step);
+    }
+  }
+
+  bool exhausted() const override {
+    return opts_->max_virtual_us > 0 &&
+           clock_.now() >= opts_->max_virtual_us;
+  }
+
+  // signature() stays nullopt: the sim's configuration includes the
+  // event queue and RNG stream, which a state hash cannot capture, so
+  // sound cycle detection is unavailable (sim::run sets
+  // RunOptions::detect_cycles = false accordingly).
+
+  VirtualTime now() const { return clock_.now(); }
+  const std::vector<VirtualTime>& step_times() const { return step_time_us_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_lost() const { return messages_lost_; }
+  std::uint64_t latency_samples() const { return latency_samples_; }
+  std::uint64_t latency_sum_us() const { return latency_sum_us_; }
+  std::uint64_t latency_min_us() const { return latency_min_us_; }
+  std::uint64_t latency_max_us() const { return latency_max_us_; }
+
+ private:
+  /// Detects the sends of the previously executed step: any message
+  /// beyond our mirror of a channel's queue is new. Channels are scanned
+  /// in index order so RNG consumption is deterministic.
+  void sync_sends(const engine::NetworkState& state) {
+    const Graph& g = inst_->graph();
+    for (ChannelIdx c = 0; c < g.channel_count(); ++c) {
+      const std::size_t mirrored = inflight_[c].size();
+      const std::size_t actual = state.channel(c).size();
+      CR_ASSERT(actual >= mirrored, "sim channel mirror ahead of engine");
+      for (std::size_t i = mirrored; i < actual; ++i) {
+        const std::uint64_t latency = links_[c].sample_latency(rng_);
+        const bool lost = loss_[c].sample(rng_);
+        // FIFO clamp: a fast sample never overtakes the previous message.
+        const VirtualTime arrival =
+            std::max(last_arrival_[c], last_step_time_ + latency);
+        last_arrival_[c] = arrival;
+        inflight_[c].push_back(InFlight{arrival, lost});
+        Event ev;
+        ev.time = arrival;
+        ev.kind = Event::Kind::kArrival;
+        ev.channel = c;
+        queue_.push(ev);
+        ++latency_samples_;
+        latency_sum_us_ += latency;
+        latency_min_us_ = latency_samples_ == 1
+                              ? latency
+                              : std::min(latency_min_us_, latency);
+        latency_max_us_ = std::max(latency_max_us_, latency);
+      }
+    }
+  }
+
+  /// Queues a processing activation for v unless one is already pending.
+  /// The activation time respects the node's processing delay and MRAI
+  /// batching timer (arrivals inside the interval coalesce).
+  void schedule_activation(NodeId v) {
+    if (activation_scheduled_[v] != 0) {
+      return;
+    }
+    VirtualTime t = clock_.now() + nodes_[v].proc_delay_us;
+    if (nodes_[v].mrai_us > 0) {
+      t = std::max(t, last_activation_[v] + nodes_[v].mrai_us);
+    }
+    push_activation(v, t);
+  }
+
+  void push_activation(NodeId v, VirtualTime t) {
+    Event ev;
+    ev.time = t;
+    ev.kind = Event::Kind::kActivate;
+    ev.node = v;
+    queue_.push(ev);
+    activation_scheduled_[v] = 1;
+  }
+
+  /// Messages of channel c that have virtually arrived by now.
+  std::size_t arrived_count(ChannelIdx c) const {
+    const std::deque<InFlight>& q = inflight_[c];
+    std::size_t n = 0;
+    while (n < q.size() && q[n].arrival <= clock_.now()) {
+      ++n;
+    }
+    return n;
+  }
+
+  /// True when the model's induced read on c would touch only arrived
+  /// messages. 1-message and forced reads (O / F) need the front to have
+  /// arrived (or the channel to be empty); polling reads (A) drain
+  /// everything, so they wait for the channel to have *fully* arrived;
+  /// some-reads (S) take exactly the arrived prefix and are always legal.
+  bool channel_ready(ChannelIdx c) const {
+    const std::size_t m = inflight_[c].size();
+    switch (opts_->model.messages) {
+      case model::MessageMode::kSome:
+        return true;
+      case model::MessageMode::kAll:
+        return arrived_count(c) == m;
+      case model::MessageMode::kOne:
+      case model::MessageMode::kForced:
+        return m == 0 || arrived_count(c) > 0;
+    }
+    throw InvariantError("bad MessageMode");
+  }
+
+  /// Virtual instant at which a currently not-ready channel becomes
+  /// ready (given its present contents): the front arrival for O / F,
+  /// the back arrival for A.
+  VirtualTime ready_at(ChannelIdx c) const {
+    const std::deque<InFlight>& q = inflight_[c];
+    CR_ASSERT(!q.empty(), "ready_at on ready channel");
+    return opts_->model.messages == model::MessageMode::kAll
+               ? q.back().arrival
+               : q.front().arrival;
+  }
+
+  /// Shapes v's activation into a legal step of the configured model, or
+  /// defers it (returning nullopt after queueing a later activation)
+  /// when the model's read shape would touch unarrived messages.
+  std::optional<model::ActivationStep> build_step(NodeId v) {
+    const Graph& g = inst_->graph();
+    const std::vector<ChannelIdx>& in = g.in_channels(v);
+    CR_ASSERT(!in.empty(), "sim activated an isolated node");
+
+    std::vector<ChannelIdx> chosen;
+    switch (opts_->model.neighbors) {
+      case model::NeighborMode::kEvery: {
+        // E models read every in-channel in one step; if any channel is
+        // not ready, wait until the last of them is.
+        VirtualTime defer = 0;
+        for (const ChannelIdx c : in) {
+          if (!channel_ready(c)) {
+            defer = std::max(defer, ready_at(c));
+          }
+        }
+        if (defer > 0) {
+          CR_ASSERT(defer > clock_.now(), "sim deferral does not progress");
+          push_activation(v, defer);
+          return std::nullopt;
+        }
+        chosen = in;
+        break;
+      }
+      case model::NeighborMode::kMultiple: {
+        // M models choose any subset: take every ready channel with an
+        // arrived message. An empty choice is legal (boot steps).
+        for (const ChannelIdx c : in) {
+          if (channel_ready(c) && arrived_count(c) > 0) {
+            chosen.push_back(c);
+          }
+        }
+        break;
+      }
+      case model::NeighborMode::kOne: {
+        // 1-neighbor models process a single channel. Prefer a ready
+        // channel with an arrived message (rotating a per-node cursor
+        // for fairness), else any empty channel (a no-op read that still
+        // lets the node announce), else defer to the earliest instant
+        // some channel becomes ready.
+        const std::size_t n = in.size();
+        std::size_t pick = n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t i = (cursor_[v] + k) % n;
+          if (channel_ready(in[i]) && arrived_count(in[i]) > 0) {
+            pick = i;
+            break;
+          }
+        }
+        if (pick == n) {
+          for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t i = (cursor_[v] + k) % n;
+            if (inflight_[in[i]].empty()) {
+              pick = i;
+              break;
+            }
+          }
+        }
+        if (pick == n) {
+          VirtualTime defer = std::numeric_limits<VirtualTime>::max();
+          for (const ChannelIdx c : in) {
+            defer = std::min(defer, ready_at(c));
+          }
+          CR_ASSERT(defer > clock_.now(), "sim deferral does not progress");
+          push_activation(v, defer);
+          return std::nullopt;
+        }
+        chosen.push_back(in[pick]);
+        cursor_[v] = (pick + 1) % n;
+        break;
+      }
+    }
+
+    model::ActivationStep step;
+    step.nodes.push_back(v);
+    for (const ChannelIdx c : chosen) {
+      const std::size_t m = inflight_[c].size();
+      const std::size_t a = arrived_count(c);
+      model::ReadSpec read;
+      read.channel = c;
+      std::size_t processed = 0;
+      switch (opts_->model.messages) {
+        case model::MessageMode::kOne:
+          read.count = 1;
+          processed = std::min<std::size_t>(1, m);
+          break;
+        case model::MessageMode::kSome:
+          read.count = static_cast<std::uint32_t>(a);
+          processed = a;
+          break;
+        case model::MessageMode::kForced:
+          // f >= 1; channel_ready guarantees a > 0 whenever m > 0.
+          read.count = static_cast<std::uint32_t>(std::max<std::size_t>(a, 1));
+          processed = std::min<std::size_t>(std::max<std::size_t>(a, 1), m);
+          break;
+        case model::MessageMode::kAll:
+          read.count = std::nullopt;  // f = infinity
+          processed = m;              // channel_ready guarantees a == m
+          break;
+      }
+      for (std::size_t j = 0; j < processed; ++j) {
+        if (inflight_[c][j].lost) {
+          read.drops.push_back(static_cast<std::uint32_t>(j + 1));
+        }
+      }
+      step.reads.push_back(std::move(read));
+      for (std::size_t j = 0; j < processed; ++j) {
+        if (inflight_[c][j].lost) {
+          ++messages_lost_;
+        } else {
+          ++messages_delivered_;
+        }
+      }
+      inflight_[c].erase(inflight_[c].begin(),
+                         inflight_[c].begin() +
+                             static_cast<std::ptrdiff_t>(processed));
+    }
+
+    last_activation_[v] = clock_.now();
+    // Arrived messages the step did not consume (e.g. a 1-neighbor model
+    // drained only one of several ready channels) must not be stranded:
+    // re-arm the node so a later activation serves them.
+    for (const ChannelIdx c : in) {
+      if (arrived_count(c) > 0) {
+        schedule_activation(v);
+        break;
+      }
+    }
+    return step;
+  }
+
+  const spp::Instance* inst_;
+  const SimOptions* opts_;
+  Rng rng_;
+  EventQueue queue_;
+  VirtualClock clock_;
+  std::vector<LinkModel> links_;
+  std::vector<LossProcess> loss_;
+  std::vector<NodeModel> nodes_;
+  std::vector<std::deque<InFlight>> inflight_;
+  std::vector<VirtualTime> last_arrival_;
+  std::vector<char> activation_scheduled_;
+  std::vector<VirtualTime> last_activation_;
+  std::vector<std::size_t> cursor_;
+  VirtualTime last_step_time_ = 0;
+  std::vector<VirtualTime> step_time_us_;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t latency_samples_ = 0;
+  std::uint64_t latency_sum_us_ = 0;
+  std::uint64_t latency_min_us_ = 0;
+  std::uint64_t latency_max_us_ = 0;
+};
+
+void check_link(const LinkModel& link, const model::Model& m,
+                const std::string& where) {
+  CR_REQUIRE(link.loss_prob >= 0.0 && link.loss_prob < 1.0,
+             where + ": loss_prob must be in [0, 1)");
+  CR_REQUIRE(link.loss_prob == 0.0 || !m.reliable(),
+             where + ": lossy links require an Unreliable model (got " +
+                 m.name() + "; drops are not expressible in Reliable "
+                            "models per Def. 2.4)");
+}
+
+}  // namespace
+
+SimResult run(const spp::Instance& instance, const SimOptions& options) {
+  check_link(options.link, options.model, "SimOptions::link");
+  for (const auto& [c, link] : options.link_overrides) {
+    check_link(link, options.model,
+               "link override for channel " + std::to_string(c));
+  }
+
+  obs::Span sim_span = options.obs.span("sim.run");
+
+  SimScheduler scheduler(instance, options);
+  engine::RunOptions ropts;
+  ropts.max_steps = options.max_steps;
+  ropts.record_trace = true;  // flap timing needs the pi-sequence
+  // The sim's configuration includes its event queue and RNG stream,
+  // which no scheduler signature can capture — run without (sound)
+  // cycle detection rather than advertise it.
+  ropts.detect_cycles = false;
+  ropts.enforce_model = options.model;
+  ropts.obs = options.obs;
+  ropts.emit_step_events = options.emit_step_events;
+  ropts.flight = options.flight;
+  if (ropts.flight.mode != engine::FlightRecorderOptions::Mode::kOff) {
+    if (ropts.flight.scheduler.empty()) {
+      ropts.flight.scheduler = "sim";
+    }
+    if (ropts.flight.seed == 0) {
+      ropts.flight.seed = options.seed;
+    }
+  }
+
+  SimResult result;
+  result.run = engine::run(instance, scheduler, ropts);
+
+  result.step_time_us = scheduler.step_times();
+  result.virtual_end_us =
+      result.step_time_us.empty() ? 0 : result.step_time_us.back();
+  result.events_processed = scheduler.events_processed();
+  result.messages_delivered = scheduler.messages_delivered();
+  result.messages_lost = scheduler.messages_lost();
+  result.latency_samples = scheduler.latency_samples();
+  result.latency_sum_us = scheduler.latency_sum_us();
+  result.latency_min_us = scheduler.latency_min_us();
+  result.latency_max_us = scheduler.latency_max_us();
+
+  // Flap times from the recorded pi-sequence: trace entry t is the state
+  // after step t (entry 0 = initial), executed at step_time_us[t - 1].
+  const trace::Trace& tr = result.run.trace;
+  result.last_flap_us.assign(instance.node_count(), 0);
+  CR_ASSERT(tr.size() == result.step_time_us.size() + 1,
+            "sim trace / step-time length mismatch");
+  for (std::size_t t = 1; t < tr.size(); ++t) {
+    const trace::Assignment& prev = tr.at(t - 1);
+    const trace::Assignment& cur = tr.at(t);
+    bool changed = false;
+    for (NodeId v = 0; v < instance.node_count(); ++v) {
+      if (prev[v] != cur[v]) {
+        result.last_flap_us[v] = result.step_time_us[t - 1];
+        changed = true;
+      }
+    }
+    if (changed) {
+      result.last_change_us = result.step_time_us[t - 1];
+    }
+  }
+
+  if (options.obs.attached()) {
+    if (sim_span.enabled()) {
+      sim_span.attr("model", options.model.name())
+          .attr("seed", options.seed)
+          .attr("outcome", engine::to_string(result.run.outcome))
+          .attr("virtual_end_us", result.virtual_end_us);
+      sim_span.finish();
+    }
+    if (obs::Histogram* h = options.obs.histogram(
+            "sim.virtual_time_us", obs::exponential_buckets(64, 4.0, 12))) {
+      h->observe(result.virtual_end_us);
+    }
+    if (options.obs.metrics != nullptr) {
+      obs::Registry& m = *options.obs.metrics;
+      m.counter("sim.runs").add();
+      m.counter("sim.steps").add(result.run.steps);
+      m.counter("sim.events").add(result.events_processed);
+      m.counter("sim.messages_delivered").add(result.messages_delivered);
+      m.counter("sim.messages_lost").add(result.messages_lost);
+      m.gauge("sim.virtual_end_us").record_max(result.virtual_end_us);
+    }
+    if (options.obs.sink != nullptr) {
+      // Virtual-time fields only: a sim_summary is byte-stable across
+      // runs with identical options (the determinism acceptance check).
+      obs::Event ev("sim_summary");
+      ev.field("model", options.model.name())
+          .field("seed", options.seed)
+          .field("outcome", engine::to_string(result.run.outcome))
+          .field("steps", result.run.steps)
+          .field("virtual_end_us", result.virtual_end_us)
+          .field("last_change_us", result.last_change_us)
+          .field("events", result.events_processed)
+          .field("messages_sent", result.run.messages_sent)
+          .field("messages_delivered", result.messages_delivered)
+          .field("messages_lost", result.messages_lost)
+          .field("mean_latency_us", result.mean_latency_us());
+      options.obs.sink->emit(ev);
+    }
+  }
+  return result;
+}
+
+std::string SimResult::to_json() const {
+  obs::JsonWriter w;
+  w.field("type", "sim_summary")
+      .field("outcome", engine::to_string(run.outcome))
+      .field("steps", run.steps)
+      .field("virtual_end_us", virtual_end_us)
+      .field("last_change_us", last_change_us)
+      .field("events_processed", events_processed)
+      .field("messages_sent", run.messages_sent)
+      .field("messages_delivered", messages_delivered)
+      .field("messages_lost", messages_lost)
+      .field("latency_samples", latency_samples)
+      .field("latency_sum_us", latency_sum_us)
+      .field("latency_min_us", latency_min_us)
+      .field("latency_max_us", latency_max_us);
+  std::string flaps = "[";
+  for (std::size_t i = 0; i < last_flap_us.size(); ++i) {
+    if (i > 0) {
+      flaps += ',';
+    }
+    flaps += std::to_string(last_flap_us[i]);
+  }
+  flaps += ']';
+  w.raw_field("last_flap_us", flaps);
+  return w.str();
+}
+
+SimResult SimResult::from_json(const std::string& json) {
+  const std::optional<obs::JsonValue> parsed = obs::json_parse(json);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    throw ParseError("sim_summary: not a JSON object");
+  }
+  const auto u64 = [&](const std::string& key) {
+    const obs::JsonValue* v = parsed->find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw ParseError("sim_summary: missing numeric field \"" + key + "\"");
+    }
+    return static_cast<std::uint64_t>(v->as_number());
+  };
+
+  SimResult r;
+  const obs::JsonValue* outcome = parsed->find("outcome");
+  if (outcome == nullptr || !outcome->is_string()) {
+    throw ParseError("sim_summary: missing string field \"outcome\"");
+  }
+  const std::optional<engine::Outcome> parsed_outcome =
+      engine::outcome_from_string(outcome->as_string());
+  if (!parsed_outcome.has_value()) {
+    throw ParseError("sim_summary: unknown outcome \"" +
+                     outcome->as_string() + "\"");
+  }
+  r.run.outcome = *parsed_outcome;
+  r.run.steps = u64("steps");
+  r.virtual_end_us = u64("virtual_end_us");
+  r.last_change_us = u64("last_change_us");
+  r.events_processed = u64("events_processed");
+  r.run.messages_sent = u64("messages_sent");
+  r.messages_delivered = u64("messages_delivered");
+  r.messages_lost = u64("messages_lost");
+  r.latency_samples = u64("latency_samples");
+  r.latency_sum_us = u64("latency_sum_us");
+  r.latency_min_us = u64("latency_min_us");
+  r.latency_max_us = u64("latency_max_us");
+  const obs::JsonValue* flaps = parsed->find("last_flap_us");
+  if (flaps == nullptr || !flaps->is_array()) {
+    throw ParseError("sim_summary: missing array field \"last_flap_us\"");
+  }
+  for (const obs::JsonValue& f : flaps->as_array()) {
+    if (!f.is_number()) {
+      throw ParseError("sim_summary: last_flap_us entries must be numbers");
+    }
+    r.last_flap_us.push_back(static_cast<std::uint64_t>(f.as_number()));
+  }
+  return r;
+}
+
+}  // namespace commroute::sim

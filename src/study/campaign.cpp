@@ -14,6 +14,7 @@
 #include "engine/scheduler.hpp"
 #include "obs/json.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/sim_runner.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -29,6 +30,8 @@ std::string to_string(SchedulerKind kind) {
       return "synchronous";
     case SchedulerKind::kEventDriven:
       return "event-driven";
+    case SchedulerKind::kSim:
+      return "sim";
   }
   throw InvariantError("bad SchedulerKind");
 }
@@ -64,16 +67,21 @@ std::uint64_t CampaignResult::median_steps(
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
   out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
-         "messages_dropped,max_channel_occupancy,wall_ms,recording_path\n";
+         "messages_dropped,max_channel_occupancy,wall_ms,recording_path,"
+         "sim_latency_us,sim_loss,virtual_us,last_change_us\n";
   for (const CampaignRow& row : rows) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
+    char loss[32];
+    std::snprintf(loss, sizeof loss, "%g", row.sim_loss);
     out << csv_quote(row.instance) << ',' << csv_quote(row.model.name())
         << ',' << to_string(row.scheduler) << ',' << row.seed << ','
         << engine::to_string(row.outcome) << ',' << row.steps << ','
         << row.messages_sent << ',' << row.messages_dropped << ','
         << row.max_channel_occupancy << ',' << wall << ','
-        << csv_quote(row.recording_path) << '\n';
+        << csv_quote(row.recording_path) << ',' << row.sim_latency_us
+        << ',' << loss << ',' << row.virtual_us << ','
+        << row.last_change_us << '\n';
   }
   return out.str();
 }
@@ -93,7 +101,11 @@ obs::JsonWriter row_json(const CampaignRow& row) {
       .field("max_channel_occupancy",
              static_cast<std::uint64_t>(row.max_channel_occupancy))
       .field("wall_ms", row.wall_ms)
-      .field("recording_path", row.recording_path);
+      .field("recording_path", row.recording_path)
+      .field("sim_latency_us", row.sim_latency_us)
+      .field("sim_loss", row.sim_loss)
+      .field("virtual_us", row.virtual_us)
+      .field("last_change_us", row.last_change_us);
   return w;
 }
 
@@ -167,7 +179,18 @@ struct RowTask {
   SchedulerKind kind = SchedulerKind::kRoundRobin;
   std::uint64_t seed = 0;
   std::string flush_path;  ///< "" = flight recorder off for this row
+  /// kSim rows: index into the (possibly defaulted) sim-point axis and
+  /// the resolved link model.
+  int sim_point = -1;
+  sim::LinkModel link;
 };
+
+/// The instance-name coordinate fed to derive_row_seed for a kSim row:
+/// the sim point is folded in so distinct latency/loss points get
+/// decorrelated sampling streams.
+std::string sim_seed_key(const std::string& instance, int sim_point) {
+  return instance + "#sim" + std::to_string(sim_point);
+}
 
 /// Enumerates the cross product in deterministic (instance, model,
 /// scheduler, seed) order — the order rows, CSV lines, and campaign_row
@@ -177,6 +200,11 @@ struct RowTask {
 std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
   std::vector<RowTask> tasks;
   std::set<std::string> used_names;
+  // The kSim sweep axis: explicit points, or one default link model.
+  std::vector<sim::LinkModel> sim_points = spec.sim_points;
+  if (sim_points.empty()) {
+    sim_points.push_back(sim::LinkModel{});
+  }
   for (const auto& [name, instance] : spec.instances) {
     CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
     for (const model::Model& m : spec.models) {
@@ -185,32 +213,43 @@ std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
             !m.is_message_passing()) {
           continue;  // the event-driven scheduler emits f = 1 reads only
         }
-        const bool randomized = (kind == SchedulerKind::kRandomFair);
+        const bool randomized = (kind == SchedulerKind::kRandomFair ||
+                                 kind == SchedulerKind::kSim);
         const std::uint64_t runs = randomized ? spec.seeds : 1;
-        for (std::uint64_t seed = 0; seed < runs; ++seed) {
-          RowTask task;
-          task.instance = name;
-          task.inst = instance;
-          task.model = m;
-          task.kind = kind;
-          task.seed = seed;
-          if (!spec.recording_dir.empty()) {
-            const std::string base = sanitize_path_component(name) + "_" +
-                                     sanitize_path_component(m.name()) +
-                                     "_" +
-                                     sanitize_path_component(
-                                         to_string(kind)) +
-                                     "_" + std::to_string(seed);
-            std::string candidate = base;
-            for (int suffix = 2; !used_names.insert(candidate).second;
-                 ++suffix) {
-              candidate = base + "." + std::to_string(suffix);
-            }
-            task.flush_path = (std::filesystem::path(spec.recording_dir) /
-                               (candidate + ".recording.jsonl"))
-                                  .string();
+        const std::size_t points =
+            kind == SchedulerKind::kSim ? sim_points.size() : 1;
+        for (std::size_t point = 0; point < points; ++point) {
+          if (kind == SchedulerKind::kSim && m.reliable() &&
+              sim_points[point].loss_prob > 0.0) {
+            continue;  // drops are not expressible in Reliable models
           }
-          tasks.push_back(std::move(task));
+          for (std::uint64_t seed = 0; seed < runs; ++seed) {
+            RowTask task;
+            task.instance = name;
+            task.inst = instance;
+            task.model = m;
+            task.kind = kind;
+            task.seed = seed;
+            if (kind == SchedulerKind::kSim) {
+              task.sim_point = static_cast<int>(point);
+              task.link = sim_points[point];
+            }
+            if (!spec.recording_dir.empty()) {
+              std::string base = sanitize_path_component(name) + "_" +
+                                 sanitize_path_component(m.name()) + "_" +
+                                 sanitize_path_component(to_string(kind)) +
+                                 "_" + std::to_string(seed);
+              std::string candidate = base;
+              for (int suffix = 2; !used_names.insert(candidate).second;
+                   ++suffix) {
+                candidate = base + "." + std::to_string(suffix);
+              }
+              task.flush_path = (std::filesystem::path(spec.recording_dir) /
+                                 (candidate + ".recording.jsonl"))
+                                    .string();
+            }
+            tasks.push_back(std::move(task));
+          }
         }
       }
     }
@@ -222,8 +261,76 @@ std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
 /// shard (or the campaign-level handle on the serial path); the event
 /// sink is deliberately absent here — campaign_row events are emitted by
 /// the driver in enumeration order.
+/// Executes one kSim row through sim::run (the engine options — flight
+/// recorder, model enforcement, obs shard — are assembled by sim::run
+/// itself from SimOptions).
+CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
+                        const obs::Instrumentation& obs) {
+  sim::SimOptions sopts;
+  sopts.model = task.model;
+  sopts.link = task.link;
+  sopts.node = spec.sim_node;
+  sopts.seed = derive_row_seed(sim_seed_key(task.instance, task.sim_point),
+                               task.model.index(), task.kind, task.seed);
+  sopts.max_steps = spec.max_steps;
+  sopts.obs.metrics = obs.metrics;
+  sopts.obs.spans = obs.spans;
+  if (!task.flush_path.empty()) {
+    sopts.flight.mode = spec.recording_ring == 0
+                            ? engine::FlightRecorderOptions::Mode::kFull
+                            : engine::FlightRecorderOptions::Mode::kRing;
+    sopts.flight.ring_capacity = spec.recording_ring;
+    sopts.flight.instance_name = task.instance;
+    sopts.flight.scheduler = to_string(task.kind);
+    sopts.flight.seed = task.seed;
+    sopts.flight.flush_path = task.flush_path;
+  }
+
+  const auto row_start = std::chrono::steady_clock::now();
+  obs::Span row_span = obs.span("campaign.row");
+  if (row_span.enabled()) {
+    row_span.attr("instance", task.instance)
+        .attr("model", task.model.name())
+        .attr("scheduler", to_string(task.kind))
+        .attr("seed", task.seed)
+        .attr("sim_latency_us", task.link.latency_us)
+        .attr("sim_loss", task.link.loss_prob);
+  }
+  const sim::SimResult sres = sim::run(*task.inst, sopts);
+  row_span.finish();
+  CampaignRow row;
+  row.instance = task.instance;
+  row.model = task.model;
+  row.scheduler = task.kind;
+  row.seed = task.seed;
+  row.outcome = sres.run.outcome;
+  row.steps = sres.run.steps;
+  row.messages_sent = sres.run.messages_sent;
+  row.messages_dropped = sres.run.messages_dropped;
+  row.max_channel_occupancy = sres.run.max_channel_occupancy;
+  row.recording_path = sres.run.recording_path;
+  row.sim_latency_us = task.link.latency_us;
+  row.sim_loss = task.link.loss_prob;
+  row.virtual_us = sres.virtual_end_us;
+  row.last_change_us = sres.last_change_us;
+  row.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - row_start)
+                    .count();
+  if (obs.metrics != nullptr) {
+    obs::Registry& metrics = *obs.metrics;
+    metrics.counter("campaign.rows").add();
+    metrics.counter("campaign.steps").add(row.steps);
+    metrics.counter("campaign.wall_us")
+        .add(static_cast<std::uint64_t>(row.wall_ms * 1000.0));
+  }
+  return row;
+}
+
 CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
                         const obs::Instrumentation& obs) {
+  if (task.kind == SchedulerKind::kSim) {
+    return run_sim_row(spec, task, obs);
+  }
   std::unique_ptr<engine::Scheduler> scheduler;
   engine::RunOptions options;
   options.max_steps = spec.max_steps;
@@ -268,6 +375,8 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
           std::make_unique<engine::EventDrivenScheduler>(*task.inst);
       options.enforce_model = task.model;
       break;
+    case SchedulerKind::kSim:
+      throw InvariantError("kSim rows are dispatched to run_sim_row");
   }
 
   const auto row_start = std::chrono::steady_clock::now();

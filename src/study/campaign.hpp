@@ -13,6 +13,7 @@
 #include "engine/runner.hpp"
 #include "model/model.hpp"
 #include "obs/obs.hpp"
+#include "sim/link_model.hpp"
 #include "spp/instance.hpp"
 
 namespace commroute::study {
@@ -23,6 +24,7 @@ enum class SchedulerKind {
   kRandomFair,   ///< randomized fair (per-seed)
   kSynchronous,  ///< U = V rounds (Def. 2.6 kEvery)
   kEventDriven,  ///< serve queued messages FIFO-ish (wxO models only)
+  kSim,          ///< virtual-time DES (sim::run; sweeps sim_points)
 };
 
 std::string to_string(SchedulerKind kind);
@@ -35,6 +37,13 @@ struct CampaignSpec {
   std::uint64_t seeds = 5;          ///< per randomized configuration
   std::uint64_t max_steps = 50000;
   double drop_prob = 0.2;           ///< for unreliable random schedules
+  /// Link-model sweep axis for SchedulerKind::kSim rows: each point
+  /// multiplies the (instance, model, seed) cross product. Points with
+  /// loss_prob > 0 are skipped for Reliable models (drops are not
+  /// expressible there). Empty + kSim requested = one default LinkModel.
+  std::vector<sim::LinkModel> sim_points;
+  /// Node processing model shared by all kSim rows.
+  sim::NodeModel sim_node;
   /// Optional metrics registry / JSONL event sink / span collector.
   /// Attached, the driver emits one "campaign_row" event per completed
   /// row and a final "campaign_summary", publishes row/step/wall
@@ -72,6 +81,12 @@ struct CampaignRow {
   double wall_ms = 0.0;  ///< wall time of this row's engine::run
   /// Flight-recorder artifact for this row ("" when none was flushed).
   std::string recording_path;
+  /// kSim rows only (0 otherwise): the swept link-model point and the
+  /// virtual-time view of the run.
+  std::uint64_t sim_latency_us = 0;
+  double sim_loss = 0.0;
+  std::uint64_t virtual_us = 0;      ///< virtual time of the last step
+  std::uint64_t last_change_us = 0;  ///< virtual time of the last flap
 };
 
 struct CampaignResult {

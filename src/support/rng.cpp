@@ -1,5 +1,7 @@
 #include "support/rng.hpp"
 
+#include <cmath>
+
 namespace commroute {
 
 namespace {
@@ -65,6 +67,13 @@ bool Rng::chance(double p) {
 double Rng::uniform() {
   // 53 random bits into [0, 1).
   return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::exponential(double mean) {
+  CR_REQUIRE(mean > 0.0, "Rng::exponential requires positive mean");
+  // Inverse transform on 1 - U in (0, 1]; log1p(-u) = log(1 - u) is
+  // exact at u = 0 and never sees log(0).
+  return -mean * std::log1p(-uniform());
 }
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }

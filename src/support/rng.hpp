@@ -32,6 +32,11 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform();
 
+  /// Exponentially distributed double with the given mean (rate
+  /// 1/mean). Requires mean > 0. Consumes exactly one draw, so streams
+  /// stay aligned across latency distributions.
+  double exponential(double mean);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -201,10 +201,10 @@ TEST(Campaign, CsvEscapesHostileNamesAndRoundTrips) {
 
   const auto records = csv_parse(result.to_csv());
   ASSERT_EQ(records.size(), result.rows.size() + 1);  // header + rows
-  ASSERT_EQ(records[0].size(), 11u);
+  ASSERT_EQ(records[0].size(), 15u);
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const auto& fields = records[i + 1];
-    ASSERT_EQ(fields.size(), 11u) << "row " << i;
+    ASSERT_EQ(fields.size(), 15u) << "row " << i;
     EXPECT_EQ(fields[0], result.rows[i].instance);
     EXPECT_EQ(fields[1], result.rows[i].model.name());
     EXPECT_EQ(fields[4], "converged");

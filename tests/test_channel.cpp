@@ -70,5 +70,35 @@ TEST(Channel, WithdrawalIsEmptyPath) {
   EXPECT_TRUE(c.at(0).path.empty());
 }
 
+TEST(Channel, AtOutOfRangeThrowsWithDiagnostic) {
+  Channel c;
+  c.push(Message{Path{1, 0}, 0});
+  EXPECT_NO_THROW(c.at(0));
+  try {
+    c.at(1);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    // The diagnostic names the index and the size.
+    EXPECT_NE(std::string(e.what()).find("1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("size"), std::string::npos);
+  }
+  EXPECT_THROW(c.at_mutable(1), PreconditionError);
+  EXPECT_THROW(Channel{}.at(0), PreconditionError);
+}
+
+TEST(Channel, PopFrontNBeyondSizeThrowsWithDiagnostic) {
+  Channel c;
+  c.push(Message{Path{1, 0}, 0});
+  c.push(Message{Path{2, 0}, 0});
+  try {
+    c.pop_front_n(3);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+  }
+  EXPECT_EQ(c.size(), 2u);  // failed pop left the channel intact
+}
+
 }  // namespace
 }  // namespace commroute::engine

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/runner.hpp"
+#include "obs/obs.hpp"
 #include "spp/gadgets.hpp"
 #include "spp/solver.hpp"
 #include "test_util.hpp"
@@ -120,6 +121,72 @@ TEST(Runner, OutcomeToString) {
   EXPECT_EQ(to_string(Outcome::kConverged), "converged");
   EXPECT_EQ(to_string(Outcome::kOscillating), "oscillating");
   EXPECT_EQ(to_string(Outcome::kExhausted), "exhausted");
+}
+
+TEST(Runner, OutcomeNamesRoundTrip) {
+  for (const Outcome o : {Outcome::kConverged, Outcome::kOscillating,
+                          Outcome::kExhausted}) {
+    const auto parsed = outcome_from_string(to_string(o));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, o);
+  }
+  EXPECT_FALSE(outcome_from_string("diverged").has_value());
+  EXPECT_FALSE(outcome_from_string("").has_value());
+}
+
+TEST(Runner, CycleDetectionFlagTracksSchedulerSignature) {
+  const spp::Instance inst = spp::good_gadget();
+  const Model m = Model::parse("RMS");
+
+  RoundRobinScheduler rr(m, inst);
+  const RunResult with_signature = run(inst, rr, {.enforce_model = m});
+  EXPECT_TRUE(with_signature.cycle_detection);
+
+  RandomFairScheduler random(m, inst, Rng(1), {.sweep_period = 8});
+  const RunResult without = run(inst, random, {.enforce_model = m});
+  EXPECT_FALSE(without.cycle_detection);
+
+  RoundRobinScheduler rr2(m, inst);
+  const RunResult disabled =
+      run(inst, rr2, {.detect_cycles = false, .enforce_model = m});
+  EXPECT_FALSE(disabled.cycle_detection);
+}
+
+TEST(Runner, SignaturelessSchedulerPublishesDisabledGaugeAndEvent) {
+  const spp::Instance inst = spp::good_gadget();
+  const Model m = Model::parse("RMS");
+  obs::Registry metrics;
+  obs::MemorySink sink;
+  RunOptions options;
+  options.enforce_model = m;
+  options.obs.metrics = &metrics;
+  options.obs.sink = &sink;
+
+  RandomFairScheduler random(m, inst, Rng(2), {.sweep_period = 8});
+  run(inst, random, options);
+  EXPECT_EQ(metrics.gauge("engine.cycle_detection_disabled").value(), 1u);
+  bool saw_event = false;
+  for (const std::string& line : sink.lines()) {
+    if (line.find("\"type\":\"cycle_detection_disabled\"") !=
+        std::string::npos) {
+      saw_event = true;
+      EXPECT_NE(line.find("scheduler has no signature"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_event);
+
+  // A scheduler with a signature publishes neither.
+  obs::Registry clean_metrics;
+  obs::MemorySink clean_sink;
+  options.obs.metrics = &clean_metrics;
+  options.obs.sink = &clean_sink;
+  RoundRobinScheduler rr(m, inst);
+  const RunResult detected = run(inst, rr, options);
+  EXPECT_TRUE(detected.cycle_detection);
+  for (const std::string& line : clean_sink.lines()) {
+    EXPECT_EQ(line.find("cycle_detection_disabled"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// EventQueue / VirtualClock determinism: (time, seq) ordering, tie
+// breaking by scheduling order, and monotonic clock advancement.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace commroute::sim {
+namespace {
+
+Event at(VirtualTime t, Event::Kind kind = Event::Kind::kActivate,
+         NodeId node = 0) {
+  Event ev;
+  ev.time = t;
+  ev.kind = kind;
+  ev.node = node;
+  return ev;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(at(30));
+  q.push(at(10));
+  q.push(at(20));
+  EXPECT_EQ(q.pop().time, 10u);
+  EXPECT_EQ(q.pop().time, 20u);
+  EXPECT_EQ(q.pop().time, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  q.push(at(5, Event::Kind::kActivate, 3));
+  q.push(at(5, Event::Kind::kActivate, 1));
+  q.push(at(5, Event::Kind::kActivate, 2));
+  EXPECT_EQ(q.pop().node, 3u);
+  EXPECT_EQ(q.pop().node, 1u);
+  EXPECT_EQ(q.pop().node, 2u);
+}
+
+TEST(EventQueue, AssignsMonotonicSequenceNumbers) {
+  EventQueue q;
+  const std::uint64_t s0 = q.push(at(1));
+  const std::uint64_t s1 = q.push(at(1));
+  EXPECT_LT(s0, s1);
+  EXPECT_EQ(q.peek().seq, s0);
+}
+
+TEST(EventQueue, InterleavedPushPopStaysOrdered) {
+  EventQueue q;
+  q.push(at(10));
+  q.push(at(2));
+  EXPECT_EQ(q.pop().time, 2u);
+  q.push(at(4));
+  q.push(at(4));
+  EXPECT_EQ(q.pop().time, 4u);
+  EXPECT_EQ(q.pop().time, 4u);
+  EXPECT_EQ(q.pop().time, 10u);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), PreconditionError);
+  EXPECT_THROW(q.peek(), PreconditionError);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance_to(5);
+  clock.advance_to(5);  // same instant is fine
+  EXPECT_EQ(clock.now(), 5u);
+  EXPECT_THROW(clock.advance_to(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace commroute::sim

@@ -1,0 +1,140 @@
+// LinkModel sampling: distribution bounds, determinism per seed, loss
+// process stationarity (iid and Gilbert-Elliott burst), and the
+// no-RNG-consumption contract for lossless links.
+#include <gtest/gtest.h>
+
+#include "sim/link_model.hpp"
+#include "support/error.hpp"
+
+namespace commroute::sim {
+namespace {
+
+TEST(LatencyDist, NamesRoundTrip) {
+  for (const LatencyDist d : {LatencyDist::kFixed, LatencyDist::kUniform,
+                              LatencyDist::kExponential}) {
+    EXPECT_EQ(parse_latency_dist(to_string(d)), d);
+  }
+  EXPECT_THROW(parse_latency_dist("gaussian"), ParseError);
+}
+
+TEST(LinkModel, FixedLatencyIsExact) {
+  LinkModel link;
+  link.dist = LatencyDist::kFixed;
+  link.latency_us = 1234;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(link.sample_latency(rng), 1234u);
+  }
+}
+
+TEST(LinkModel, UniformStaysInBounds) {
+  LinkModel link;
+  link.dist = LatencyDist::kUniform;
+  link.latency_us = 100;
+  link.jitter_us = 50;
+  Rng rng(7);
+  std::uint64_t lo = 1000, hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t s = link.sample_latency(rng);
+    ASSERT_GE(s, 100u);
+    ASSERT_LE(s, 150u);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_EQ(lo, 100u);  // both endpoints reachable
+  EXPECT_EQ(hi, 150u);
+}
+
+TEST(LinkModel, ExponentialHasRoughlyTheConfiguredMean) {
+  LinkModel link;
+  link.dist = LatencyDist::kExponential;
+  link.latency_us = 1000;
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(link.sample_latency(rng));
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1000.0, 30.0);
+}
+
+TEST(LinkModel, SamplingIsDeterministicPerSeed) {
+  LinkModel link;
+  link.dist = LatencyDist::kExponential;
+  link.latency_us = 500;
+  link.jitter_us = 20;
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(link.sample_latency(a), link.sample_latency(b));
+  }
+}
+
+TEST(LossProcess, ZeroLossConsumesNoRandomness) {
+  LinkModel lossless;
+  lossless.loss_prob = 0.0;
+  LossProcess process(lossless);
+  Rng rng(5), untouched(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(process.sample(rng));
+  }
+  // The stream was never advanced: both generators still agree.
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(LossProcess, IidLossMatchesStationaryRate) {
+  LinkModel link;
+  link.loss_prob = 0.25;
+  LossProcess process(link);
+  Rng rng(11);
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    lost += process.sample(rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.25, 0.02);
+}
+
+TEST(LossProcess, BurstLossMatchesStationaryRateWithLongerRuns) {
+  LinkModel link;
+  link.loss_prob = 0.2;
+  link.burst_mean = 4.0;
+  LossProcess process(link);
+  Rng rng(13);
+  int lost = 0, runs = 0;
+  bool prev = false;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const bool l = process.sample(rng);
+    lost += l ? 1 : 0;
+    if (l && !prev) {
+      ++runs;
+    }
+    prev = l;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.03);
+  // Mean run length ~ burst_mean, so far fewer distinct runs than losses.
+  const double mean_run = static_cast<double>(lost) / runs;
+  EXPECT_GT(mean_run, 2.5);
+}
+
+TEST(LossProcess, RejectsCertainLoss) {
+  LinkModel link;
+  link.loss_prob = 1.0;
+  EXPECT_THROW(LossProcess{link}, PreconditionError);
+}
+
+TEST(LinkModel, DescribeMentionsDistAndLoss) {
+  LinkModel link;
+  link.dist = LatencyDist::kUniform;
+  link.latency_us = 100;
+  link.jitter_us = 50;
+  link.loss_prob = 0.1;
+  const std::string desc = link.describe();
+  EXPECT_NE(desc.find("uniform"), std::string::npos);
+  EXPECT_NE(desc.find("100"), std::string::npos);
+  EXPECT_NE(desc.find("0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commroute::sim
