@@ -9,10 +9,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/resource.hpp"
 
 namespace commroute::bench {
 
@@ -56,9 +58,16 @@ class CaptureReporter : public benchmark::BenchmarkReporter {
 
 /// `throughput_key` names the peak-throughput metric in the JSON output
 /// (items/sec when the benches report items, iterations/sec otherwise).
-inline int gbench_main(const std::string& name,
-                       const std::string& throughput_key, int argc,
-                       char** argv) {
+/// `extra_metrics`, when given, runs after the benchmarks in JSON mode
+/// so a bench can stamp workload-specific metrics (tracked byte peaks,
+/// state counts) into the document; bench-diff gates "*_bytes" keys
+/// under its separate memory threshold. Every JSON document also
+/// carries `peak_rss_bytes` — the OS-level high watermark of the whole
+/// bench process.
+inline int gbench_main(
+    const std::string& name, const std::string& throughput_key, int argc,
+    char** argv,
+    const std::function<void(BenchJson&)>& extra_metrics = {}) {
   const bool json = parse_json_mode(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
@@ -97,6 +106,12 @@ inline int gbench_main(const std::string& name,
   }
   output.set_metric("wall_ms", wall_ms);
   output.set_metric(throughput_key, peak_throughput);
+  output.set_metric("peak_rss_bytes",
+                    static_cast<double>(
+                        obs::read_process_memory().peak_rss_bytes));
+  if (extra_metrics) {
+    extra_metrics(output);
+  }
   output.write();
   std::cout << output.to_json() << "\n";
   return 0;

@@ -32,6 +32,27 @@ void BM_ExploreDisagree(benchmark::State& state) {
 BENCHMARK(BM_ExploreDisagree)->DenseRange(0, 23, 3)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ExploreBadGadget(benchmark::State& state) {
+  const Model m = Model::parse("R1O");
+  const spp::Instance inst = spp::bad_gadget();
+  std::size_t states_explored = 0;
+  std::uint64_t tracked_peak = 0;
+  for (auto _ : state) {
+    obs::TrackedBytes memory;
+    const auto r = checker::explore(
+        inst, m, {.max_channel_length = 3, .memory = &memory});
+    states_explored = r.states;
+    tracked_peak = r.tracked_peak_bytes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * states_explored));  // states/sec
+  state.SetLabel("BAD-GADGET R1O (" + std::to_string(states_explored) +
+                 " states, peak " + std::to_string(tracked_peak) +
+                 " tracked bytes)");
+}
+BENCHMARK(BM_ExploreBadGadget)->Unit(benchmark::kMillisecond);
+
 void BM_SuccessorEnumeration(benchmark::State& state) {
   const Model m = Model::from_index(static_cast<int>(state.range(0)));
   const spp::Instance inst = spp::example_a2();
@@ -82,6 +103,22 @@ BENCHMARK(BM_TargetedSearchA3Exact)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return commroute::bench::gbench_main("perf_checker", "states_per_sec",
-                                       argc, argv);
+  // Memory metrics ride along in JSON mode: one instrumented BAD-GADGET
+  // exploration stamps its tracked-byte peak and bytes/state into the
+  // document (deterministic — byte estimates come from element counts),
+  // where bench-diff's --mem-threshold gate picks them up.
+  return commroute::bench::gbench_main(
+      "perf_checker", "states_per_sec", argc, argv,
+      [](commroute::bench::BenchJson& out) {
+        using namespace commroute;
+        obs::TrackedBytes memory;
+        const auto r = checker::explore(
+            spp::bad_gadget(), model::Model::parse("R1O"),
+            {.max_channel_length = 3, .memory = &memory});
+        out.set_metric("tracked_peak_bytes",
+                       static_cast<double>(r.tracked_peak_bytes));
+        out.set_metric("checker_bytes_per_state", r.bytes_per_state());
+        out.set_metric("checker_states",
+                       static_cast<double>(r.states));
+      });
 }

@@ -10,8 +10,14 @@
 //   $ ./campaign_study --threads N   # worker threads (0 = all cores,
 //                                    # 1 = serial); output is identical
 //                                    # for any N, modulo wall_ms
+//   $ ./campaign_study --telemetry tele.jsonl   # periodic resource
+//                                    # snapshots + pool_summary (side
+//                                    # channel: RSS and wall-clock live
+//                                    # here, never in the CSV)
+//   $ ./campaign_study --telemetry-interval MS  # snapshot cadence
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "obs/chrome_trace.hpp"
@@ -25,7 +31,8 @@ int main(int argc, char** argv) {
   obs::set_process_argv(argc, argv);
   bool csv = false;
   std::size_t threads = 0;
-  std::string trace_path, recording_dir;
+  std::uint64_t telemetry_interval = 250;
+  std::string trace_path, recording_dir, telemetry_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
@@ -36,6 +43,10 @@ int main(int argc, char** argv) {
       recording_dir = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (arg == "--telemetry-interval" && i + 1 < argc) {
+      telemetry_interval = std::strtoull(argv[++i], nullptr, 10);
     }
   }
 
@@ -56,8 +67,19 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     spec.obs.spans = &spans;
   }
+  std::unique_ptr<obs::FileSink> telemetry;
+  if (!telemetry_path.empty()) {
+    telemetry = std::make_unique<obs::FileSink>(telemetry_path);
+    spec.telemetry_sink = telemetry.get();
+    spec.telemetry_interval_ms = telemetry_interval;
+  }
 
   const study::CampaignResult result = study::run_campaign(spec);
+
+  if (telemetry != nullptr) {
+    std::cerr << "Wrote resource telemetry to " << telemetry_path
+              << " — inspect with commroute-obs mem/pool\n";
+  }
 
   if (!trace_path.empty()) {
     obs::write_chrome_trace(spans, trace_path);

@@ -29,6 +29,18 @@ struct EdgeLabel {
 
 constexpr std::uint32_t kNoStep = static_cast<std::uint32_t>(-1);
 
+/// Tracked-bytes estimate for one witness-store activation step (object
+/// plus the heap its vectors hold; counts, never capacity).
+std::size_t step_bytes(const model::ActivationStep& step) {
+  std::size_t bytes = sizeof(model::ActivationStep) +
+                      step.nodes.size() * sizeof(NodeId);
+  for (const model::ReadSpec& read : step.reads) {
+    bytes += sizeof(model::ReadSpec) +
+             read.drops.size() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
 struct ConfigGraph {
   std::vector<engine::NetworkState> states;
   std::vector<std::vector<EdgeLabel>> edges;
@@ -139,6 +151,9 @@ std::string ExploreResult::summary() const {
     os << ", channel bound " << channel_length_limit << " hit ("
        << bound_skipped_expansions << " expansions skipped)";
   }
+  if (memory_limit_hit) {
+    os << ", memory limit " << memory_limit << " bytes hit";
+  }
   if (!quiescent_assignments.empty()) {
     os << ", " << quiescent_assignments.size()
        << " distinct converged outcome(s)";
@@ -167,6 +182,35 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
   ExploreResult result;
   ConfigGraph graph;
+
+  // Tracked-bytes accounting over the explorer's own structures (interned
+  // states, edges, frontier, hash index, witness store). Always on — it
+  // is a handful of integer adds per expansion — and mirrored into
+  // options.memory when attached so a TelemetrySampler can watch the
+  // exploration live.
+  std::uint64_t tracked_bytes = 0;
+  const auto track_add = [&](std::size_t n) {
+    tracked_bytes += n;
+    if (tracked_bytes > result.tracked_peak_bytes) {
+      result.tracked_peak_bytes = tracked_bytes;
+    }
+    if (options.memory != nullptr) {
+      options.memory->add(n);
+    }
+  };
+  const auto track_sub = [&](std::size_t n) {
+    tracked_bytes -= n;
+    if (options.memory != nullptr) {
+      options.memory->sub(n);
+    }
+  };
+  // Per interned state: the state's own footprint plus its hash-index
+  // entry and its (empty) adjacency row.
+  const auto interned_state_bytes = [&](StateId id) {
+    return graph.states[id].estimated_bytes() + sizeof(StateId) +
+           sizeof(std::vector<EdgeLabel>);
+  };
+
   SuccessorOptions successor_options;
   successor_options.max_steps_per_state = options.max_steps_per_state;
   std::size_t expanded = 0;
@@ -180,7 +224,9 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   bool dummy = false;
   const StateId initial =
       graph.intern(engine::NetworkState(instance), dummy);
+  track_add(interned_state_bytes(initial));
   std::deque<StateId> frontier{initial};
+  track_add(sizeof(StateId));
   result.frontier_peak = 1;
 
   std::vector<trace::Assignment> quiescent;
@@ -199,6 +245,12 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       result.state_cap_limit = options.max_states;
       break;
     }
+    if (options.memory_limit_bytes > 0 &&
+        tracked_bytes > options.memory_limit_bytes) {
+      result.memory_limit_hit = true;
+      result.memory_limit = options.memory_limit_bytes;
+      break;
+    }
     if (options.obs.spans != nullptr &&
         expanded % kExpansionsPerBatchSpan == 0) {
       batch_span.finish();  // before begin(), so batches are siblings
@@ -206,6 +258,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
     }
     const StateId id = frontier.front();
     frontier.pop_front();
+    track_sub(sizeof(StateId));
     ++expanded;
     if (options.obs.sink != nullptr) {
       const bool count_due = options.heartbeat_every > 0 &&
@@ -282,16 +335,21 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       if (options.extract_witness) {
         label.step_index = static_cast<std::uint32_t>(step_store.size());
         step_store.push_back(step);
+        track_add(step_bytes(step));
       }
       graph.edges[id].push_back(label);
+      track_add(sizeof(EdgeLabel));
       ++result.transitions;
       if (is_new) {
+        track_add(interned_state_bytes(to));
         frontier.push_back(to);
+        track_add(sizeof(StateId));
         if (frontier.size() > result.frontier_peak) {
           result.frontier_peak = frontier.size();
         }
         if (options.extract_witness) {
           parents.push_back(Parent{id, label.step_index});
+          track_add(sizeof(Parent));
         }
       } else {
         ++result.dedup_hits;
@@ -309,7 +367,8 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
   result.states = graph.states.size();
   result.quiescent_assignments = std::move(quiescent);
-  result.exhaustive = !result.state_cap_hit && !result.channel_bound_hit;
+  result.exhaustive = !result.state_cap_hit && !result.channel_bound_hit &&
+                      !result.memory_limit_hit;
 
   // Drop-fairness fixpoint: within each SCC, prune drop-edges whose
   // channel has no delivery-edge inside the same SCC; repeat until stable
@@ -478,16 +537,21 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       h->observe(wall_us);
     }
     if (options.obs.metrics != nullptr) {
-      obs::Registry& m = *options.obs.metrics;
-      m.counter("checker.explorations").add();
-      m.counter("checker.states").add(result.states);
-      m.counter("checker.transitions").add(result.transitions);
-      m.counter("checker.dedup_hits").add(result.dedup_hits);
-      m.counter("checker.scc_prune_passes").add(result.scc_prune_passes);
-      m.counter("checker.bound_skipped_expansions")
+      obs::Registry& reg = *options.obs.metrics;
+      reg.counter("checker.explorations").add();
+      reg.counter("checker.states").add(result.states);
+      reg.counter("checker.transitions").add(result.transitions);
+      reg.counter("checker.dedup_hits").add(result.dedup_hits);
+      reg.counter("checker.scc_prune_passes").add(result.scc_prune_passes);
+      reg.counter("checker.bound_skipped_expansions")
           .add(result.bound_skipped_expansions);
-      m.counter("checker.wall_us").add(wall_us);
-      m.gauge("checker.frontier_peak").record_max(result.frontier_peak);
+      reg.counter("checker.wall_us").add(wall_us);
+      reg.gauge("checker.frontier_peak").record_max(result.frontier_peak);
+      reg.gauge("checker.tracked_peak_bytes")
+          .record_max(result.tracked_peak_bytes);
+      if (result.memory_limit_hit) {
+        reg.gauge("checker.memory_limit_hit").record_max(1);
+      }
     }
     if (options.obs.sink != nullptr) {
       obs::Event ev("checker_summary");
@@ -501,6 +565,11 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
                  static_cast<std::uint64_t>(result.channel_length_limit))
           .field("bound_skipped_expansions",
                  static_cast<std::uint64_t>(result.bound_skipped_expansions))
+          .field("memory_limit_hit", result.memory_limit_hit)
+          .field("memory_limit_bytes",
+                 static_cast<std::uint64_t>(result.memory_limit))
+          .field("tracked_peak_bytes", result.tracked_peak_bytes)
+          .field("bytes_per_state", result.bytes_per_state())
           .field("states", static_cast<std::uint64_t>(result.states))
           .field("transitions",
                  static_cast<std::uint64_t>(result.transitions))

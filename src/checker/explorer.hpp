@@ -30,6 +30,7 @@
 #include "model/activation.hpp"
 #include "model/model.hpp"
 #include "obs/obs.hpp"
+#include "obs/resource.hpp"
 #include "trace/trace.hpp"
 
 namespace commroute::checker {
@@ -38,6 +39,17 @@ struct ExploreOptions {
   std::size_t max_channel_length = 4;
   std::size_t max_states = 500000;
   std::size_t max_steps_per_state = 20000;
+  /// Truncate exploration once the tracked-bytes estimate of the
+  /// explorer's own structures (interned states, edges, frontier, hash
+  /// index, witness store) exceeds this many bytes; 0 means unbounded.
+  /// The estimate is deterministic (see NetworkState::estimated_bytes),
+  /// so a limited run truncates at the same state on every machine —
+  /// unlike an RSS-based limit would.
+  std::size_t memory_limit_bytes = 0;
+  /// Optional live mirror of the tracked-bytes accounting, for a
+  /// TelemetrySampler to watch mid-exploration. The peak also lands in
+  /// ExploreResult::tracked_peak_bytes either way.
+  obs::TrackedBytes* memory = nullptr;
   /// Also construct a replayable witness for a found oscillation: a
   /// prefix script from the initial state to the witness SCC plus a cycle
   /// script touring every edge of the SCC (hence covering all channel
@@ -69,6 +81,7 @@ struct ExploreResult {
   bool exhaustive = false;
   bool channel_bound_hit = false;
   bool state_cap_hit = false;
+  bool memory_limit_hit = false;
 
   std::size_t states = 0;
   std::size_t transitions = 0;
@@ -78,6 +91,7 @@ struct ExploreResult {
   /// tells the caller exactly which limit fired.
   std::size_t state_cap_limit = 0;       ///< ExploreOptions::max_states
   std::size_t channel_length_limit = 0;  ///< ExploreOptions::max_channel_length
+  std::size_t memory_limit = 0;          ///< ExploreOptions::memory_limit_bytes
   /// Successor expansions discarded because they exceeded the channel
   /// bound (each is a reachable configuration the verdict does not cover).
   std::size_t bound_skipped_expansions = 0;
@@ -88,6 +102,20 @@ struct ExploreResult {
   std::size_t dedup_hits = 0;
   std::size_t frontier_peak = 0;
   std::size_t scc_prune_passes = 0;
+
+  /// High-watermark of the deterministic tracked-bytes estimate over the
+  /// explorer's structures (states + edges + frontier + index + witness
+  /// store). Always populated — the accounting is a handful of integer
+  /// adds per expansion, cheap enough to keep on unconditionally.
+  std::uint64_t tracked_peak_bytes = 0;
+
+  /// Peak tracked bytes per explored state — the scaling number the
+  /// bench_perf_scale roadmap item wants (0 when nothing was explored).
+  double bytes_per_state() const {
+    return states == 0 ? 0.0
+                       : static_cast<double>(tracked_peak_bytes) /
+                             static_cast<double>(states);
+  }
 
   /// Distinct assignments of strongly quiescent (converged) states.
   std::vector<trace::Assignment> quiescent_assignments;

@@ -22,6 +22,7 @@ Message& Channel::at_mutable(std::size_t i) {
 
 void Channel::pop_front() {
   CR_REQUIRE(!messages_.empty(), "pop_front on empty channel");
+  bytes_ -= message_bytes(messages_.front());
   messages_.pop_front();
 }
 
@@ -30,6 +31,9 @@ void Channel::pop_front_n(std::size_t n) {
              "Channel::pop_front_n(" + std::to_string(n) +
                  ") beyond channel size " +
                  std::to_string(messages_.size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes_ -= message_bytes(messages_[i]);
+  }
   messages_.erase(messages_.begin(),
                   messages_.begin() + static_cast<std::ptrdiff_t>(n));
 }

@@ -44,7 +44,10 @@ class Channel {
   /// precondition as at().
   Message& at_mutable(std::size_t i);
 
-  void push(Message m) { messages_.push_back(std::move(m)); }
+  void push(Message m) {
+    bytes_ += message_bytes(m);
+    messages_.push_back(std::move(m));
+  }
 
   /// Removes the oldest message.
   void pop_front();
@@ -55,6 +58,15 @@ class Channel {
 
   const std::deque<Message>& messages() const { return messages_; }
 
+  /// Deterministic estimate of the bytes held by the in-flight messages:
+  /// element counts × sizeof (never capacity, so identical workloads
+  /// report identical values). Excludes the empty-channel overhead — the
+  /// signal of interest is message payload, not container bookkeeping.
+  /// Maintained incrementally on push/pop, so reading it every engine
+  /// step is O(1). Tag edits via at_mutable never change a message's
+  /// footprint (the path is untouched), so the counter stays exact.
+  std::size_t estimated_bytes() const { return bytes_; }
+
   bool operator==(const Channel& o) const {
     return messages_ == o.messages_;
   }
@@ -62,7 +74,12 @@ class Channel {
   std::size_t hash() const;
 
  private:
+  static std::size_t message_bytes(const Message& m) {
+    return sizeof(Message) + m.path.size() * sizeof(NodeId);
+  }
+
   std::deque<Message> messages_;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace commroute::engine

@@ -258,8 +258,11 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
         any_changed = true;
       }
     }
+    const NetworkState::ChannelUsage usage = state.channel_usage();
     result.max_channel_occupancy =
-        std::max(result.max_channel_occupancy, state.max_channel_length());
+        std::max(result.max_channel_occupancy, usage.max_length);
+    result.peak_channel_bytes =
+        std::max(result.peak_channel_bytes, usage.bytes);
 
     if (options.obs.sink != nullptr && options.emit_step_events) {
       obs::Event ev("engine_step");
@@ -344,6 +347,8 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
       m.counter("engine.wall_us").add(wall_us);
       m.gauge("engine.max_channel_occupancy")
           .record_max(result.max_channel_occupancy);
+      m.gauge("engine.peak_channel_bytes")
+          .record_max(result.peak_channel_bytes);
       m.histogram("engine.run_steps", obs::exponential_buckets(16, 4.0, 8))
           .observe(result.steps);
     }
@@ -355,6 +360,8 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
           .field("messages_dropped", result.messages_dropped)
           .field("max_channel_occupancy",
                  static_cast<std::uint64_t>(result.max_channel_occupancy))
+          .field("peak_channel_bytes",
+                 static_cast<std::uint64_t>(result.peak_channel_bytes))
           .field("cycle_start", result.cycle_start)
           .field("cycle_length", result.cycle_length)
           .field("cycle_detection", result.cycle_detection)

@@ -61,6 +61,35 @@ std::size_t NetworkState::max_channel_length() const {
   return longest;
 }
 
+NetworkState::ChannelUsage NetworkState::channel_usage() const {
+  ChannelUsage usage;
+  for (const Channel& ch : channels_) {
+    usage.max_length = std::max(usage.max_length, ch.size());
+    usage.bytes += ch.estimated_bytes();
+  }
+  return usage;
+}
+
+std::size_t NetworkState::estimated_bytes() const {
+  std::size_t bytes = sizeof(NetworkState);
+  for (const Path& p : pi_) {
+    bytes += sizeof(Path) + p.size() * sizeof(NodeId);
+  }
+  for (const Path& p : rho_) {
+    bytes += sizeof(Path) + p.size() * sizeof(NodeId);
+  }
+  for (const Channel& ch : channels_) {
+    bytes += sizeof(Channel) + ch.estimated_bytes();
+  }
+  for (const std::optional<Path>& e : exported_) {
+    bytes += sizeof(std::optional<Path>);
+    if (e.has_value()) {
+      bytes += e->size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
 bool NetworkState::operator==(const NetworkState& o) const {
   return pi_ == o.pi_ && rho_ == o.rho_ && channels_ == o.channels_ &&
          exported_ == o.exported_;

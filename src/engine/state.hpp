@@ -55,6 +55,21 @@ class NetworkState {
   /// Length of the longest channel.
   std::size_t max_channel_length() const;
 
+  /// Channel occupancy (longest channel) and in-flight message bytes,
+  /// computed in one pass — the engine samples both every step.
+  struct ChannelUsage {
+    std::size_t max_length = 0;
+    std::size_t bytes = 0;
+  };
+  ChannelUsage channel_usage() const;
+
+  /// Deterministic full-footprint estimate of this state (object plus
+  /// heap: assignments, rho, channels, exported paths). Element counts ×
+  /// sizeof only — never capacity — so any two runs interning the same
+  /// state account the same bytes. Feeds the checker's tracked-bytes
+  /// accounting (obs::TrackedBytes).
+  std::size_t estimated_bytes() const;
+
   bool operator==(const NetworkState& o) const;
   std::size_t hash() const;
 

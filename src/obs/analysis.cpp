@@ -1,6 +1,7 @@
 #include "obs/analysis.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <map>
 #include <unordered_map>
@@ -214,6 +215,138 @@ std::vector<SpanStat> span_self_times(
 
 namespace {
 
+std::uint64_t u64_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number())
+             ? static_cast<std::uint64_t>(v->as_number())
+             : 0;
+}
+
+}  // namespace
+
+MemoryReport memory_report(std::istream& in) {
+  MemoryReport report;
+  std::map<std::string, MemorySeries> series;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto parsed = json_parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      continue;
+    }
+    const JsonValue* type = parsed->find("type");
+    if (type == nullptr || !type->is_string()) {
+      continue;
+    }
+    if (type->as_string() == "telemetry_snapshot") {
+      ++report.snapshots;
+      for (const auto& [name, value] : parsed->as_object()) {
+        if (!value.is_number() || name == "type" || name == "seq" ||
+            name == "elapsed_ms") {
+          continue;
+        }
+        MemorySeries& s = series[name];
+        s.name = name;
+        s.last = static_cast<std::uint64_t>(value.as_number());
+        s.peak = std::max(s.peak, s.last);
+        ++s.samples;
+      }
+    } else if (type->as_string() == "checker_summary") {
+      ++report.checker_summaries;
+      const std::uint64_t tracked =
+          u64_field(*parsed, "tracked_peak_bytes");
+      if (tracked >= report.tracked_peak_bytes) {
+        report.tracked_peak_bytes = tracked;
+        if (const JsonValue* bps = parsed->find("bytes_per_state");
+            bps != nullptr && bps->is_number()) {
+          report.bytes_per_state = bps->as_number();
+        }
+      }
+    } else if (type->as_string() == "engine_run") {
+      report.peak_channel_bytes =
+          std::max(report.peak_channel_bytes,
+                   u64_field(*parsed, "peak_channel_bytes"));
+    } else if (type->as_string() == "campaign_row") {
+      if (const JsonValue* row = parsed->find("row");
+          row != nullptr && row->is_object()) {
+        report.peak_channel_bytes =
+            std::max(report.peak_channel_bytes,
+                     u64_field(*row, "peak_channel_bytes"));
+      }
+    }
+  }
+  report.series.reserve(series.size());
+  for (auto& [name, s] : series) {
+    report.series.push_back(std::move(s));
+  }
+  return report;
+}
+
+PoolReport pool_report(std::istream& in) {
+  PoolReport report;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto parsed = json_parse(line);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      continue;
+    }
+    const JsonValue* type = parsed->find("type");
+    if (type == nullptr || !type->is_string()) {
+      continue;
+    }
+    if (type->as_string() == "pool_summary") {
+      report.has_summary = true;
+      report.workers = u64_field(*parsed, "workers");
+      report.tasks_executed = u64_field(*parsed, "tasks_executed");
+      report.busy_us = u64_field(*parsed, "busy_us");
+      report.idle_us = u64_field(*parsed, "idle_us");
+      report.queue_depth_peak = u64_field(*parsed, "queue_depth_peak");
+      if (const JsonValue* util = parsed->find("utilization");
+          util != nullptr && util->is_number()) {
+        report.utilization = util->as_number();
+      } else if (report.busy_us + report.idle_us > 0) {
+        report.utilization =
+            static_cast<double>(report.busy_us) /
+            static_cast<double>(report.busy_us + report.idle_us);
+      }
+      report.per_worker.clear();
+      if (const JsonValue* workers = parsed->find("per_worker");
+          workers != nullptr && workers->is_array()) {
+        for (const JsonValue& w : workers->as_array()) {
+          if (!w.is_object()) {
+            continue;
+          }
+          PoolWorkerRow row;
+          row.worker = u64_field(w, "worker");
+          row.tasks = u64_field(w, "tasks");
+          row.busy_us = u64_field(w, "busy_us");
+          row.idle_us = u64_field(w, "idle_us");
+          report.per_worker.push_back(row);
+        }
+      }
+    } else if (type->as_string() == "telemetry_snapshot") {
+      const JsonValue* depth = parsed->find("pool.queue_depth");
+      const JsonValue* tasks = parsed->find("pool.tasks_executed");
+      if (depth == nullptr && tasks == nullptr) {
+        continue;
+      }
+      PoolTimelinePoint point;
+      point.elapsed_ms = u64_field(*parsed, "elapsed_ms");
+      point.queue_depth = u64_field(*parsed, "pool.queue_depth");
+      point.tasks_executed = u64_field(*parsed, "pool.tasks_executed");
+      report.timeline.push_back(point);
+    }
+  }
+  return report;
+}
+
+namespace {
+
 /// name -> real_ms_per_iter rows of one BENCH_<name>.json document,
 /// in document order.
 std::vector<std::pair<std::string, double>> bench_rows(
@@ -237,10 +370,16 @@ std::vector<std::pair<std::string, double>> bench_rows(
   return rows;
 }
 
+/// Ends-with helper for the "_bytes" metric-key convention.
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
 }  // namespace
 
 BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& current,
-                     double threshold_pct) {
+                     double threshold_pct, double mem_threshold_pct) {
   const auto base_rows = bench_rows(baseline, "baseline");
   const auto current_rows = bench_rows(current, "current");
   std::unordered_map<std::string, double> current_ms;
@@ -271,6 +410,38 @@ BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& current,
   for (const auto& [name, ms] : current_rows) {
     if (base_ms.find(name) == base_ms.end()) {
       diff.only_in_current.push_back(name);
+    }
+  }
+
+  // Memory gate: byte metrics from the top-level "metrics" objects.
+  // Only keys present in both documents participate — baselines that
+  // predate byte metrics skip the gate instead of failing it.
+  diff.mem_threshold_pct = mem_threshold_pct;
+  const JsonValue* base_metrics = baseline.find("metrics");
+  const JsonValue* current_metrics = current.find("metrics");
+  if (base_metrics != nullptr && base_metrics->is_object() &&
+      current_metrics != nullptr && current_metrics->is_object()) {
+    for (const auto& [name, value] : base_metrics->as_object()) {
+      if (!ends_with(name, "_bytes") || !value.is_number()) {
+        continue;
+      }
+      const JsonValue* cur = current_metrics->find(name);
+      if (cur == nullptr || !cur->is_number()) {
+        continue;
+      }
+      MemDelta delta;
+      delta.name = name;
+      delta.base_bytes = static_cast<std::uint64_t>(value.as_number());
+      delta.current_bytes = static_cast<std::uint64_t>(cur->as_number());
+      delta.delta_pct =
+          delta.base_bytes > 0
+              ? (static_cast<double>(delta.current_bytes) -
+                 static_cast<double>(delta.base_bytes)) /
+                    static_cast<double>(delta.base_bytes) * 100.0
+              : 0.0;
+      delta.regression = delta.delta_pct > mem_threshold_pct;
+      diff.mem_regression = diff.mem_regression || delta.regression;
+      diff.mem_deltas.push_back(std::move(delta));
     }
   }
   return diff;

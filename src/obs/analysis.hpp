@@ -60,6 +60,72 @@ struct SpanStat {
 std::vector<SpanStat> span_self_times(
     const std::vector<SpanRecord>& records);
 
+/// One numeric telemetry_snapshot field tracked over a stream: the last
+/// sampled value and the maximum across all snapshots.
+struct MemorySeries {
+  std::string name;
+  std::uint64_t last = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Memory view of a JSONL stream: every numeric field of
+/// "telemetry_snapshot" events (rss_bytes, registered gauges, probes)
+/// plus the byte metrics stamped into checker/engine summary events.
+struct MemoryReport {
+  std::uint64_t snapshots = 0;  ///< telemetry_snapshot events seen
+  std::vector<MemorySeries> series;  ///< by name, ascending
+
+  // From checker_summary events (max across events; bytes_per_state
+  // from the event with the largest tracked_peak_bytes).
+  std::uint64_t checker_summaries = 0;
+  std::uint64_t tracked_peak_bytes = 0;
+  double bytes_per_state = 0.0;
+
+  // From engine_run events and campaign_row rows (max across events).
+  std::uint64_t peak_channel_bytes = 0;
+};
+
+/// Scans a JSONL event stream for memory telemetry. Works on a
+/// dedicated telemetry sink, a checker/engine event stream, or a
+/// concatenation — absent sections simply leave their fields zero.
+/// Malformed lines are skipped, never fatal.
+MemoryReport memory_report(std::istream& in);
+
+/// One worker row of a "pool_summary" event.
+struct PoolWorkerRow {
+  std::uint64_t worker = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t idle_us = 0;
+};
+
+/// One telemetry_snapshot that carried pool probes, in stream order.
+struct PoolTimelinePoint {
+  std::uint64_t elapsed_ms = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+/// Thread-pool view of a JSONL stream: the final "pool_summary" (last
+/// one wins when several are present) plus the snapshot-by-snapshot
+/// queue-depth timeline.
+struct PoolReport {
+  bool has_summary = false;
+  std::uint64_t workers = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t idle_us = 0;
+  double utilization = 0.0;  ///< busy / (busy + idle), 0 when unknown
+  std::uint64_t queue_depth_peak = 0;
+  std::vector<PoolWorkerRow> per_worker;
+  std::vector<PoolTimelinePoint> timeline;
+};
+
+/// Scans a JSONL event stream (normally a telemetry sink) for pool
+/// telemetry. Malformed lines are skipped, never fatal.
+PoolReport pool_report(std::istream& in);
+
 /// One benchmark's baseline-vs-current comparison.
 struct BenchDelta {
   std::string name;
@@ -69,19 +135,40 @@ struct BenchDelta {
   bool regression = false;
 };
 
+/// One byte-metric comparison from the documents' top-level "metrics"
+/// objects (peak_rss_bytes, tracked_peak_bytes, ...).
+struct MemDelta {
+  std::string name;
+  std::uint64_t base_bytes = 0;
+  std::uint64_t current_bytes = 0;
+  double delta_pct = 0.0;  ///< positive = more memory than baseline
+  bool regression = false;
+};
+
 struct BenchDiff {
   std::vector<BenchDelta> deltas;  ///< baseline order
   std::vector<std::string> only_in_baseline;
   std::vector<std::string> only_in_current;
   double threshold_pct = 10.0;
   bool regression = false;  ///< any delta beyond the threshold
+  /// Memory gate: "metrics" keys ending in "_bytes" present in *both*
+  /// documents (keys missing from either side are skipped, so old
+  /// baselines without byte metrics never fail the gate).
+  std::vector<MemDelta> mem_deltas;
+  double mem_threshold_pct = 25.0;
+  bool mem_regression = false;  ///< any byte delta beyond mem threshold
 };
 
 /// Compares two BENCH_<name>.json documents (the bench --json output)
 /// benchmark-by-benchmark on real_ms_per_iter. A benchmark regresses
 /// when it is more than `threshold_pct` percent slower than baseline.
-/// Throws ParseError when either document lacks the bench shape.
+/// Byte metrics (top-level "metrics" keys ending "_bytes") are compared
+/// separately under `mem_threshold_pct` — memory is noisier than a
+/// per-iteration time, so it gets its own, looser gate and its own
+/// `mem_regression` flag. Throws ParseError when either document lacks
+/// the bench shape.
 BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& current,
-                     double threshold_pct);
+                     double threshold_pct,
+                     double mem_threshold_pct = 25.0);
 
 }  // namespace commroute::obs

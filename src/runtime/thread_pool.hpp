@@ -8,11 +8,16 @@
 // Determinism contract: the pool itself never reorders *results* — any
 // ordering an algorithm needs is expressed by indexing into caller-owned
 // storage, so output bytes never depend on which worker ran which index.
+// Pool telemetry (stats(), queue_depth()) is wall-clock-derived and
+// therefore quarantined like wall_ms: it may feed telemetry snapshots
+// and metric registries, never byte-compared outputs.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -21,6 +26,35 @@
 #include <vector>
 
 namespace commroute::runtime {
+
+/// Telemetry for one worker thread. busy_us counts time inside tasks,
+/// idle_us time spent parked on the queue; both are wall-clock derived
+/// (timing-variant — see the quarantine note above).
+struct WorkerStats {
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t idle_us = 0;
+};
+
+/// Merged pool telemetry: the per-worker shards summed commutatively
+/// (the same discipline as obs::Registry::merge_from), plus the queue
+/// depth high-watermark observed at submit time.
+struct PoolStats {
+  std::size_t workers = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t idle_us = 0;
+  std::size_t queue_depth_peak = 0;
+  std::vector<WorkerStats> per_worker;
+
+  /// Fraction of worker wall time spent inside tasks, in [0, 1].
+  double utilization() const {
+    const std::uint64_t total = busy_us + idle_us;
+    return total == 0 ? 0.0
+                      : static_cast<double>(busy_us) /
+                            static_cast<double>(total);
+  }
+};
 
 /// A fixed set of worker threads serving a FIFO queue of thunks.
 /// submit() never blocks; the destructor drains the queue, then joins.
@@ -31,24 +65,56 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
-  /// Runs every queued task, then stops and joins the workers.
-  ~ThreadPool();
+  /// Runs every queued task, joins the workers, then rethrows the first
+  /// task exception (if any) that was not already consumed by
+  /// rethrow_pending() — unless the destructor itself runs during stack
+  /// unwinding, in which case the stored exception is dropped rather
+  /// than calling std::terminate.
+  ~ThreadPool() noexcept(false);
 
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw (wrap with parallel_for_each
-  /// or catch yourself); an escaping exception terminates the process.
+  /// Enqueues a task. A throwing task does not kill the worker: the
+  /// first escaping exception is recorded and rethrown from
+  /// rethrow_pending() or the destructor; later ones are swallowed.
+  /// (parallel_for_each still does its own per-index capture and never
+  /// lets exceptions reach this layer.)
   void submit(std::function<void()> task);
 
+  /// Rethrows the first exception that escaped a submitted task, or
+  /// returns quietly if none did. Clears the stored exception either
+  /// way, so the destructor will not rethrow it again.
+  void rethrow_pending();
+
+  /// Tasks currently queued (not yet claimed by a worker). Safe to call
+  /// from any thread; used as a telemetry probe.
+  std::size_t queue_depth() const;
+
+  /// Point-in-time telemetry snapshot. Safe to call from any thread,
+  /// including while tasks run (per-worker counters are relaxed
+  /// atomics; in-flight tasks are not yet counted).
+  PoolStats stats() const;
+
  private:
-  void worker_loop();
+  /// Per-worker telemetry shard. Relaxed atomics: single writer (the
+  /// owning worker), concurrent readers (stats(), the sampler thread).
+  struct Shard {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> idle_us{0};
+  };
+
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
+  std::vector<Shard> shards_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::size_t queue_depth_peak_ = 0;
+  std::exception_ptr first_error_;
 };
 
 /// Resolves `threads` the way the parallel drivers do: 0 means

@@ -10,6 +10,7 @@
 // Coudert et al., arXiv:1304.4750).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -50,6 +51,7 @@ class EventQueue {
     event.seq = next_seq_++;
     const std::uint64_t seq = event.seq;
     heap_.push(event);
+    peak_size_ = std::max(peak_size_, heap_.size());
     return seq;
   }
 
@@ -71,6 +73,15 @@ class EventQueue {
   /// Total events ever scheduled (the next sequence number).
   std::uint64_t scheduled() const { return next_seq_; }
 
+  /// High-water mark of the queue depth (deterministic: a pure function
+  /// of the push/pop sequence).
+  std::size_t peak_size() const { return peak_size_; }
+
+  /// Deterministic byte estimates of the pending / peak queue contents
+  /// (element counts × sizeof(Event), never heap capacity).
+  std::size_t estimated_bytes() const { return heap_.size() * sizeof(Event); }
+  std::size_t peak_bytes() const { return peak_size_ * sizeof(Event); }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -83,6 +94,7 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 /// Monotonic virtual clock, advanced only by the event loop.

@@ -129,6 +129,8 @@ class SimScheduler final : public engine::Scheduler {
   std::uint64_t latency_sum_us() const { return latency_sum_us_; }
   std::uint64_t latency_min_us() const { return latency_min_us_; }
   std::uint64_t latency_max_us() const { return latency_max_us_; }
+  std::size_t queue_peak_events() const { return queue_.peak_size(); }
+  std::size_t queue_peak_bytes() const { return queue_.peak_bytes(); }
 
  private:
   /// Detects the sends of the previously executed step: any message
@@ -439,6 +441,8 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   result.latency_sum_us = scheduler.latency_sum_us();
   result.latency_min_us = scheduler.latency_min_us();
   result.latency_max_us = scheduler.latency_max_us();
+  result.queue_peak_events = scheduler.queue_peak_events();
+  result.queue_peak_bytes = scheduler.queue_peak_bytes();
 
   // Flap times from the recorded pi-sequence: trace entry t is the state
   // after step t (entry 0 = initial), executed at step_time_us[t - 1].
@@ -481,6 +485,8 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
       m.counter("sim.messages_delivered").add(result.messages_delivered);
       m.counter("sim.messages_lost").add(result.messages_lost);
       m.gauge("sim.virtual_end_us").record_max(result.virtual_end_us);
+      m.gauge("sim.queue_peak_events").record_max(result.queue_peak_events);
+      m.gauge("sim.queue_peak_bytes").record_max(result.queue_peak_bytes);
     }
     if (options.obs.sink != nullptr) {
       // Virtual-time fields only: a sim_summary is byte-stable across
@@ -496,6 +502,8 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
           .field("messages_sent", result.run.messages_sent)
           .field("messages_delivered", result.messages_delivered)
           .field("messages_lost", result.messages_lost)
+          .field("queue_peak_events", result.queue_peak_events)
+          .field("queue_peak_bytes", result.queue_peak_bytes)
           .field("mean_latency_us", result.mean_latency_us());
       options.obs.sink->emit(ev);
     }
@@ -517,7 +525,9 @@ std::string SimResult::to_json() const {
       .field("latency_samples", latency_samples)
       .field("latency_sum_us", latency_sum_us)
       .field("latency_min_us", latency_min_us)
-      .field("latency_max_us", latency_max_us);
+      .field("latency_max_us", latency_max_us)
+      .field("queue_peak_events", queue_peak_events)
+      .field("queue_peak_bytes", queue_peak_bytes);
   std::string flaps = "[";
   for (std::size_t i = 0; i < last_flap_us.size(); ++i) {
     if (i > 0) {
@@ -566,6 +576,16 @@ SimResult SimResult::from_json(const std::string& json) {
   r.latency_sum_us = u64("latency_sum_us");
   r.latency_min_us = u64("latency_min_us");
   r.latency_max_us = u64("latency_max_us");
+  // Queue-depth fields postdate the first sim_summary schema; default to
+  // 0 when reading older documents.
+  const auto u64_or_zero = [&](const std::string& key) -> std::uint64_t {
+    const obs::JsonValue* v = parsed->find(key);
+    return (v != nullptr && v->is_number())
+               ? static_cast<std::uint64_t>(v->as_number())
+               : 0;
+  };
+  r.queue_peak_events = u64_or_zero("queue_peak_events");
+  r.queue_peak_bytes = u64_or_zero("queue_peak_bytes");
   const obs::JsonValue* flaps = parsed->find("last_flap_us");
   if (flaps == nullptr || !flaps->is_array()) {
     throw ParseError("sim_summary: missing array field \"last_flap_us\"");

@@ -95,6 +95,10 @@ struct SimResult {
   std::uint64_t events_processed = 0;   ///< DES events popped
   std::uint64_t messages_delivered = 0;  ///< processed and not lost
   std::uint64_t messages_lost = 0;       ///< processed but dropped (g)
+  /// Event-queue depth high-watermark and its byte estimate (counts ×
+  /// sizeof(Event)) — deterministic like every other sim field.
+  std::uint64_t queue_peak_events = 0;
+  std::uint64_t queue_peak_bytes = 0;
   /// Latency aggregates over every sampled message (delivered or lost).
   std::uint64_t latency_samples = 0;
   std::uint64_t latency_sum_us = 0;

@@ -13,6 +13,7 @@
 
 #include "engine/scheduler.hpp"
 #include "obs/json.hpp"
+#include "obs/resource.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/sim_runner.hpp"
 #include "support/error.hpp"
@@ -67,7 +68,8 @@ std::uint64_t CampaignResult::median_steps(
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
   out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
-         "messages_dropped,max_channel_occupancy,wall_ms,recording_path,"
+         "messages_dropped,max_channel_occupancy,peak_channel_bytes,"
+         "wall_ms,recording_path,"
          "sim_latency_us,sim_loss,virtual_us,last_change_us\n";
   for (const CampaignRow& row : rows) {
     char wall[32];
@@ -78,7 +80,8 @@ std::string CampaignResult::to_csv() const {
         << ',' << to_string(row.scheduler) << ',' << row.seed << ','
         << engine::to_string(row.outcome) << ',' << row.steps << ','
         << row.messages_sent << ',' << row.messages_dropped << ','
-        << row.max_channel_occupancy << ',' << wall << ','
+        << row.max_channel_occupancy << ',' << row.peak_channel_bytes
+        << ',' << wall << ','
         << csv_quote(row.recording_path) << ',' << row.sim_latency_us
         << ',' << loss << ',' << row.virtual_us << ','
         << row.last_change_us << '\n';
@@ -100,6 +103,8 @@ obs::JsonWriter row_json(const CampaignRow& row) {
       .field("messages_dropped", row.messages_dropped)
       .field("max_channel_occupancy",
              static_cast<std::uint64_t>(row.max_channel_occupancy))
+      .field("peak_channel_bytes",
+             static_cast<std::uint64_t>(row.peak_channel_bytes))
       .field("wall_ms", row.wall_ms)
       .field("recording_path", row.recording_path)
       .field("sim_latency_us", row.sim_latency_us)
@@ -308,6 +313,7 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
   row.messages_sent = sres.run.messages_sent;
   row.messages_dropped = sres.run.messages_dropped;
   row.max_channel_occupancy = sres.run.max_channel_occupancy;
+  row.peak_channel_bytes = sres.run.peak_channel_bytes;
   row.recording_path = sres.run.recording_path;
   row.sim_latency_us = task.link.latency_us;
   row.sim_loss = task.link.loss_prob;
@@ -399,6 +405,7 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
   row.messages_sent = run.messages_sent;
   row.messages_dropped = run.messages_dropped;
   row.max_channel_occupancy = run.max_channel_occupancy;
+  row.peak_channel_bytes = run.peak_channel_bytes;
   row.recording_path = run.recording_path;
   row.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - row_start)
@@ -417,6 +424,49 @@ void emit_row_event(obs::EventSink& sink, const CampaignRow& row) {
   obs::Event ev("campaign_row");
   ev.raw_field("row", row_json(row).str());
   sink.emit(ev);
+}
+
+/// End-of-sweep pool telemetry: one "pool_summary" event into the
+/// telemetry side channel and pool.* aggregates into the campaign
+/// registry. All values are wall-clock derived, hence quarantined the
+/// same way wall_ms is (never byte-compared).
+void publish_pool_stats(const CampaignSpec& spec,
+                        const runtime::PoolStats& stats) {
+  if (spec.telemetry_sink != nullptr) {
+    obs::Event ev("pool_summary");
+    ev.field("workers", static_cast<std::uint64_t>(stats.workers))
+        .field("tasks_executed", stats.tasks_executed)
+        .field("busy_us", stats.busy_us)
+        .field("idle_us", stats.idle_us)
+        .field("utilization", stats.utilization())
+        .field("queue_depth_peak",
+               static_cast<std::uint64_t>(stats.queue_depth_peak));
+    std::string per_worker = "[";
+    for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+      const runtime::WorkerStats& ws = stats.per_worker[w];
+      obs::JsonWriter entry;
+      entry.field("worker", static_cast<std::uint64_t>(w))
+          .field("tasks", ws.tasks)
+          .field("busy_us", ws.busy_us)
+          .field("idle_us", ws.idle_us);
+      if (w > 0) {
+        per_worker += ',';
+      }
+      per_worker += entry.str();
+    }
+    per_worker += ']';
+    ev.raw_field("per_worker", per_worker);
+    spec.telemetry_sink->emit(ev);
+  }
+  if (spec.obs.metrics != nullptr) {
+    obs::Registry& m = *spec.obs.metrics;
+    m.counter("pool.tasks_executed").add(stats.tasks_executed);
+    m.counter("pool.busy_us").add(stats.busy_us);
+    m.counter("pool.idle_us").add(stats.idle_us);
+    m.gauge("pool.queue_depth_peak").record_max(stats.queue_depth_peak);
+    m.gauge("pool.utilization_pct")
+        .record_max(static_cast<std::uint64_t>(stats.utilization() * 100.0));
+  }
 }
 
 }  // namespace
@@ -441,12 +491,23 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   if (threads <= 1) {
     // Serial path: rows run on the calling thread against the
     // campaign-level instrumentation directly (spans nest under
-    // campaign.run, no shards to merge).
+    // campaign.run, no shards to merge). The telemetry sampler (when
+    // attached) watches process RSS only — there is no pool to probe.
+    std::optional<obs::TelemetrySampler> sampler;
+    if (spec.telemetry_sink != nullptr) {
+      obs::TelemetrySampler::Options topts;
+      topts.interval_ms = spec.telemetry_interval_ms;
+      sampler.emplace(*spec.telemetry_sink, topts);
+      sampler->start();
+    }
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       result.rows[i] = run_one_row(spec, tasks[i], spec.obs);
       if (spec.obs.sink != nullptr) {
         emit_row_event(*spec.obs.sink, result.rows[i]);
       }
+    }
+    if (sampler.has_value()) {
+      sampler->stop();
     }
   } else {
     runtime::ThreadPool pool(threads);
@@ -473,6 +534,25 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     std::mutex emit_mutex;
     std::size_t next_emit = 0;
     std::vector<char> ready(tasks.size(), 0);
+
+    // Telemetry sampler with live pool probes (queue depth, tasks
+    // executed). Declared after `pool` so it is stopped/destroyed first;
+    // probes run on the sampler thread against the pool's thread-safe
+    // accessors.
+    std::optional<obs::TelemetrySampler> sampler;
+    if (spec.telemetry_sink != nullptr) {
+      obs::TelemetrySampler::Options topts;
+      topts.interval_ms = spec.telemetry_interval_ms;
+      sampler.emplace(*spec.telemetry_sink, topts);
+      sampler->add_probe("pool.queue_depth",
+                         [&pool] { return pool.queue_depth(); });
+      sampler->add_probe("pool.tasks_executed", [&pool] {
+        return pool.stats().tasks_executed;
+      });
+      sampler->add_probe("pool.busy_us",
+                         [&pool] { return pool.stats().busy_us; });
+      sampler->start();
+    }
 
     runtime::parallel_for_each(
         pool, tasks.size(), [&](std::size_t worker, std::size_t i) {
@@ -503,6 +583,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
         spec.obs.spans->merge_from(shard.spans);
       }
     }
+
+    if (sampler.has_value()) {
+      sampler->stop();
+    }
+    publish_pool_stats(spec, pool.stats());
   }
 
   if (spec.obs.sink != nullptr) {

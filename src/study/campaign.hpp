@@ -59,6 +59,16 @@ struct CampaignSpec {
   /// Ring capacity for the per-row flight recorder; 0 records the full
   /// run (replayable, but memory grows with max_steps).
   std::size_t recording_ring = 512;
+  /// Resource-telemetry side channel: when attached, a TelemetrySampler
+  /// emits periodic "telemetry_snapshot" events (RSS, pool queue depth,
+  /// tasks executed) plus one final "pool_summary" on parallel sweeps.
+  /// This sink is deliberately separate from `obs.sink`: snapshots carry
+  /// RSS and wall-clock values, which would break the byte-identical
+  /// determinism contract of the campaign event stream. Do not point
+  /// both at the same file.
+  obs::EventSink* telemetry_sink = nullptr;
+  /// Snapshot cadence for the telemetry sampler.
+  std::uint64_t telemetry_interval_ms = 250;
   /// Worker threads for the row sweep: 0 = hardware_concurrency(),
   /// 1 = serial (runs on the calling thread exactly like the historical
   /// driver). Rows are independent, so any thread count produces
@@ -78,6 +88,9 @@ struct CampaignRow {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::size_t max_channel_occupancy = 0;
+  /// Peak in-flight message bytes of this row's run (deterministic
+  /// estimate — safe in byte-compared CSV/JSON, unlike wall_ms).
+  std::size_t peak_channel_bytes = 0;
   double wall_ms = 0.0;  ///< wall time of this row's engine::run
   /// Flight-recorder artifact for this row ("" when none was flushed).
   std::string recording_path;

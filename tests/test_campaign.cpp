@@ -73,6 +73,8 @@ TEST(Campaign, CsvHasHeaderAndOneLinePerRow) {
       static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
   EXPECT_EQ(lines, result.rows.size() + 1);
   EXPECT_NE(csv.find("instance,model,scheduler"), std::string::npos);
+  EXPECT_NE(csv.find("max_channel_occupancy,peak_channel_bytes,wall_ms"),
+            std::string::npos);
   EXPECT_NE(csv.find("GOOD,UMS,random-fair,0,converged"),
             std::string::npos);
 }
@@ -123,6 +125,15 @@ TEST(Campaign, UnreliableRunsRecordDrops) {
   }
   EXPECT_GT(occupancy, 1u);
   EXPECT_GT(dropped, 0u);
+  // Queue depth implies in-flight bytes; every row with traffic carries
+  // a nonzero deterministic byte peak.
+  for (const CampaignRow& row : result.rows) {
+    if (row.max_channel_occupancy > 0) {
+      EXPECT_GT(row.peak_channel_bytes, 0u);
+      EXPECT_GE(row.peak_channel_bytes,
+                row.max_channel_occupancy * sizeof(engine::Message));
+    }
+  }
 }
 
 TEST(Campaign, CsvCarriesPerRowWallTime) {
@@ -201,10 +212,10 @@ TEST(Campaign, CsvEscapesHostileNamesAndRoundTrips) {
 
   const auto records = csv_parse(result.to_csv());
   ASSERT_EQ(records.size(), result.rows.size() + 1);  // header + rows
-  ASSERT_EQ(records[0].size(), 15u);
+  ASSERT_EQ(records[0].size(), 16u);
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const auto& fields = records[i + 1];
-    ASSERT_EQ(fields.size(), 15u) << "row " << i;
+    ASSERT_EQ(fields.size(), 16u) << "row " << i;
     EXPECT_EQ(fields[0], result.rows[i].instance);
     EXPECT_EQ(fields[1], result.rows[i].model.name());
     EXPECT_EQ(fields[4], "converged");

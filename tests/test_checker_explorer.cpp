@@ -206,6 +206,52 @@ TEST(Explorer, TruncationReportsTheLimitingBound) {
   EXPECT_EQ(full.bound_skipped_expansions, 0u);
 }
 
+TEST(Explorer, TrackedBytesGrowWithTheSeenSet) {
+  const spp::Instance inst = spp::disagree();
+  const ExploreResult r = explore(inst, Model::parse("RMS"),
+                                  {.max_channel_length = 3});
+  // Every interned state costs at least its struct; the estimate can
+  // never undercut that floor.
+  EXPECT_GT(r.tracked_peak_bytes, 0u);
+  EXPECT_GE(r.bytes_per_state(), 1.0);
+  EXPECT_GE(r.tracked_peak_bytes,
+            r.states * sizeof(engine::NetworkState));
+  EXPECT_FALSE(r.memory_limit_hit);
+  EXPECT_EQ(r.memory_limit, 0u);
+
+  // An attached TrackedBytes counter mirrors the internal accounting.
+  obs::TrackedBytes memory;
+  ExploreOptions opts;
+  opts.max_channel_length = 3;
+  opts.memory = &memory;
+  const ExploreResult tracked = explore(inst, Model::parse("RMS"), opts);
+  EXPECT_EQ(memory.peak(), tracked.tracked_peak_bytes);
+}
+
+TEST(Explorer, MemoryLimitTruncatesDeterministically) {
+  const spp::Instance inst = spp::disagree();
+  ExploreOptions opts;
+  opts.max_channel_length = 3;
+  opts.memory_limit_bytes = 4096;  // far below the full exploration
+  const ExploreResult r = explore(inst, Model::parse("RMS"), opts);
+  EXPECT_TRUE(r.memory_limit_hit);
+  EXPECT_EQ(r.memory_limit, 4096u);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_NE(r.summary().find("memory limit 4096 bytes hit"),
+            std::string::npos);
+  // Byte estimates come from element counts, so the truncation point is
+  // machine-independent: a rerun stops at exactly the same state count.
+  const ExploreResult again = explore(inst, Model::parse("RMS"), opts);
+  EXPECT_EQ(again.states, r.states);
+  EXPECT_EQ(again.tracked_peak_bytes, r.tracked_peak_bytes);
+
+  // A generous limit never fires, and the exploration goes deeper.
+  opts.memory_limit_bytes = 1u << 30;
+  const ExploreResult roomy = explore(inst, Model::parse("RMS"), opts);
+  EXPECT_FALSE(roomy.memory_limit_hit);
+  EXPECT_GT(roomy.states, r.states);
+}
+
 TEST(Explorer, ExplorationStatisticsArePopulated) {
   const spp::Instance inst = spp::disagree();
   const ExploreResult r = explore(inst, Model::parse("RMS"),

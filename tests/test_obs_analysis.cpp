@@ -210,5 +210,116 @@ TEST(BenchDiff, RejectsDocumentsWithoutTheBenchShape) {
   EXPECT_THROW(obs::bench_diff(good, missing_ms, 10.0), ParseError);
 }
 
+obs::JsonValue bench_doc_with_metrics(const std::string& metrics) {
+  return parse_or_die("{\"name\":\"fixture\",\"metrics\":{" + metrics +
+                      "},\"results\":[" + bench_row("A", 1.0) + "]}");
+}
+
+TEST(BenchDiff, ByteMetricsGateUnderTheirOwnThreshold) {
+  const auto baseline = bench_doc_with_metrics(
+      "\"wall_ms\":100,\"peak_rss_bytes\":1000,"
+      "\"tracked_peak_bytes\":500");
+  const auto current = bench_doc_with_metrics(
+      "\"wall_ms\":900,\"peak_rss_bytes\":1100,"  // +10% — under mem gate
+      "\"tracked_peak_bytes\":800");              // +60% — over mem gate
+  const obs::BenchDiff diff =
+      obs::bench_diff(baseline, current, 10.0, 25.0);
+  // wall_ms is not a byte metric; the 9x growth never enters the gate.
+  ASSERT_EQ(diff.mem_deltas.size(), 2u);
+  EXPECT_FALSE(diff.regression);  // real_ms_per_iter is unchanged
+  EXPECT_TRUE(diff.mem_regression);
+  EXPECT_EQ(diff.mem_deltas[0].name, "peak_rss_bytes");
+  EXPECT_FALSE(diff.mem_deltas[0].regression);
+  EXPECT_EQ(diff.mem_deltas[1].name, "tracked_peak_bytes");
+  EXPECT_TRUE(diff.mem_deltas[1].regression);
+  EXPECT_NEAR(diff.mem_deltas[1].delta_pct, 60.0, 1e-9);
+  // A looser memory threshold passes the same growth.
+  EXPECT_FALSE(obs::bench_diff(baseline, current, 10.0, 80.0)
+                   .mem_regression);
+}
+
+TEST(BenchDiff, ByteMetricsMissingFromBaselineAreSkipped) {
+  // Baselines that predate byte metrics must not fail the gate.
+  const auto baseline = bench_doc_with_metrics("\"wall_ms\":100");
+  const auto current = bench_doc_with_metrics(
+      "\"wall_ms\":100,\"peak_rss_bytes\":999999");
+  const obs::BenchDiff diff =
+      obs::bench_diff(baseline, current, 10.0, 25.0);
+  EXPECT_TRUE(diff.mem_deltas.empty());
+  EXPECT_FALSE(diff.mem_regression);
+  // And the reverse: a metric dropped from current is skipped too.
+  const obs::BenchDiff reverse =
+      obs::bench_diff(current, baseline, 10.0, 25.0);
+  EXPECT_TRUE(reverse.mem_deltas.empty());
+  EXPECT_FALSE(reverse.mem_regression);
+}
+
+// ---- Degradation edge cases (malformed / empty inputs) -------------------
+
+TEST(SummarizeJsonl, EmptyAndDurationlessStreamsKeepZeroQuantiles) {
+  std::istringstream empty("");
+  const obs::JsonlSummary none = obs::summarize_jsonl(empty);
+  EXPECT_EQ(none.lines, 0u);
+  EXPECT_TRUE(none.types.empty());
+
+  // Events with no duration at all: the percentile path must never
+  // index into the empty histogram.
+  std::istringstream in(
+      "{\"type\":\"bare\"}\n"
+      "{\"type\":\"bare\",\"states\":7}\n");
+  const obs::JsonlSummary summary = obs::summarize_jsonl(in);
+  const obs::EventTypeSummary* bare = find_type(summary, "bare");
+  ASSERT_NE(bare, nullptr);
+  EXPECT_EQ(bare->count, 2u);
+  EXPECT_EQ(bare->timed, 0u);
+  EXPECT_EQ(bare->p50_us, 0u);
+  EXPECT_EQ(bare->p99_us, 0u);
+  EXPECT_EQ(bare->max_us, 0u);
+}
+
+TEST(SpansFromJsonl, SkipsRecordsMissingRequiredFields) {
+  // Unclosed spans (no dur_us), nameless records, and non-span noise
+  // must be dropped without affecting well-formed neighbours.
+  std::istringstream in(
+      "{\"type\":\"span\",\"name\":\"open\",\"ts_us\":0}\n"
+      "{\"type\":\"span\",\"ts_us\":0,\"dur_us\":5}\n"
+      "{\"type\":\"event\",\"name\":\"x\",\"ts_us\":0,\"dur_us\":5}\n"
+      "{\"type\":\"span\",\"name\":\"ok\",\"ts_us\":1,\"dur_us\":2,"
+      "\"id\":1}\n");
+  const auto records = obs::spans_from_jsonl(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "ok");
+}
+
+TEST(SpanSelfTimes, MisNestedParentsDegradeGracefully) {
+  // Parent ids pointing at missing spans, self-parented spans, and
+  // children summing past the parent: self time clamps at zero and
+  // the totals stay finite.
+  std::vector<obs::SpanRecord> records;
+  obs::SpanRecord dangling;
+  dangling.id = 1;
+  dangling.parent = 99;  // no such span
+  dangling.name = "dangling";
+  dangling.dur_us = 10;
+  obs::SpanRecord self_cycle;
+  self_cycle.id = 2;
+  self_cycle.parent = 2;  // mis-nested: its own parent
+  self_cycle.name = "cycle";
+  self_cycle.dur_us = 8;
+  records.push_back(dangling);
+  records.push_back(self_cycle);
+  const auto stats = obs::span_self_times(records);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const obs::SpanStat& stat : stats) {
+    if (stat.name == "dangling") {
+      EXPECT_EQ(stat.self_us, 10u);  // orphan keeps its full duration
+    } else {
+      EXPECT_EQ(stat.name, "cycle");
+      EXPECT_EQ(stat.self_us, 0u);  // clamped, not underflowed
+    }
+    EXPECT_EQ(stat.count, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace commroute

@@ -190,6 +190,27 @@ TEST(RegistryMerge, IsOrderIndependent) {
   EXPECT_EQ(ab.gauge("g").value(), ba.gauge("g").value());
 }
 
+TEST(RegistryMerge, SingleBucketHistogramMerges) {
+  // The degenerate single-bound shape (one bucket + overflow) must
+  // merge like any other: same-bounds requirement, bucket-wise adds.
+  Registry target, shard;
+  target.histogram("h", {10}).observe(3);    // in-bucket
+  shard.histogram("h", {10}).observe(10);    // boundary is <=-inclusive
+  shard.histogram("h", {10}).observe(11);    // overflow
+  target.merge_from(shard);
+  const Histogram& h = target.histogram("h", {});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 24u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1}));
+
+  // Merging an empty shard (histogram declared, never observed) is a
+  // no-op, not a corruption.
+  Registry empty;
+  empty.histogram("h", {10});
+  target.merge_from(empty);
+  EXPECT_EQ(target.histogram("h", {}).count(), 3u);
+}
+
 TEST(RegistryMerge, MismatchedHistogramBoundsThrow) {
   Registry target, shard;
   target.histogram("h", {1, 2}).observe(1);

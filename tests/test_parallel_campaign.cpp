@@ -154,6 +154,63 @@ TEST(ParallelCampaign, SpanShardsMergeIntoTheCampaignCollector) {
   EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
 }
 
+TEST(ParallelCampaign, TelemetrySamplerNeverPerturbsTheEventStream) {
+  // The resource sampler writes RSS and wall-clock values — but only to
+  // its own sink. With it attached, CSV/JSON and the campaign event
+  // stream must stay byte-identical across thread widths.
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  obs::MemorySink serial_events, serial_telemetry;
+  CampaignSpec serial_spec = sweep_spec(bad, good, 1);
+  serial_spec.obs.sink = &serial_events;
+  serial_spec.telemetry_sink = &serial_telemetry;
+  serial_spec.telemetry_interval_ms = 10;
+  CampaignResult serial = run_campaign(serial_spec);
+
+  obs::MemorySink parallel_events, parallel_telemetry;
+  CampaignSpec parallel_spec = sweep_spec(bad, good, 8);
+  parallel_spec.obs.sink = &parallel_events;
+  parallel_spec.telemetry_sink = &parallel_telemetry;
+  parallel_spec.telemetry_interval_ms = 10;
+  CampaignResult parallel = run_campaign(parallel_spec);
+
+  normalize(serial);
+  normalize(parallel);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+  EXPECT_EQ(serial_events.lines().size(), parallel_events.lines().size());
+
+  // Both runs sampled: at least the start + final snapshots landed in
+  // the dedicated sinks, and never in the campaign stream.
+  EXPECT_GE(serial_telemetry.lines().size(), 2u);
+  EXPECT_GE(parallel_telemetry.lines().size(), 2u);
+  for (const std::string& line : serial_events.lines()) {
+    EXPECT_EQ(line.find("telemetry_snapshot"), std::string::npos);
+    EXPECT_EQ(line.find("pool_summary"), std::string::npos);
+  }
+
+  // The parallel run's telemetry carries a pool_summary (the sweep runs
+  // as drain tasks — one per pool worker beyond the calling thread).
+  bool saw_pool_summary = false;
+  for (const std::string& line : parallel_telemetry.lines()) {
+    const auto event = obs::json_parse(line);
+    ASSERT_TRUE(event.has_value());
+    const std::string type = event->find("type")->as_string();
+    if (type == "pool_summary") {
+      saw_pool_summary = true;
+      EXPECT_EQ(event->find("workers")->as_number(), 8.0);
+      EXPECT_GE(event->find("tasks_executed")->as_number(), 1.0);
+      EXPECT_LE(event->find("tasks_executed")->as_number(), 8.0);
+      EXPECT_NE(event->find("per_worker"), nullptr);
+    } else {
+      EXPECT_EQ(type, "telemetry_snapshot");
+      EXPECT_NE(event->find("pool.queue_depth"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_pool_summary);
+}
+
 TEST(ParallelCampaign, AutoThreadCountMatchesSerialBytes) {
   const spp::Instance good = spp::good_gadget();
   CampaignSpec auto_spec;

@@ -92,6 +92,16 @@ TEST(Runner, CountsMessages) {
   const RunResult result = run(inst, sched);
   EXPECT_GT(result.messages_sent, 0u);
   EXPECT_EQ(result.messages_dropped, 0u);
+  // Messages flowed, so the in-flight byte peak is nonzero and at
+  // least one Message struct per message at peak occupancy.
+  EXPECT_GT(result.max_channel_occupancy, 0u);
+  EXPECT_GE(result.peak_channel_bytes,
+            result.max_channel_occupancy * sizeof(engine::Message));
+
+  // Byte estimates derive from element counts: a rerun is identical.
+  RoundRobinScheduler again_sched(Model::parse("RMS"), inst);
+  const RunResult again = run(inst, again_sched);
+  EXPECT_EQ(again.peak_channel_bytes, result.peak_channel_bytes);
 }
 
 TEST(Runner, RandomFairConvergesOnSafeInstanceAllModels) {

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
@@ -35,6 +37,80 @@ TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
     }
   }  // join happens here
   EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmittedExceptionSurfacesViaRethrowPending) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  // Give the worker time to run and record the failure.
+  for (int i = 0; i < 2000 && pool.stats().tasks_executed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  try {
+    pool.rethrow_pending();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The error was consumed: a second call is clean, and so is the
+  // destructor.
+  pool.rethrow_pending();
+}
+
+TEST(ThreadPool, FirstSubmittedExceptionWinsAndWorkersSurvive) {
+  ThreadPool pool(1);  // serial worker: deterministic first failure
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::logic_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  for (int i = 0; i < 2000 && ran.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // A throwing task must not kill its worker thread.
+  EXPECT_EQ(ran.load(), 1);
+  try {
+    pool.rethrow_pending();
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, DestructorRethrowsUnconsumedTaskException) {
+  bool thrown = false;
+  try {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("lost otherwise"); });
+  } catch (const std::runtime_error& e) {
+    thrown = true;
+    EXPECT_STREQ(e.what(), "lost otherwise");
+  }
+  EXPECT_TRUE(thrown);
+}
+
+TEST(ThreadPool, StatsCountTasksAndWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  for (int i = 0; i < 2000 && ran.load() < 64; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.workers, 3u);
+  EXPECT_EQ(stats.tasks_executed, 64u);
+  ASSERT_EQ(stats.per_worker.size(), 3u);
+  std::uint64_t per_worker_sum = 0;
+  for (const WorkerStats& w : stats.per_worker) {
+    per_worker_sum += w.tasks;
+  }
+  EXPECT_EQ(per_worker_sum, 64u);
+  EXPECT_GE(stats.queue_depth_peak, 1u);
+  // utilization is a fraction; with any idle wait it stays in [0, 1].
+  EXPECT_GE(stats.utilization(), 0.0);
+  EXPECT_LE(stats.utilization(), 1.0);
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(ParallelForEach, CollectsResultsInIndexOrder) {

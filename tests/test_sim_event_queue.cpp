@@ -58,6 +58,30 @@ TEST(EventQueue, InterleavedPushPopStaysOrdered) {
   EXPECT_EQ(q.pop().time, 10u);
 }
 
+TEST(EventQueue, TracksDepthAndBytePeaks) {
+  EventQueue q;
+  EXPECT_EQ(q.peak_size(), 0u);
+  EXPECT_EQ(q.estimated_bytes(), 0u);
+  EXPECT_EQ(q.peak_bytes(), 0u);
+  q.push(at(1));
+  q.push(at(2));
+  q.push(at(3));
+  EXPECT_EQ(q.peak_size(), 3u);
+  EXPECT_EQ(q.estimated_bytes(), 3 * sizeof(Event));
+  q.pop();
+  q.pop();
+  // The high watermark survives drains; the current estimate tracks.
+  EXPECT_EQ(q.peak_size(), 3u);
+  EXPECT_EQ(q.estimated_bytes(), sizeof(Event));
+  EXPECT_EQ(q.peak_bytes(), 3 * sizeof(Event));
+  q.push(at(4));
+  q.push(at(5));
+  q.push(at(6));
+  q.push(at(7));
+  EXPECT_EQ(q.peak_size(), 5u);
+  EXPECT_EQ(q.peak_bytes(), 5 * sizeof(Event));
+}
+
 TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop(), PreconditionError);

@@ -204,11 +204,20 @@ TEST(SimRunner, EmitsSimSummaryAndMetrics) {
   EXPECT_EQ(metrics.counter("sim.steps").value(), result.run.steps);
   EXPECT_EQ(metrics.counter("sim.events").value(),
             result.events_processed);
+  // A run that processed events had queue depth, hence queue bytes.
+  EXPECT_GT(result.queue_peak_events, 0u);
+  EXPECT_EQ(result.queue_peak_bytes,
+            result.queue_peak_events * sizeof(sim::Event));
+  EXPECT_EQ(metrics.gauge("sim.queue_peak_events").value(),
+            result.queue_peak_events);
+  EXPECT_EQ(metrics.gauge("sim.queue_peak_bytes").value(),
+            result.queue_peak_bytes);
   bool saw_summary = false;
   for (const std::string& line : sink.lines()) {
     if (line.find("\"type\":\"sim_summary\"") != std::string::npos) {
       saw_summary = true;
       EXPECT_NE(line.find("\"virtual_end_us\""), std::string::npos);
+      EXPECT_NE(line.find("\"queue_peak_events\""), std::string::npos);
       EXPECT_EQ(line.find("wall"), std::string::npos);
     }
   }

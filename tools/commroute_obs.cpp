@@ -7,8 +7,10 @@
 //   commroute-obs summarize RUN.jsonl              per-type counts + latency quantiles
 //   commroute-obs spans TRACE[.jsonl|.json] [--top N]   self-time table
 //   commroute-obs convert RUN.jsonl OUT.json       Chrome trace / Perfetto export
-//   commroute-obs bench-diff BASE.json CUR.json [--threshold PCT]
-//                                                  perf gate: exit 1 on regression
+//   commroute-obs bench-diff BASE.json CUR.json [--threshold PCT] [--mem-threshold PCT]
+//                                                  perf+mem gate: exit 1 on regression
+//   commroute-obs mem RUN.jsonl [--json]           memory telemetry report
+//   commroute-obs pool RUN.jsonl [--json]          thread-pool utilization report
 //   commroute-obs replay REC.recording.jsonl       deterministic re-execution diff
 //   commroute-obs flaps REC.recording.jsonl        per-node route-flap timelines
 //   commroute-obs oscillation REC.recording.jsonl  cycle extraction
@@ -53,9 +55,16 @@ int usage() {
          "(JSONL or Chrome trace input)\n"
          "  convert FILE.jsonl OUT.json        JSONL -> Chrome "
          "trace-event JSON (open in Perfetto)\n"
-         "  bench-diff BASELINE.json CURRENT.json [--threshold PCT]\n"
+         "  bench-diff BASELINE.json CURRENT.json [--threshold PCT] "
+         "[--mem-threshold PCT]\n"
          "                                     compare BENCH_*.json runs; "
-         "exit 1 beyond threshold (default 10)\n"
+         "exit 1 beyond threshold (default 10,\n"
+         "                                     byte metrics gated "
+         "separately, default 25)\n"
+         "  mem FILE.jsonl [--json]            memory telemetry: snapshot "
+         "gauges, checker/engine byte peaks\n"
+         "  pool FILE.jsonl [--json]           thread-pool utilization "
+         "from pool_summary + snapshots\n"
          "  replay FILE.recording.jsonl [--json]\n"
          "                                     re-execute a recording and "
          "diff per-step assignments; exit 1 on divergence\n"
@@ -99,6 +108,24 @@ std::string format_us(std::uint64_t us) {
   } else {
     std::snprintf(buf, sizeof buf, "%lluus",
                   static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2fGiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
   }
   return buf;
 }
@@ -216,12 +243,38 @@ std::optional<obs::JsonValue> parse_json_file(const std::string& path,
   return doc;
 }
 
+/// Shared "FILE [--json]" argument shape (mem, pool, and the
+/// recording commands).
+struct RecordingArgs {
+  std::string file;
+  bool json = false;
+  bool ok = false;
+};
+
+RecordingArgs parse_recording_args(const std::vector<std::string>& args) {
+  RecordingArgs out;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      out.json = true;
+    } else if (out.file.empty()) {
+      out.file = arg;
+    } else {
+      return out;  // too many positionals
+    }
+  }
+  out.ok = !out.file.empty();
+  return out;
+}
+
 int cmd_bench_diff(const std::vector<std::string>& args) {
   double threshold = 10.0;
+  double mem_threshold = 25.0;
   std::vector<std::string> files;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threshold" && i + 1 < args.size()) {
       threshold = std::stod(args[++i]);
+    } else if (args[i] == "--mem-threshold" && i + 1 < args.size()) {
+      mem_threshold = std::stod(args[++i]);
     } else {
       files.push_back(args[i]);
     }
@@ -238,7 +291,7 @@ int cmd_bench_diff(const std::vector<std::string>& args) {
     return kExitUsage;
   }
   const obs::BenchDiff diff = obs::bench_diff(*baseline, *current,
-                                              threshold);
+                                              threshold, mem_threshold);
 
   TextTable table;
   table.set_header({"benchmark", "baseline", "current", "delta", ""});
@@ -257,13 +310,207 @@ int cmd_bench_diff(const std::vector<std::string>& args) {
   for (const std::string& name : diff.only_in_current) {
     std::cout << "new in current: " << name << "\n";
   }
-  if (diff.regression) {
-    std::cout << "FAIL: at least one benchmark regressed more than "
-              << threshold << "%\n";
+  if (!diff.mem_deltas.empty()) {
+    TextTable mem;
+    mem.set_header({"byte metric", "baseline", "current", "delta", ""});
+    for (const obs::MemDelta& d : diff.mem_deltas) {
+      char delta[32];
+      std::snprintf(delta, sizeof delta, "%+.1f%%", d.delta_pct);
+      mem.add_row({d.name, format_bytes(d.base_bytes),
+                   format_bytes(d.current_bytes), delta,
+                   d.regression ? "REGRESSION" : ""});
+    }
+    std::cout << "\n" << mem.render();
+  }
+  if (diff.regression || diff.mem_regression) {
+    if (diff.regression) {
+      std::cout << "FAIL: at least one benchmark regressed more than "
+                << threshold << "%\n";
+    }
+    if (diff.mem_regression) {
+      std::cout << "FAIL: at least one byte metric grew more than "
+                << mem_threshold << "%\n";
+    }
     return kExitFinding;
   }
   std::cout << "OK: no benchmark regressed more than " << threshold
-            << "%\n";
+            << "%";
+  if (!diff.mem_deltas.empty()) {
+    std::cout << ", no byte metric grew more than " << mem_threshold
+              << "%";
+  }
+  std::cout << "\n";
+  return kExitOk;
+}
+
+int cmd_mem(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  std::ifstream in = open_input(opts.file);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
+  const obs::MemoryReport report = obs::memory_report(in);
+
+  if (opts.json) {
+    obs::JsonWriter w;
+    w.field("type", "memory_report");
+    obs::add_metadata_fields(w);
+    w.field("file", opts.file)
+        .field("snapshots", report.snapshots)
+        .field("checker_summaries", report.checker_summaries)
+        .field("tracked_peak_bytes", report.tracked_peak_bytes)
+        .field("bytes_per_state", report.bytes_per_state)
+        .field("peak_channel_bytes", report.peak_channel_bytes);
+    std::string series = "[";
+    for (std::size_t i = 0; i < report.series.size(); ++i) {
+      const obs::MemorySeries& s = report.series[i];
+      if (i > 0) {
+        series += ',';
+      }
+      obs::JsonWriter row;
+      row.field("name", s.name)
+          .field("last", s.last)
+          .field("peak", s.peak)
+          .field("samples", s.samples);
+      series += row.str();
+    }
+    series += ']';
+    w.raw_field("series", series);
+    std::cout << w.str() << "\n";
+    return kExitOk;
+  }
+
+  if (report.snapshots == 0 && report.checker_summaries == 0 &&
+      report.peak_channel_bytes == 0) {
+    std::cout << opts.file << ": no memory telemetry found (no "
+              << "telemetry_snapshot / checker_summary / engine_run "
+              << "events)\n";
+    return kExitOk;
+  }
+  if (!report.series.empty()) {
+    TextTable table;
+    table.set_header({"gauge", "last", "peak", "samples"});
+    for (const obs::MemorySeries& s : report.series) {
+      // Only gauges named *_bytes carry byte semantics; other probes
+      // (pool.busy_us, pool.tasks_executed, ...) print as raw counts.
+      const bool is_bytes =
+          s.name.size() >= 6 &&
+          (s.name.rfind("_bytes") == s.name.size() - 6 ||
+           (s.name.size() >= 11 &&
+            s.name.rfind("_bytes_peak") == s.name.size() - 11));
+      table.add_row({s.name,
+                     is_bytes ? format_bytes(s.last) : std::to_string(s.last),
+                     is_bytes ? format_bytes(s.peak) : std::to_string(s.peak),
+                     std::to_string(s.samples)});
+    }
+    std::cout << table.render();
+  }
+  std::cout << report.snapshots << " snapshot(s)";
+  if (report.checker_summaries > 0) {
+    char bps[32];
+    std::snprintf(bps, sizeof bps, "%.1f", report.bytes_per_state);
+    std::cout << "; checker tracked peak "
+              << format_bytes(report.tracked_peak_bytes) << " (" << bps
+              << " bytes/state over " << report.checker_summaries
+              << " exploration(s))";
+  }
+  if (report.peak_channel_bytes > 0) {
+    std::cout << "; engine peak in-flight "
+              << format_bytes(report.peak_channel_bytes);
+  }
+  std::cout << "\n";
+  return kExitOk;
+}
+
+int cmd_pool(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  std::ifstream in = open_input(opts.file);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
+  const obs::PoolReport report = obs::pool_report(in);
+
+  if (opts.json) {
+    obs::JsonWriter w;
+    w.field("type", "pool_report");
+    obs::add_metadata_fields(w);
+    w.field("file", opts.file)
+        .field("has_summary", report.has_summary)
+        .field("workers", report.workers)
+        .field("tasks_executed", report.tasks_executed)
+        .field("busy_us", report.busy_us)
+        .field("idle_us", report.idle_us)
+        .field("utilization", report.utilization)
+        .field("queue_depth_peak", report.queue_depth_peak);
+    std::string workers = "[";
+    for (std::size_t i = 0; i < report.per_worker.size(); ++i) {
+      const obs::PoolWorkerRow& r = report.per_worker[i];
+      if (i > 0) {
+        workers += ',';
+      }
+      obs::JsonWriter row;
+      row.field("worker", r.worker)
+          .field("tasks", r.tasks)
+          .field("busy_us", r.busy_us)
+          .field("idle_us", r.idle_us);
+      workers += row.str();
+    }
+    workers += ']';
+    w.raw_field("per_worker", workers);
+    std::string timeline = "[";
+    for (std::size_t i = 0; i < report.timeline.size(); ++i) {
+      const obs::PoolTimelinePoint& p = report.timeline[i];
+      if (i > 0) {
+        timeline += ',';
+      }
+      obs::JsonWriter row;
+      row.field("elapsed_ms", p.elapsed_ms)
+          .field("queue_depth", p.queue_depth)
+          .field("tasks_executed", p.tasks_executed);
+      timeline += row.str();
+    }
+    timeline += ']';
+    w.raw_field("timeline", timeline);
+    std::cout << w.str() << "\n";
+    return kExitOk;
+  }
+
+  if (!report.has_summary && report.timeline.empty()) {
+    std::cout << opts.file << ": no pool telemetry found (no "
+              << "pool_summary / telemetry_snapshot pool probes)\n";
+    return kExitOk;
+  }
+  if (report.has_summary) {
+    char util[32];
+    std::snprintf(util, sizeof util, "%.1f%%",
+                  report.utilization * 100.0);
+    std::cout << report.workers << " worker(s), "
+              << report.tasks_executed << " task(s), utilization "
+              << util << ", queue depth peak "
+              << report.queue_depth_peak << "\n";
+    if (!report.per_worker.empty()) {
+      TextTable table;
+      table.set_header({"worker", "tasks", "busy", "idle"});
+      for (const obs::PoolWorkerRow& r : report.per_worker) {
+        table.add_row({std::to_string(r.worker),
+                       std::to_string(r.tasks), format_us(r.busy_us),
+                       format_us(r.idle_us)});
+      }
+      std::cout << table.render();
+    }
+  }
+  if (!report.timeline.empty()) {
+    std::cout << report.timeline.size()
+              << " snapshot(s) with pool probes; final queue depth "
+              << report.timeline.back().queue_depth << ", final tasks "
+              << report.timeline.back().tasks_executed << "\n";
+  }
   return kExitOk;
 }
 
@@ -290,27 +537,6 @@ std::optional<trace::LoadedRecording> load_recording(
     std::cerr << "commroute-obs: " << path << ": " << e.what() << "\n";
     return std::nullopt;
   }
-}
-
-struct RecordingArgs {
-  std::string file;
-  bool json = false;
-  bool ok = false;
-};
-
-RecordingArgs parse_recording_args(const std::vector<std::string>& args) {
-  RecordingArgs out;
-  for (const std::string& arg : args) {
-    if (arg == "--json") {
-      out.json = true;
-    } else if (out.file.empty()) {
-      out.file = arg;
-    } else {
-      return out;  // too many positionals
-    }
-  }
-  out.ok = !out.file.empty();
-  return out;
 }
 
 std::string assignment_text(const spp::Instance& inst,
@@ -598,6 +824,12 @@ int main(int argc, char** argv) {
     }
     if (command == "bench-diff") {
       return cmd_bench_diff(args);
+    }
+    if (command == "mem") {
+      return cmd_mem(args);
+    }
+    if (command == "pool") {
+      return cmd_pool(args);
     }
     if (command == "replay") {
       return cmd_replay(args);
