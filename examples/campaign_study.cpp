@@ -15,6 +15,9 @@
 //                                    # channel: RSS and wall-clock live
 //                                    # here, never in the CSV)
 //   $ ./campaign_study --telemetry-interval MS  # snapshot cadence
+//   $ ./campaign_study --causality   # per-row happens-before DAGs:
+//                                    # critical_path_len/_us columns
+//                                    # (byte-identical for any --threads)
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -30,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace commroute;
   obs::set_process_argv(argc, argv);
   bool csv = false;
+  bool causality = false;
   std::size_t threads = 0;
   std::uint64_t telemetry_interval = 250;
   std::string trace_path, recording_dir, telemetry_path;
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
       telemetry_path = argv[++i];
     } else if (arg == "--telemetry-interval" && i + 1 < argc) {
       telemetry_interval = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--causality") {
+      causality = true;
     }
   }
 
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   spec.seeds = 3;
   spec.max_steps = 30000;
   spec.recording_dir = recording_dir;
+  spec.causality = causality;
   spec.threads = threads;
 
   obs::SpanCollector spans;

@@ -17,7 +17,12 @@
 //                   --loop-from N  with --replay: loop the script suffix
 //                   --record FILE  flight-record the full run to FILE
 //                                  (inspect with commroute-obs replay /
-//                                  flaps / oscillation)
+//                                  flaps / oscillation / causality /
+//                                  critical-path)
+//                   --chrome-trace FILE
+//                                  write a Perfetto trace of the run with
+//                                  causal flow arrows between steps (open
+//                                  in ui.perfetto.dev)
 //
 // Examples:
 //   commroute_sim DISAGREE RMS
@@ -31,6 +36,7 @@
 
 #include "engine/runner.hpp"
 #include "model/script_io.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/meta.hpp"
 #include "spp/gadgets.hpp"
 #include "spp/serialize.hpp"
@@ -42,7 +48,7 @@ using namespace commroute;
 int usage() {
   std::cerr << "usage: commroute_sim --list | <gadget|file> <model> "
                "[rr|random|event|sync] [--steps N] [--seed S] [--drop P] "
-               "[--trace] [--record FILE]\n";
+               "[--trace] [--record FILE] [--chrome-trace FILE]\n";
   return 2;
 }
 
@@ -87,7 +93,7 @@ int main(int argc, char** argv) {
     std::uint64_t steps = 20000, seed = 1;
     double drop = 0.2;
     bool show_trace = false;
-    std::string replay_file, record_file;
+    std::string replay_file, record_file, chrome_trace_file;
     std::optional<std::size_t> loop_from;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--steps" && i + 1 < args.size()) {
@@ -100,6 +106,8 @@ int main(int argc, char** argv) {
         replay_file = args[++i];
       } else if (args[i] == "--record" && i + 1 < args.size()) {
         record_file = args[++i];
+      } else if (args[i] == "--chrome-trace" && i + 1 < args.size()) {
+        chrome_trace_file = args[++i];
       } else if (args[i] == "--loop-from" && i + 1 < args.size()) {
         loop_from = std::stoull(args[++i]);
       } else if (args[i] == "--trace") {
@@ -163,6 +171,12 @@ int main(int argc, char** argv) {
       options.flight.seed = seed;
     }
 
+    obs::SpanCollector spans;
+    if (!chrome_trace_file.empty()) {
+      options.obs.spans = &spans;
+      options.causality = true;  // flow arrows need the message DAG
+    }
+
     std::cout << instance.to_string() << "\n";
     const engine::RunResult result =
         engine::run(instance, *scheduler, options);
@@ -190,7 +204,19 @@ int main(int argc, char** argv) {
     if (!result.recording_path.empty()) {
       std::cout << "recording written to " << result.recording_path
                 << " (inspect with commroute-obs replay/flaps/"
-                   "oscillation)\n";
+                   "oscillation/causality/critical-path)\n";
+    }
+    if (!chrome_trace_file.empty()) {
+      std::ofstream trace_out(chrome_trace_file, std::ios::trunc);
+      if (!trace_out) {
+        std::cerr << "cannot write " << chrome_trace_file << "\n";
+        return 1;
+      }
+      trace_out << obs::chrome_trace_json(spans, *result.causality)
+                << "\n";
+      std::cout << "chrome trace written to " << chrome_trace_file
+                << " (" << result.critical_path_len
+                << "-step critical path; open in ui.perfetto.dev)\n";
     }
     return 0;
   } catch (const Error& e) {

@@ -18,6 +18,9 @@
 //                   --max-virtual US  virtual-time budget    (default off)
 //                   --record FILE   flight-record the induced sequence
 //                                   (replay with commroute-obs replay)
+//                   --causality     build the happens-before DAG and
+//                                   report the critical path (in steps
+//                                   and virtual us)
 //                   --json          print the sim_summary JSON object
 //                                   (byte-identical for a fixed seed)
 //                   --sweep-latency A,B,..  campaign over latency points
@@ -56,7 +59,8 @@ int usage() {
          "         [--latency US] [--jitter US] [--dist fixed|uniform|"
          "exponential]\n"
          "         [--loss P] [--burst M] [--proc US] [--mrai US]\n"
-         "         [--max-virtual US] [--record FILE] [--json]\n"
+         "         [--max-virtual US] [--record FILE] [--causality] "
+         "[--json]\n"
          "         [--sweep-latency A,B,..] [--sweep-loss P,Q,..]\n"
          "         [--seeds N] [--threads N]\n";
   return 2;
@@ -140,6 +144,8 @@ int main(int argc, char** argv) {
         opts.max_virtual_us = std::stoull(need("--max-virtual"));
       } else if (args[i] == "--record") {
         record_file = need("--record");
+      } else if (args[i] == "--causality") {
+        opts.causality = true;
       } else if (args[i] == "--json") {
         json = true;
       } else if (args[i] == "--sweep-latency") {
@@ -174,6 +180,7 @@ int main(int argc, char** argv) {
       spec.seeds = seeds;
       spec.max_steps = opts.max_steps;
       spec.sim_node = opts.node;
+      spec.causality = opts.causality;
       spec.threads = threads;
       for (const std::uint64_t latency : sweep_latency) {
         for (const double loss : sweep_loss) {
@@ -215,9 +222,15 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+    if (!json && opts.causality) {
+      std::cout << "critical path: " << result.run.critical_path_len
+                << " activation(s), " << result.critical_path_us
+                << " virtual us (latency lower bound)\n";
+    }
     if (!result.run.recording_path.empty()) {
       std::cout << "recording written to " << result.run.recording_path
-                << " (verify with commroute-obs replay)\n";
+                << " (verify with commroute-obs replay; dissect with "
+                   "commroute-obs critical-path)\n";
     }
     return 0;
   } catch (const Error& e) {

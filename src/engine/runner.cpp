@@ -21,7 +21,8 @@ class FlightRecorder {
       : options_(options), window_initial_(std::move(initial)) {}
 
   void capture(const model::ActivationStep& step, const StepEffect& effect,
-               const NetworkState& state) {
+               const NetworkState& state,
+               std::optional<std::uint64_t> t_us) {
     Entry entry;
     entry.step = step;
     entry.pi = state.assignments();
@@ -32,6 +33,13 @@ class FlightRecorder {
       entry.io.reads.push_back(
           trace::StepIo::Read{read.channel, read.processed, read.dropped});
     }
+    for (const NodeEffect& node : effect.nodes) {
+      entry.io.selected.push_back(node.selected_from);
+    }
+    if (window_.empty()) {
+      timed_ = t_us.has_value();
+    }
+    entry.t_us = t_us.value_or(0);
     window_.push_back(std::move(entry));
     if (options_.mode == FlightRecorderOptions::Mode::kRing &&
         window_.size() > options_.ring_capacity) {
@@ -56,10 +64,16 @@ class FlightRecorder {
     doc.steps.reserve(window_.size());
     doc.assignments.reserve(window_.size());
     doc.io.reserve(window_.size());
+    if (timed_) {
+      doc.step_time_us.reserve(window_.size());
+    }
     for (Entry& entry : window_) {
       doc.steps.push_back(std::move(entry.step));
       doc.assignments.push_back(std::move(entry.pi));
       doc.io.push_back(std::move(entry.io));
+      if (timed_) {
+        doc.step_time_us.push_back(entry.t_us);
+      }
     }
     return doc;
   }
@@ -69,11 +83,13 @@ class FlightRecorder {
     model::ActivationStep step;
     trace::Assignment pi;
     trace::StepIo io;
+    std::uint64_t t_us = 0;
   };
   const FlightRecorderOptions& options_;
   trace::Assignment window_initial_;
   std::deque<Entry> window_;
   std::uint64_t first_step_ = 1;
+  bool timed_ = false;  ///< the scheduler exposed virtual timestamps
 };
 
 }  // namespace
@@ -147,6 +163,10 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
                    options.flight.ring_capacity > 0,
                "flight recorder ring capacity must be positive");
     recorder.emplace(options.flight, state.assignments());
+  }
+  std::optional<obs::CausalityRecorder> causal;
+  if (options.causality) {
+    causal.emplace(instance);
   }
 
   RunResult result;
@@ -277,8 +297,14 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
     if (options.record_trace) {
       result.trace.record(state.assignments());
     }
-    if (recording) {
-      recorder->capture(step, effect, state);
+    if (recording || causal.has_value()) {
+      const std::optional<std::uint64_t> t_us = scheduler.virtual_time_us();
+      if (recording) {
+        recorder->capture(step, effect, state, t_us);
+      }
+      if (causal.has_value()) {
+        causal->record(step, effect, result.steps, t_us);
+      }
     }
 
     if (can_detect_cycles) {
@@ -297,6 +323,11 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   result.final_assignment = state.assignments();
   result.max_attempt_gap = fairness.max_attempt_gap();
   result.outstanding_drops = fairness.outstanding_drops();
+
+  if (causal.has_value()) {
+    result.causality = std::move(*causal).finish();
+    result.critical_path_len = result.causality->critical_path_len();
+  }
 
   if (recording) {
     result.recording = std::move(*recorder).finish(options, result.outcome);
@@ -351,6 +382,10 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
           .record_max(result.peak_channel_bytes);
       m.histogram("engine.run_steps", obs::exponential_buckets(16, 4.0, 8))
           .observe(result.steps);
+      if (options.causality) {
+        m.gauge("engine.critical_path_len")
+            .record_max(result.critical_path_len);
+      }
     }
     if (options.obs.sink != nullptr) {
       obs::Event ev("engine_run");
@@ -366,6 +401,11 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
           .field("cycle_length", result.cycle_length)
           .field("cycle_detection", result.cycle_detection)
           .field("wall_us", wall_us);
+      if (options.causality) {
+        // Only when armed: existing consumers' engine_run bytes are
+        // unchanged and the field never reads as "0 = no chain".
+        ev.field("critical_path_len", result.critical_path_len);
+      }
       options.obs.sink->emit(ev);
     }
   }

@@ -18,6 +18,7 @@
 #include "engine/scheduler.hpp"
 #include "engine/state.hpp"
 #include "model/fairness.hpp"
+#include "obs/causality.hpp"
 #include "obs/obs.hpp"
 #include "trace/recording_io.hpp"
 #include "trace/trace.hpp"
@@ -74,6 +75,12 @@ struct RunOptions {
   /// With a sink attached, also emit one "engine_step" event per
   /// executed step (step effects: nodes touched, sends, reads, drops).
   bool emit_step_events = false;
+  /// Build the happens-before DAG of the run (obs/causality.hpp):
+  /// RunResult::causality is populated, critical_path_len computed, and
+  /// — with obs attached — an engine.critical_path_len gauge plus a
+  /// critical_path_len field on the engine_run event are published.
+  /// Off (the default) costs one predicted branch per step.
+  bool causality = false;
   /// Flight recorder (off by default; see FlightRecorderOptions).
   FlightRecorderOptions flight;
 };
@@ -113,6 +120,14 @@ struct RunResult {
   std::optional<trace::RecordingDoc> recording;
   /// Where the recording was flushed ("" when it was not).
   std::string recording_path;
+  /// Present iff RunOptions::causality: the happens-before DAG of the
+  /// executed run (self-contained — outlives the instance).
+  std::optional<obs::CausalityGraph> causality;
+  /// Length of the longest dependency chain ending at the last
+  /// assignment-changing activation (0 when causality was off or
+  /// nothing changed) — the dependency-depth lower bound on the step
+  /// count to convergence.
+  std::uint64_t critical_path_len = 0;
 };
 
 /// True when `state` is strongly quiescent (see file comment).

@@ -40,6 +40,16 @@ class Scheduler {
   /// True when the scheduler cannot produce further steps (a finite,
   /// non-looping script that has been fully played).
   virtual bool exhausted() const { return false; }
+
+  /// Virtual timestamp (microseconds) of the step most recently
+  /// returned by next(), for schedulers that execute on a virtual clock
+  /// (the sim's discrete-event scheduler). nullopt = untimed. The run
+  /// loop stamps this into flight recordings ("t_us", schema v2) and
+  /// the causal provenance graph, making the critical path a virtual-
+  /// time latency bound.
+  virtual std::optional<std::uint64_t> virtual_time_us() const {
+    return std::nullopt;
+  }
 };
 
 /// Replays a fixed script; optionally loops a suffix forever.

@@ -1,0 +1,249 @@
+// Causal provenance: the happens-before DAG of one execution.
+//
+// A run in any of the paper's 24 models is a sequence of activation
+// steps (U, X, f, g) (Def. 2.2), and its convergence time is lower-
+// bounded by the longest chain of message -> activation -> message
+// dependencies — the framing Daggitt & Griffin use for algebraic
+// convergence bounds. This module materializes that chain structure:
+//
+//   * vertices: one CausalActivation per (step, updating node) pair and
+//     one CausalMessage per message that entered a channel;
+//   * consume edges: every message a step's reads removed from a channel
+//     precedes the receiving node's activation (dropped messages
+//     included — g decides the drop at the reader, so the send still
+//     happens-before the read);
+//   * program-order edges: each node's activations are totally ordered;
+//   * emit edges: an activation precedes the messages it announces;
+//   * adoption edges (data flow, not counted in depth — they are
+//     subsumed transitively by consume + program order): the message
+//     whose payload became rho(selected_from) and thereby pi(v).
+//
+// depth(a) = length in activations of the longest dependency chain
+// ending at a (roots have depth 1). The critical path to convergence is
+// the chain ending at the last activation that changed any assignment;
+// its length explains the step count, and under sim::run its virtual
+// timestamps make it the provable latency lower bound for that seed.
+//
+// Graphs come from three sources: online from engine::run
+// (RunOptions::causality — the detached path costs one predicted branch
+// per step), offline from a complete recording (re-executed
+// deterministically), or offline from a ring-buffer window (seeded from
+// the recorded per-step I/O; messages already in flight at the window
+// edge become unknown-origin vertices and the graph reports itself as
+// truncated — every analysis then yields lower bounds, never silently
+// wrong values).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "model/activation.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::trace {
+struct RecordingDoc;
+}
+
+namespace commroute::obs {
+
+/// Index of an activation or message vertex within its graph.
+using CausalIndex = std::uint32_t;
+inline constexpr CausalIndex kNoCausalIndex = static_cast<CausalIndex>(-1);
+
+/// One (step, updating node) vertex.
+struct CausalActivation {
+  std::uint64_t step = 0;  ///< global 1-based step index
+  NodeId node = kNoNode;
+  bool changed = false;     ///< pi(node) changed at this step
+  std::uint64_t t_us = 0;   ///< virtual time (0 when the run is untimed)
+  std::uint64_t depth = 0;  ///< longest chain ending here, in activations
+  /// Previous activation of the same node (program order).
+  CausalIndex prog_parent = kNoCausalIndex;
+  /// Message whose payload furnished the new assignment (data flow);
+  /// kNoCausalIndex when the node selected epsilon, is the destination,
+  /// or the provenance is unknown (see adoption_unknown).
+  CausalIndex adopted = kNoCausalIndex;
+  /// True when an adoption edge should exist but cannot be recovered
+  /// (rho was set before a truncated window, or the recording predates
+  /// the causal fields). root_cause() reports such slices as incomplete.
+  bool adoption_unknown = false;
+  /// Every message this step's reads removed from channels into `node`,
+  /// dropped ones included.
+  std::vector<CausalIndex> consumed;
+};
+
+/// One message vertex.
+struct CausalMessage {
+  ChannelIdx channel = kNoChannel;
+  /// Activation that announced it; kNoCausalIndex = unknown origin (the
+  /// message was already in flight when a truncated window begins).
+  CausalIndex sender = kNoCausalIndex;
+  CausalIndex consumer = kNoCausalIndex;  ///< kNoCausalIndex = in flight
+  std::uint64_t send_step = 0;     ///< 0 = before the recorded window
+  std::uint64_t consume_step = 0;  ///< 0 = never consumed
+  bool dropped = false;            ///< consumed but dropped by g
+};
+
+/// One hop of an extracted chain, root first. `via` is the channel of
+/// the message edge arriving from the previous hop (kNoChannel for the
+/// root and for program-order hops).
+struct CausalLink {
+  CausalIndex activation = kNoCausalIndex;
+  std::uint64_t step = 0;
+  NodeId node = kNoNode;
+  std::uint64_t t_us = 0;
+  bool changed = false;
+  ChannelIdx via = kNoChannel;
+};
+
+/// Aggregate view of a graph (what `commroute-obs causality` prints).
+struct CausalityStats {
+  std::uint64_t activations = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t consume_edges = 0;
+  std::uint64_t program_edges = 0;
+  std::uint64_t adoption_edges = 0;
+  std::uint64_t emit_edges = 0;  ///< messages with a known sender
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t in_flight_messages = 0;  ///< never consumed
+  std::uint64_t unknown_origin_messages = 0;
+  std::uint64_t roots = 0;  ///< activations with no parent edge
+  std::uint64_t max_depth = 0;
+  std::uint64_t critical_path_len = 0;
+  std::uint64_t critical_path_us = 0;
+  bool truncated = false;
+  bool timed = false;
+};
+
+/// The happens-before DAG of one execution window. Self-contained: node
+/// and channel names are copied in, so a graph outlives its instance.
+class CausalityGraph {
+ public:
+  const std::vector<CausalActivation>& activations() const {
+    return activations_;
+  }
+  const std::vector<CausalMessage>& messages() const { return messages_; }
+
+  std::size_t node_count() const { return node_names_.size(); }
+  const std::string& node_name(NodeId v) const { return node_names_[v]; }
+  const std::string& channel_name(ChannelIdx c) const {
+    return channel_names_[c];
+  }
+
+  /// True when the window does not start at step 1: analyses are lower
+  /// bounds (chains may continue past the window edge).
+  bool truncated() const { return truncated_; }
+  /// True when activations carry virtual timestamps (sim::run source).
+  bool timed() const { return timed_; }
+  std::uint64_t first_step() const { return first_step_; }
+  std::uint64_t unknown_origin_messages() const { return unknown_origin_; }
+
+  /// Length (in activations) of the longest dependency chain ending at
+  /// the last assignment-changing activation; 0 when nothing changed.
+  /// On truncated graphs this is a lower bound.
+  std::uint64_t critical_path_len() const;
+
+  /// Virtual timestamp of the critical path's terminal activation — the
+  /// chain's virtual length, since its root is a boot activation at
+  /// t = 0. Equals SimResult::last_change_us by construction. 0 when
+  /// the graph is untimed or nothing changed.
+  std::uint64_t critical_path_us() const;
+
+  /// The critical path itself, root first; empty when nothing changed.
+  std::vector<CausalLink> critical_path() const;
+
+  /// Per node v: how many activations are causally reachable from some
+  /// activation of v (program-order edges included; an activation counts
+  /// its own node). The nodes whose announcements the run's work hinges
+  /// on score highest.
+  std::vector<std::uint64_t> influence() const;
+
+  /// Root-cause slice: the adoption chain explaining why pi(node) ended
+  /// at its final value. `complete` is false when the chain leaves the
+  /// recorded window (truncated recording) or adoption provenance is
+  /// unavailable; the returned prefix is still valid.
+  struct RootCause {
+    NodeId node = kNoNode;
+    bool complete = true;
+    /// Origin first, `node`'s final adoption last. Empty when pi(node)
+    /// never changed inside the window.
+    std::vector<CausalLink> chain;
+  };
+  RootCause root_cause(NodeId v) const;
+
+  CausalityStats stats() const;
+
+ private:
+  friend class CausalityRecorder;
+
+  CausalIndex terminal() const;
+  CausalLink link_for(CausalIndex a, ChannelIdx via) const;
+
+  std::vector<CausalActivation> activations_;
+  std::vector<CausalMessage> messages_;
+  std::vector<std::string> node_names_;
+  std::vector<std::string> channel_names_;
+  std::uint64_t first_step_ = 1;
+  std::uint64_t unknown_origin_ = 0;
+  bool truncated_ = false;
+  bool timed_ = false;
+};
+
+/// Incremental builder: feed it every executed step (in order) with its
+/// StepEffect, then take the finished graph. Used online by engine::run
+/// and offline by build_causality; both paths produce identical graphs
+/// for the same execution.
+class CausalityRecorder {
+ public:
+  /// `first_step` is the global index of the first step that will be
+  /// recorded; > 1 marks the graph truncated (ring window).
+  explicit CausalityRecorder(const spp::Instance& instance,
+                             std::uint64_t first_step = 1);
+
+  /// Declares that NodeEffect::selected_from is not trustworthy for the
+  /// fed effects (schema-v1 ring windows): adoption edges are skipped
+  /// and changed activations are marked adoption_unknown.
+  void set_adoption_unavailable();
+
+  /// Records one executed step. `step_index` is the global 1-based step
+  /// number (must advance by exactly 1 per call); `t_us` is the step's
+  /// virtual timestamp when the run is timed.
+  void record(const model::ActivationStep& step,
+              const engine::StepEffect& effect, std::uint64_t step_index,
+              std::optional<std::uint64_t> t_us = std::nullopt);
+
+  /// Finalizes and returns the graph; the recorder is spent.
+  CausalityGraph finish() &&;
+
+ private:
+  const spp::Instance* instance_;
+  CausalityGraph graph_;
+  bool adoption_available_ = true;
+  std::uint64_t next_step_;
+  /// Mirror of each channel's queue, as message vertex indices.
+  std::vector<std::deque<CausalIndex>> channel_mirror_;
+  /// Per channel: message that last set rho (kNoCausalIndex = rho unset
+  /// or set before the window).
+  std::vector<CausalIndex> rho_provenance_;
+  /// Per node: latest activation vertex.
+  std::vector<CausalIndex> last_activation_;
+  /// Per node scratch: activation vertex within the current step.
+  std::vector<CausalIndex> step_activation_;
+};
+
+/// Reconstructs the happens-before DAG from a recording. Complete
+/// recordings (first_step == 1) are re-executed deterministically, so
+/// any loadable recording works — including schema-v1 files. Ring
+/// windows are seeded from the recorded per-step I/O instead: messages
+/// in flight at the window edge become unknown-origin vertices and the
+/// graph is marked truncated; windows recorded before schema v2 lack
+/// selection provenance, so adoption edges are unavailable there.
+/// Throws PreconditionError for ring windows without I/O fields.
+CausalityGraph build_causality(const spp::Instance& instance,
+                               const trace::RecordingDoc& doc);
+
+}  // namespace commroute::obs

@@ -2,7 +2,10 @@
 
 #include <fstream>
 #include <istream>
+#include <set>
+#include <unordered_map>
 
+#include "obs/causality.hpp"
 #include "support/error.hpp"
 
 namespace commroute::obs {
@@ -39,10 +42,28 @@ std::string complete_slice(const std::string& name, std::uint64_t ts,
   return w.str();
 }
 
-std::string assemble(const std::vector<std::string>& events) {
-  std::string body =
-      R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
-      R"("args":{"name":"commroute"}})";
+/// Perfetto metadata ("M") record naming a process or thread track.
+std::string name_metadata(const char* what, std::uint32_t tid,
+                          const std::string& name) {
+  JsonWriter w;
+  w.field("name", what).field("ph", "M").field("pid", 1);
+  w.field("tid", static_cast<std::uint64_t>(tid));
+  JsonWriter args;
+  args.field("name", name);
+  w.raw_field("args", args.str());
+  return w.str();
+}
+
+std::string assemble(const std::vector<std::string>& events,
+                     const std::set<std::uint32_t>& tids) {
+  std::string body = name_metadata("process_name", 0, "commroute");
+  // Track labels: tid 0 is the calling thread, higher tids are the dense
+  // first-use numbers SpanCollector hands to campaign workers.
+  for (const std::uint32_t tid : tids) {
+    body += ',';
+    body += name_metadata("thread_name", tid,
+                          tid == 0 ? "main" : "worker-" + std::to_string(tid));
+  }
   for (const std::string& event : events) {
     body += ',';
     body += event;
@@ -53,16 +74,91 @@ std::string assemble(const std::vector<std::string>& events) {
   return top.str();
 }
 
-}  // namespace
+/// Flow endpoint ("s" start / "f" finish) tying causal arrows to slices.
+std::string flow_event(const char* ph, std::uint64_t id,
+                       const std::string& name, std::uint64_t ts,
+                       std::uint32_t tid) {
+  JsonWriter w;
+  w.field("name", name)
+      .field("cat", "causal")
+      .field("ph", ph)
+      .field("id", id)
+      .field("ts", ts)
+      .field("pid", 1)
+      .field("tid", static_cast<std::uint64_t>(tid));
+  if (ph[0] == 'f') {
+    w.field("bp", "e");  // bind to the enclosing slice
+  }
+  return w.str();
+}
 
-std::string chrome_trace_json(const SpanCollector& collector) {
+/// Step number an "engine.step" slice carries in its attrs, or nullopt.
+std::optional<std::uint64_t> slice_step(const SpanRecord& rec) {
+  if (rec.name != "engine.step") {
+    return std::nullopt;
+  }
+  const auto parsed = json_parse(rec.args_json);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    return std::nullopt;
+  }
+  const JsonValue* step = parsed->find("step");
+  if (step == nullptr || !step->is_number()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(step->as_number());
+}
+
+std::string render_trace(const SpanCollector& collector,
+                         const CausalityGraph* graph) {
+  const std::vector<SpanRecord> records = collector.snapshot();
   std::vector<std::string> events;
-  for (const SpanRecord& rec : collector.snapshot()) {
+  std::set<std::uint32_t> tids;
+  // First occurrence wins when several runs share the collector: flows
+  // would be ambiguous across repeated step numbers otherwise.
+  std::unordered_map<std::uint64_t, const SpanRecord*> step_slices;
+  for (const SpanRecord& rec : records) {
+    tids.insert(rec.tid);
     events.push_back(complete_slice(
         rec.name, rec.start_us, rec.dur_us, rec.tid,
         span_args(rec.id, rec.parent, rec.args_json)));
+    if (graph != nullptr) {
+      if (const auto step = slice_step(rec); step.has_value()) {
+        step_slices.emplace(*step, &rec);
+      }
+    }
   }
-  return assemble(events);
+  if (graph != nullptr) {
+    const auto& activations = graph->activations();
+    for (std::size_t i = 0; i < graph->messages().size(); ++i) {
+      const CausalMessage& m = graph->messages()[i];
+      if (m.sender == kNoCausalIndex || m.consumer == kNoCausalIndex) {
+        continue;  // unknown origin or still in flight: nothing to draw
+      }
+      const auto send = step_slices.find(activations[m.sender].step);
+      const auto consume = step_slices.find(activations[m.consumer].step);
+      if (send == step_slices.end() || consume == step_slices.end()) {
+        continue;  // step not traced (sampled or foreign collector)
+      }
+      const std::string& name = graph->channel_name(m.channel);
+      events.push_back(flow_event(
+          "s", i, name, send->second->start_us + send->second->dur_us,
+          send->second->tid));
+      events.push_back(flow_event("f", i, name, consume->second->start_us,
+                                  consume->second->tid));
+    }
+  }
+  return assemble(events, tids);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanCollector& collector) {
+  return render_trace(collector, nullptr);
+}
+
+std::string chrome_trace_json(const SpanCollector& collector,
+                              const CausalityGraph& graph) {
+  return render_trace(collector, &graph);
 }
 
 void write_chrome_trace(const SpanCollector& collector,
@@ -75,6 +171,7 @@ void write_chrome_trace(const SpanCollector& collector,
 JsonlConversion chrome_trace_from_jsonl(std::istream& in) {
   JsonlConversion result;
   std::vector<std::string> events;
+  std::set<std::uint32_t> tids;
   std::uint64_t fallback_ts = 0;  ///< synthetic clock for untimed events
   std::string line;
   while (std::getline(in, line)) {
@@ -104,13 +201,16 @@ JsonlConversion chrome_trace_from_jsonl(std::istream& in) {
         continue;
       }
       const JsonValue* attrs = parsed->find("args");
+      const std::uint32_t event_tid =
+          (tid != nullptr && tid->is_number())
+              ? static_cast<std::uint32_t>(tid->as_number())
+              : 0;
+      tids.insert(event_tid);
       events.push_back(complete_slice(
           span_name->as_string(),
           static_cast<std::uint64_t>(ts->as_number()),
           static_cast<std::uint64_t>(dur->as_number()),
-          (tid != nullptr && tid->is_number())
-              ? static_cast<std::uint32_t>(tid->as_number())
-              : 0,
+          event_tid,
           span_args((id != nullptr && id->is_number())
                         ? static_cast<std::uint32_t>(id->as_number())
                         : 0,
@@ -148,9 +248,10 @@ JsonlConversion chrome_trace_from_jsonl(std::istream& in) {
         .field("tid", 0);
     w.raw_field("args", args.str());
     events.push_back(w.str());
+    tids.insert(0);
     ++result.events;
   }
-  result.trace_json = assemble(events);
+  result.trace_json = assemble(events, tids);
   return result;
 }
 

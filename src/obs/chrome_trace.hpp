@@ -2,7 +2,10 @@
 // finished spans (or a JSONL event trace) as one JSON-object-format
 // trace document — {"traceEvents":[...]} with complete ("X") slices
 // carrying ts/dur in microseconds — that loads directly in
-// chrome://tracing and ui.perfetto.dev.
+// chrome://tracing and ui.perfetto.dev. Every document carries
+// process_name/thread_name metadata records so Perfetto labels the
+// tracks, and the causality-aware overload adds flow events (causal
+// arrows between step slices).
 #pragma once
 
 #include <iosfwd>
@@ -12,11 +15,22 @@
 
 namespace commroute::obs {
 
+class CausalityGraph;
+
 /// Renders the collector's finished spans as a Chrome trace-event JSON
 /// document. Every span becomes a complete ("X") slice with `ts` and
 /// `dur` in microseconds; the span's id/parent/attributes travel in
 /// `args` so tooling can rebuild the hierarchy losslessly.
 std::string chrome_trace_json(const SpanCollector& collector);
+
+/// As above, plus Perfetto flow events ("s"/"f" pairs, one per message
+/// with both endpoints known) rendering `graph`'s causal arrows between
+/// the "engine.step" slices — Perfetto draws each message as an arrow
+/// from the step that announced it to the step that consumed it. Slices
+/// are matched by their "step" attribute; messages whose steps were not
+/// traced are skipped, never fatal.
+std::string chrome_trace_json(const SpanCollector& collector,
+                              const CausalityGraph& graph);
 
 /// Writes chrome_trace_json to `path` (truncates; throws on failure).
 void write_chrome_trace(const SpanCollector& collector,

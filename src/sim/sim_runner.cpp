@@ -115,6 +115,10 @@ class SimScheduler final : public engine::Scheduler {
            clock_.now() >= opts_->max_virtual_us;
   }
 
+  std::optional<std::uint64_t> virtual_time_us() const override {
+    return last_step_time_;  // timestamp of the step next() just built
+  }
+
   // signature() stays nullopt: the sim's configuration includes the
   // event queue and RNG stream, which a state hash cannot capture, so
   // sound cycle detection is unavailable (sim::run sets
@@ -418,6 +422,7 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   ropts.enforce_model = options.model;
   ropts.obs = options.obs;
   ropts.emit_step_events = options.emit_step_events;
+  ropts.causality = options.causality;
   ropts.flight = options.flight;
   if (ropts.flight.mode != engine::FlightRecorderOptions::Mode::kOff) {
     if (ropts.flight.scheduler.empty()) {
@@ -443,6 +448,9 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   result.latency_max_us = scheduler.latency_max_us();
   result.queue_peak_events = scheduler.queue_peak_events();
   result.queue_peak_bytes = scheduler.queue_peak_bytes();
+  if (result.run.causality.has_value()) {
+    result.critical_path_us = result.run.causality->critical_path_us();
+  }
 
   // Flap times from the recorded pi-sequence: trace entry t is the state
   // after step t (entry 0 = initial), executed at step_time_us[t - 1].
@@ -505,6 +513,10 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
           .field("queue_peak_events", result.queue_peak_events)
           .field("queue_peak_bytes", result.queue_peak_bytes)
           .field("mean_latency_us", result.mean_latency_us());
+      if (options.causality) {
+        ev.field("critical_path_len", result.run.critical_path_len)
+            .field("critical_path_us", result.critical_path_us);
+      }
       options.obs.sink->emit(ev);
     }
   }
@@ -527,7 +539,9 @@ std::string SimResult::to_json() const {
       .field("latency_min_us", latency_min_us)
       .field("latency_max_us", latency_max_us)
       .field("queue_peak_events", queue_peak_events)
-      .field("queue_peak_bytes", queue_peak_bytes);
+      .field("queue_peak_bytes", queue_peak_bytes)
+      .field("critical_path_len", run.critical_path_len)
+      .field("critical_path_us", critical_path_us);
   std::string flaps = "[";
   for (std::size_t i = 0; i < last_flap_us.size(); ++i) {
     if (i > 0) {
@@ -586,6 +600,9 @@ SimResult SimResult::from_json(const std::string& json) {
   };
   r.queue_peak_events = u64_or_zero("queue_peak_events");
   r.queue_peak_bytes = u64_or_zero("queue_peak_bytes");
+  // Causality fields postdate the queue fields; same compatibility rule.
+  r.run.critical_path_len = u64_or_zero("critical_path_len");
+  r.critical_path_us = u64_or_zero("critical_path_us");
   const obs::JsonValue* flaps = parsed->find("last_flap_us");
   if (flaps == nullptr || !flaps->is_array()) {
     throw ParseError("sim_summary: missing array field \"last_flap_us\"");

@@ -72,6 +72,12 @@ struct SimOptions {
   /// is byte-stable for a fixed seed).
   obs::Instrumentation obs;
   bool emit_step_events = false;
+  /// Build the happens-before DAG of the induced run (forwarded to
+  /// engine::RunOptions::causality). Under the sim every activation is
+  /// stamped with its virtual time, so SimResult::critical_path_us is
+  /// the provable latency lower bound for this seed: no execution of
+  /// this dependency structure can converge earlier.
+  bool causality = false;
 };
 
 /// Result of a timed run: the ordinary step-based RunResult plus the
@@ -91,6 +97,12 @@ struct SimResult {
   /// Virtual timestamp of each executed step, parallel to the steps of
   /// run.trace (step t executed at step_time_us[t-1]).
   std::vector<std::uint64_t> step_time_us;
+  /// Virtual length of the critical dependency chain to convergence
+  /// (SimOptions::causality only, else 0): the timestamp of the chain's
+  /// terminal activation, whose roots are boot activations at t = 0.
+  /// Equals last_change_us by construction — the convergence time IS
+  /// the completion time of the longest causal chain.
+  std::uint64_t critical_path_us = 0;
 
   std::uint64_t events_processed = 0;   ///< DES events popped
   std::uint64_t messages_delivered = 0;  ///< processed and not lost

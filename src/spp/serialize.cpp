@@ -98,8 +98,13 @@ std::string format_instance(const Instance& instance) {
   std::ostringstream out;
   out << "dest " << g.name(instance.destination()) << "\n";
   for (ChannelIdx c = 0; c < g.channel_count(); ++c) {
+    // One line per undirected edge, emitted at the pair's first-built
+    // direction. The builder numbers u->v before v->u, so preserving
+    // the original orientation keeps ChannelIdx numbering stable across
+    // a serialize/parse round trip — recordings store raw channel
+    // indices, which would silently swap within each pair otherwise.
     const ChannelId id = g.channel_id(c);
-    if (id.from < id.to) {  // one line per undirected edge
+    if (c < g.channel(id.to, id.from)) {
       out << "edge " << g.name(id.from) << " " << g.name(id.to) << "\n";
     }
   }

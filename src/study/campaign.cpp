@@ -67,10 +67,13 @@ std::uint64_t CampaignResult::median_steps(
 
 std::string CampaignResult::to_csv() const {
   std::ostringstream out;
+  // New columns append at the end: CI's thread-width byte diff strips
+  // wall_ms by position (column 11).
   out << "instance,model,scheduler,seed,outcome,steps,messages_sent,"
          "messages_dropped,max_channel_occupancy,peak_channel_bytes,"
          "wall_ms,recording_path,"
-         "sim_latency_us,sim_loss,virtual_us,last_change_us\n";
+         "sim_latency_us,sim_loss,virtual_us,last_change_us,"
+         "critical_path_len,critical_path_us\n";
   for (const CampaignRow& row : rows) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
@@ -84,7 +87,8 @@ std::string CampaignResult::to_csv() const {
         << ',' << wall << ','
         << csv_quote(row.recording_path) << ',' << row.sim_latency_us
         << ',' << loss << ',' << row.virtual_us << ','
-        << row.last_change_us << '\n';
+        << row.last_change_us << ',' << row.critical_path_len << ','
+        << row.critical_path_us << '\n';
   }
   return out.str();
 }
@@ -110,7 +114,9 @@ obs::JsonWriter row_json(const CampaignRow& row) {
       .field("sim_latency_us", row.sim_latency_us)
       .field("sim_loss", row.sim_loss)
       .field("virtual_us", row.virtual_us)
-      .field("last_change_us", row.last_change_us);
+      .field("last_change_us", row.last_change_us)
+      .field("critical_path_len", row.critical_path_len)
+      .field("critical_path_us", row.critical_path_us);
   return w;
 }
 
@@ -278,6 +284,7 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
   sopts.seed = derive_row_seed(sim_seed_key(task.instance, task.sim_point),
                                task.model.index(), task.kind, task.seed);
   sopts.max_steps = spec.max_steps;
+  sopts.causality = spec.causality;
   sopts.obs.metrics = obs.metrics;
   sopts.obs.spans = obs.spans;
   if (!task.flush_path.empty()) {
@@ -319,6 +326,8 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
   row.sim_loss = task.link.loss_prob;
   row.virtual_us = sres.virtual_end_us;
   row.last_change_us = sres.last_change_us;
+  row.critical_path_len = sres.run.critical_path_len;
+  row.critical_path_us = sres.critical_path_us;
   row.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - row_start)
                     .count();
@@ -341,6 +350,7 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
   engine::RunOptions options;
   options.max_steps = spec.max_steps;
   options.record_trace = false;
+  options.causality = spec.causality;
   // Engine aggregates accumulate in the worker's registry shard and
   // engine spans nest under the row span; both merge into the
   // campaign-level handles after the sweep.
@@ -407,6 +417,7 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
   row.max_channel_occupancy = run.max_channel_occupancy;
   row.peak_channel_bytes = run.peak_channel_bytes;
   row.recording_path = run.recording_path;
+  row.critical_path_len = run.critical_path_len;
   row.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - row_start)
                     .count();

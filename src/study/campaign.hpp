@@ -69,6 +69,11 @@ struct CampaignSpec {
   obs::EventSink* telemetry_sink = nullptr;
   /// Snapshot cadence for the telemetry sampler.
   std::uint64_t telemetry_interval_ms = 250;
+  /// Build each row's happens-before DAG (engine::RunOptions::causality)
+  /// and export critical_path_len / critical_path_us columns. Like
+  /// every other row field the values are deterministic: byte-identical
+  /// CSV/JSON across thread widths.
+  bool causality = false;
   /// Worker threads for the row sweep: 0 = hardware_concurrency(),
   /// 1 = serial (runs on the calling thread exactly like the historical
   /// driver). Rows are independent, so any thread count produces
@@ -100,6 +105,12 @@ struct CampaignRow {
   double sim_loss = 0.0;
   std::uint64_t virtual_us = 0;      ///< virtual time of the last step
   std::uint64_t last_change_us = 0;  ///< virtual time of the last flap
+  /// CampaignSpec::causality only (0 otherwise): longest dependency
+  /// chain to the last assignment change, in activations, and — kSim
+  /// rows — in virtual microseconds (== last_change_us, the causal
+  /// explanation of that number).
+  std::uint64_t critical_path_len = 0;
+  std::uint64_t critical_path_us = 0;
 };
 
 struct CampaignResult {

@@ -115,6 +115,20 @@ std::string io_reads_json(const StepIo& io) {
   return out;
 }
 
+std::string io_selected_json(const StepIo& io) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < io.selected.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += io.selected[i] == kNoChannel
+               ? std::string("-1")
+               : std::to_string(io.selected[i]);
+  }
+  out += ']';
+  return out;
+}
+
 std::uint64_t u64_elem(const obs::JsonValue& v, std::size_t line,
                        const char* what) {
   if (!v.is_number() || v.as_number() < 0) {
@@ -154,7 +168,8 @@ std::string optional_string(const obs::JsonValue& record,
 }
 
 StepIo io_from_record(const spp::Instance& instance,
-                      const obs::JsonValue& record, std::size_t line) {
+                      const obs::JsonValue& record, std::size_t line,
+                      std::size_t step_nodes) {
   StepIo io;
   const std::size_t channels = instance.graph().channel_count();
   if (const obs::JsonValue* sent = record.find("sent")) {
@@ -189,6 +204,27 @@ StepIo io_from_record(const spp::Instance& instance,
       read.dropped = static_cast<std::uint32_t>(
           u64_elem(r.as_array()[2], line, "read dropped count"));
       io.reads.push_back(read);
+    }
+  }
+  if (const obs::JsonValue* sel = record.find("sel")) {
+    if (!sel->is_array()) {
+      fail(line, "\"sel\" is not an array");
+    }
+    for (const obs::JsonValue& c : sel->as_array()) {
+      if (!c.is_number()) {
+        fail(line, "selection entry is not a number");
+      }
+      const double n = c.as_number();
+      if (n < 0) {
+        io.selected.push_back(kNoChannel);  // -1 = epsilon / destination
+      } else if (n >= static_cast<double>(channels)) {
+        fail(line, "selection channel out of range");
+      } else {
+        io.selected.push_back(static_cast<ChannelIdx>(n));
+      }
+    }
+    if (io.selected.size() != step_nodes) {
+      fail(line, "\"sel\" must hold one entry per updating node");
     }
   }
   return io;
@@ -250,6 +286,9 @@ RecordingDoc doc_from_recording(const Recording& recording,
       io.reads.push_back(
           StepIo::Read{read.channel, read.processed, read.dropped});
     }
+    for (const engine::NodeEffect& node : rec.effect.nodes) {
+      io.selected.push_back(node.selected_from);
+    }
     doc.io.push_back(std::move(io));
   }
   return doc;
@@ -282,9 +321,18 @@ void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
              "recording steps/assignments mismatch");
   CR_REQUIRE(doc.io.empty() || doc.io.size() == doc.steps.size(),
              "recording io/steps mismatch");
+  CR_REQUIRE(doc.step_time_us.empty() ||
+                 doc.step_time_us.size() == doc.steps.size(),
+             "recording step_time_us/steps mismatch");
   obs::JsonWriter header;
   header.field("type", "recording_header");
-  obs::add_metadata_fields(header);
+  // Like obs::add_metadata_fields, but with the recording layout's own
+  // schema version (the generic artifact version stayed at 1 when the
+  // causal fields bumped recordings to v2).
+  header.field("schema_version", kRecordingSchemaVersion)
+      .field("created_unix_ms", obs::unix_time_ms())
+      .field("git", obs::git_describe())
+      .field("argv", obs::process_argv());
   header.field("kind", doc.meta.kind)
       .field("instance_name", doc.meta.instance_name)
       .field("model", doc.meta.model)
@@ -311,6 +359,12 @@ void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
     if (!doc.io.empty()) {
       record.raw_field("sent", io_sent_json(doc.io[t]));
       record.raw_field("reads", io_reads_json(doc.io[t]));
+      if (!doc.io[t].selected.empty()) {
+        record.raw_field("sel", io_selected_json(doc.io[t]));
+      }
+    }
+    if (!doc.step_time_us.empty()) {
+      record.field("t_us", doc.step_time_us[t]);
     }
     out << record.str() << '\n';
   }
@@ -451,9 +505,15 @@ LoadedRecording load_recording_jsonl(std::istream& in) {
           line_no));
       if (parsed->find("sent") != nullptr ||
           parsed->find("reads") != nullptr) {
-        doc.io.push_back(io_from_record(loaded.instance, *parsed, line_no));
+        doc.io.push_back(io_from_record(loaded.instance, *parsed, line_no,
+                                        doc.steps.back().nodes.size()));
       } else if (!doc.io.empty()) {
         fail(line_no, "step record is missing I/O fields present earlier");
+      }
+      if (const obs::JsonValue* t_us = parsed->find("t_us")) {
+        doc.step_time_us.push_back(u64_elem(*t_us, line_no, "t_us"));
+      } else if (!doc.step_time_us.empty()) {
+        fail(line_no, "step record is missing \"t_us\" present earlier");
       }
     } else if (type == "recording_footer") {
       const std::uint64_t steps = u64_field(*parsed, "steps", line_no);
@@ -484,6 +544,19 @@ LoadedRecording load_recording_jsonl(std::istream& in) {
   }
   if (!doc.io.empty() && doc.io.size() != doc.steps.size()) {
     throw ParseError("recording: I/O fields present on only some steps");
+  }
+  if (!doc.step_time_us.empty() &&
+      doc.step_time_us.size() != doc.steps.size()) {
+    throw ParseError("recording: \"t_us\" present on only some steps");
+  }
+  std::size_t with_selection = 0;
+  for (const StepIo& io : doc.io) {
+    if (!io.selected.empty()) {
+      ++with_selection;
+    }
+  }
+  if (with_selection != 0 && with_selection != doc.io.size()) {
+    throw ParseError("recording: \"sel\" present on only some steps");
   }
   return loaded;
 }

@@ -5,10 +5,10 @@
 // path-assignment sequences {pi(t)} they induce (Defs. 2.2/2.3); a
 // RecordingDoc is exactly one finite window of that pair, made durable:
 //
-//   {"type":"recording_header","schema_version":1,...,"instance":"...",
+//   {"type":"recording_header","schema_version":2,...,"instance":"...",
 //    "initial":["d","",""]}
 //   {"type":"recording_step","t":1,"step":"x | d->x f=inf",
-//    "pi":["d","xd",""],"sent":[2],"reads":[[0,1,0]]}
+//    "pi":["d","xd",""],"sent":[2],"reads":[[0,1,0]],"sel":[0]}
 //   ...
 //   {"type":"recording_footer","steps":N,"changes":K}
 //
@@ -38,11 +38,14 @@
 namespace commroute::trace {
 
 /// Layout version written into every recording header; readers reject
-/// anything newer.
-inline constexpr int kRecordingSchemaVersion = 1;
+/// anything newer. v2 added the per-step causal fields ("sel" selection
+/// provenance and, for timed runs, "t_us") — v1 files still load, with
+/// those fields simply absent.
+inline constexpr int kRecordingSchemaVersion = 2;
 
 /// Per-step channel I/O summary, enough to reconstruct channel-occupancy
-/// time series without storing full channel contents.
+/// time series — and, since schema v2, the happens-before DAG — without
+/// storing full channel contents.
 struct StepIo {
   struct Read {
     ChannelIdx channel = kNoChannel;
@@ -55,8 +58,14 @@ struct StepIo {
   };
   std::vector<ChannelIdx> sent;  ///< channels written during announce
   std::vector<Read> reads;
+  /// Selection provenance, parallel to the step's U (schema v2;
+  /// empty on v1 files): the in-channel whose rho furnished each
+  /// updating node's new assignment, kNoChannel (serialized -1) when it
+  /// selected epsilon or is the destination. This is what lets
+  /// obs::build_causality recover adoption edges from ring windows.
+  std::vector<ChannelIdx> selected;
   bool operator==(const StepIo& o) const {
-    return sent == o.sent && reads == o.reads;
+    return sent == o.sent && reads == o.reads && selected == o.selected;
   }
 };
 
@@ -85,6 +94,9 @@ struct RecordingDoc {
   std::vector<model::ActivationStep> steps;
   std::vector<Assignment> assignments;  ///< pi after each step
   std::vector<StepIo> io;  ///< parallel to steps, or empty (no I/O info)
+  /// Virtual timestamp of each step (schema v2, timed runs only —
+  /// sim::run sources); parallel to steps, or empty (untimed).
+  std::vector<std::uint64_t> step_time_us;
 
   /// True when the window starts at the initial state (replayable).
   bool complete() const { return meta.first_step == 1; }

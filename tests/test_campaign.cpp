@@ -212,14 +212,38 @@ TEST(Campaign, CsvEscapesHostileNamesAndRoundTrips) {
 
   const auto records = csv_parse(result.to_csv());
   ASSERT_EQ(records.size(), result.rows.size() + 1);  // header + rows
-  ASSERT_EQ(records[0].size(), 16u);
+  ASSERT_EQ(records[0].size(), 18u);
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const auto& fields = records[i + 1];
-    ASSERT_EQ(fields.size(), 16u) << "row " << i;
+    ASSERT_EQ(fields.size(), 18u) << "row " << i;
     EXPECT_EQ(fields[0], result.rows[i].instance);
     EXPECT_EQ(fields[1], result.rows[i].model.name());
     EXPECT_EQ(fields[4], "converged");
   }
+}
+
+TEST(Campaign, CausalityPopulatesCriticalPathColumns) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"GOOD", &good}};
+  spec.models = {Model::parse("RMS")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  spec.causality = true;
+  const CampaignResult result = run_campaign(spec);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_GT(result.rows[0].critical_path_len, 0u);
+
+  const std::string csv = result.to_csv();
+  EXPECT_NE(csv.find("critical_path_len,critical_path_us"),
+            std::string::npos);
+  // Engine rows are step-counted, not virtual-time-weighted.
+  EXPECT_EQ(result.rows[0].critical_path_us, 0u);
+
+  // Detached runs keep the columns but report zero.
+  spec.causality = false;
+  const CampaignResult detached = run_campaign(spec);
+  ASSERT_EQ(detached.rows.size(), 1u);
+  EXPECT_EQ(detached.rows[0].critical_path_len, 0u);
 }
 
 TEST(Campaign, RecordingPathsAreSanitizedAndCollisionFree) {

@@ -1,0 +1,348 @@
+// Causal provenance: happens-before DAG construction (online during
+// engine::run, offline from recordings), critical-path extraction,
+// influence and root-cause analyses — exercised on the paper's gadgets
+// under deterministic, randomized, and virtual-time schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/runner.hpp"
+#include "obs/causality.hpp"
+#include "sim/sim_runner.hpp"
+#include "spp/gadgets.hpp"
+#include "support/error.hpp"
+#include "trace/recording_io.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+engine::RunResult causal_run(const spp::Instance& instance,
+                             const std::string& model_name,
+                             engine::FlightRecorderOptions::Mode mode =
+                                 engine::FlightRecorderOptions::Mode::kOff,
+                             std::size_t ring = 16) {
+  const Model m = Model::parse(model_name);
+  engine::RoundRobinScheduler sched(m, instance);
+  engine::RunOptions options;
+  options.enforce_model = m;
+  options.causality = true;
+  options.flight.mode = mode;
+  options.flight.ring_capacity = ring;
+  return engine::run(instance, sched, options);
+}
+
+void expect_graphs_equal(const obs::CausalityGraph& a,
+                         const obs::CausalityGraph& b) {
+  EXPECT_EQ(a.truncated(), b.truncated());
+  EXPECT_EQ(a.timed(), b.timed());
+  EXPECT_EQ(a.first_step(), b.first_step());
+  ASSERT_EQ(a.activations().size(), b.activations().size());
+  for (std::size_t i = 0; i < a.activations().size(); ++i) {
+    const obs::CausalActivation& x = a.activations()[i];
+    const obs::CausalActivation& y = b.activations()[i];
+    EXPECT_EQ(x.step, y.step) << "activation " << i;
+    EXPECT_EQ(x.node, y.node) << "activation " << i;
+    EXPECT_EQ(x.changed, y.changed) << "activation " << i;
+    EXPECT_EQ(x.t_us, y.t_us) << "activation " << i;
+    EXPECT_EQ(x.depth, y.depth) << "activation " << i;
+    EXPECT_EQ(x.prog_parent, y.prog_parent) << "activation " << i;
+    EXPECT_EQ(x.adopted, y.adopted) << "activation " << i;
+    EXPECT_EQ(x.adoption_unknown, y.adoption_unknown) << "activation " << i;
+    EXPECT_EQ(x.consumed, y.consumed) << "activation " << i;
+  }
+  ASSERT_EQ(a.messages().size(), b.messages().size());
+  for (std::size_t i = 0; i < a.messages().size(); ++i) {
+    const obs::CausalMessage& x = a.messages()[i];
+    const obs::CausalMessage& y = b.messages()[i];
+    EXPECT_EQ(x.channel, y.channel) << "message " << i;
+    EXPECT_EQ(x.sender, y.sender) << "message " << i;
+    EXPECT_EQ(x.consumer, y.consumer) << "message " << i;
+    EXPECT_EQ(x.send_step, y.send_step) << "message " << i;
+    EXPECT_EQ(x.consume_step, y.consume_step) << "message " << i;
+    EXPECT_EQ(x.dropped, y.dropped) << "message " << i;
+  }
+}
+
+TEST(Causality, OnlineGraphOnBadGadget) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = causal_run(bad, "R1O");
+  ASSERT_TRUE(run.causality.has_value());
+  const obs::CausalityGraph& graph = *run.causality;
+
+  // Round-robin steps activate exactly one node each.
+  EXPECT_EQ(graph.activations().size(), run.steps);
+  EXPECT_EQ(graph.messages().size(), run.messages_sent);
+  EXPECT_FALSE(graph.truncated());
+  EXPECT_FALSE(graph.timed());
+
+  EXPECT_GT(run.critical_path_len, 0u);
+  EXPECT_EQ(run.critical_path_len, graph.critical_path_len());
+
+  const std::vector<obs::CausalLink> chain = graph.critical_path();
+  ASSERT_EQ(chain.size(), run.critical_path_len);
+  EXPECT_EQ(chain.front().via, kNoChannel);  // the root has no arrival
+  EXPECT_TRUE(chain.back().changed);         // ends at the last change
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain[i - 1].step, chain[i].step);
+  }
+  // Every hop's depth is its chain position (that is what makes the
+  // chain length equal the terminal's depth).
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(graph.activations()[chain[i].activation].depth, i + 1);
+  }
+}
+
+TEST(Causality, EdgeAccountingOnCompleteRun) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = causal_run(bad, "R1O");
+  ASSERT_TRUE(run.causality.has_value());
+  const obs::CausalityStats stats = run.causality->stats();
+
+  EXPECT_EQ(stats.activations, run.steps);
+  EXPECT_EQ(stats.messages, run.messages_sent);
+  // Complete window: every message's sender is known.
+  EXPECT_EQ(stats.emit_edges, stats.messages);
+  EXPECT_EQ(stats.unknown_origin_messages, 0u);
+  // Consumed + still-in-flight partitions the messages.
+  EXPECT_EQ(stats.consume_edges + stats.in_flight_messages,
+            stats.messages);
+  // Program edges: one per activation except each node's first.
+  EXPECT_EQ(stats.program_edges,
+            stats.activations - bad.node_count());
+  EXPECT_EQ(stats.max_depth, stats.critical_path_len);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_FALSE(stats.timed);
+}
+
+TEST(Causality, OnlineAndOfflineGraphsAgree) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run =
+      causal_run(bad, "R1O", engine::FlightRecorderOptions::Mode::kFull);
+  ASSERT_TRUE(run.causality.has_value());
+  ASSERT_TRUE(run.recording.has_value());
+
+  const obs::CausalityGraph offline =
+      obs::build_causality(bad, *run.recording);
+  expect_graphs_equal(*run.causality, offline);
+}
+
+TEST(Causality, DroppedMessagesStayInTheGraph) {
+  const spp::Instance bad = spp::bad_gadget();
+  const Model m = Model::parse("U1O");
+  engine::RandomFairScheduler sched(
+      m, bad, Rng(3),
+      engine::RandomFairOptions{.drop_prob = 0.5, .sweep_period = 16});
+  engine::RunOptions options;
+  options.enforce_model = m;
+  options.causality = true;
+  options.max_steps = 400;
+  const engine::RunResult run = engine::run(bad, sched, options);
+  ASSERT_TRUE(run.causality.has_value());
+  ASSERT_GT(run.messages_dropped, 0u);
+
+  const obs::CausalityStats stats = run.causality->stats();
+  EXPECT_EQ(stats.dropped_messages, run.messages_dropped);
+  // A dropped message was still consumed (g decides the drop at the
+  // reader), so it has a consumer and contributes a consume edge.
+  for (const obs::CausalMessage& msg : run.causality->messages()) {
+    if (msg.dropped) {
+      EXPECT_NE(msg.consumer, obs::kNoCausalIndex);
+      EXPECT_GT(msg.consume_step, 0u);
+    }
+  }
+}
+
+TEST(Causality, InfluenceIsDominatedByTheDestination) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = causal_run(bad, "R1O");
+  ASSERT_TRUE(run.causality.has_value());
+
+  const std::vector<std::uint64_t> influence =
+      run.causality->influence();
+  ASSERT_EQ(influence.size(), bad.node_count());
+  // d's boot announcement seeds every chain; every node at least
+  // reaches its own activations.
+  for (NodeId v = 0; v < static_cast<NodeId>(influence.size()); ++v) {
+    EXPECT_GE(influence[0], influence[v]);  // node 0 is d in bad_gadget
+    EXPECT_GE(influence[v], 1u);
+  }
+}
+
+TEST(Causality, RootCauseChainOnCompleteRun) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = causal_run(bad, "R1O");
+  ASSERT_TRUE(run.causality.has_value());
+  const obs::CausalityGraph& graph = *run.causality;
+
+  for (NodeId v = 1; v < static_cast<NodeId>(bad.node_count()); ++v) {
+    const obs::CausalityGraph::RootCause cause = graph.root_cause(v);
+    EXPECT_TRUE(cause.complete);
+    ASSERT_FALSE(cause.chain.empty());
+    EXPECT_EQ(cause.chain.back().node, v);
+    // Each adoption hop flows through a channel into the next node.
+    for (std::size_t i = 1; i < cause.chain.size(); ++i) {
+      EXPECT_LT(cause.chain[i - 1].step, cause.chain[i].step);
+      EXPECT_NE(cause.chain[i].via, kNoChannel);
+    }
+  }
+  // The destination never adopts anything.
+  EXPECT_TRUE(graph.root_cause(0).chain.empty());
+}
+
+TEST(Causality, SimCriticalPathExplainsLastChange) {
+  const spp::Instance bad = spp::bad_gadget();
+  sim::SimOptions opts;
+  opts.model = Model::parse("U1O");
+  opts.seed = 7;
+  opts.link.loss_prob = 0.2;
+  opts.causality = true;
+  const sim::SimResult result = sim::run(bad, opts);
+  ASSERT_TRUE(result.run.causality.has_value());
+  const obs::CausalityGraph& graph = *result.run.causality;
+
+  EXPECT_TRUE(graph.timed());
+  // The chain's virtual length is exactly the last-flap time: its
+  // terminal is the last assignment-changing activation.
+  EXPECT_EQ(result.critical_path_us, result.last_change_us);
+  EXPECT_EQ(graph.critical_path_us(), result.last_change_us);
+  EXPECT_EQ(result.run.critical_path_len, graph.critical_path_len());
+
+  const std::vector<obs::CausalLink> chain = graph.critical_path();
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.back().t_us, result.last_change_us);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i - 1].t_us, chain[i].t_us);
+  }
+}
+
+TEST(Causality, SimOnlineAndOfflineGraphsAgree) {
+  const spp::Instance bad = spp::bad_gadget();
+  sim::SimOptions opts;
+  opts.model = Model::parse("U1O");
+  opts.seed = 7;
+  opts.link.loss_prob = 0.2;
+  opts.causality = true;
+  opts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  const sim::SimResult result = sim::run(bad, opts);
+  ASSERT_TRUE(result.run.causality.has_value());
+  ASSERT_TRUE(result.run.recording.has_value());
+
+  // The recording carries per-step t_us, so the offline graph is timed
+  // and identical to the online one.
+  const obs::CausalityGraph offline =
+      obs::build_causality(bad, *result.run.recording);
+  EXPECT_TRUE(offline.timed());
+  expect_graphs_equal(*result.run.causality, offline);
+}
+
+TEST(Causality, RingWindowIsTruncatedButAnalyzable) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run =
+      causal_run(bad, "R1O", engine::FlightRecorderOptions::Mode::kRing,
+                 /*ring=*/16);
+  ASSERT_TRUE(run.recording.has_value());
+  ASSERT_GT(run.recording->meta.first_step, 1u);
+
+  const obs::CausalityGraph graph =
+      obs::build_causality(bad, *run.recording);
+  EXPECT_TRUE(graph.truncated());
+  EXPECT_EQ(graph.first_step(), run.recording->meta.first_step);
+  EXPECT_EQ(graph.activations().size(), run.recording->steps.size());
+  // Messages consumed inside the window but sent before it surface as
+  // unknown-origin vertices instead of being silently dropped.
+  EXPECT_GT(graph.unknown_origin_messages(), 0u);
+  const obs::CausalityStats stats = graph.stats();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.unknown_origin_messages,
+            graph.unknown_origin_messages());
+  // The window still has a critical path (a lower bound), and it fits
+  // inside the window.
+  EXPECT_GT(stats.critical_path_len, 0u);
+  EXPECT_LE(stats.critical_path_len, run.recording->steps.size());
+  const std::vector<obs::CausalLink> chain = graph.critical_path();
+  EXPECT_EQ(chain.size(), stats.critical_path_len);
+  for (const obs::CausalLink& link : chain) {
+    EXPECT_GE(link.step, graph.first_step());
+  }
+}
+
+TEST(Causality, RingWindowWithoutSelectionLosesAdoptionOnly) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run =
+      causal_run(bad, "R1O", engine::FlightRecorderOptions::Mode::kRing,
+                 /*ring=*/16);
+  ASSERT_TRUE(run.recording.has_value());
+
+  // Simulate a schema-v1 window: per-step I/O without "sel".
+  trace::RecordingDoc v1 = *run.recording;
+  for (trace::StepIo& io : v1.io) {
+    io.selected.clear();
+  }
+  const obs::CausalityGraph graph = obs::build_causality(bad, v1);
+  EXPECT_TRUE(graph.truncated());
+  EXPECT_EQ(graph.stats().adoption_edges, 0u);
+  bool any_changed = false;
+  for (const obs::CausalActivation& a : graph.activations()) {
+    if (a.changed) {
+      any_changed = true;
+      EXPECT_TRUE(a.adoption_unknown);
+      EXPECT_EQ(a.adopted, obs::kNoCausalIndex);
+    }
+  }
+  ASSERT_TRUE(any_changed);
+  // Root-cause slices degrade to honest incompleteness, not garbage.
+  for (NodeId v = 1; v < static_cast<NodeId>(bad.node_count()); ++v) {
+    const obs::CausalityGraph::RootCause cause = graph.root_cause(v);
+    if (!cause.chain.empty()) {
+      EXPECT_FALSE(cause.complete);
+    }
+  }
+  // Depths (and thus the critical path) never depended on adoption
+  // edges, so they match the selection-aware graph.
+  const obs::CausalityGraph full =
+      obs::build_causality(bad, *run.recording);
+  EXPECT_EQ(graph.critical_path_len(), full.critical_path_len());
+}
+
+TEST(Causality, RingWindowWithoutIoIsRejected) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run =
+      causal_run(bad, "R1O", engine::FlightRecorderOptions::Mode::kRing,
+                 /*ring=*/16);
+  ASSERT_TRUE(run.recording.has_value());
+
+  trace::RecordingDoc no_io = *run.recording;
+  no_io.io.clear();
+  EXPECT_THROW(obs::build_causality(bad, no_io), PreconditionError);
+}
+
+TEST(Causality, RebuildIsDeterministic) {
+  const spp::Instance disagree = spp::disagree();
+  const engine::RunResult run =
+      causal_run(disagree, "R1O",
+                 engine::FlightRecorderOptions::Mode::kFull);
+  ASSERT_TRUE(run.recording.has_value());
+  const obs::CausalityGraph a =
+      obs::build_causality(disagree, *run.recording);
+  const obs::CausalityGraph b =
+      obs::build_causality(disagree, *run.recording);
+  expect_graphs_equal(a, b);
+  EXPECT_EQ(a.critical_path_len(), b.critical_path_len());
+  EXPECT_EQ(a.influence(), b.influence());
+}
+
+TEST(Causality, DetachedRunsCarryNoGraph) {
+  const spp::Instance bad = spp::bad_gadget();
+  const Model m = Model::parse("R1O");
+  engine::RoundRobinScheduler sched(m, bad);
+  engine::RunOptions options;
+  options.enforce_model = m;
+  const engine::RunResult run = engine::run(bad, sched, options);
+  EXPECT_FALSE(run.causality.has_value());
+  EXPECT_EQ(run.critical_path_len, 0u);
+}
+
+}  // namespace
+}  // namespace commroute

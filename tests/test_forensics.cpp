@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "engine/runner.hpp"
+#include "obs/causality.hpp"
 #include "obs/forensics.hpp"
 #include "spp/gadgets.hpp"
+#include "trace/recording_io.hpp"
 
 namespace commroute {
 namespace {
@@ -117,6 +120,49 @@ TEST(Forensics, ChannelOccupancyRequiresIoSummaries) {
   trace::RecordingDoc stripped = *run.recording;
   stripped.io.clear();
   EXPECT_THROW(obs::channel_occupancy(bad, stripped), PreconditionError);
+}
+
+TEST(Forensics, RingWindowSupportsForensicsAndCausality) {
+  // A ring-buffer window serialized and reloaded keeps enough structure
+  // for every offline analysis: flap timelines and occupancy over the
+  // window, and a causality DAG that reports its own truncation instead
+  // of failing or fabricating provenance.
+  const spp::Instance bad = spp::bad_gadget();
+  const Model m = Model::parse("R1O");
+  engine::RoundRobinScheduler sched(m, bad);
+  engine::RunOptions options;
+  options.enforce_model = m;
+  options.flight.mode = engine::FlightRecorderOptions::Mode::kRing;
+  options.flight.ring_capacity = 16;
+  const engine::RunResult run = engine::run(bad, sched, options);
+  ASSERT_TRUE(run.recording.has_value());
+  ASSERT_GT(run.recording->meta.first_step, 1u);
+
+  std::istringstream jsonl(trace::recording_to_jsonl(bad, *run.recording));
+  const trace::LoadedRecording loaded =
+      trace::load_recording_jsonl(jsonl);
+  EXPECT_FALSE(loaded.doc.complete());
+  EXPECT_EQ(loaded.doc.meta.first_step, run.recording->meta.first_step);
+  EXPECT_EQ(loaded.doc.steps.size(), 16u);
+
+  const obs::FlapReport flaps =
+      obs::flap_timelines(loaded.instance, loaded.doc);
+  EXPECT_EQ(flaps.steps, 16u);
+  EXPECT_EQ(flaps.first_step, loaded.doc.meta.first_step);
+
+  const std::vector<obs::ChannelOccupancy> channels =
+      obs::channel_occupancy(loaded.instance, loaded.doc);
+  EXPECT_EQ(channels.size(), loaded.instance.graph().channel_count());
+
+  const obs::CausalityGraph graph =
+      obs::build_causality(loaded.instance, loaded.doc);
+  EXPECT_TRUE(graph.truncated());
+  EXPECT_TRUE(graph.stats().truncated);
+  EXPECT_EQ(graph.first_step(), loaded.doc.meta.first_step);
+  EXPECT_EQ(graph.activations().size(), 16u);
+  // In-flight messages at the window edge are reported, not invented.
+  EXPECT_GT(graph.unknown_origin_messages(), 0u);
+  EXPECT_GT(graph.critical_path_len(), 0u);
 }
 
 }  // namespace

@@ -295,6 +295,88 @@ TEST(ChromeTrace, JsonlSpanEventsConvertToSlices) {
   EXPECT_TRUE(instant_found);
 }
 
+TEST(ChromeTrace, EmitsProcessAndThreadNameMetadata) {
+  obs::SpanCollector collector;
+  {
+    obs::Span outer = collector.begin("outer");
+  }
+  std::thread([&collector] {
+    obs::Span worker = collector.begin("thread.worker");
+  }).join();
+
+  const auto doc = parse_or_die(obs::chrome_trace_json(collector));
+  bool process_named = false;
+  std::size_t thread_names = 0;
+  for (const obs::JsonValue& event : doc.find("traceEvents")->as_array()) {
+    if (event.find("ph")->as_string() != "M") {
+      continue;
+    }
+    const std::string& name = event.find("name")->as_string();
+    const obs::JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    if (name == "process_name") {
+      process_named = true;
+      EXPECT_EQ(args->find("name")->as_string(), "commroute");
+    } else if (name == "thread_name") {
+      ++thread_names;
+      const std::string& label = args->find("name")->as_string();
+      if (event.find("tid")->as_number() == 0.0) {
+        EXPECT_EQ(label, "main");
+      } else {
+        EXPECT_EQ(label.rfind("worker-", 0), 0u) << label;
+      }
+    }
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_EQ(thread_names, 2u);  // main + the spawned worker
+}
+
+TEST(ChromeTrace, FlowEventsLinkSenderToConsumerSteps) {
+  const spp::Instance good = spp::good_gadget();
+  const Model m = Model::parse("RMS");
+  engine::RoundRobinScheduler sched(m, good);
+  obs::SpanCollector collector;
+  engine::RunOptions options;
+  options.obs.spans = &collector;
+  options.causality = true;
+  const auto result = engine::run(good, sched, options);
+  ASSERT_TRUE(result.causality.has_value());
+
+  const auto doc =
+      parse_or_die(obs::chrome_trace_json(collector, *result.causality));
+  std::size_t starts = 0, finishes = 0;
+  for (const obs::JsonValue& event : doc.find("traceEvents")->as_array()) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph != "s" && ph != "f") {
+      continue;
+    }
+    EXPECT_EQ(event.find("cat")->as_string(), "causal");
+    ASSERT_NE(event.find("id"), nullptr);
+    ASSERT_NE(event.find("name"), nullptr);
+    if (ph == "s") {
+      ++starts;
+    } else {
+      ++finishes;
+      // Perfetto binds the arrow to the enclosing slice only with an
+      // explicit "enclosing" binding point.
+      EXPECT_EQ(event.find("bp")->as_string(), "e");
+    }
+  }
+  // Every consumed message whose send and consume steps are both traced
+  // gets exactly one arrow: a start at the sender, a finish at the
+  // consumer.
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);
+
+  // The plain overload stays flow-free.
+  const auto flat = parse_or_die(obs::chrome_trace_json(collector));
+  for (const obs::JsonValue& event : flat.find("traceEvents")->as_array()) {
+    const std::string& ph = event.find("ph")->as_string();
+    EXPECT_NE(ph, "s");
+    EXPECT_NE(ph, "f");
+  }
+}
+
 TEST(EngineRun, ProducesRunStepActivateHierarchy) {
   const spp::Instance good = spp::good_gadget();
   const Model m = Model::parse("RMS");

@@ -3,6 +3,7 @@
 // including tamper detection.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "checker/explorer.hpp"
 #include "engine/runner.hpp"
 #include "model/script_io.hpp"
+#include "sim/sim_runner.hpp"
 #include "spp/gadgets.hpp"
 #include "trace/recording_io.hpp"
 
@@ -168,7 +170,8 @@ TEST(RecordingIo, LoadRejectsMalformedInput) {
 
   // A schema version newer than this reader.
   std::string newer = jsonl;
-  const std::string tag = "\"schema_version\":1";
+  const std::string tag =
+      "\"schema_version\":" + std::to_string(trace::kRecordingSchemaVersion);
   ASSERT_NE(newer.find(tag), std::string::npos);
   newer.replace(newer.find(tag), tag.size(), "\"schema_version\":99");
   EXPECT_THROW(load(newer), ParseError);
@@ -187,6 +190,124 @@ TEST(RecordingIo, LoadRejectsMalformedInput) {
     swapped += l + "\n";
   }
   EXPECT_THROW(load(swapped), ParseError);
+}
+
+/// Erases `,"key":<value>` from every line of `jsonl` (value = a JSON
+/// array or a bare number) — crafting schema-v1-shaped inputs.
+std::string strip_field(const std::string& jsonl, const std::string& key,
+                        bool first_line_only = false) {
+  std::istringstream in(jsonl);
+  std::string out, line;
+  bool stripped_one = false;
+  while (std::getline(in, line)) {
+    const std::string tag = ",\"" + key + "\":";
+    const std::size_t start = line.find(tag);
+    if (start != std::string::npos && !(first_line_only && stripped_one)) {
+      std::size_t end = start + tag.size();
+      if (line[end] == '[') {
+        end = line.find(']', end) + 1;
+      } else {
+        while (end < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[end])) != 0 ||
+                line[end] == '-')) {
+          ++end;
+        }
+      }
+      line.erase(start, end - start);
+      stripped_one = true;
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+TEST(RecordingIo, CausalFieldsRoundTrip) {
+  // Schema v2: "sel" (selection provenance) always, "t_us" on timed
+  // (sim-driven) recordings; both survive the JSONL round-trip.
+  const spp::Instance bad = spp::bad_gadget();
+  sim::SimOptions opts;
+  opts.model = Model::parse("U1O");
+  opts.seed = 7;
+  opts.link.loss_prob = 0.2;
+  opts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  const sim::SimResult result = sim::run(bad, opts);
+  ASSERT_TRUE(result.run.recording.has_value());
+  const trace::RecordingDoc& doc = *result.run.recording;
+  ASSERT_EQ(doc.step_time_us.size(), doc.steps.size());
+  ASSERT_EQ(doc.io.size(), doc.steps.size());
+  for (std::size_t t = 0; t < doc.io.size(); ++t) {
+    EXPECT_EQ(doc.io[t].selected.size(), doc.steps[t].nodes.size());
+  }
+
+  std::istringstream in(trace::recording_to_jsonl(bad, doc));
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  EXPECT_EQ(loaded.doc.io, doc.io);
+  EXPECT_EQ(loaded.doc.step_time_us, doc.step_time_us);
+}
+
+TEST(RecordingIo, V1ShapedFilesStillLoad) {
+  // A file without any causal fields (what a v1 writer produced) loads
+  // with those vectors simply empty.
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  std::string jsonl = trace::recording_to_jsonl(bad, *run.recording);
+  jsonl = strip_field(jsonl, "sel");
+  const std::string tag =
+      "\"schema_version\":" + std::to_string(trace::kRecordingSchemaVersion);
+  ASSERT_NE(jsonl.find(tag), std::string::npos);
+  jsonl.replace(jsonl.find(tag), tag.size(), "\"schema_version\":1");
+
+  std::istringstream in(jsonl);
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  EXPECT_EQ(loaded.doc.steps.size(), run.recording->steps.size());
+  EXPECT_TRUE(loaded.doc.step_time_us.empty());
+  for (const trace::StepIo& io : loaded.doc.io) {
+    EXPECT_TRUE(io.selected.empty());
+  }
+  // And it still replays: replay never needed the causal fields.
+  EXPECT_TRUE(trace::replay_recording(loaded).identical);
+}
+
+TEST(RecordingIo, RejectsInconsistentCausalFields) {
+  const spp::Instance bad = spp::bad_gadget();
+  const engine::RunResult run = recorded_bad_gadget_run(bad);
+  const std::string jsonl = trace::recording_to_jsonl(bad, *run.recording);
+  const auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return trace::load_recording_jsonl(in);
+  };
+
+  // Selection channel out of range.
+  std::string bad_channel = jsonl;
+  const std::size_t sel = bad_channel.find("\"sel\":[");
+  ASSERT_NE(sel, std::string::npos);
+  bad_channel.replace(sel, 8, "\"sel\":[99");
+  EXPECT_THROW(load(bad_channel), ParseError);
+
+  // Wrong arity: round-robin steps update exactly one node.
+  std::string bad_arity = jsonl;
+  const std::size_t close = bad_arity.find(']', bad_arity.find("\"sel\":["));
+  ASSERT_NE(close, std::string::npos);
+  bad_arity.insert(close, ",0");
+  EXPECT_THROW(load(bad_arity), ParseError);
+
+  // "sel" present on only some steps.
+  EXPECT_THROW(load(strip_field(jsonl, "sel", /*first_line_only=*/true)),
+               ParseError);
+
+  // "t_us" present on only some steps (timed sim recording).
+  sim::SimOptions opts;
+  opts.model = Model::parse("U1O");
+  opts.seed = 7;
+  opts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  const sim::SimResult timed = sim::run(bad, opts);
+  ASSERT_TRUE(timed.run.recording.has_value());
+  const std::string timed_jsonl =
+      trace::recording_to_jsonl(bad, *timed.run.recording);
+  ASSERT_NE(timed_jsonl.find("\"t_us\":"), std::string::npos);
+  EXPECT_THROW(
+      load(strip_field(timed_jsonl, "t_us", /*first_line_only=*/true)),
+      ParseError);
 }
 
 TEST(RecordingIo, LoadSkipsLeadingSinkMetadataRecord) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+
 #include "engine/runner.hpp"
 #include "obs/obs.hpp"
 #include "spp/gadgets.hpp"
@@ -197,6 +200,25 @@ TEST(Runner, SignaturelessSchedulerPublishesDisabledGaugeAndEvent) {
   for (const std::string& line : clean_sink.lines()) {
     EXPECT_EQ(line.find("cycle_detection_disabled"), std::string::npos);
   }
+}
+
+TEST(Runner, OutcomeStringsRoundTripExhaustively) {
+  // Every enumerator survives to_string -> outcome_from_string, and the
+  // names stay distinct (recordings and campaign CSVs store them).
+  const Outcome all[] = {Outcome::kConverged, Outcome::kOscillating,
+                         Outcome::kExhausted};
+  std::set<std::string> names;
+  for (const Outcome outcome : all) {
+    const std::string name = to_string(outcome);
+    names.insert(name);
+    const std::optional<Outcome> back = outcome_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, outcome) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_FALSE(outcome_from_string("").has_value());
+  EXPECT_FALSE(outcome_from_string("Converged").has_value());
+  EXPECT_FALSE(outcome_from_string("diverged").has_value());
 }
 
 }  // namespace

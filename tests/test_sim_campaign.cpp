@@ -99,6 +99,34 @@ TEST(SimCampaign, DistinctPointsGetDecorrelatedSeeds) {
   EXPECT_NE(result.rows[0].virtual_us, result.rows[1].virtual_us);
 }
 
+TEST(SimCampaign, CausalityReportsVirtualCriticalPaths) {
+  const spp::Instance bad = spp::bad_gadget();
+  study::CampaignSpec spec = sim_spec(bad);
+  spec.causality = true;
+  const study::CampaignResult result = study::run_campaign(spec);
+  for (const study::CampaignRow& row : result.rows) {
+    EXPECT_GT(row.critical_path_len, 0u);
+    if (row.outcome == engine::Outcome::kConverged) {
+      // The chain ending at the last route change has virtual length
+      // equal to the convergence time: a latency lower bound.
+      EXPECT_EQ(row.critical_path_us, row.last_change_us);
+    }
+  }
+
+  // Byte-identical CSV regardless of worker threads (minus wall_ms,
+  // which CI strips by position; here compare the causal columns).
+  study::CampaignSpec wide = spec;
+  wide.threads = 4;
+  const study::CampaignResult parallel = study::run_campaign(wide);
+  ASSERT_EQ(parallel.rows.size(), result.rows.size());
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    EXPECT_EQ(parallel.rows[i].critical_path_len,
+              result.rows[i].critical_path_len);
+    EXPECT_EQ(parallel.rows[i].critical_path_us,
+              result.rows[i].critical_path_us);
+  }
+}
+
 TEST(SimCampaign, CsvAndJsonCarryVirtualColumns) {
   const spp::Instance bad = spp::bad_gadget();
   const study::CampaignResult result = study::run_campaign(sim_spec(bad));

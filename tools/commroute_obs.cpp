@@ -14,6 +14,8 @@
 //   commroute-obs replay REC.recording.jsonl       deterministic re-execution diff
 //   commroute-obs flaps REC.recording.jsonl        per-node route-flap timelines
 //   commroute-obs oscillation REC.recording.jsonl  cycle extraction
+//   commroute-obs causality REC.recording.jsonl    happens-before DAG stats + influence
+//   commroute-obs critical-path REC.recording.jsonl  longest dependency chain, hop by hop
 //
 // Input handling: a missing or unreadable file exits 2 with a clear
 // message; an empty file is a valid zero-event input for summarize /
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "obs/analysis.hpp"
+#include "obs/causality.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/forensics.hpp"
 #include "obs/json.hpp"
@@ -73,7 +76,17 @@ int usage() {
          "timelines + channel occupancy peaks\n"
          "  oscillation FILE.recording.jsonl [--json]\n"
          "                                     extract the recurring "
-         "pi-cycle; exit 1 when none is found\n";
+         "pi-cycle; exit 1 when none is found\n"
+         "  causality FILE.recording.jsonl [--json] [--why NODE]\n"
+         "                                     happens-before DAG stats + "
+         "per-node influence; --why traces\n"
+         "                                     the adoption chain behind "
+         "NODE's final assignment\n"
+         "  critical-path FILE.recording.jsonl [--json]\n"
+         "                                     longest dependency chain to "
+         "the last assignment change,\n"
+         "                                     hop by hop; exit 1 when "
+         "nothing ever changed\n";
   return kExitUsage;
 }
 
@@ -803,6 +816,274 @@ int cmd_oscillation(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+/// NodeId for `name`, or kNoNode (with a message) when unknown.
+NodeId node_by_name(const spp::Instance& inst, const std::string& name) {
+  for (NodeId v = 0; v < static_cast<NodeId>(inst.node_count()); ++v) {
+    if (inst.graph().name(v) == name) {
+      return v;
+    }
+  }
+  std::cerr << "commroute-obs: no node named \"" << name
+            << "\" in this instance\n";
+  return kNoNode;
+}
+
+/// pi(link.node) right after link.step, rendered; "" when the recording
+/// window does not cover that step.
+std::string link_pi(const trace::LoadedRecording& loaded,
+                    const obs::CausalLink& link) {
+  const std::uint64_t first = loaded.doc.meta.first_step;
+  if (link.step < first) {
+    return "";
+  }
+  const std::uint64_t local = link.step - first;
+  if (local >= loaded.doc.assignments.size()) {
+    return "";
+  }
+  return loaded.instance.path_name(loaded.doc.assignments[local][link.node]);
+}
+
+/// How the hop was reached: the arriving channel, program order, or the
+/// chain root.
+std::string link_via(const obs::CausalityGraph& graph,
+                     const obs::CausalLink& link, bool root) {
+  if (link.via != kNoChannel) {
+    return graph.channel_name(link.via);
+  }
+  return root ? "(root)" : "(local)";
+}
+
+/// ["{...}",...] of chain hops, shared by causality --why and
+/// critical-path --json.
+std::string chain_json(const trace::LoadedRecording& loaded,
+                       const obs::CausalityGraph& graph,
+                       const std::vector<obs::CausalLink>& chain) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const obs::CausalLink& link = chain[i];
+    if (i > 0) {
+      out += ',';
+    }
+    obs::JsonWriter w;
+    w.field("step", link.step)
+        .field("node", graph.node_name(link.node))
+        .field("changed", link.changed);
+    if (graph.timed()) {
+      w.field("t_us", link.t_us);
+    }
+    if (link.via != kNoChannel) {
+      w.field("via", graph.channel_name(link.via));
+    }
+    const std::string pi = link_pi(loaded, link);
+    if (!pi.empty() || link.changed) {
+      w.field("pi", pi);
+    }
+    out += w.str();
+  }
+  out += ']';
+  return out;
+}
+
+void print_chain(const trace::LoadedRecording& loaded,
+                 const obs::CausalityGraph& graph,
+                 const std::vector<obs::CausalLink>& chain) {
+  TextTable table;
+  if (graph.timed()) {
+    table.set_header({"step", "t", "node", "via", "pi"});
+  } else {
+    table.set_header({"step", "node", "via", "pi"});
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const obs::CausalLink& link = chain[i];
+    std::vector<std::string> row;
+    row.push_back(std::to_string(link.step));
+    if (graph.timed()) {
+      row.push_back(format_us(link.t_us));
+    }
+    row.push_back(graph.node_name(link.node));
+    row.push_back(link_via(graph, link, i == 0));
+    row.push_back(link_pi(loaded, link));
+    table.add_row(row);
+  }
+  std::cout << table.render();
+}
+
+int cmd_causality(const std::vector<std::string>& args) {
+  std::string file;
+  std::string why;
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--why" && i + 1 < args.size()) {
+      why = args[++i];
+    } else if (file.empty()) {
+      file = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) {
+    return usage();
+  }
+  const auto loaded = load_recording(file);
+  if (!loaded.has_value()) {
+    return kExitUsage;
+  }
+  // PreconditionError (ring window without I/O) propagates to main's
+  // handler: exit 2 with the library's message.
+  const obs::CausalityGraph graph =
+      obs::build_causality(loaded->instance, loaded->doc);
+  const obs::CausalityStats stats = graph.stats();
+  const std::vector<std::uint64_t> influence = graph.influence();
+  obs::CausalityGraph::RootCause cause;
+  if (!why.empty()) {
+    const NodeId v = node_by_name(loaded->instance, why);
+    if (v == kNoNode) {
+      return kExitUsage;
+    }
+    cause = graph.root_cause(v);
+  }
+
+  if (json) {
+    obs::JsonWriter w;
+    // Deliberately no created_unix_ms/argv header: this report is part
+    // of the determinism contract (CI byte-compares two runs).
+    w.field("type", "causality_report")
+        .field("schema_version", obs::kArtifactSchemaVersion)
+        .field("file", file)
+        .field("activations", stats.activations)
+        .field("messages", stats.messages)
+        .field("consume_edges", stats.consume_edges)
+        .field("program_edges", stats.program_edges)
+        .field("adoption_edges", stats.adoption_edges)
+        .field("emit_edges", stats.emit_edges)
+        .field("dropped_messages", stats.dropped_messages)
+        .field("in_flight_messages", stats.in_flight_messages)
+        .field("unknown_origin_messages", stats.unknown_origin_messages)
+        .field("roots", stats.roots)
+        .field("max_depth", stats.max_depth)
+        .field("critical_path_len", stats.critical_path_len)
+        .field("critical_path_us", stats.critical_path_us)
+        .field("truncated", stats.truncated)
+        .field("timed", stats.timed);
+    std::string rows = "[";
+    for (NodeId v = 0; v < static_cast<NodeId>(influence.size()); ++v) {
+      if (v > 0) {
+        rows += ',';
+      }
+      obs::JsonWriter row;
+      row.field("node", graph.node_name(v)).field("influence", influence[v]);
+      rows += row.str();
+    }
+    rows += ']';
+    w.raw_field("influence", rows);
+    if (!why.empty()) {
+      obs::JsonWriter c;
+      c.field("node", graph.node_name(cause.node))
+          .field("complete", cause.complete);
+      c.raw_field("chain", chain_json(*loaded, graph, cause.chain));
+      w.raw_field("root_cause", c.str());
+    }
+    std::cout << w.str() << "\n";
+    return kExitOk;
+  }
+
+  describe_recording(*loaded);
+  std::cout << "happens-before DAG: " << stats.activations
+            << " activation(s), " << stats.messages << " message(s), "
+            << stats.consume_edges + stats.program_edges + stats.emit_edges
+            << " edge(s) (" << stats.consume_edges << " consume, "
+            << stats.program_edges << " program, " << stats.emit_edges
+            << " emit; " << stats.adoption_edges
+            << " adoption data-flow)\n";
+  std::cout << "messages: " << stats.dropped_messages << " dropped, "
+            << stats.in_flight_messages << " still in flight, "
+            << stats.unknown_origin_messages << " of unknown origin\n";
+  std::cout << "depth: max " << stats.max_depth << " over " << stats.roots
+            << " root(s); critical path " << stats.critical_path_len
+            << " activation(s)";
+  if (stats.timed) {
+    std::cout << " / " << format_us(stats.critical_path_us)
+              << " virtual";
+  }
+  std::cout << "\n";
+  if (stats.truncated) {
+    std::cout << "NOTE: ring-buffer window (starts at step "
+              << graph.first_step()
+              << "); chains may continue past the window edge, all "
+              << "figures are lower bounds\n";
+  }
+  TextTable table;
+  table.set_header({"node", "influence"});
+  for (NodeId v = 0; v < static_cast<NodeId>(influence.size()); ++v) {
+    table.add_row({graph.node_name(v), std::to_string(influence[v])});
+  }
+  std::cout << table.render();
+  if (!why.empty()) {
+    std::cout << "root cause of " << graph.node_name(cause.node)
+              << "'s final assignment"
+              << (cause.complete ? ":" : " (incomplete — provenance "
+                                         "leaves the recorded window):")
+              << "\n";
+    if (cause.chain.empty()) {
+      std::cout << "  pi(" << graph.node_name(cause.node)
+                << ") never changed inside the window\n";
+    } else {
+      print_chain(*loaded, graph, cause.chain);
+    }
+  }
+  return kExitOk;
+}
+
+int cmd_critical_path(const std::vector<std::string>& args) {
+  const RecordingArgs opts = parse_recording_args(args);
+  if (!opts.ok) {
+    return usage();
+  }
+  const auto loaded = load_recording(opts.file);
+  if (!loaded.has_value()) {
+    return kExitUsage;
+  }
+  const obs::CausalityGraph graph =
+      obs::build_causality(loaded->instance, loaded->doc);
+  const std::vector<obs::CausalLink> chain = graph.critical_path();
+
+  if (opts.json) {
+    obs::JsonWriter w;
+    // Deterministic by design, like causality_report.
+    w.field("type", "critical_path_report")
+        .field("schema_version", obs::kArtifactSchemaVersion)
+        .field("file", opts.file)
+        .field("found", !chain.empty())
+        .field("length", static_cast<std::uint64_t>(chain.size()))
+        .field("critical_path_us", graph.critical_path_us())
+        .field("truncated", graph.truncated())
+        .field("timed", graph.timed());
+    w.raw_field("chain", chain_json(*loaded, graph, chain));
+    std::cout << w.str() << "\n";
+    return chain.empty() ? kExitFinding : kExitOk;
+  }
+
+  describe_recording(*loaded);
+  if (chain.empty()) {
+    std::cout << "no assignment ever changed in the recorded window; "
+              << "there is no critical path\n";
+    return kExitFinding;
+  }
+  std::cout << "critical path: " << chain.size() << " activation(s)";
+  if (graph.timed()) {
+    std::cout << ", virtual length " << format_us(graph.critical_path_us());
+  }
+  if (graph.truncated()) {
+    std::cout << " (lower bound: window starts at step "
+              << graph.first_step() << ")";
+  }
+  std::cout << "\n";
+  print_chain(*loaded, graph, chain);
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -839,6 +1120,12 @@ int main(int argc, char** argv) {
     }
     if (command == "oscillation") {
       return cmd_oscillation(args);
+    }
+    if (command == "causality") {
+      return cmd_causality(args);
+    }
+    if (command == "critical-path") {
+      return cmd_critical_path(args);
     }
     std::cerr << "unknown command: " << command << "\n";
     return usage();
