@@ -1,0 +1,115 @@
+// Sketch microbenchmarks (google-benchmark): LogHistogram observe and
+// merge throughput, TopK add under eviction pressure, reservoir
+// sampling, and the end-to-end cost gap between ObsBudget::kFull and
+// kSketched engine runs. Run with --json to write
+// BENCH_perf_sketch.json instead of the console table.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_gbench.hpp"
+#include "engine/runner.hpp"
+#include "engine/scheduler.hpp"
+#include "obs/sketch.hpp"
+#include "spp/random_gen.hpp"
+
+namespace {
+
+using namespace commroute;
+using model::Model;
+
+std::vector<std::uint64_t> value_stream(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out.push_back((x & 0xffffffffull) + 1);
+  }
+  return out;
+}
+
+void BM_LogHistogramObserve(benchmark::State& state) {
+  const auto values = value_stream(4096);
+  obs::LogHistogram hist(
+      static_cast<unsigned>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.observe(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogHistogramObserve)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_LogHistogramMerge(benchmark::State& state) {
+  const auto values = value_stream(65536);
+  obs::LogHistogram shard(7);
+  for (const std::uint64_t v : values) {
+    shard.observe(v);
+  }
+  for (auto _ : state) {
+    obs::LogHistogram target(7);
+    target.merge_from(shard);
+    benchmark::DoNotOptimize(target.count());
+  }
+}
+BENCHMARK(BM_LogHistogramMerge);
+
+void BM_TopKAddUnderEviction(benchmark::State& state) {
+  // Key space far beyond capacity: every add churns the eviction path.
+  const auto values = value_stream(4096);
+  obs::TopK top(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    top.add(values[i++ & 4095] % 1024);
+  }
+  benchmark::DoNotOptimize(top.total_weight());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TopKAddUnderEviction)->Arg(16)->Arg(64);
+
+void BM_ReservoirAdd(benchmark::State& state) {
+  obs::ReservoirSample sample(64, 42);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    sample.add(id++, "x");
+  }
+  benchmark::DoNotOptimize(sample.seen());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReservoirAdd);
+
+void BM_EngineRunByBudget(benchmark::State& state) {
+  // The knob's end-to-end price: same 2000-node run, full vs sketched
+  // observability (per-node vectors + trace vs bounded sketches).
+  static const spp::Instance inst = [] {
+    Rng rng(11);
+    return spp::random_tree(rng, 2000);
+  }();
+  const auto budget = state.range(0) == 0 ? obs::ObsBudget::kFull
+                                          : obs::ObsBudget::kSketched;
+  for (auto _ : state) {
+    engine::RoundRobinScheduler sched(Model::parse("UMS"), inst);
+    engine::RunOptions options;
+    options.max_steps = 20000;
+    // Trace and cycle table off in both arms: they are O(nodes) per
+    // step and would drown the per-node-structure delta being measured.
+    options.record_trace = false;
+    options.detect_cycles = false;
+    options.budget = budget;
+    benchmark::DoNotOptimize(engine::run(inst, sched, options));
+  }
+  state.SetLabel(obs::to_string(budget));
+}
+BENCHMARK(BM_EngineRunByBudget)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return commroute::bench::gbench_main("perf_sketch", "items_per_sec",
+                                       argc, argv);
+}

@@ -182,6 +182,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
   ExploreResult result;
   ConfigGraph graph;
+  const bool sketched = options.budget == obs::ObsBudget::kSketched;
 
   // Tracked-bytes accounting over the explorer's own structures (interned
   // states, edges, frontier, hash index, witness store). Always on — it
@@ -260,6 +261,13 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
     frontier.pop_front();
     track_sub(sizeof(StateId));
     ++expanded;
+    if (options.progress != nullptr && expanded % 256 == 0) {
+      // done/total both move: total = expanded + frontier is the best
+      // lower bound on the reachable-state count known so far, so the
+      // fraction converges to 1 exactly as the frontier drains.
+      options.progress->update(expanded, expanded + frontier.size());
+      options.progress->set_detail(frontier.size());
+    }
     if (options.obs.sink != nullptr) {
       const bool count_due = options.heartbeat_every > 0 &&
                              expanded % options.heartbeat_every == 0;
@@ -304,6 +312,9 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
 
     const std::vector<model::ActivationStep> steps =
         enumerate_steps(graph.states[id], m, successor_options);
+    if (sketched) {
+      result.successor_hist.observe(steps.size());
+    }
     for (const model::ActivationStep& step : steps) {
       engine::NetworkState next = graph.states[id];
       const engine::StepEffect effect = engine::execute_step(next, step);
@@ -365,6 +376,10 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   }
   batch_span.finish();
 
+  if (options.progress != nullptr) {
+    options.progress->update(expanded, expanded + frontier.size());
+    options.progress->set_detail(frontier.size());
+  }
   result.states = graph.states.size();
   result.quiescent_assignments = std::move(quiescent);
   result.exhaustive = !result.state_cap_hit && !result.channel_bound_hit &&
@@ -585,6 +600,12 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
                  static_cast<std::uint64_t>(
                      result.quiescent_assignments.size()))
           .field("wall_us", wall_us);
+      if (sketched) {
+        // Gated so full-mode checker_summary lines keep their exact
+        // pre-budget bytes.
+        ev.field("obs_budget", obs::to_string(options.budget))
+            .raw_field("successor_hist", result.successor_hist.to_json());
+      }
       options.obs.sink->emit(ev);
     }
   }

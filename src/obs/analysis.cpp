@@ -42,49 +42,69 @@ std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
 
 }  // namespace
 
-JsonlSummary summarize_jsonl(std::istream& in) {
-  JsonlSummary summary;
-  struct Acc {
-    std::uint64_t count = 0;
-    std::vector<std::uint64_t> durations_us;
-  };
-  std::map<std::string, Acc> by_type;
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
-    }
-    ++summary.lines;
-    const auto parsed = json_parse(line);
-    if (!parsed.has_value() || !parsed->is_object()) {
-      ++summary.malformed;
-      continue;
-    }
-    const JsonValue* type = parsed->find("type");
-    Acc& acc = by_type[(type != nullptr && type->is_string())
-                           ? type->as_string()
-                           : "(untyped)"];
-    ++acc.count;
-    if (const auto dur = event_duration_us(*parsed); dur.has_value()) {
-      acc.durations_us.push_back(*dur);
+void StreamingSummarizer::add_line(const std::string& line) {
+  if (line.empty()) {
+    return;
+  }
+  ++lines_;
+  const auto parsed = json_parse(line);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    ++malformed_;
+    return;
+  }
+  const JsonValue* type = parsed->find("type");
+  Acc& acc = by_type_[(type != nullptr && type->is_string())
+                          ? type->as_string()
+                          : "(untyped)"];
+  ++acc.count;
+  if (const auto dur = event_duration_us(*parsed); dur.has_value()) {
+    ++acc.timed;
+    acc.total_us += *dur;
+    acc.max_us = std::max(acc.max_us, *dur);
+    if (acc.exact.size() < kExactCap) {
+      acc.exact.push_back(*dur);
+    } else {
+      if (!acc.spill.has_value()) {
+        // Past the cap everything sketches — including the exact prefix,
+        // so spilled percentiles cover the whole distribution.
+        acc.spill.emplace(7u);
+        for (const std::uint64_t d : acc.exact) {
+          acc.spill->observe(d);
+        }
+      }
+      acc.spill->observe(*dur);
     }
   }
+}
 
-  for (auto& [type, acc] : by_type) {
+void StreamingSummarizer::consume(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    add_line(line);
+  }
+}
+
+JsonlSummary StreamingSummarizer::summary() const {
+  JsonlSummary summary;
+  summary.lines = lines_;
+  summary.malformed = malformed_;
+  for (const auto& [type, acc] : by_type_) {
     EventTypeSummary row;
     row.type = type;
     row.count = acc.count;
-    if (!acc.durations_us.empty()) {
-      std::sort(acc.durations_us.begin(), acc.durations_us.end());
-      row.timed = acc.durations_us.size();
-      for (const std::uint64_t d : acc.durations_us) {
-        row.total_us += d;
-      }
-      row.p50_us = percentile(acc.durations_us, 50);
-      row.p90_us = percentile(acc.durations_us, 90);
-      row.p99_us = percentile(acc.durations_us, 99);
-      row.max_us = acc.durations_us.back();
+    row.timed = acc.timed;
+    row.total_us = acc.total_us;
+    row.max_us = acc.max_us;
+    if (acc.spill.has_value()) {
+      row.p50_us = std::min(acc.spill->quantile(0.50), acc.max_us);
+      row.p90_us = std::min(acc.spill->quantile(0.90), acc.max_us);
+      row.p99_us = std::min(acc.spill->quantile(0.99), acc.max_us);
+    } else if (!acc.exact.empty()) {
+      std::vector<std::uint64_t> sorted = acc.exact;
+      std::sort(sorted.begin(), sorted.end());
+      row.p50_us = percentile(sorted, 50);
+      row.p90_us = percentile(sorted, 90);
+      row.p99_us = percentile(sorted, 99);
     }
     summary.types.push_back(std::move(row));
   }
@@ -93,6 +113,12 @@ JsonlSummary summarize_jsonl(std::istream& in) {
                      return a.count > b.count;
                    });
   return summary;
+}
+
+JsonlSummary summarize_jsonl(std::istream& in) {
+  StreamingSummarizer s;
+  s.consume(in);
+  return s.summary();
 }
 
 std::vector<SpanRecord> spans_from_jsonl(std::istream& in) {

@@ -9,7 +9,11 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <optional>
+
 #include "obs/json.hpp"
+#include "obs/sketch.hpp"
 #include "obs/spans.hpp"
 
 namespace commroute::obs {
@@ -36,7 +40,50 @@ struct JsonlSummary {
 /// latency stats when it carries a duration: `dur_us` (spans), `wall_us`
 /// (engine/checker summaries), `wall_ms` (x1000), or a nested
 /// `row.wall_ms` (campaign rows). Malformed lines are counted, not fatal.
+/// Implemented on StreamingSummarizer, so memory stays bounded however
+/// long the stream is.
 JsonlSummary summarize_jsonl(std::istream& in);
+
+/// Incremental, bounded-memory version of summarize_jsonl: feed lines
+/// as they arrive (the `summarize --follow` tail mode), snapshot the
+/// summary at any point. Per event type the first kExactCap durations
+/// are kept exactly — percentiles then match the historical whole-
+/// vector computation byte-for-byte — and everything past the cap
+/// spills into a LogHistogram(7), capping memory per type while keeping
+/// percentiles within a < 1% documented relative error
+/// (LogHistogram::relative_error_bound).
+class StreamingSummarizer {
+ public:
+  /// Exact durations kept per event type before spilling to the sketch.
+  static constexpr std::size_t kExactCap = 4096;
+
+  /// Consumes one line (without trailing newline). Empty lines are
+  /// ignored; malformed lines are counted, never fatal.
+  void add_line(const std::string& line);
+
+  /// add_line for every line of `in` (consumes to EOF; with a cleared
+  /// stream the follow mode calls it again for the appended tail).
+  void consume(std::istream& in);
+
+  std::size_t lines() const { return lines_; }
+  std::size_t malformed() const { return malformed_; }
+
+  /// Current aggregate, identical in shape to summarize_jsonl's.
+  JsonlSummary summary() const;
+
+ private:
+  struct Acc {
+    std::uint64_t count = 0;
+    std::uint64_t timed = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+    std::vector<std::uint64_t> exact;      ///< first kExactCap durations
+    std::optional<LogHistogram> spill;     ///< the rest, sketched
+  };
+  std::map<std::string, Acc> by_type_;
+  std::size_t lines_ = 0;
+  std::size_t malformed_ = 0;
+};
 
 /// Span records from a JSONL stream ("span" events; others ignored).
 std::vector<SpanRecord> spans_from_jsonl(std::istream& in);

@@ -55,7 +55,15 @@ Counter& Registry::counter(const std::string& name) {
   return counters_[name];
 }
 
-Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+Gauge& Registry::gauge(const std::string& name, GaugeMerge policy) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second;
+  }
+  Gauge& g = gauges_[name];
+  g.merge_ = policy;
+  return g;
+}
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<std::uint64_t> bounds) {
@@ -72,7 +80,18 @@ void Registry::merge_from(const Registry& other) {
     counters_[name].add(c.value());
   }
   for (const auto& [name, g] : other.gauges_) {
-    gauges_[name].record_max(g.value());
+    Gauge& mine = gauge(name, g.merge_policy());
+    switch (g.merge_policy()) {
+      case GaugeMerge::kMax:
+        mine.record_max(g.value());
+        break;
+      case GaugeMerge::kSum:
+        mine.add(g.value());
+        break;
+      case GaugeMerge::kLast:
+        mine.set(g.value());
+        break;
+    }
   }
   for (const auto& [name, h] : other.histograms_) {
     const auto it = histograms_.find(name);

@@ -23,10 +23,25 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// How Registry::merge_from combines two same-named gauges. kMax is the
+/// historical default (high-water marks); kSum is for counters-in-
+/// gauge-clothing (per-shard occurrence flags that must add up, e.g.
+/// engine.cycle_detection_disabled); kLast takes the merged-in value
+/// (merge order is the deterministic worker order, so "last shard wins"
+/// is reproducible, but prefer kMax/kSum for anything byte-compared).
+enum class GaugeMerge {
+  kMax,
+  kSum,
+  kLast,
+};
+
 /// A point-in-time value (frontier size, channel-occupancy high-water).
 class Gauge {
  public:
   void set(std::uint64_t v) { value_ = v; }
+  /// Adds to the value — for kSum-merged occurrence gauges, where
+  /// set(1) would collapse per-shard counts on the serial path.
+  void add(std::uint64_t v = 1) { value_ += v; }
   /// Keeps the maximum ever seen (high-water-mark semantics).
   void record_max(std::uint64_t v) {
     if (v > value_) {
@@ -34,9 +49,12 @@ class Gauge {
     }
   }
   std::uint64_t value() const { return value_; }
+  GaugeMerge merge_policy() const { return merge_; }
 
  private:
+  friend class Registry;
   std::uint64_t value_ = 0;
+  GaugeMerge merge_ = GaugeMerge::kMax;
 };
 
 /// Fixed-bucket histogram: each bucket counts observations `<=` its
@@ -87,19 +105,26 @@ struct MetricSample {
 class Registry {
  public:
   Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// `policy` applies on first creation (like histogram bounds); later
+  /// calls return the existing gauge with its original policy. The
+  /// one-argument form never downgrades an explicit policy.
+  Gauge& gauge(const std::string& name,
+               GaugeMerge policy = GaugeMerge::kMax);
   /// `bounds` applies on first creation; later calls return the existing
   /// histogram unchanged.
   Histogram& histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds);
 
-  /// Folds another registry into this one: counters add, gauges keep
-  /// the maximum (high-water semantics), histograms add bucket-wise
+  /// Folds another registry into this one: counters add, gauges combine
+  /// per their GaugeMerge policy (max by default; sum for occurrence
+  /// gauges; last-wins for kLast), histograms add bucket-wise
   /// (same-name histograms must share bounds). This is how per-worker
   /// registry shards collapse into a campaign-level registry after a
-  /// parallel sweep; because every combiner is commutative and
-  /// associative, the merged aggregates are identical regardless of
-  /// which worker ran which row.
+  /// parallel sweep; kMax/kSum combiners are commutative and
+  /// associative, so the merged aggregates are identical regardless of
+  /// which worker ran which row (kLast depends on the — deterministic —
+  /// shard merge order). A gauge created here by the merge inherits the
+  /// incoming shard's policy.
   void merge_from(const Registry& other);
 
   /// All metrics, name-sorted within each kind.

@@ -37,8 +37,10 @@ struct Instrumentation {
   Counter* counter(const std::string& name) const {
     return metrics != nullptr ? &metrics->counter(name) : nullptr;
   }
-  Gauge* gauge(const std::string& name) const {
-    return metrics != nullptr ? &metrics->gauge(name) : nullptr;
+  /// `policy` applies on first creation, like Registry::gauge.
+  Gauge* gauge(const std::string& name,
+               GaugeMerge policy = GaugeMerge::kMax) const {
+    return metrics != nullptr ? &metrics->gauge(name, policy) : nullptr;
   }
   /// `bounds` applies on first creation, like Registry::histogram.
   Histogram* histogram(const std::string& name,

@@ -1,0 +1,81 @@
+// Online progress estimation for the long-running loops: the checker's
+// state-space exploration, engine runs against a step budget, and
+// campaign sweeps. An instrumented loop owns a ProgressEstimator and
+// calls update(done, total) as work completes; a TelemetrySampler
+// (obs/resource.hpp) registered via add_progress() reads snapshots on
+// its own thread and emits periodic "progress_snapshot" events with
+// fraction / rate / ETA into the telemetry side channel.
+//
+// Like RSS and wall_ms, rate and ETA are wall-clock derived and belong
+// only in the telemetry sink, never in a byte-compared event stream.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace commroute::obs {
+
+/// Point-in-time progress view; every field is safe to publish.
+struct ProgressSnapshot {
+  std::string name;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;       ///< 0 = unknown / open-ended
+  double fraction = 0.0;         ///< done / total, 0 when total unknown
+  double rate_per_sec = 0.0;     ///< EWMA of the completion rate
+  std::uint64_t eta_ms = 0;      ///< remaining / rate, 0 when unknown
+  std::uint64_t elapsed_ms = 0;  ///< since the first update()
+  std::uint64_t updates = 0;     ///< update() calls so far
+  std::uint64_t detail = 0;      ///< caller-defined (see detail_label)
+  std::string detail_label;      ///< "" when the detail is unused
+};
+
+/// Thread-safe progress accumulator. One writer (the instrumented loop)
+/// and any number of snapshot readers (the sampler thread); updates are
+/// mutex-guarded and cheap enough for a per-batch cadence (the loops
+/// update every few hundred iterations, not per step).
+///
+/// The rate is an exponentially weighted moving average of the
+/// instantaneous completion rate between updates, so the ETA adapts to
+/// frontier growth or slowdown instead of assuming a constant rate —
+/// for the checker this is the "frontier growth-rate fit": done =
+/// expanded states, total = expanded + current frontier, a moving
+/// coverage bound that converges on the true state count.
+class ProgressEstimator {
+ public:
+  /// `detail_label` names the optional free detail counter (e.g.
+  /// "steps_since_change" for engine runs, "frontier" for the checker).
+  explicit ProgressEstimator(std::string name,
+                             std::string detail_label = "",
+                             double ewma_alpha = 0.3);
+
+  const std::string& name() const { return name_; }
+
+  /// Records progress. `total` may move between calls (the checker's
+  /// coverage bound grows with the frontier). The first call starts the
+  /// elapsed clock.
+  void update(std::uint64_t done, std::uint64_t total);
+
+  /// Updates the free detail counter published with each snapshot.
+  void set_detail(std::uint64_t detail);
+
+  ProgressSnapshot snapshot() const;
+
+ private:
+  const std::string name_;
+  const std::string detail_label_;
+  const double alpha_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t done_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t detail_ = 0;
+  double rate_per_sec_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_{};
+  std::uint64_t last_done_ = 0;
+};
+
+}  // namespace commroute::obs

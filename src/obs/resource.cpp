@@ -85,6 +85,14 @@ void TelemetrySampler::add_probe(std::string name,
   probes_.emplace_back(std::move(name), std::move(probe));
 }
 
+void TelemetrySampler::add_progress(const ProgressEstimator* progress) {
+  if (running()) {
+    throw std::logic_error(
+        "TelemetrySampler: register progress sources before start()");
+  }
+  progress_.push_back(progress);
+}
+
 void TelemetrySampler::start() {
   if (running()) {
     return;
@@ -145,6 +153,23 @@ void TelemetrySampler::emit_snapshot() {
     event.field(name, probe());
   }
   sink_->emit(event);
+
+  for (const ProgressEstimator* source : progress_) {
+    const ProgressSnapshot snap = source->snapshot();
+    Event progress("progress_snapshot");
+    progress.field("name", snap.name)
+        .field("done", snap.done)
+        .field("total", snap.total)
+        .field("fraction", snap.fraction)
+        .field("rate_per_sec", snap.rate_per_sec)
+        .field("eta_ms", snap.eta_ms)
+        .field("elapsed_ms", snap.elapsed_ms)
+        .field("updates", snap.updates);
+    if (!snap.detail_label.empty()) {
+      progress.field(snap.detail_label, snap.detail);
+    }
+    sink_->emit(progress);
+  }
 }
 
 }  // namespace commroute::obs

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/events.hpp"
+#include "obs/progress.hpp"
 
 namespace commroute::obs {
 
@@ -121,6 +122,13 @@ class TelemetrySampler {
   /// Must precede start(); see the thread-safety note above.
   void add_probe(std::string name, std::function<std::uint64_t()> probe);
 
+  /// Adds a progress source: each sampler tick additionally emits one
+  /// "progress_snapshot" event (name, done/total, fraction, EWMA rate,
+  /// ETA) per registered estimator. The estimator is borrowed, must
+  /// outlive the sampler, and must precede start(). Rate/ETA are
+  /// wall-clock derived — same quarantine rule as RSS.
+  void add_progress(const ProgressEstimator* progress);
+
   /// Launches the sampler thread and emits the first snapshot.
   void start();
 
@@ -144,6 +152,7 @@ class TelemetrySampler {
   std::vector<std::pair<std::string, const TrackedBytes*>> gauges_;
   std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
       probes_;
+  std::vector<const ProgressEstimator*> progress_;
   std::chrono::steady_clock::time_point start_time_{};
   std::atomic<std::uint64_t> seq_{0};
 

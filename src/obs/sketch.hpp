@@ -1,0 +1,198 @@
+// Streaming sketches: bounded-memory, mergeable summaries for
+// internet-scale observability. Three structures, all deterministic and
+// all with *commutative, associative* merge_from, so per-worker shards
+// combine into byte-identical JSON at any thread width (the same
+// shard-and-merge contract Registry::merge_from established):
+//
+//   * LogHistogram — an HDR-style log-bucketed histogram with
+//     configurable precision and an exact quantile-error contract:
+//     quantile(q) returns an upper bound u on the true empirical
+//     quantile v with (u - v) / v < 2^-precision_bits. Memory is
+//     O(buckets touched), never O(samples).
+//   * TopK — a space-saving heavy-hitter sketch (most-flapped nodes,
+//     hottest channels, deepest-queue channels). Counts are exact
+//     upper bounds with a per-entry overestimation `error`; merges are
+//     exact (and order-invariant) whenever capacity covers the distinct
+//     keys, approximate with documented eviction ties otherwise.
+//   * ReservoirSample — a seeded bottom-k sample by hashed priority.
+//     Whether an item is kept depends only on (seed, id), never on
+//     arrival order or shard assignment, so the union-merge of any
+//     partition of a stream equals the sample of the whole stream.
+//
+// The ObsBudget knob selects between the exact per-node / per-step
+// observability structures (kFull) and these sketches (kSketched) in
+// engine::run, checker::explore, sim::run, and study::run_campaign —
+// forensics degrade gracefully instead of OOMing at 100k+ nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace commroute::obs {
+
+/// How much memory observability may spend on a run (see file comment).
+enum class ObsBudget {
+  kFull,      ///< exact maps/vectors; memory grows with nodes x steps
+  kSketched,  ///< bounded sketches; memory independent of instance size
+};
+
+std::string to_string(ObsBudget budget);
+
+/// Log-bucketed histogram over uint64 values. Values below
+/// 2^precision_bits are counted exactly; above, buckets group values
+/// sharing the top precision_bits+1 significant bits, so each bucket's
+/// relative width is below 2^-precision_bits. Sparse storage: only
+/// touched buckets cost memory (at most 2^precision_bits x 65 total).
+class LogHistogram {
+ public:
+  /// `precision_bits` in [1, 16]; default 5 gives a < 3.125% relative
+  /// quantile error at ~70 buckets per power-of-two decade group.
+  explicit LogHistogram(unsigned precision_bits = 5);
+
+  void observe(std::uint64_t v);
+
+  /// Adds another histogram's observations. Requires identical
+  /// precision. Commutative and associative: any merge tree over the
+  /// same multiset of observations yields identical state.
+  void merge_from(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  unsigned precision_bits() const { return bits_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Upper bound on the empirical q-quantile (q in [0, 1]), clamped to
+  /// the exact observed maximum. Error contract: for the true quantile
+  /// value v, quantile(q) >= v and (quantile(q) - v) / v <
+  /// 2^-precision_bits. 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Documented bound on the relative quantile error: 2^-precision_bits.
+  double relative_error_bound() const {
+    return 1.0 / static_cast<double>(1u << bits_);
+  }
+
+  /// Deterministic byte estimate (bucket count x entry size; never
+  /// capacity, never the allocator) — safe in byte-compared outputs.
+  std::uint64_t estimated_bytes() const;
+
+  /// {"precision_bits":..,"count":..,"sum":..,"min":..,"max":..,
+  ///  "p50":..,"p90":..,"p99":..,"buckets":..} — a pure function of the
+  /// observed multiset, hence byte-identical across shard counts.
+  std::string to_json() const;
+
+ private:
+  std::uint32_t bucket_index(std::uint64_t v) const;
+  std::uint64_t bucket_upper(std::uint32_t index) const;
+
+  unsigned bits_;
+  std::map<std::uint32_t, std::uint64_t> buckets_;  ///< index -> count
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Space-saving top-K heavy hitters over uint64 keys (node ids, channel
+/// indices). Reported counts overestimate by at most `error`; any key
+/// with true frequency above total_weight() / capacity is guaranteed
+/// present. Eviction ties break deterministically: the minimum-count
+/// entry with the largest key is replaced first.
+class TopK {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  ///< upper bound on the true frequency
+    std::uint64_t error = 0;  ///< count - error <= true frequency
+  };
+
+  explicit TopK(std::size_t capacity);
+
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  /// Sums per-key counts and errors, then prunes back to capacity.
+  /// Requires identical capacity. Exact and fully order/partition-
+  /// invariant when capacity >= distinct keys (the campaign and engine
+  /// usage); otherwise a standard space-saving approximation whose
+  /// result can depend on the merge tree.
+  void merge_from(const TopK& other);
+
+  /// Entries sorted by count descending, key ascending.
+  std::vector<Entry> top() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t total_weight() const { return total_; }
+
+  /// Deterministic byte estimate (entry count x entry size).
+  std::uint64_t estimated_bytes() const;
+
+  /// {"capacity":..,"total":..,"entries":[{"key":..,"count":..,
+  ///  "error":..},...]} in top() order.
+  std::string to_json() const;
+
+ private:
+  struct Cell {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+  void prune();
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::map<std::uint64_t, Cell> entries_;
+};
+
+/// Seeded deterministic reservoir sample of an event stream: keeps the
+/// `capacity` items with the smallest hashed priority mix(seed, id).
+/// Because the keep/evict decision is a pure function of (seed, id),
+/// the sample is invariant under arrival order and stream partitioning:
+/// merging per-shard samples equals sampling the concatenated stream.
+/// `id` must identify the stream position (step number, row index);
+/// duplicate ids are kept as distinct items.
+class ReservoirSample {
+ public:
+  struct Item {
+    std::uint64_t id = 0;
+    std::string value;         ///< caller payload (label, JSON, ...)
+    std::uint64_t priority = 0;
+  };
+
+  ReservoirSample(std::size_t capacity, std::uint64_t seed);
+
+  void add(std::uint64_t id, std::string value);
+
+  /// Union-merge keeping the bottom `capacity` priorities. Requires
+  /// identical capacity and seed.
+  void merge_from(const ReservoirSample& other);
+
+  /// Sampled items sorted by id ascending.
+  std::vector<Item> items() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t seen() const { return seen_; }
+
+  /// Deterministic byte estimate (item count x entry size + payload
+  /// lengths).
+  std::uint64_t estimated_bytes() const;
+
+  /// {"capacity":..,"seed":..,"seen":..,"items":[{"id":..,
+  ///  "value":".."},...]} sorted by id.
+  std::string to_json() const;
+
+ private:
+  void insert(Item item);
+
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::uint64_t seen_ = 0;
+  /// Max-heap on (priority, id, value) — the front is the first evicted.
+  std::vector<Item> heap_;
+};
+
+}  // namespace commroute::obs

@@ -35,7 +35,10 @@ struct InFlight {
 class SimScheduler final : public engine::Scheduler {
  public:
   SimScheduler(const spp::Instance& instance, const SimOptions& options)
-      : inst_(&instance), opts_(&options), rng_(options.seed) {
+      : inst_(&instance),
+        opts_(&options),
+        rng_(options.seed),
+        sketched_(options.budget == obs::ObsBudget::kSketched) {
     const Graph& g = instance.graph();
     links_.assign(g.channel_count(), options.link);
     for (const auto& [c, link] : options.link_overrides) {
@@ -104,7 +107,11 @@ class SimScheduler final : public engine::Scheduler {
       if (!step.has_value()) {
         continue;  // deferred: a later kActivate event was queued
       }
-      step_time_us_.push_back(clock_.now());
+      if (!sketched_) {
+        // O(steps) memory — the sketched budget drops the vector and
+        // keeps only last_step_time_ (= virtual_end_us).
+        step_time_us_.push_back(clock_.now());
+      }
       last_step_time_ = clock_.now();
       return std::move(*step);
     }
@@ -125,7 +132,9 @@ class SimScheduler final : public engine::Scheduler {
   // RunOptions::detect_cycles = false accordingly).
 
   VirtualTime now() const { return clock_.now(); }
+  VirtualTime last_step_time() const { return last_step_time_; }
   const std::vector<VirtualTime>& step_times() const { return step_time_us_; }
+  const obs::LogHistogram& latency_hist() const { return latency_hist_; }
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_lost() const { return messages_lost_; }
@@ -159,6 +168,9 @@ class SimScheduler final : public engine::Scheduler {
         ev.kind = Event::Kind::kArrival;
         ev.channel = c;
         queue_.push(ev);
+        if (sketched_) {
+          latency_hist_.observe(latency);
+        }
         ++latency_samples_;
         latency_sum_us_ += latency;
         latency_min_us_ = latency_samples_ == 1
@@ -379,6 +391,8 @@ class SimScheduler final : public engine::Scheduler {
   std::vector<char> activation_scheduled_;
   std::vector<VirtualTime> last_activation_;
   std::vector<std::size_t> cursor_;
+  bool sketched_;
+  obs::LogHistogram latency_hist_;
   VirtualTime last_step_time_ = 0;
   std::vector<VirtualTime> step_time_us_;
   std::uint64_t events_processed_ = 0;
@@ -411,10 +425,13 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
 
   obs::Span sim_span = options.obs.span("sim.run");
 
+  const bool sketched = options.budget == obs::ObsBudget::kSketched;
   SimScheduler scheduler(instance, options);
   engine::RunOptions ropts;
   ropts.max_steps = options.max_steps;
-  ropts.record_trace = true;  // flap timing needs the pi-sequence
+  // Flap timing needs the pi-sequence; the sketched budget gives it up
+  // (engine::run suppresses the trace under kSketched anyway).
+  ropts.record_trace = true;
   // The sim's configuration includes its event queue and RNG stream,
   // which no scheduler signature can capture — run without (sound)
   // cycle detection rather than advertise it.
@@ -424,6 +441,9 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   ropts.emit_step_events = options.emit_step_events;
   ropts.causality = options.causality;
   ropts.flight = options.flight;
+  ropts.budget = options.budget;
+  ropts.progress = options.progress;
+  ropts.obs_memory = options.obs_memory;
   if (ropts.flight.mode != engine::FlightRecorderOptions::Mode::kOff) {
     if (ropts.flight.scheduler.empty()) {
       ropts.flight.scheduler = "sim";
@@ -437,8 +457,10 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   result.run = engine::run(instance, scheduler, ropts);
 
   result.step_time_us = scheduler.step_times();
-  result.virtual_end_us =
-      result.step_time_us.empty() ? 0 : result.step_time_us.back();
+  result.virtual_end_us = scheduler.last_step_time();
+  if (sketched) {
+    result.latency_hist = scheduler.latency_hist();
+  }
   result.events_processed = scheduler.events_processed();
   result.messages_delivered = scheduler.messages_delivered();
   result.messages_lost = scheduler.messages_lost();
@@ -454,9 +476,13 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
 
   // Flap times from the recorded pi-sequence: trace entry t is the state
   // after step t (entry 0 = initial), executed at step_time_us[t - 1].
+  // Skipped under the sketched budget (no trace, no step_time_us) —
+  // run.flap_topk carries the bounded per-node flap counts instead.
   const trace::Trace& tr = result.run.trace;
-  result.last_flap_us.assign(instance.node_count(), 0);
-  CR_ASSERT(tr.size() == result.step_time_us.size() + 1,
+  if (!sketched) {
+    result.last_flap_us.assign(instance.node_count(), 0);
+  }
+  CR_ASSERT(sketched || tr.size() == result.step_time_us.size() + 1,
             "sim trace / step-time length mismatch");
   for (std::size_t t = 1; t < tr.size(); ++t) {
     const trace::Assignment& prev = tr.at(t - 1);
@@ -517,6 +543,14 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
         ev.field("critical_path_len", result.run.critical_path_len)
             .field("critical_path_us", result.critical_path_us);
       }
+      if (sketched) {
+        // Gated so full-mode sim_summary lines keep their exact
+        // pre-budget bytes. All sketch JSON is virtual-time / count
+        // derived, hence as byte-stable as the rest of the event.
+        ev.field("obs_budget", obs::to_string(options.budget))
+            .raw_field("latency_hist", result.latency_hist.to_json())
+            .raw_field("flap_topk", result.run.flap_topk.to_json());
+      }
       options.obs.sink->emit(ev);
     }
   }
@@ -551,6 +585,10 @@ std::string SimResult::to_json() const {
   }
   flaps += ']';
   w.raw_field("last_flap_us", flaps);
+  if (latency_hist.count() > 0) {
+    // Sketched runs only — full-mode documents keep their exact schema.
+    w.raw_field("latency_hist", latency_hist.to_json());
+  }
   return w.str();
 }
 

@@ -1,6 +1,7 @@
 #include "study/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -285,6 +286,7 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
                                task.model.index(), task.kind, task.seed);
   sopts.max_steps = spec.max_steps;
   sopts.causality = spec.causality;
+  sopts.budget = spec.budget;
   sopts.obs.metrics = obs.metrics;
   sopts.obs.spans = obs.spans;
   if (!task.flush_path.empty()) {
@@ -351,6 +353,7 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
   options.max_steps = spec.max_steps;
   options.record_trace = false;
   options.causality = spec.causality;
+  options.budget = spec.budget;
   // Engine aggregates accumulate in the worker's registry shard and
   // engine spans nest under the row span; both merge into the
   // campaign-level handles after the sweep.
@@ -499,6 +502,17 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       std::min(runtime::resolve_threads(spec.threads),
                std::max<std::size_t>(tasks.size(), 1));
 
+  // Sweep-level progress (rows done/total, EWMA row rate -> ETA),
+  // surfaced through the telemetry side channel as progress_snapshot
+  // events. The estimator is mutex-guarded, so parallel workers update
+  // it directly. Wall-clock derived like RSS — never in the
+  // deterministic event stream.
+  std::optional<obs::ProgressEstimator> progress;
+  if (spec.telemetry_sink != nullptr) {
+    progress.emplace("campaign.rows");
+    progress->update(0, tasks.size());
+  }
+
   if (threads <= 1) {
     // Serial path: rows run on the calling thread against the
     // campaign-level instrumentation directly (spans nest under
@@ -509,10 +523,14 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       obs::TelemetrySampler::Options topts;
       topts.interval_ms = spec.telemetry_interval_ms;
       sampler.emplace(*spec.telemetry_sink, topts);
+      sampler->add_progress(&*progress);
       sampler->start();
     }
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       result.rows[i] = run_one_row(spec, tasks[i], spec.obs);
+      if (progress.has_value()) {
+        progress->update(i + 1, tasks.size());
+      }
       if (spec.obs.sink != nullptr) {
         emit_row_event(*spec.obs.sink, result.rows[i]);
       }
@@ -562,9 +580,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
       });
       sampler->add_probe("pool.busy_us",
                          [&pool] { return pool.stats().busy_us; });
+      sampler->add_progress(&*progress);
       sampler->start();
     }
 
+    std::atomic<std::size_t> completed{0};
     runtime::parallel_for_each(
         pool, tasks.size(), [&](std::size_t worker, std::size_t i) {
           Shard& shard = shards[worker];
@@ -576,6 +596,11 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
             shard_obs.spans = &shard.spans;
           }
           result.rows[i] = run_one_row(spec, tasks[i], shard_obs);
+          if (progress.has_value()) {
+            progress->update(
+                completed.fetch_add(1, std::memory_order_relaxed) + 1,
+                tasks.size());
+          }
           if (sync_sink.has_value()) {
             std::lock_guard<std::mutex> lock(emit_mutex);
             ready[i] = 1;
@@ -610,6 +635,45 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
                result.outcome_rate(engine::Outcome::kOscillating))
         .field("exhausted_rate",
                result.outcome_rate(engine::Outcome::kExhausted));
+    spec.obs.sink->emit(ev);
+  }
+
+  if (spec.budget == obs::ObsBudget::kSketched &&
+      spec.obs.sink != nullptr) {
+    // Sweep-level sketches, computed from the finished rows in
+    // enumeration order — a pure function of the deterministic row
+    // fields, so the event is byte-identical at any thread width.
+    obs::LogHistogram steps_hist;
+    obs::LogHistogram messages_hist;
+    obs::TopK instance_steps(16);
+    std::string instances = "[";
+    std::size_t instance_index = 0;
+    for (const auto& [name, inst] : spec.instances) {
+      (void)inst;
+      if (instance_index > 0) {
+        instances += ',';
+      }
+      instances += '"' + obs::json_escape(name) + '"';
+      ++instance_index;
+    }
+    instances += ']';
+    for (const CampaignRow& row : result.rows) {
+      steps_hist.observe(row.steps);
+      messages_hist.observe(row.messages_sent);
+      for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+        if (spec.instances[i].first == row.instance) {
+          instance_steps.add(i, row.steps);
+          break;
+        }
+      }
+    }
+    obs::Event ev("campaign_sketch");
+    ev.field("obs_budget", obs::to_string(spec.budget))
+        .field("rows", static_cast<std::uint64_t>(result.rows.size()))
+        .raw_field("steps_hist", steps_hist.to_json())
+        .raw_field("messages_hist", messages_hist.to_json())
+        .raw_field("instance_steps_topk", instance_steps.to_json())
+        .raw_field("instances", instances);
     spec.obs.sink->emit(ev);
   }
   return result;

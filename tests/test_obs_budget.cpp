@@ -1,0 +1,182 @@
+// The ObsBudget contract: kSketched keeps campaign outputs byte-
+// identical across thread widths (including the campaign_sketch event),
+// and holds engine observability memory under a fixed cap where kFull
+// grows with instance size.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "engine/scheduler.hpp"
+#include "model/model.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/random_gen.hpp"
+#include "study/campaign.hpp"
+
+namespace commroute {
+namespace {
+
+using model::Model;
+
+study::CampaignSpec sketched_spec(const spp::Instance& bad,
+                                  const spp::Instance& good,
+                                  std::size_t threads) {
+  study::CampaignSpec spec;
+  spec.instances = {{"BAD-GADGET", &bad}, {"GOOD", &good}};
+  spec.models = Model::all();
+  spec.schedulers = {study::SchedulerKind::kRoundRobin,
+                     study::SchedulerKind::kRandomFair};
+  spec.seeds = 2;
+  spec.max_steps = 400;
+  spec.threads = threads;
+  spec.budget = obs::ObsBudget::kSketched;
+  return spec;
+}
+
+void normalize(study::CampaignResult& result) {
+  for (study::CampaignRow& row : result.rows) {
+    row.wall_ms = 0.0;
+  }
+}
+
+TEST(ObsBudget, SketchedCampaignIsByteIdenticalAcrossThreadWidths) {
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  std::string reference_csv;
+  std::string reference_json;
+  std::string reference_sketch;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    obs::MemorySink sink;
+    study::CampaignSpec spec = sketched_spec(bad, good, threads);
+    spec.obs.sink = &sink;
+    study::CampaignResult result = study::run_campaign(spec);
+    normalize(result);
+
+    // The driver appends exactly one campaign_sketch event after the
+    // campaign_summary, computed from rows in enumeration order — its
+    // bytes must not depend on the thread count.
+    ASSERT_GE(sink.lines().size(), 2u);
+    const std::string& sketch_line = sink.lines().back();
+    const auto sketch = obs::json_parse(sketch_line);
+    ASSERT_TRUE(sketch.has_value());
+    EXPECT_EQ(sketch->find("type")->as_string(), "campaign_sketch");
+    EXPECT_NE(sketch->find("steps_hist"), nullptr);
+    EXPECT_NE(sketch->find("messages_hist"), nullptr);
+    EXPECT_NE(sketch->find("instance_steps_topk"), nullptr);
+
+    if (threads == 1) {
+      reference_csv = result.to_csv();
+      reference_json = result.to_json();
+      reference_sketch = sketch_line;
+      continue;
+    }
+    EXPECT_EQ(result.to_csv(), reference_csv) << threads << " threads";
+    EXPECT_EQ(result.to_json(), reference_json) << threads << " threads";
+    EXPECT_EQ(sketch_line, reference_sketch) << threads << " threads";
+  }
+}
+
+TEST(ObsBudget, SketchedRowsKeepCsvColumnsUnchanged) {
+  const spp::Instance bad = spp::bad_gadget();
+  const spp::Instance good = spp::good_gadget();
+
+  study::CampaignSpec full = sketched_spec(bad, good, 1);
+  full.budget = obs::ObsBudget::kFull;
+  study::CampaignResult full_result = study::run_campaign(full);
+  study::CampaignResult sketched_result =
+      study::run_campaign(sketched_spec(bad, good, 1));
+  normalize(full_result);
+  normalize(sketched_result);
+  // The budget knob trades forensics for memory; row-level results
+  // (outcomes, steps, messages) are not allowed to move.
+  EXPECT_EQ(full_result.to_csv(), sketched_result.to_csv());
+}
+
+TEST(ObsBudget, SketchedEngineHoldsObsMemoryUnderAFixedCap) {
+  // 10k-node instance: under kFull the exact observability structures
+  // (per-node activation counts, the trace) grow with the instance;
+  // under kSketched the accounted bytes stay below a fixed cap.
+  constexpr std::size_t kNodes = 10000;
+  constexpr std::uint64_t kSketchCap = 16 * 1024;
+  Rng rng(7);
+  const spp::Instance inst = spp::random_tree(rng, kNodes);
+  const Model model = Model::parse("UMS");
+
+  // The per-step trace and the cycle table are both O(nodes) per step —
+  // they would dominate runtime/memory at this scale in either mode, so
+  // the comparison isolates the per-node observability structures.
+  obs::TrackedBytes full_bytes;
+  engine::RoundRobinScheduler full_sched(model, inst);
+  engine::RunOptions full_options;
+  full_options.max_steps = 50000;
+  full_options.record_trace = false;
+  full_options.detect_cycles = false;
+  full_options.obs_memory = &full_bytes;
+  const engine::RunResult full =
+      engine::run(inst, full_sched, full_options);
+
+  obs::TrackedBytes sketched_bytes;
+  engine::RoundRobinScheduler sketched_sched(model, inst);
+  engine::RunOptions sketched_options;
+  sketched_options.max_steps = 50000;
+  sketched_options.record_trace = false;
+  sketched_options.detect_cycles = false;
+  sketched_options.budget = obs::ObsBudget::kSketched;
+  sketched_options.obs_memory = &sketched_bytes;
+  const engine::RunResult sketched =
+      engine::run(inst, sketched_sched, sketched_options);
+
+  EXPECT_EQ(full.outcome, sketched.outcome);
+  EXPECT_EQ(full.steps, sketched.steps);
+
+  // Full mode pays at least the node_activations vector — linear in the
+  // instance — while the sketched run stays under the fixed cap.
+  EXPECT_GE(full_bytes.peak(), kNodes * sizeof(std::uint64_t));
+  EXPECT_EQ(full_bytes.peak(), full.obs_bytes);
+  EXPECT_LT(sketched_bytes.peak(), kSketchCap);
+  EXPECT_EQ(sketched_bytes.peak(), sketched.obs_bytes);
+  EXPECT_LT(sketched.obs_bytes * 10, full.obs_bytes);
+
+  // The exact structures are swapped for sketches, not silently kept.
+  EXPECT_EQ(full.node_activations.size(), kNodes);
+  EXPECT_TRUE(sketched.node_activations.empty());
+  EXPECT_TRUE(sketched.trace.empty());
+  EXPECT_GT(sketched.activation_topk.total_weight(), 0u);
+}
+
+TEST(ObsBudget, SketchedEngineEventCarriesTheSketches) {
+  const spp::Instance bad = spp::bad_gadget();
+  obs::MemorySink sink;
+  obs::Registry registry;
+  engine::RoundRobinScheduler sched(Model::parse("UMS"), bad);
+  engine::RunOptions options;
+  options.max_steps = 200;
+  options.budget = obs::ObsBudget::kSketched;
+  options.obs.metrics = &registry;
+  options.obs.sink = &sink;
+  engine::run(bad, sched, options);
+
+  bool saw_engine_run = false;
+  for (const std::string& line : sink.lines()) {
+    const auto event = obs::json_parse(line);
+    ASSERT_TRUE(event.has_value());
+    if (event->find("type")->as_string() != "engine_run") {
+      continue;
+    }
+    saw_engine_run = true;
+    EXPECT_EQ(event->find("obs_budget")->as_string(), "sketched");
+    ASSERT_NE(event->find("flap_topk"), nullptr);
+    ASSERT_NE(event->find("activation_topk"), nullptr);
+    EXPECT_GT(event->find("activation_topk")->find("total")->as_number(),
+              0.0);
+  }
+  EXPECT_TRUE(saw_engine_run);
+}
+
+}  // namespace
+}  // namespace commroute

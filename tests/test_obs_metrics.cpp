@@ -218,6 +218,54 @@ TEST(RegistryMerge, MismatchedHistogramBoundsThrow) {
   EXPECT_THROW(target.merge_from(shard), PreconditionError);
 }
 
+TEST(RegistryMerge, GaugePoliciesMergeMaxSumAndLast) {
+  // Shard-and-merge with per-gauge semantics: high-watermarks take the
+  // max, occurrence counts add, kLast takes the incoming value.
+  Registry target, shard_a, shard_b;
+  target.gauge("peak").set(10);                         // kMax default
+  target.gauge("occurrences", GaugeMerge::kSum).set(2);
+  target.gauge("config", GaugeMerge::kLast).set(1);
+  shard_a.gauge("peak").set(30);
+  shard_a.gauge("occurrences", GaugeMerge::kSum).set(5);
+  shard_a.gauge("config", GaugeMerge::kLast).set(7);
+  shard_b.gauge("peak").set(20);
+  shard_b.gauge("occurrences", GaugeMerge::kSum).set(3);
+  target.merge_from(shard_a);
+  target.merge_from(shard_b);
+  EXPECT_EQ(target.gauge("peak").value(), 30u);
+  EXPECT_EQ(target.gauge("occurrences", GaugeMerge::kSum).value(), 10u);
+  EXPECT_EQ(target.gauge("config", GaugeMerge::kLast).value(), 7u);
+}
+
+TEST(RegistryMerge, SumPolicyGaugesSurviveParallelSharding) {
+  // The regression this policy exists for: N workers each flagging
+  // engine.cycle_detection_disabled once must merge to N, not silently
+  // max-merge to 1 and hide how many rows ran blind.
+  Registry target;
+  for (int worker = 0; worker < 8; ++worker) {
+    Registry shard;
+    shard.gauge("engine.cycle_detection_disabled", GaugeMerge::kSum)
+        .add(1);
+    target.merge_from(shard);
+  }
+  EXPECT_EQ(
+      target.gauge("engine.cycle_detection_disabled", GaugeMerge::kSum)
+          .value(),
+      8u);
+}
+
+TEST(RegistryMerge, GaugePolicyIsFixedAtCreation) {
+  Registry registry;
+  registry.gauge("g", GaugeMerge::kSum).set(1);
+  // A later lookup with a different policy does not silently rewrite
+  // the merge semantics.
+  EXPECT_EQ(registry.gauge("g").merge_policy(), GaugeMerge::kSum);
+  Registry shard;
+  shard.gauge("g", GaugeMerge::kSum).set(4);
+  registry.merge_from(shard);
+  EXPECT_EQ(registry.gauge("g").value(), 5u);
+}
+
 TEST(JsonNumber, FormatsRoundTrippably) {
   EXPECT_EQ(json_number(1.5), "1.5");
   EXPECT_EQ(json_number(0.0), "0");

@@ -203,6 +203,10 @@ TEST(ParallelCampaign, TelemetrySamplerNeverPerturbsTheEventStream) {
       EXPECT_GE(event->find("tasks_executed")->as_number(), 1.0);
       EXPECT_LE(event->find("tasks_executed")->as_number(), 8.0);
       EXPECT_NE(event->find("per_worker"), nullptr);
+    } else if (type == "progress_snapshot") {
+      // Campaign row progress rides the telemetry side channel too.
+      EXPECT_NE(event->find("fraction"), nullptr);
+      EXPECT_EQ(event->find("name")->as_string(), "campaign.rows");
     } else {
       EXPECT_EQ(type, "telemetry_snapshot");
       EXPECT_NE(event->find("pool.queue_depth"), nullptr);

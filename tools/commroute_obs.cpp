@@ -4,7 +4,9 @@
 // the instrumented loops write, this tool aggregates, converts, gates
 // on, replays, and dissects.
 //
-//   commroute-obs summarize RUN.jsonl              per-type counts + latency quantiles
+//   commroute-obs summarize RUN.jsonl [--follow]   per-type counts + latency quantiles
+//   commroute-obs report RUN.jsonl [--json] [--title T]
+//                                                  self-contained HTML (or JSON) run report
 //   commroute-obs spans TRACE[.jsonl|.json] [--top N]   self-time table
 //   commroute-obs convert RUN.jsonl OUT.json       Chrome trace / Perfetto export
 //   commroute-obs bench-diff BASE.json CUR.json [--threshold PCT] [--mem-threshold PCT]
@@ -21,14 +23,17 @@
 // message; an empty file is a valid zero-event input for summarize /
 // spans / convert and a hard error (exit 2) where structure is required
 // (bench-diff and the recording commands).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/analysis.hpp"
+#include "obs/report.hpp"
 #include "obs/causality.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/forensics.hpp"
@@ -52,8 +57,17 @@ constexpr int kExitUsage = 2;
 int usage() {
   std::cerr
       << "usage: commroute-obs <command> [args]\n"
-         "  summarize FILE.jsonl               aggregate a JSONL event "
+         "  summarize FILE.jsonl [--follow]    aggregate a JSONL event "
          "trace per event type\n"
+         "                                     (--follow tails the file, "
+         "re-printing as it grows)\n"
+         "  report FILE.jsonl [--json] [--title T]\n"
+         "                                     render any JSONL artifact "
+         "into one self-contained\n"
+         "                                     HTML page (inline CSS/SVG, "
+         "no scripts); --json emits\n"
+         "                                     the deterministic report "
+         "document instead\n"
          "  spans FILE [--top N]               span self-time table "
          "(JSONL or Chrome trace input)\n"
          "  convert FILE.jsonl OUT.json        JSONL -> Chrome "
@@ -143,20 +157,7 @@ std::string format_bytes(std::uint64_t bytes) {
   return buf;
 }
 
-int cmd_summarize(const std::vector<std::string>& args) {
-  if (args.size() != 1) {
-    return usage();
-  }
-  std::ifstream in = open_input(args[0]);
-  if (!in.is_open()) {
-    return kExitUsage;
-  }
-  const obs::JsonlSummary summary = obs::summarize_jsonl(in);
-  if (summary.lines == 0) {
-    std::cout << args[0] << ": empty input (0 events)\n";
-    return kExitOk;
-  }
-
+void print_summary(const obs::JsonlSummary& summary) {
   TextTable table;
   table.set_header({"type", "count", "timed", "total", "p50", "p90",
                     "p99", "max"});
@@ -169,6 +170,86 @@ int cmd_summarize(const std::vector<std::string>& args) {
   std::cout << table.render();
   std::cout << summary.lines << " line(s), " << summary.malformed
             << " malformed\n";
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  bool follow = false;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (arg == "--follow") {
+      follow = true;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1) {
+    return usage();
+  }
+  std::ifstream in = open_input(files[0]);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
+  if (!follow) {
+    const obs::JsonlSummary summary = obs::summarize_jsonl(in);
+    if (summary.lines == 0) {
+      std::cout << files[0] << ": empty input (0 events)\n";
+      return kExitOk;
+    }
+    print_summary(summary);
+    return kExitOk;
+  }
+  // Tail mode: one StreamingSummarizer lives for the whole watch, so
+  // memory stays bounded however long the producer runs. Each pass
+  // drains whatever was appended since the last EOF, clears the eof bit,
+  // and re-prints only when the file actually grew. Runs until killed.
+  obs::StreamingSummarizer summarizer;
+  std::size_t reported = static_cast<std::size_t>(-1);
+  for (;;) {
+    summarizer.consume(in);
+    if (summarizer.lines() != reported) {
+      reported = summarizer.lines();
+      print_summary(summarizer.summary());
+      std::cout.flush();
+    }
+    if (in.bad()) {
+      std::cerr << "commroute-obs: read error on " << files[0] << "\n";
+      return kExitUsage;
+    }
+    in.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  std::string file;
+  std::string title;
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--title" && i + 1 < args.size()) {
+      title = args[++i];
+    } else if (file.empty()) {
+      file = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) {
+    return usage();
+  }
+  std::ifstream in = open_input(file);
+  if (!in.is_open()) {
+    return kExitUsage;
+  }
+  const obs::RunReport report = obs::build_report(in, file);
+  if (json) {
+    // Deterministic by design (no generation metadata): CI runs this
+    // twice and byte-compares, like causality_report.
+    std::cout << obs::report_json(report) << "\n";
+  } else {
+    std::cout << obs::report_html(report, title);
+  }
   return kExitOk;
 }
 
@@ -1096,6 +1177,9 @@ int main(int argc, char** argv) {
   try {
     if (command == "summarize") {
       return cmd_summarize(args);
+    }
+    if (command == "report") {
+      return cmd_report(args);
     }
     if (command == "spans") {
       return cmd_spans(args);
