@@ -53,6 +53,50 @@ void BM_ExploreBadGadget(benchmark::State& state) {
 }
 BENCHMARK(BM_ExploreBadGadget)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling on the BAD-GADGET frontier: the same bounded
+// exploration at widths 1/2/4/8. Besides the wall-clock curve (only
+// meaningful on a machine with that many physical cores — on a 1-core
+// runner every width costs serial time plus coordination overhead),
+// each width re-asserts the explorer's determinism contract: verdict,
+// state count, transition count, and dedup count must reproduce the
+// width-1 result exactly, or the benchmark aborts with an error.
+void BM_ExploreBadGadgetThreads(benchmark::State& state) {
+  const Model m = Model::parse("R1O");
+  const spp::Instance inst = spp::bad_gadget();
+  checker::ExploreOptions opts;
+  opts.max_channel_length = 3;
+  opts.max_states = 20000;  // bounded so one iteration stays ~1s
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  static const checker::ExploreResult reference = [&inst, &m] {
+    checker::ExploreOptions serial;
+    serial.max_channel_length = 3;
+    serial.max_states = 20000;
+    serial.threads = 1;
+    return checker::explore(inst, m, serial);
+  }();
+  std::size_t states_explored = 0;
+  for (auto _ : state) {
+    const auto r = checker::explore(inst, m, opts);
+    if (r.oscillation_found != reference.oscillation_found ||
+        r.states != reference.states ||
+        r.transitions != reference.transitions ||
+        r.dedup_hits != reference.dedup_hits) {
+      state.SkipWithError("verdict diverged from the threads=1 result");
+      return;
+    }
+    states_explored = r.states;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * states_explored));  // states/sec
+  state.SetLabel("BAD-GADGET R1O cap 20000, threads=" +
+                 std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ExploreBadGadgetThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SuccessorEnumeration(benchmark::State& state) {
   const Model m = Model::from_index(static_cast<int>(state.range(0)));
   const spp::Instance inst = spp::example_a2();

@@ -7,6 +7,9 @@
 //   $ ./checker_tour --witness osc.recording.jsonl
 //                                        # export the found oscillation
 //                                        # witness as a recording
+//   $ ./checker_tour --threads 8         # parallel exploration (same
+//                                        # bytes at any width)
+//   $ ./checker_tour --searcher dfs      # bfs | dfs | random | priority
 #include <iostream>
 #include <string>
 
@@ -26,11 +29,17 @@ int main(int argc, char** argv) {
 
   obs::set_process_argv(argc, argv);
   std::string trace_path, witness_path;
+  std::size_t threads = 1;
+  checker::SearcherKind searcher = checker::SearcherKind::kBFS;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::string(argv[i]) == "--witness" && i + 1 < argc) {
       witness_path = argv[++i];
+    } else if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::string(argv[i]) == "--searcher" && i + 1 < argc) {
+      searcher = checker::parse_searcher_kind(argv[++i]);
     }
   }
   obs::SpanCollector spans;
@@ -53,9 +62,13 @@ int main(int argc, char** argv) {
   checker::ExploreOptions opts{.max_channel_length = 3,
                                .extract_witness = true};
   opts.obs = tour_obs;
+  opts.threads = threads;
+  opts.searcher = searcher;
   const auto weak = checker::explore(inst, Model::parse("R1O"), opts);
   checker::ExploreOptions strong_opts{.max_channel_length = 3};
   strong_opts.obs = tour_obs;
+  strong_opts.threads = threads;
+  strong_opts.searcher = searcher;
   const auto strong = checker::explore(inst, Model::parse("REA"),
                                        strong_opts);
   std::cout << "R1O: " << weak.summary() << "\n";

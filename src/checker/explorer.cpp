@@ -3,19 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
+#include "checker/state_set.hpp"
 #include "checker/successors.hpp"
 #include "engine/executor.hpp"
 #include "engine/runner.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace commroute::checker {
 
 namespace {
-
-using StateId = std::uint32_t;
 
 struct EdgeLabel {
   StateId to = 0;
@@ -29,6 +31,12 @@ struct EdgeLabel {
 
 constexpr std::uint32_t kNoStep = static_cast<std::uint32_t>(-1);
 
+/// final_of sentinels for provisional ids (see ShardedStateSet): not yet
+/// renumbered, and refused at the state cap (so every later edge to the
+/// same configuration is skipped too, exactly as if it was never seen).
+constexpr StateId kUnmapped = static_cast<StateId>(-1);
+constexpr StateId kDroppedAtCap = static_cast<StateId>(-2);
+
 /// Tracked-bytes estimate for one witness-store activation step (object
 /// plus the heap its vectors hold; counts, never capacity).
 std::size_t step_bytes(const model::ActivationStep& step) {
@@ -41,25 +49,39 @@ std::size_t step_bytes(const model::ActivationStep& step) {
   return bytes;
 }
 
+/// The merged configuration graph. State payloads are owned by the
+/// ShardedStateSet's shard arenas (stable addresses); `states` maps the
+/// canonical, enumeration-ordered StateId to its payload.
 struct ConfigGraph {
-  std::vector<engine::NetworkState> states;
+  std::vector<const engine::NetworkState*> states;
   std::vector<std::vector<EdgeLabel>> edges;
-  std::unordered_map<std::size_t, std::vector<StateId>> index;
 
-  StateId intern(const engine::NetworkState& s, bool& is_new) {
-    const std::size_t h = s.hash();
-    for (const StateId id : index[h]) {
-      if (states[id] == s) {
-        is_new = false;
-        return id;
-      }
-    }
-    const StateId id = static_cast<StateId>(states.size());
-    states.push_back(s);
-    edges.emplace_back();
-    index[h].push_back(id);
-    is_new = true;
-    return id;
+  const engine::NetworkState& state(StateId id) const {
+    return *states[id];
+  }
+};
+
+/// Expansion output for one batch slot. Caller-indexed storage: the
+/// merge reads slots in batch order, so nothing downstream depends on
+/// which worker ran which slot. `successors[k].to` holds the provisional
+/// id until the merge renumbers it; `steps` parallels `successors` and
+/// is filled only under extract_witness. Slots are reused across waves
+/// (reset(), not destruction) so the per-successor buffers keep their
+/// capacity instead of churning the allocator once per expansion.
+struct ExpandResult {
+  bool quiescent = false;
+  trace::Assignment assignment;    ///< when quiescent
+  std::size_t raw_successors = 0;  ///< enumerate_steps count, pre-filter
+  std::size_t bound_skipped = 0;   ///< successors beyond the channel bound
+  std::vector<EdgeLabel> successors;
+  std::vector<model::ActivationStep> steps;
+
+  void reset() {
+    quiescent = false;
+    raw_successors = 0;
+    bound_skipped = 0;
+    successors.clear();
+    steps.clear();
   }
 };
 
@@ -166,6 +188,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   CR_REQUIRE(instance.graph().channel_count() <= 64,
              "explorer supports at most 64 channels");
 
+  const std::size_t threads = runtime::resolve_threads(options.threads);
   const bool observed = options.obs.attached();
   const auto explore_start =
       observed ? std::chrono::steady_clock::now()
@@ -173,22 +196,23 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   obs::Span explore_span = options.obs.span("checker.explore");
   if (explore_span.enabled()) {
     explore_span.attr("model", m.name());
+    explore_span.attr("threads", static_cast<std::uint64_t>(threads));
+    explore_span.attr("searcher", to_string(options.searcher));
   }
-  obs::Histogram* expand_hist =
-      options.obs.spans != nullptr
-          ? options.obs.histogram("checker.expand_us",
-                                  obs::exponential_buckets(1, 4.0, 10))
-          : nullptr;
 
   ExploreResult result;
   ConfigGraph graph;
+  ShardedStateSet seen(threads == 1
+                           ? 1
+                           : std::min<std::size_t>(64, threads * 8));
   const bool sketched = options.budget == obs::ObsBudget::kSketched;
 
   // Tracked-bytes accounting over the explorer's own structures (interned
   // states, edges, frontier, hash index, witness store). Always on — it
   // is a handful of integer adds per expansion — and mirrored into
   // options.memory when attached so a TelemetrySampler can watch the
-  // exploration live.
+  // exploration live. All accounting happens on the merge path, in
+  // enumeration order, so the peak is identical at any thread count.
   std::uint64_t tracked_bytes = 0;
   const auto track_add = [&](std::size_t n) {
     tracked_bytes += n;
@@ -205,29 +229,47 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       options.memory->sub(n);
     }
   };
-  // Per interned state: the state's own footprint plus its hash-index
-  // entry and its (empty) adjacency row.
+  // Per interned state: the payload's own footprint plus its seen-set
+  // slot, its pointer in the id table, and its (empty) adjacency row.
   const auto interned_state_bytes = [&](StateId id) {
-    return graph.states[id].estimated_bytes() + sizeof(StateId) +
+    return graph.state(id).estimated_bytes() +
+           ShardedStateSet::slot_bytes() +
+           sizeof(const engine::NetworkState*) +
            sizeof(std::vector<EdgeLabel>);
   };
 
   SuccessorOptions successor_options;
   successor_options.max_steps_per_state = options.max_steps_per_state;
-  std::size_t expanded = 0;
-  auto last_heartbeat = explore_start;
+  std::uint64_t expanded = 0;
+  std::uint64_t discovery_seq = 0;
+  HeartbeatCadence cadence(options.heartbeat_every,
+                           options.heartbeat_interval_ms);
   /// Expansions grouped under one checker.frontier_batch span, so a
   /// Perfetto view shows exploration progress at a glance without
   /// per-state slices drowning the track.
-  constexpr std::size_t kExpansionsPerBatchSpan = 256;
+  constexpr std::uint64_t kExpansionsPerBatchSpan = 256;
   obs::Span batch_span;
 
-  bool dummy = false;
-  const StateId initial =
-      graph.intern(engine::NetworkState(instance), dummy);
-  track_add(interned_state_bytes(initial));
-  std::deque<StateId> frontier{initial};
-  track_add(sizeof(StateId));
+  // Renumbering table: provisional id (seen-set order, racing under
+  // threads > 1) -> canonical StateId (enumeration order).
+  std::vector<StateId> final_of;
+  // Provisional id -> payload, filled from the seen-set's fresh list
+  // after every wave.
+  std::vector<const engine::NetworkState*> payload_of;
+
+  std::unique_ptr<Searcher> searcher =
+      make_searcher(options.searcher, options.searcher_seed);
+
+  {
+    const auto interned = seen.intern(engine::NetworkState(instance));
+    graph.states.push_back(interned.state);
+    graph.edges.emplace_back();
+    final_of.push_back(0);
+    payload_of.push_back(interned.state);
+    track_add(interned_state_bytes(0));
+    searcher->push(0, SearcherPush{false, discovery_seq++});
+    track_add(sizeof(StateId));
+  }
   result.frontier_peak = 1;
 
   std::vector<trace::Assignment> quiescent;
@@ -240,89 +282,73 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
   };
   std::vector<Parent> parents(1);  // parents[initial] unused
 
-  while (!frontier.empty()) {
-    if (graph.states.size() > options.max_states) {
-      result.state_cap_hit = true;
-      result.state_cap_limit = options.max_states;
-      break;
+  // Parallel machinery: a pool (threads > 1 only) and per-worker obs
+  // shards — each worker owns a registry and span collector, merged
+  // commutatively below, so the expansion hot path never contends on
+  // the caller's handles (the PR 4 campaign pattern).
+  std::optional<runtime::ThreadPool> pool;
+  struct WorkerCtx {
+    obs::Registry metrics;
+    obs::SpanCollector spans;
+    obs::Instrumentation obs;
+    obs::Histogram* expand_hist = nullptr;
+  };
+  std::deque<WorkerCtx> workers;  // deque: SpanCollector is not movable
+  if (threads > 1) {
+    pool.emplace(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      workers.emplace_back();
     }
-    if (options.memory_limit_bytes > 0 &&
-        tracked_bytes > options.memory_limit_bytes) {
-      result.memory_limit_hit = true;
-      result.memory_limit = options.memory_limit_bytes;
-      break;
-    }
-    if (options.obs.spans != nullptr &&
-        expanded % kExpansionsPerBatchSpan == 0) {
-      batch_span.finish();  // before begin(), so batches are siblings
-      batch_span = options.obs.span("checker.frontier_batch");
-    }
-    const StateId id = frontier.front();
-    frontier.pop_front();
-    track_sub(sizeof(StateId));
-    ++expanded;
-    if (options.progress != nullptr && expanded % 256 == 0) {
-      // done/total both move: total = expanded + frontier is the best
-      // lower bound on the reachable-state count known so far, so the
-      // fraction converges to 1 exactly as the frontier drains.
-      options.progress->update(expanded, expanded + frontier.size());
-      options.progress->set_detail(frontier.size());
-    }
-    if (options.obs.sink != nullptr) {
-      const bool count_due = options.heartbeat_every > 0 &&
-                             expanded % options.heartbeat_every == 0;
-      bool time_due = false;
-      auto now = std::chrono::steady_clock::time_point{};
-      if (count_due || options.heartbeat_interval_ms > 0) {
-        now = std::chrono::steady_clock::now();
-        time_due = options.heartbeat_interval_ms > 0 &&
-                   now - last_heartbeat >= std::chrono::milliseconds(
-                                               options.heartbeat_interval_ms);
+    for (WorkerCtx& w : workers) {
+      if (options.obs.metrics != nullptr) {
+        w.obs.metrics = &w.metrics;
       }
-      if (count_due || time_due) {
-        last_heartbeat = now;
-        obs::Event ev("checker_heartbeat");
-        ev.field("expanded", static_cast<std::uint64_t>(expanded))
-            .field("states",
-                   static_cast<std::uint64_t>(graph.states.size()))
-            .field("frontier", static_cast<std::uint64_t>(frontier.size()))
-            .field("transitions",
-                   static_cast<std::uint64_t>(result.transitions))
-            .field("dedup_hits",
-                   static_cast<std::uint64_t>(result.dedup_hits))
-            .field("elapsed_ms",
-                   static_cast<std::uint64_t>(
-                       std::chrono::duration_cast<std::chrono::milliseconds>(
-                           now - explore_start)
-                           .count()));
-        options.obs.sink->emit(ev);
+      if (options.obs.spans != nullptr) {
+        w.obs.spans = &w.spans;
+        w.expand_hist = w.obs.histogram(
+            "checker.expand_us", obs::exponential_buckets(1, 4.0, 10));
       }
     }
-    obs::Span expand_span = options.obs.span("checker.expand");
+  }
+  obs::Histogram* serial_expand_hist =
+      options.obs.spans != nullptr
+          ? options.obs.histogram("checker.expand_us",
+                                  obs::exponential_buckets(1, 4.0, 10))
+          : nullptr;
+
+  // One wave: select a batch in searcher order, expand it (in parallel
+  // when threads > 1), then merge the caller-indexed results in batch
+  // order. Any batch partitioning of a FIFO frontier yields the same
+  // merge order, which is why the BFS searcher is byte-deterministic
+  // across thread counts.
+  const std::size_t batch_target = threads == 1 ? 1 : threads * 32;
+  std::vector<StateId> batch;
+  std::vector<ExpandResult> results;
+  std::vector<std::pair<std::uint32_t, const engine::NetworkState*>> fresh;
+
+  const auto expand_one = [&](const obs::Instrumentation& wobs,
+                              obs::Histogram* whist, std::size_t i) {
+    ExpandResult& out = results[i];
+    const engine::NetworkState& s = graph.state(batch[i]);
+    obs::Span expand_span = wobs.span("checker.expand");
 
     // Strongly quiescent states are terminal: no step changes anything.
-    if (engine::strongly_quiescent(graph.states[id])) {
-      const trace::Assignment a = graph.states[id].assignments();
-      if (std::find(quiescent.begin(), quiescent.end(), a) ==
-          quiescent.end()) {
-        quiescent.push_back(a);
-      }
-      continue;
+    if (engine::strongly_quiescent(s)) {
+      out.quiescent = true;
+      out.assignment = s.assignments();
+      return;
     }
 
     const std::vector<model::ActivationStep> steps =
-        enumerate_steps(graph.states[id], m, successor_options);
-    if (sketched) {
-      result.successor_hist.observe(steps.size());
-    }
+        enumerate_steps(s, m, successor_options);
+    out.raw_successors = steps.size();
+    out.successors.reserve(steps.size());
     for (const model::ActivationStep& step : steps) {
-      engine::NetworkState next = graph.states[id];
+      engine::NetworkState next = s;
       const engine::StepEffect effect = engine::execute_step(next, step);
 
       if (next.max_channel_length() > options.max_channel_length) {
-        result.channel_bound_hit = true;
-        result.channel_length_limit = options.max_channel_length;
-        ++result.bound_skipped_expansions;
+        ++out.bound_skipped;
         continue;  // beyond the bound: do not expand
       }
 
@@ -339,46 +365,226 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       for (const engine::NodeEffect& node : effect.nodes) {
         label.pi_changed |= node.changed;
       }
-
-      bool is_new = false;
-      const StateId to = graph.intern(next, is_new);
-      label.to = to;
+      label.to = seen.intern(std::move(next)).id;  // provisional
+      out.successors.push_back(label);
       if (options.extract_witness) {
-        label.step_index = static_cast<std::uint32_t>(step_store.size());
-        step_store.push_back(step);
-        track_add(step_bytes(step));
-      }
-      graph.edges[id].push_back(label);
-      track_add(sizeof(EdgeLabel));
-      ++result.transitions;
-      if (is_new) {
-        track_add(interned_state_bytes(to));
-        frontier.push_back(to);
-        track_add(sizeof(StateId));
-        if (frontier.size() > result.frontier_peak) {
-          result.frontier_peak = frontier.size();
-        }
-        if (options.extract_witness) {
-          parents.push_back(Parent{id, label.step_index});
-          track_add(sizeof(Parent));
-        }
-      } else {
-        ++result.dedup_hits;
+        out.steps.push_back(step);
       }
     }
     if (expand_span.enabled()) {
       expand_span.attr("successors",
                        static_cast<std::uint64_t>(steps.size()));
-      if (expand_hist != nullptr) {
-        expand_hist->observe(expand_span.elapsed_us());
+      if (whist != nullptr) {
+        whist->observe(expand_span.elapsed_us());
+      }
+    }
+  };
+
+  bool truncated = false;
+  std::uint64_t unmerged = 0;  ///< batch slots abandoned by a memory break
+  std::uint64_t batch_span_epoch = static_cast<std::uint64_t>(-1);
+  while (!searcher->empty() && !truncated) {
+    // Rotate the batch span before expanding so serial expand spans nest
+    // under it (span parenting is innermost-open-on-this-thread); worker
+    // expand spans live in per-worker collectors and merge in as roots.
+    if (options.obs.spans != nullptr &&
+        expanded / kExpansionsPerBatchSpan != batch_span_epoch) {
+      batch_span_epoch = expanded / kExpansionsPerBatchSpan;
+      batch_span.finish();  // before begin(), so batches are siblings
+      batch_span = options.obs.span("checker.frontier_batch");
+    }
+    batch.clear();
+    while (batch.size() < batch_target && !searcher->empty()) {
+      batch.push_back(searcher->select());
+    }
+    if (results.size() < batch.size()) {
+      results.resize(batch.size());
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      results[i].reset();
+    }
+
+    if (threads == 1) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        expand_one(options.obs, serial_expand_hist, i);
+      }
+    } else {
+      runtime::parallel_for_each(
+          *pool, batch.size(),
+          [&](std::size_t worker, std::size_t i) {
+            expand_one(workers[worker].obs, workers[worker].expand_hist,
+                       i);
+          });
+    }
+
+    // Index this wave's discoveries by provisional id.
+    fresh.clear();
+    seen.drain_fresh(fresh);
+    final_of.resize(seen.size(), kUnmapped);
+    payload_of.resize(seen.size(), nullptr);
+    for (const auto& [prov, payload] : fresh) {
+      payload_of[prov] = payload;
+    }
+
+    // Merge in batch (enumeration) order on the calling thread.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (options.memory_limit_bytes > 0 &&
+          tracked_bytes > options.memory_limit_bytes) {
+        result.memory_limit_hit = true;
+        result.memory_limit = options.memory_limit_bytes;
+        unmerged = batch.size() - i;
+        truncated = true;
+        break;
+      }
+      const StateId id = batch[i];
+      track_sub(sizeof(StateId));
+      ++expanded;
+      // States selected into this batch but not yet merged still count
+      // as frontier: the pending total is partition-independent.
+      const auto pending = [&] {
+        return searcher->size() + (batch.size() - 1 - i);
+      };
+      if (options.progress != nullptr && expanded % 256 == 0) {
+        // done/total both move: total = expanded + frontier is the best
+        // lower bound on the reachable-state count known so far, so the
+        // fraction converges to 1 exactly as the frontier drains.
+        options.progress->update(expanded, expanded + pending());
+        options.progress->set_detail(pending());
+      }
+      if (options.obs.sink != nullptr && cadence.active()) {
+        const bool count_due = cadence.count_due(expanded);
+        auto now = std::chrono::steady_clock::time_point{};
+        std::uint64_t now_ms = 0;
+        if (count_due || cadence.time_active()) {
+          now = std::chrono::steady_clock::now();
+          now_ms = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - explore_start)
+                  .count());
+        }
+        const bool time_fired = cadence.time_due(now_ms);
+        if (count_due || time_fired) {
+          obs::Event ev("checker_heartbeat");
+          ev.field("expanded", expanded)
+              .field("states",
+                     static_cast<std::uint64_t>(graph.states.size()))
+              .field("frontier", static_cast<std::uint64_t>(pending()))
+              .field("transitions",
+                     static_cast<std::uint64_t>(result.transitions))
+              .field("dedup_hits",
+                     static_cast<std::uint64_t>(result.dedup_hits))
+              .field("elapsed_ms", now_ms);
+          options.obs.sink->emit(ev);
+        }
+      }
+
+      ExpandResult& out = results[i];
+      if (out.quiescent) {
+        if (std::find(quiescent.begin(), quiescent.end(),
+                      out.assignment) == quiescent.end()) {
+          quiescent.push_back(std::move(out.assignment));
+        }
+        continue;
+      }
+      if (sketched) {
+        result.successor_hist.observe(out.raw_successors);
+      }
+      if (out.bound_skipped > 0) {
+        result.channel_bound_hit = true;
+        result.channel_length_limit = options.max_channel_length;
+        result.bound_skipped_expansions += out.bound_skipped;
+      }
+
+      for (std::size_t k = 0; k < out.successors.size(); ++k) {
+        EdgeLabel& rec = out.successors[k];
+        const std::uint32_t prov = rec.to;
+        if (final_of[prov] == kDroppedAtCap) {
+          continue;
+        }
+        bool is_new = false;
+        StateId to;
+        if (final_of[prov] == kUnmapped) {
+          // Enforce the cap at intern time: a cap of N admits exactly
+          // N states, whatever the expansion order or batch size.
+          if (graph.states.size() >= options.max_states) {
+            result.state_cap_hit = true;
+            result.state_cap_limit = options.max_states;
+            final_of[prov] = kDroppedAtCap;
+            continue;
+          }
+          to = static_cast<StateId>(graph.states.size());
+          final_of[prov] = to;
+          is_new = true;
+        } else {
+          to = final_of[prov];
+        }
+        rec.to = to;
+        if (options.extract_witness) {
+          rec.step_index = static_cast<std::uint32_t>(step_store.size());
+          step_store.push_back(std::move(out.steps[k]));
+          track_add(step_bytes(step_store.back()));
+        }
+        graph.edges[id].push_back(rec);
+        track_add(sizeof(EdgeLabel));
+        ++result.transitions;
+        if (is_new) {
+          graph.states.push_back(payload_of[prov]);
+          graph.edges.emplace_back();
+          track_add(interned_state_bytes(to));
+          searcher->push(to, SearcherPush{rec.pi_changed, discovery_seq++});
+          track_add(sizeof(StateId));
+          if (pending() > result.frontier_peak) {
+            result.frontier_peak = pending();
+          }
+          if (options.extract_witness) {
+            parents.push_back(Parent{id, rec.step_index});
+            track_add(sizeof(Parent));
+          }
+        } else {
+          ++result.dedup_hits;
+        }
+      }
+      if (result.state_cap_hit) {
+        // Stop after the slot that filled the cap (its remaining
+        // successors above already resolved against the full graph);
+        // later slots in this wave are discarded exactly as if they
+        // were never expanded, matching the serial stop point.
+        unmerged = batch.size() - 1 - i;
+        truncated = true;
+        break;
       }
     }
   }
   batch_span.finish();
 
+  // Merge the per-worker instrumentation shards (counters add, gauges
+  // per policy, histograms bucket-wise, span ids re-based).
+  for (WorkerCtx& w : workers) {
+    if (options.obs.metrics != nullptr) {
+      options.obs.metrics->merge_from(w.metrics);
+    }
+    if (options.obs.spans != nullptr) {
+      options.obs.spans->merge_from(w.spans);
+    }
+  }
+
   if (options.progress != nullptr) {
-    options.progress->update(expanded, expanded + frontier.size());
-    options.progress->set_detail(frontier.size());
+    const std::uint64_t remaining = searcher->size() + unmerged;
+    if (truncated) {
+      // Exploration is over even though the frontier is not empty:
+      // report done == total so the fraction lands on 1.0 instead of
+      // freezing short with a dangling ETA, and carry the truncation
+      // reason in the detail label.
+      const std::uint64_t total = expanded + remaining;
+      options.progress->update(total, total);
+      options.progress->set_detail(remaining);
+      options.progress->set_detail_label(
+          result.memory_limit_hit ? "truncated:memory_limit"
+                                  : "truncated:state_cap");
+    } else {
+      options.progress->update(expanded, expanded + remaining);
+      options.progress->set_detail(remaining);
+    }
   }
   result.states = graph.states.size();
   result.quiescent_assignments = std::move(quiescent);
@@ -518,7 +724,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
         }
 
         std::vector<std::uint32_t> prefix_rev;
-        for (StateId at = start; at != initial;
+        for (StateId at = start; at != 0;
              at = parents[at].from) {
           prefix_rev.push_back(parents[at].step_index);
         }
@@ -564,6 +770,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       reg.gauge("checker.frontier_peak").record_max(result.frontier_peak);
       reg.gauge("checker.tracked_peak_bytes")
           .record_max(result.tracked_peak_bytes);
+      reg.gauge("checker.threads").record_max(threads);
       if (result.memory_limit_hit) {
         reg.gauge("checker.memory_limit_hit").record_max(1);
       }
@@ -572,6 +779,7 @@ ExploreResult explore(const spp::Instance& instance, const model::Model& m,
       obs::Event ev("checker_summary");
       ev.field("oscillation_found", result.oscillation_found)
           .field("exhaustive", result.exhaustive)
+          .field("searcher", to_string(options.searcher))
           .field("state_cap_hit", result.state_cap_hit)
           .field("state_cap_limit",
                  static_cast<std::uint64_t>(result.state_cap_limit))

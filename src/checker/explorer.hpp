@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/searcher.hpp"
 #include "engine/state.hpp"
 #include "model/activation.hpp"
 #include "model/model.hpp"
@@ -83,8 +84,65 @@ struct ExploreOptions {
   /// Online progress: when attached, explore() reports done=expanded /
   /// total=expanded+frontier (the coverage lower bound; total grows as
   /// states are discovered) plus the live frontier size as detail,
-  /// every 256 expansions. Borrowed; must outlive the call.
+  /// every 256 expansions. On truncation (state cap / memory limit) the
+  /// final update reports done == total — exploration is over even
+  /// though the frontier is non-empty — and rewrites the detail label
+  /// to "truncated:<reason>". Borrowed; must outlive the call.
   obs::ProgressEstimator* progress = nullptr;
+  /// Worker threads for frontier expansion: 1 (default) explores on the
+  /// calling thread; 0 means hardware_concurrency(). Exploration is
+  /// wave-based — a batch of frontier states expands in parallel against
+  /// a sharded concurrent seen-set, then the results merge on the
+  /// calling thread in deterministic enumeration order with canonical
+  /// StateId re-numbering — so under the default BFS searcher the
+  /// verdict, `states`, `transitions`, `dedup_hits`, witness scripts,
+  /// and the `checker_summary` event (minus `wall_us`) are
+  /// byte-identical at any thread count, truncated or not.
+  std::size_t threads = 1;
+  /// Frontier-order strategy (see checker/searcher.hpp). Non-BFS
+  /// searchers reach the same verdict on exhaustive explorations but
+  /// number states differently (and explore a different prefix under a
+  /// cap); kBFS is byte-compatible with the historical explorer.
+  SearcherKind searcher = SearcherKind::kBFS;
+  /// Seed for SearcherKind::kRandomPath.
+  std::uint64_t searcher_seed = 0;
+};
+
+/// Independent count- and time-based heartbeat cadences. The two
+/// triggers deliberately share no state: a count-based beat never
+/// resets the time interval (the historical bug — with both cadences
+/// enabled, steady expansion re-armed the time clock on every
+/// count-based beat and starved time-based heartbeats forever).
+class HeartbeatCadence {
+ public:
+  /// `start_ms` anchors the time cadence (first time-based beat is due
+  /// at start_ms + interval_ms).
+  HeartbeatCadence(std::size_t every, std::uint64_t interval_ms,
+                   std::uint64_t start_ms = 0)
+      : every_(every), interval_ms_(interval_ms), last_beat_ms_(start_ms) {}
+
+  bool active() const { return every_ > 0 || interval_ms_ > 0; }
+  bool time_active() const { return interval_ms_ > 0; }
+
+  /// Count cadence: due every `every` expansions (stateless).
+  bool count_due(std::uint64_t expanded) const {
+    return every_ > 0 && expanded % every_ == 0;
+  }
+
+  /// Time cadence: due when `interval_ms` elapsed since the last
+  /// *time-based* beat; advances its own clock when it fires.
+  bool time_due(std::uint64_t now_ms) {
+    if (interval_ms_ == 0 || now_ms - last_beat_ms_ < interval_ms_) {
+      return false;
+    }
+    last_beat_ms_ = now_ms;
+    return true;
+  }
+
+ private:
+  std::size_t every_;
+  std::uint64_t interval_ms_;
+  std::uint64_t last_beat_ms_;
 };
 
 struct ExploreResult {

@@ -1,0 +1,101 @@
+#include "checker/searcher.hpp"
+
+#include "support/error.hpp"
+
+namespace commroute::checker {
+
+std::string to_string(SearcherKind kind) {
+  switch (kind) {
+    case SearcherKind::kBFS:
+      return "bfs";
+    case SearcherKind::kDFS:
+      return "dfs";
+    case SearcherKind::kRandomPath:
+      return "random";
+    case SearcherKind::kPriorityFlap:
+      return "priority";
+  }
+  throw InvariantError("unknown SearcherKind");
+}
+
+SearcherKind parse_searcher_kind(std::string_view name) {
+  if (name == "bfs") {
+    return SearcherKind::kBFS;
+  }
+  if (name == "dfs") {
+    return SearcherKind::kDFS;
+  }
+  if (name == "random") {
+    return SearcherKind::kRandomPath;
+  }
+  if (name == "priority") {
+    return SearcherKind::kPriorityFlap;
+  }
+  throw PreconditionError("unknown searcher '" + std::string(name) +
+                          "' (expected bfs, dfs, random, or priority)");
+}
+
+void BFSSearcher::push(StateId id, const SearcherPush&) {
+  states_.push_back(id);
+}
+
+StateId BFSSearcher::select() {
+  CR_REQUIRE(!states_.empty(), "select() on an empty searcher");
+  const StateId id = states_.front();
+  states_.pop_front();
+  return id;
+}
+
+void DFSSearcher::push(StateId id, const SearcherPush&) {
+  states_.push_back(id);
+}
+
+StateId DFSSearcher::select() {
+  CR_REQUIRE(!states_.empty(), "select() on an empty searcher");
+  const StateId id = states_.back();
+  states_.pop_back();
+  return id;
+}
+
+void RandomPathSearcher::push(StateId id, const SearcherPush&) {
+  states_.push_back(id);
+}
+
+StateId RandomPathSearcher::select() {
+  CR_REQUIRE(!states_.empty(), "select() on an empty searcher");
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.below(states_.size()));
+  std::swap(states_[pick], states_.back());
+  const StateId id = states_.back();
+  states_.pop_back();
+  return id;
+}
+
+void PriorityFlapSearcher::push(StateId id, const SearcherPush& info) {
+  (info.pi_changed ? flapped_ : quiet_).push_back(id);
+}
+
+StateId PriorityFlapSearcher::select() {
+  std::vector<StateId>& from = flapped_.empty() ? quiet_ : flapped_;
+  CR_REQUIRE(!from.empty(), "select() on an empty searcher");
+  const StateId id = from.back();
+  from.pop_back();
+  return id;
+}
+
+std::unique_ptr<Searcher> make_searcher(SearcherKind kind,
+                                        std::uint64_t seed) {
+  switch (kind) {
+    case SearcherKind::kBFS:
+      return std::make_unique<BFSSearcher>();
+    case SearcherKind::kDFS:
+      return std::make_unique<DFSSearcher>();
+    case SearcherKind::kRandomPath:
+      return std::make_unique<RandomPathSearcher>(seed);
+    case SearcherKind::kPriorityFlap:
+      return std::make_unique<PriorityFlapSearcher>();
+  }
+  throw InvariantError("unknown SearcherKind");
+}
+
+}  // namespace commroute::checker

@@ -1,0 +1,149 @@
+// Pluggable exploration-order strategies for checker::explore, mirroring
+// the KLEE Searcher/BFSSearcher design: the explorer owns the frontier
+// through this interface and asks it which interned state to expand
+// next. Strategies only affect the *order* states are expanded in — on
+// an exhaustive exploration the reachable set, transition count, and
+// verdict are order-independent, so every searcher proves the same
+// theorem; on truncated runs the searcher decides which corner of the
+// state space the budget is spent on.
+//
+//   * kBFS       — FIFO; the historical default, byte-compatible with
+//                  the pre-Searcher explorer at any thread width.
+//   * kDFS       — LIFO; drills deep executions first, useful when long
+//                  schedules reach the interesting SCC sooner.
+//   * kRandomPath — uniformly random frontier pick from a seeded Rng;
+//                  an unbiased sample of the space under a state cap.
+//   * kPriorityFlap — most-recently-flapped first: states discovered
+//                  via an assignment-changing edge are expanded before
+//                  quiet ones (LIFO within each class), surfacing
+//                  oscillation witnesses with fewer expansions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace commroute::checker {
+
+/// Dense id of an interned configuration in the explorer's graph.
+using StateId = std::uint32_t;
+
+enum class SearcherKind {
+  kBFS,
+  kDFS,
+  kRandomPath,
+  kPriorityFlap,
+};
+
+std::string to_string(SearcherKind kind);
+
+/// Parses "bfs" / "dfs" / "random" / "priority" (case-sensitive);
+/// throws PreconditionError on anything else.
+SearcherKind parse_searcher_kind(std::string_view name);
+
+/// What the explorer knows about a state at enqueue time; strategies
+/// use it to order the frontier.
+struct SearcherPush {
+  /// The discovery edge changed some node's path assignment — the state
+  /// is "recently flapped".
+  bool pi_changed = false;
+  /// Global discovery sequence number (monotone across the run).
+  std::uint64_t order = 0;
+};
+
+/// Frontier-order strategy. Single-threaded contract: the explorer
+/// calls push()/select() only from the merge phase (never from expansion
+/// workers), so implementations need no locking.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Enqueues a newly interned state.
+  virtual void push(StateId id, const SearcherPush& info) = 0;
+
+  /// Removes and returns the next state to expand. Requires !empty().
+  virtual StateId select() = 0;
+
+  virtual bool empty() const = 0;
+
+  /// States currently queued.
+  virtual std::size_t size() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// FIFO frontier: classic breadth-first order.
+class BFSSearcher final : public Searcher {
+ public:
+  void push(StateId id, const SearcherPush& info) override;
+  StateId select() override;
+  bool empty() const override { return states_.empty(); }
+  std::size_t size() const override { return states_.size(); }
+  std::string name() const override { return "bfs"; }
+
+ private:
+  std::deque<StateId> states_;
+};
+
+/// LIFO frontier: depth-first order.
+class DFSSearcher final : public Searcher {
+ public:
+  void push(StateId id, const SearcherPush& info) override;
+  StateId select() override;
+  bool empty() const override { return states_.empty(); }
+  std::size_t size() const override { return states_.size(); }
+  std::string name() const override { return "dfs"; }
+
+ private:
+  std::vector<StateId> states_;
+};
+
+/// Uniformly random frontier pick, deterministic per seed: select()
+/// swaps a random element to the back and pops it.
+class RandomPathSearcher final : public Searcher {
+ public:
+  explicit RandomPathSearcher(std::uint64_t seed) : rng_(seed) {}
+
+  void push(StateId id, const SearcherPush& info) override;
+  StateId select() override;
+  bool empty() const override { return states_.empty(); }
+  std::size_t size() const override { return states_.size(); }
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+  std::vector<StateId> states_;
+};
+
+/// Most-recently-flapped first: states whose discovery edge changed an
+/// assignment outrank quiet ones; within a class, higher discovery
+/// order (more recent) wins. Backed by two LIFO stacks rather than a
+/// heap — push order *is* discovery order, so recency never needs a
+/// comparator.
+class PriorityFlapSearcher final : public Searcher {
+ public:
+  void push(StateId id, const SearcherPush& info) override;
+  StateId select() override;
+  bool empty() const override {
+    return flapped_.empty() && quiet_.empty();
+  }
+  std::size_t size() const override {
+    return flapped_.size() + quiet_.size();
+  }
+  std::string name() const override { return "priority"; }
+
+ private:
+  std::vector<StateId> flapped_;
+  std::vector<StateId> quiet_;
+};
+
+/// Builds the strategy for `kind`; `seed` feeds kRandomPath only.
+std::unique_ptr<Searcher> make_searcher(SearcherKind kind,
+                                        std::uint64_t seed);
+
+}  // namespace commroute::checker

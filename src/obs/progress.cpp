@@ -47,6 +47,11 @@ void ProgressEstimator::set_detail(std::uint64_t detail) {
   detail_ = detail;
 }
 
+void ProgressEstimator::set_detail_label(std::string label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  detail_label_ = std::move(label);
+}
+
 ProgressSnapshot ProgressEstimator::snapshot() const {
   const auto now = std::chrono::steady_clock::now();
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -60,11 +60,17 @@ class ProgressEstimator {
   /// Updates the free detail counter published with each snapshot.
   void set_detail(std::uint64_t detail);
 
+  /// Rewrites the detail label mid-run. Loops that end early use this to
+  /// mark *why* — e.g. the checker sets "truncated:state_cap" when a cap
+  /// fires with a non-empty frontier, so a snapshot reader can tell a
+  /// finished-at-100% run from a truncated one.
+  void set_detail_label(std::string label);
+
   ProgressSnapshot snapshot() const;
 
  private:
   const std::string name_;
-  const std::string detail_label_;
+  std::string detail_label_;
   const double alpha_;
 
   mutable std::mutex mutex_;

@@ -1,0 +1,68 @@
+#include "study/checker_campaign.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace commroute::study {
+
+std::size_t CheckerMatrixResult::oscillating() const {
+  std::size_t n = 0;
+  for (const CheckerMatrixCell& cell : cells) {
+    n += cell.result.oscillation_found ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t CheckerMatrixResult::proven_safe() const {
+  std::size_t n = 0;
+  for (const CheckerMatrixCell& cell : cells) {
+    n += cell.result.proves_no_oscillation() ? 1 : 0;
+  }
+  return n;
+}
+
+std::string CheckerMatrixResult::to_csv() const {
+  std::ostringstream os;
+  os << "instance,model,oscillation_found,exhaustive,states,transitions,"
+        "dedup_hits,frontier_peak,scc_prune_passes,state_cap_hit,"
+        "channel_bound_hit,memory_limit_hit,bound_skipped_expansions,"
+        "quiescent_outcomes,witness_scc_size,tracked_peak_bytes\n";
+  for (const CheckerMatrixCell& cell : cells) {
+    const checker::ExploreResult& r = cell.result;
+    os << cell.instance << ',' << cell.model.name() << ','
+       << (r.oscillation_found ? 1 : 0) << ',' << (r.exhaustive ? 1 : 0)
+       << ',' << r.states << ',' << r.transitions << ',' << r.dedup_hits
+       << ',' << r.frontier_peak << ',' << r.scc_prune_passes << ','
+       << (r.state_cap_hit ? 1 : 0) << ',' << (r.channel_bound_hit ? 1 : 0)
+       << ',' << (r.memory_limit_hit ? 1 : 0) << ','
+       << r.bound_skipped_expansions << ','
+       << r.quiescent_assignments.size() << ',' << r.witness_scc_size
+       << ',' << r.tracked_peak_bytes << '\n';
+  }
+  return os.str();
+}
+
+CheckerMatrixResult run_checker_matrix(const CheckerMatrixSpec& spec) {
+  CR_REQUIRE(!spec.instances.empty(),
+             "run_checker_matrix: no instances given");
+  const std::vector<model::Model>& models =
+      spec.models.empty() ? model::Model::all() : spec.models;
+
+  CheckerMatrixResult result;
+  result.cells.reserve(spec.instances.size() * models.size());
+  for (const auto& [name, instance] : spec.instances) {
+    CR_REQUIRE(instance != nullptr,
+               "run_checker_matrix: null instance '" + name + "'");
+    for (const model::Model& m : models) {
+      CheckerMatrixCell cell;
+      cell.instance = name;
+      cell.model = m;
+      cell.result = checker::explore(*instance, m, spec.explore);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace commroute::study

@@ -1,0 +1,59 @@
+// Checker matrix campaigns: sweep instances x communication models
+// through checker::explore and export the verdict matrix as CSV — the
+// driver behind the paper's Fig. 3/4 tables. Unlike study::run_campaign
+// (which samples schedules), every cell here is a *verdict*: oscillation
+// possible / safe, with the bounds that qualify it.
+//
+// Parallelism lives inside each cell: CheckerMatrixSpec::explore carries
+// ExploreOptions::threads / searcher, and cells run in spec order on the
+// calling thread so the CSV, the per-cell events, and the merged metrics
+// are byte-identical at any thread count (the explorer's own
+// determinism contract).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checker/explorer.hpp"
+#include "model/model.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::study {
+
+struct CheckerMatrixSpec {
+  /// Instances by name. Borrowed; they must outlive run_checker_matrix.
+  std::vector<std::pair<std::string, const spp::Instance*>> instances;
+  /// Models to check; empty means all 24 in Fig. 3/4 row order.
+  std::vector<model::Model> models;
+  /// Per-cell exploration options, shared by every cell — including
+  /// `threads`, `searcher`, bounds, and the obs handle (the explorer
+  /// emits its usual checker_summary per cell into it).
+  checker::ExploreOptions explore;
+};
+
+/// One (instance, model) verdict.
+struct CheckerMatrixCell {
+  std::string instance;
+  model::Model model;
+  checker::ExploreResult result;
+};
+
+struct CheckerMatrixResult {
+  std::vector<CheckerMatrixCell> cells;
+
+  /// Number of cells with an oscillation verdict.
+  std::size_t oscillating() const;
+  /// Number of cells whose negative verdict is a proof (exhaustive).
+  std::size_t proven_safe() const;
+
+  /// CSV with a header row; one line per cell, spec order. Every column
+  /// is deterministic (no wall-clock fields), so the bytes are identical
+  /// at any ExploreOptions::threads.
+  std::string to_csv() const;
+};
+
+/// Runs the full instances x models product in spec order.
+CheckerMatrixResult run_checker_matrix(const CheckerMatrixSpec& spec);
+
+}  // namespace commroute::study

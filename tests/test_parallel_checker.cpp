@@ -1,0 +1,397 @@
+// Determinism and truncation contracts of the parallel explorer:
+//
+//  * threads ∈ {1, 2, 8} produce byte-identical results under the BFS
+//    searcher — verdict fields, graph counts, witness scripts, and the
+//    checker_summary event (minus the quarantined wall_us field) — for
+//    all 24 models on BAD-GADGET and GOOD-GADGET;
+//  * alternative searchers (DFS / random / priority) reach the same
+//    verdict on exhaustive explorations, though they number states
+//    differently;
+//  * the state cap admits exactly <= N states at intern time (the
+//    historical per-pop check admitted N+branching);
+//  * count- and time-based heartbeat cadences are independent (the
+//    historical code reset the time interval on every count beat);
+//  * truncated runs land progress on done == total with a
+//    "truncated:<reason>" detail label instead of freezing short.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/explorer.hpp"
+#include "engine/runner.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "spp/gadgets.hpp"
+
+namespace commroute::checker {
+namespace {
+
+using model::Model;
+
+/// Everything a determinism comparison cares about, flattened to a
+/// string so a mismatch prints both sides wholesale.
+std::string result_fingerprint(const spp::Instance& inst,
+                               const ExploreResult& r) {
+  std::ostringstream os;
+  os << "oscillation=" << r.oscillation_found
+     << " exhaustive=" << r.exhaustive
+     << " channel_bound_hit=" << r.channel_bound_hit
+     << " state_cap_hit=" << r.state_cap_hit
+     << " memory_limit_hit=" << r.memory_limit_hit
+     << " states=" << r.states << " transitions=" << r.transitions
+     << " caps=" << r.state_cap_limit << "/" << r.channel_length_limit
+     << "/" << r.memory_limit
+     << " bound_skipped=" << r.bound_skipped_expansions
+     << " dedup=" << r.dedup_hits << " frontier_peak=" << r.frontier_peak
+     << " scc_passes=" << r.scc_prune_passes
+     << " tracked_peak=" << r.tracked_peak_bytes
+     << " quiescent=" << r.quiescent_assignments.size()
+     << " witness_scc=" << r.witness_scc_size << "\nprefix:";
+  for (const auto& step : r.witness_prefix) {
+    os << "\n  " << step.to_string(inst);
+  }
+  os << "\ncycle:";
+  for (const auto& step : r.witness_cycle) {
+    os << "\n  " << step.to_string(inst);
+  }
+  return os.str();
+}
+
+/// checker_summary with the quarantined wall-clock field removed.
+std::string strip_wall_us(const std::string& line) {
+  static const std::regex wall(R"re(,"wall_us":[0-9]+)re");
+  return std::regex_replace(line, wall, "");
+}
+
+struct ObservedRun {
+  ExploreResult result;
+  std::string summary_line;  ///< checker_summary bytes, wall_us stripped
+};
+
+ObservedRun run_explore(const spp::Instance& inst, const Model& m,
+                        ExploreOptions options) {
+  obs::MemorySink sink;
+  options.obs.sink = &sink;
+  ObservedRun run;
+  run.result = explore(inst, m, options);
+  EXPECT_FALSE(sink.lines().empty());
+  const std::string& last = sink.lines().back();
+  EXPECT_NE(last.find("checker_summary"), std::string::npos) << last;
+  run.summary_line = strip_wall_us(last);
+  return run;
+}
+
+// --- Tentpole: byte-identical results at any thread width (BFS) -------
+
+TEST(ParallelChecker, AllModelsByteIdenticalAcrossThreadWidths) {
+  for (const spp::Instance& inst :
+       {spp::bad_gadget(), spp::good_gadget()}) {
+    for (const Model& m : Model::all()) {
+      ExploreOptions base;
+      base.max_channel_length = 2;
+      // Both bounds together keep every cell fast: the cap bounds the
+      // graph, the memory limit bounds the high-branching cells whose
+      // transition count explodes before the cap bites. Truncated runs
+      // are deliberately in scope — truncation points are enumeration-
+      // ordered, so they must be width-deterministic too.
+      base.max_states = 4000;
+      base.memory_limit_bytes = 16u << 20;
+      base.extract_witness = true;
+      const ObservedRun serial = run_explore(inst, m, base);
+      for (const std::size_t threads : {2u, 8u}) {
+        ExploreOptions options = base;
+        options.threads = threads;
+        const ObservedRun parallel = run_explore(inst, m, options);
+        EXPECT_EQ(result_fingerprint(inst, serial.result),
+                  result_fingerprint(inst, parallel.result))
+            << m.name() << " threads=" << threads;
+        EXPECT_EQ(serial.summary_line, parallel.summary_line)
+            << m.name() << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelChecker, WitnessFromEightThreadsReplays) {
+  const spp::Instance inst = spp::bad_gadget();
+  // REO finds the oscillation within a small graph at this bound (the
+  // weak models need far more states before their witness SCC closes,
+  // and witness-tour construction is quadratic in SCC edges).
+  const Model m = Model::parse("REO");
+  ExploreOptions options;
+  options.max_channel_length = 2;
+  options.max_states = 4000;
+  options.extract_witness = true;
+  options.threads = 8;
+  const ExploreResult r = explore(inst, m, options);
+  ASSERT_TRUE(r.oscillation_found);
+  ASSERT_FALSE(r.witness_cycle.empty());
+
+  model::ActivationScript script = r.witness_prefix;
+  const std::size_t loop_from = script.size();
+  script.insert(script.end(), r.witness_cycle.begin(),
+                r.witness_cycle.end());
+  for (const auto& step : script) {
+    model::require_step_allowed(m, inst, step);
+  }
+  engine::ScriptedScheduler sched(script, loop_from);
+  const auto run = engine::run(
+      inst, sched,
+      {.max_steps = 10 * script.size() + 100, .enforce_model = m});
+  EXPECT_EQ(run.outcome, engine::Outcome::kOscillating);
+}
+
+TEST(ParallelChecker, ZeroThreadsMeansHardwareConcurrency) {
+  // threads = 0 must resolve, run, and agree with the serial result.
+  const spp::Instance inst = spp::disagree();
+  const Model m = Model::parse("RMS");
+  const ExploreResult serial =
+      explore(inst, m, {.max_channel_length = 3});
+  const ExploreResult wide =
+      explore(inst, m, {.max_channel_length = 3, .threads = 0});
+  EXPECT_EQ(serial.states, wide.states);
+  EXPECT_EQ(serial.transitions, wide.transitions);
+  EXPECT_EQ(serial.oscillation_found, wide.oscillation_found);
+}
+
+TEST(ParallelChecker, MetricsShardsMergeToSerialTotals) {
+  const spp::Instance inst = spp::disagree();
+  const Model m = Model::parse("RMS");
+  for (const std::size_t threads : {1u, 8u}) {
+    obs::Registry registry;
+    ExploreOptions options;
+    options.max_channel_length = 3;
+    options.threads = threads;
+    options.obs.metrics = &registry;
+    const ExploreResult r = explore(inst, m, options);
+    const auto samples = registry.snapshot();
+    const auto counter = [&](const std::string& name) -> double {
+      const auto it = std::find_if(
+          samples.begin(), samples.end(),
+          [&](const obs::MetricSample& s) { return s.name == name; });
+      return it == samples.end() ? -1.0 : it->value;
+    };
+    EXPECT_EQ(counter("checker.states"), static_cast<double>(r.states))
+        << threads;
+    EXPECT_EQ(counter("checker.transitions"),
+              static_cast<double>(r.transitions))
+        << threads;
+  }
+}
+
+// --- Searcher strategies ----------------------------------------------
+
+TEST(ParallelChecker, AllSearchersAgreeOnExhaustiveVerdicts) {
+  const spp::Instance inst = spp::disagree();
+  for (const char* name : {"R1O", "REA", "RMS"}) {
+    const Model m = Model::parse(name);
+    const ExploreResult bfs =
+        explore(inst, m, {.max_channel_length = 3});
+    // No cap/memory truncation: the explored set is then exactly "all
+    // states reachable through in-bound configurations", which is
+    // order-independent even when the channel bound trims the space.
+    ASSERT_FALSE(bfs.state_cap_hit) << name;
+    ASSERT_FALSE(bfs.memory_limit_hit) << name;
+    for (const SearcherKind kind :
+         {SearcherKind::kDFS, SearcherKind::kRandomPath,
+          SearcherKind::kPriorityFlap}) {
+      for (const std::size_t threads : {1u, 4u}) {
+        ExploreOptions options;
+        options.max_channel_length = 3;
+        options.threads = threads;
+        options.searcher = kind;
+        options.searcher_seed = 42;
+        const ExploreResult r = explore(inst, m, options);
+        // The explored *set* is order-independent when exhaustive, so
+        // every strategy proves the same theorem with the same counts —
+        // only the state numbering differs.
+        EXPECT_EQ(r.oscillation_found, bfs.oscillation_found)
+            << name << " " << to_string(kind) << " t=" << threads;
+        EXPECT_EQ(r.exhaustive, bfs.exhaustive)
+            << name << " " << to_string(kind) << " t=" << threads;
+        EXPECT_EQ(r.states, bfs.states)
+            << name << " " << to_string(kind) << " t=" << threads;
+        EXPECT_EQ(r.transitions, bfs.transitions)
+            << name << " " << to_string(kind) << " t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelChecker, RandomSearcherIsDeterministicPerSeed) {
+  const spp::Instance inst = spp::disagree();
+  const Model m = Model::parse("RMS");
+  ExploreOptions options;
+  options.max_channel_length = 3;
+  options.searcher = SearcherKind::kRandomPath;
+  options.searcher_seed = 7;
+  const ExploreResult a = explore(inst, m, options);
+  const ExploreResult b = explore(inst, m, options);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.frontier_peak, b.frontier_peak);
+}
+
+TEST(ParallelChecker, SearcherKindParsesAndRoundTrips) {
+  for (const SearcherKind kind :
+       {SearcherKind::kBFS, SearcherKind::kDFS, SearcherKind::kRandomPath,
+        SearcherKind::kPriorityFlap}) {
+    EXPECT_EQ(parse_searcher_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_searcher_kind("best-first"), PreconditionError);
+}
+
+// --- Satellite 1: exact state cap -------------------------------------
+
+TEST(ParallelChecker, StateCapAdmitsExactlyTheConfiguredMaximum) {
+  const spp::Instance inst = spp::bad_gadget();
+  for (const std::size_t threads : {1u, 8u}) {
+    ExploreOptions options;
+    options.max_channel_length = 2;
+    options.max_states = 5;
+    options.threads = threads;
+    const ExploreResult r =
+        explore(inst, Model::parse("R1O"), options);
+    EXPECT_TRUE(r.state_cap_hit) << threads;
+    EXPECT_EQ(r.state_cap_limit, 5u) << threads;
+    // The historical per-pop check admitted up to N+branching states;
+    // the intern-time cap admits exactly N.
+    EXPECT_LE(r.states, 5u) << threads;
+    EXPECT_EQ(r.states, 5u) << threads;  // BAD-GADGET has >> 5 states
+    EXPECT_FALSE(r.exhaustive) << threads;
+  }
+}
+
+// --- Satellite 2: independent heartbeat cadences ----------------------
+
+TEST(ParallelChecker, CountHeartbeatsDoNotResetTheTimeCadence) {
+  // Fake clock: steady expansion emits a count beat every 10 expansions
+  // (well inside the 100 ms interval). The historical code re-armed the
+  // time clock on every count beat, so the time cadence never fired;
+  // the fix keeps the cadences independent.
+  HeartbeatCadence cadence(/*every=*/10, /*interval_ms=*/100);
+  std::size_t time_beats = 0;
+  std::uint64_t now_ms = 0;
+  for (std::uint64_t expanded = 1; expanded <= 1000; ++expanded) {
+    now_ms += 1;  // 1 ms per expansion -> count beat every 10 ms
+    ASSERT_EQ(cadence.count_due(expanded), expanded % 10 == 0);
+    if (cadence.time_due(now_ms)) {
+      ++time_beats;
+    }
+  }
+  // 1000 ms of fake time at a 100 ms interval: 10 time beats (t = 100,
+  // 200, ..., 1000) even though 100 count beats fired in between.
+  EXPECT_EQ(time_beats, 10u);
+}
+
+TEST(ParallelChecker, TimeCadenceAdvancesOnlyWhenItFires) {
+  HeartbeatCadence cadence(/*every=*/0, /*interval_ms=*/50);
+  EXPECT_FALSE(cadence.count_due(50));  // count cadence disabled
+  EXPECT_FALSE(cadence.time_due(49));
+  EXPECT_TRUE(cadence.time_due(50));
+  EXPECT_FALSE(cadence.time_due(99));  // re-armed at 50, due again at 100
+  EXPECT_TRUE(cadence.time_due(100));
+}
+
+TEST(ParallelChecker, HeartbeatEventsMatchAcrossThreadWidths) {
+  const spp::Instance inst = spp::bad_gadget();
+  std::vector<std::string> per_width;
+  for (const std::size_t threads : {1u, 8u}) {
+    obs::MemorySink sink;
+    ExploreOptions options;
+    options.max_channel_length = 2;
+    options.max_states = 4000;
+    options.heartbeat_every = 500;
+    options.threads = threads;
+    options.obs.sink = &sink;
+    explore(inst, Model::parse("R1O"), options);
+    std::ostringstream all;
+    for (const std::string& line : sink.lines()) {
+      if (line.find("checker_heartbeat") == std::string::npos) {
+        continue;
+      }
+      // elapsed_ms is wall-clock (quarantined, like wall_us).
+      static const std::regex elapsed(R"re(,"elapsed_ms":[0-9]+)re");
+      all << std::regex_replace(line, elapsed, "") << "\n";
+    }
+    per_width.push_back(all.str());
+  }
+  EXPECT_FALSE(per_width[0].empty());
+  EXPECT_EQ(per_width[0], per_width[1]);
+}
+
+// --- Satellite 3: truncated progress lands on done == total -----------
+
+TEST(ParallelChecker, StateCapTruncationCompletesProgress) {
+  const spp::Instance inst = spp::bad_gadget();
+  obs::ProgressEstimator progress("checker", "frontier");
+  ExploreOptions options;
+  options.max_channel_length = 2;
+  options.max_states = 1000;
+  options.progress = &progress;
+  const ExploreResult r = explore(inst, Model::parse("R1O"), options);
+  ASSERT_TRUE(r.state_cap_hit);
+  const obs::ProgressSnapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.done, snap.total);
+  EXPECT_GT(snap.total, 0u);
+  EXPECT_DOUBLE_EQ(snap.fraction, 1.0);
+  EXPECT_EQ(snap.eta_ms, 0u);  // nothing left: no dangling ETA
+  EXPECT_EQ(snap.detail_label, "truncated:state_cap");
+}
+
+TEST(ParallelChecker, MemoryTruncationCompletesProgress) {
+  const spp::Instance inst = spp::bad_gadget();
+  obs::ProgressEstimator progress("checker", "frontier");
+  ExploreOptions options;
+  options.max_channel_length = 2;
+  options.memory_limit_bytes = 64 * 1024;
+  options.progress = &progress;
+  const ExploreResult r = explore(inst, Model::parse("R1O"), options);
+  ASSERT_TRUE(r.memory_limit_hit);
+  const obs::ProgressSnapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.done, snap.total);
+  EXPECT_DOUBLE_EQ(snap.fraction, 1.0);
+  EXPECT_EQ(snap.detail_label, "truncated:memory_limit");
+}
+
+TEST(ParallelChecker, ExhaustiveRunsKeepTheFrontierLabel) {
+  const spp::Instance inst = spp::disagree();
+  obs::ProgressEstimator progress("checker", "frontier");
+  ExploreOptions options;
+  options.progress = &progress;
+  // REA (polling) drains channels, so DISAGREE exhausts under it.
+  const ExploreResult r = explore(inst, Model::parse("REA"), options);
+  ASSERT_TRUE(r.exhaustive);
+  const obs::ProgressSnapshot snap = progress.snapshot();
+  EXPECT_EQ(snap.done, snap.total);
+  EXPECT_EQ(snap.detail_label, "frontier");  // untouched when not truncated
+}
+
+// Truncation points are enumeration-ordered, so a capped exploration is
+// also byte-identical across widths.
+TEST(ParallelChecker, TruncatedRunsStayDeterministicAcrossWidths) {
+  const spp::Instance inst = spp::bad_gadget();
+  const Model m = Model::parse("R1O");
+  ExploreOptions base;
+  base.max_channel_length = 2;
+  base.memory_limit_bytes = 256 * 1024;
+  const ObservedRun serial = run_explore(inst, m, base);
+  ASSERT_TRUE(serial.result.memory_limit_hit);
+  for (const std::size_t threads : {2u, 8u}) {
+    ExploreOptions options = base;
+    options.threads = threads;
+    const ObservedRun parallel = run_explore(inst, m, options);
+    EXPECT_EQ(result_fingerprint(inst, serial.result),
+              result_fingerprint(inst, parallel.result))
+        << threads;
+    EXPECT_EQ(serial.summary_line, parallel.summary_line) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace commroute::checker
