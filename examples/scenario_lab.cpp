@@ -1,0 +1,259 @@
+// Scenario lab: the scenario subsystem end to end — ranking
+// perturbations, timed fault injection, and adversarial robustness
+// search (docs/SCENARIOS.md).
+//
+//   $ ./scenario_lab                  # demo: perturb GOOD-GADGET, then run
+//                                     # a faulted sim and report reconvergence
+//   $ ./scenario_lab --record FILE    # flight-record the faulted demo run
+//                                     # (schema v3; replay with commroute-obs)
+//   $ ./scenario_lab --hunt           # adversarial search: minimal ranking
+//                                     # perturbation that breaks GOOD-GADGET
+//   $ ./scenario_lab --model UMS      # model for the demo / hunt
+//   $ ./scenario_lab --campaign       # perturbation x fault-schedule campaign
+//                                     # over all 24 models (E-PERTURB driver)
+//   $ ./scenario_lab --campaign --csv            # raw rows
+//   $ ./scenario_lab --campaign --threads N      # identical bytes for any N
+//   $ ./scenario_lab --campaign --provenance F   # perturbation records JSONL
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "checker/explorer.hpp"
+#include "model/script_io.hpp"
+#include "obs/meta.hpp"
+#include "scenario/fault.hpp"
+#include "scenario/perturb.hpp"
+#include "scenario/search.hpp"
+#include "sim/sim_runner.hpp"
+#include "spp/gadgets.hpp"
+#include "study/campaign.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace commroute;
+
+int run_demo(const model::Model& m, const std::string& record_path) {
+  const spp::Instance base = spp::good_gadget();
+
+  // Pillar 1: a deterministic ranking perturbation with provenance.
+  scenario::PerturbSpec pspec;
+  pspec.kind = scenario::PerturbKind::kTieBreakFlip;
+  pspec.count = 1;
+  const scenario::PerturbResult perturbed = scenario::perturb(base, pspec, 7);
+  std::cout << "perturbation: " << perturbed.record.to_json(base) << "\n";
+
+  // Pillar 2: a timed fault schedule injected into the DES run — a link
+  // flap followed by a node reboot, all after the unfaulted network
+  // would have converged.
+  const scenario::FaultSchedule faults = scenario::parse_fault_schedule(
+      "1200 link-down 1 2; 2600 link-up 1 2; 4000 reboot 3",
+      perturbed.instance);
+  std::cout << "faults:       " << faults.format(perturbed.instance)
+            << "\n\n";
+
+  sim::SimOptions sopts;
+  sopts.model = m;
+  sopts.seed = 42;
+  sopts.faults = &faults;
+  if (!record_path.empty()) {
+    sopts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+    sopts.flight.instance_name = "GOOD-GADGET~tiebreak:1#7";
+    sopts.flight.scheduler = "sim";
+    sopts.flight.seed = sopts.seed;
+    sopts.flight.flush_path = record_path;
+    sopts.flight.flush_always = true;
+  }
+  const sim::SimResult res = sim::run(perturbed.instance, sopts);
+
+  std::cout << "model " << m.name() << ": "
+            << engine::to_string(res.run.outcome) << " after "
+            << res.run.steps << " steps, " << res.faults_applied
+            << " fault(s) applied\n";
+  std::cout << "  last fault at  " << res.last_fault_us << " us\n";
+  std::cout << "  last change at " << res.last_change_us << " us\n";
+  std::cout << "  reconvergence  " << res.reconverge_us()
+            << " us after the final fault\n";
+  if (!record_path.empty()) {
+    std::cout << "\nWrote recording to " << record_path
+              << " — replay with `commroute-obs replay " << record_path
+              << "`\n";
+  }
+  return 0;
+}
+
+int run_hunt(const model::Model& m) {
+  const spp::Instance base = spp::good_gadget();
+
+  // GOOD-GADGET's tie-breaks are exactly what separates it from
+  // BAD-GADGET, but a single flip is harmless — the search has to find
+  // a *set* of flips whose interaction builds a dispute wheel. Sweep
+  // the default ladder first (count 1-2, provably insufficient here),
+  // then triple flips.
+  scenario::BreakSearchOptions opts;
+  opts.specs.push_back(scenario::parse_perturb_spec("tiebreak:1"));
+  opts.specs.push_back(scenario::parse_perturb_spec("tiebreak:2"));
+  opts.specs.push_back(scenario::parse_perturb_spec("tiebreak:3"));
+  opts.explore.max_states = 200000;
+  opts.minimize = true;
+
+  const scenario::BreakSearchResult found =
+      scenario::find_breaking_perturbation(base, m, opts);
+  std::cout << "explored " << found.explorations
+            << " perturbed instances under " << m.name() << "\n";
+  if (!found.found) {
+    std::cout << "no breaking perturbation in the swept families\n";
+    return 1;
+  }
+  std::cout << "breaking perturbation ("
+            << scenario::to_string(found.record.kind) << ", "
+            << found.record.edits.size() << " edit(s), every one "
+            << "necessary):\n  " << found.record.to_json(base) << "\n";
+  std::cout << "witness SCC size " << found.witness_scc_size
+            << "; oscillation = prefix (" << found.witness_prefix.size()
+            << " step(s)) then cycle (" << found.witness_cycle.size()
+            << " step(s)) forever; first cycle step:\n  "
+            << model::format_script(
+                   *found.instance,
+                   model::ActivationScript{found.witness_cycle.front()})
+            << "\n";
+  if (found.minimized.has_value()) {
+    std::cout << "delta-debugged oscillating core: removed "
+              << found.minimized->removed_paths << " more permitted "
+              << "path(s), minimal="
+              << (found.minimized->minimal ? "yes" : "no") << "\n";
+  }
+  return 0;
+}
+
+int run_campaign_mode(bool csv, std::size_t threads,
+                      const std::string& provenance_path) {
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance disagree = spp::disagree();
+
+  study::CampaignSpec spec;
+  spec.instances.emplace_back("GOOD-GADGET", &good);
+  spec.instances.emplace_back("DISAGREE", &disagree);
+  spec.models = model::Model::all();
+  spec.schedulers = {study::SchedulerKind::kSim};
+  spec.seeds = 2;
+  spec.max_steps = 30000;
+  spec.threads = threads;
+  spec.perturbations.push_back(scenario::parse_perturb_spec("tiebreak:1"));
+  spec.perturbations.push_back(scenario::parse_perturb_spec("rankswap:2"));
+  spec.perturbations.push_back(scenario::parse_perturb_spec("delete:1"));
+  spec.perturb_seeds = 1;
+  // Fault axis: a no-fault baseline cell, a link flap, and a session
+  // reset + reboot combination.
+  spec.fault_schedules.push_back(scenario::parse_fault_spec("none"));
+  spec.fault_schedules.push_back(scenario::parse_fault_spec("flap1"));
+  spec.fault_schedules.push_back(
+      scenario::parse_fault_spec("reset1+reboot1"));
+
+  const study::CampaignResult result = study::run_campaign(spec);
+
+  if (!provenance_path.empty()) {
+    std::ofstream out(provenance_path);
+    for (const study::PerturbProvenance& p : result.provenance) {
+      out << "{\"variant\":\"" << p.variant << "\",\"record\":"
+          << p.record_json << "}\n";
+    }
+    std::cerr << "Wrote " << result.provenance.size()
+              << " perturbation record(s) to " << provenance_path << "\n";
+  }
+
+  if (csv) {
+    std::cout << result.to_csv();
+    return 0;
+  }
+
+  // The E-PERTURB view: per (model, perturbation) divergence probability
+  // and median reconvergence time over the faulted cells.
+  std::vector<std::string> perturbs = {"none"};
+  for (const scenario::PerturbSpec& p : spec.perturbations) {
+    perturbs.push_back(p.label());
+  }
+  TextTable table;
+  table.set_header({"model", "perturb", "diverged", "median reconverge us"});
+  for (const model::Model& m : spec.models) {
+    for (const std::string& perturb : perturbs) {
+      std::size_t total = 0, diverged = 0;
+      std::vector<std::uint64_t> reconverge;
+      for (const study::CampaignRow& row : result.rows) {
+        if (row.model.index() != m.index() || row.perturb != perturb) {
+          continue;
+        }
+        ++total;
+        if (row.outcome != engine::Outcome::kConverged) {
+          ++diverged;
+        }
+        if (row.faults_applied > 0 &&
+            row.outcome == engine::Outcome::kConverged) {
+          reconverge.push_back(row.reconverge_us);
+        }
+      }
+      if (total == 0) {
+        continue;
+      }
+      std::sort(reconverge.begin(), reconverge.end());
+      table.add_row({m.name(), perturb,
+                     std::to_string(diverged) + "/" + std::to_string(total),
+                     reconverge.empty()
+                         ? "-"
+                         : std::to_string(reconverge[reconverge.size() / 2])});
+    }
+  }
+  std::cout << result.rows.size() << " rows (2 instances x 4 perturbation "
+            << "cells x 24 models x 3 fault cells x 2 seeds, lossy cells "
+            << "skipped for R models).\n\n";
+  std::cout << table.render();
+  std::cout << "\nDivergence here means the row exhausted its step budget "
+               "without quiescing. Rerun with --csv for the raw rows; the "
+               "bytes are identical for any --threads value.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::set_process_argv(argc, argv);
+  bool campaign = false;
+  bool hunt = false;
+  bool csv = false;
+  std::size_t threads = 1;
+  std::string record_path, provenance_path;
+  bool model_given = false;
+  model::Model m = model::Model::parse("UMS");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--campaign") {
+      campaign = true;
+    } else if (arg == "--hunt") {
+      hunt = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--record" && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (arg == "--provenance" && i + 1 < argc) {
+      provenance_path = argv[++i];
+    } else if (arg == "--model" && i + 1 < argc) {
+      m = model::Model::parse(argv[++i]);
+      model_given = true;
+    }
+  }
+  if (campaign) {
+    return run_campaign_mode(csv, threads, provenance_path);
+  }
+  if (hunt) {
+    // The hunt's checker sweeps dozens of perturbed instances; default
+    // to the cheap one-message model unless the user picked one.
+    return run_hunt(model_given ? m : model::Model::parse("R1O"));
+  }
+  return run_demo(m, record_path);
+}

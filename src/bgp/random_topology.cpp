@@ -1,12 +1,34 @@
 #include "bgp/random_topology.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "support/error.hpp"
 
 namespace commroute::bgp {
 
+namespace {
+
+// Probabilities outside [0, 1] would be silently clamped by
+// Rng::chance (NaN compares false, so it degrades to "never"); reject
+// them loudly with the offending value in the diagnostic instead.
+void require_probability(double p, const char* name) {
+  CR_REQUIRE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+             std::string("RandomTopologyParams::") + name +
+                 " must be a probability in [0, 1], got " +
+                 std::to_string(p));
+}
+
+}  // namespace
+
 std::shared_ptr<AsTopology> random_as_topology(
     Rng& rng, const RandomTopologyParams& params) {
-  CR_REQUIRE(params.as_count >= 2, "need at least two ASes");
+  CR_REQUIRE(params.as_count >= 2,
+             "RandomTopologyParams::as_count must be >= 2 (one provider "
+             "tier plus at least one customer), got " +
+                 std::to_string(params.as_count));
+  require_probability(params.extra_provider_prob, "extra_provider_prob");
+  require_probability(params.peering_prob, "peering_prob");
   auto topo = std::make_shared<AsTopology>();
   std::vector<std::string> names;
   names.reserve(params.as_count);

@@ -1,0 +1,55 @@
+// Fault-injection hook for the run loop.
+//
+// The engine knows nothing about fault semantics; it only needs three
+// things from an injector: a pointer to the live state (faults mutate it
+// between steps, from inside Scheduler::next), whether more faults are
+// still scheduled (a quiescent network must keep running until the last
+// fault has fired), and which faults were applied since the last step
+// (so the flight recorder and causality DAG can place them in the
+// execution order). scenario's sim injector implements this; the engine
+// stays dependency-free of the scenario subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace commroute::engine {
+
+class NetworkState;
+
+/// One fault that fired, as the run loop sees it: a self-describing text
+/// (scenario fault syntax), its virtual time, and the channels it
+/// emptied (so channel-mirroring observers can stay in lockstep).
+struct AppliedFault {
+  std::string text;
+  std::uint64_t t_us = 0;
+  std::vector<ChannelIdx> flushed_channels;
+};
+
+/// Implemented by fault injectors (typically the same object as the
+/// Scheduler). run() binds the live state before the first step; the
+/// injector applies due faults to it from inside next().
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Receives the run's live state. Called once, before the first
+  /// next(); the pointer stays valid for the whole run.
+  virtual void bind(NetworkState* state) = 0;
+
+  /// True while fault events are still scheduled. A strongly quiescent
+  /// state does not end the run while this holds — the pending fault can
+  /// (and usually will) wake the network back up.
+  virtual bool pending() const = 0;
+
+  /// Faults applied since the last call, in application order. The run
+  /// loop drains this after every next() and logs the entries into the
+  /// flight recording / causality DAG as happening before the step that
+  /// next() returned.
+  virtual std::vector<AppliedFault> drain_applied() = 0;
+};
+
+}  // namespace commroute::engine

@@ -49,6 +49,13 @@ class FlightRecorder {
     }
   }
 
+  /// `before` is the global index of the first step executed after the
+  /// fault. Faults whose step fell off the ring are pruned at finish().
+  void record_fault(const std::string& text, std::uint64_t t_us,
+                    std::uint64_t before) {
+    faults_.push_back(trace::RecordedFault{before, text, t_us});
+  }
+
   trace::RecordingDoc finish(const RunOptions& options,
                              Outcome outcome) && {
     trace::RecordingDoc doc;
@@ -75,6 +82,11 @@ class FlightRecorder {
         doc.step_time_us.push_back(entry.t_us);
       }
     }
+    for (trace::RecordedFault& fault : faults_) {
+      if (fault.before >= first_step_) {  // still inside the ring window
+        doc.faults.push_back(std::move(fault));
+      }
+    }
     return doc;
   }
 
@@ -88,6 +100,7 @@ class FlightRecorder {
   const FlightRecorderOptions& options_;
   trace::Assignment window_initial_;
   std::deque<Entry> window_;
+  std::vector<trace::RecordedFault> faults_;
   std::uint64_t first_step_ = 1;
   bool timed_ = false;  ///< the scheduler exposed virtual timestamps
 };
@@ -182,6 +195,10 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   std::optional<obs::CausalityRecorder> causal;
   if (options.causality) {
     causal.emplace(instance);
+  }
+  FaultHook* const hook = options.fault_hook;
+  if (hook != nullptr) {
+    hook->bind(&state);
   }
 
   RunResult result;
@@ -283,7 +300,9 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
   }
 
   while (result.steps < options.max_steps) {
-    if (strongly_quiescent(state)) {
+    // A quiescent network with faults still scheduled has not converged:
+    // the next fault can wake it back up.
+    if (strongly_quiescent(state) && (hook == nullptr || !hook->pending())) {
       result.outcome = Outcome::kConverged;
       break;
     }
@@ -293,6 +312,21 @@ RunResult run(const spp::Instance& instance, Scheduler& scheduler,
 
     obs::Span step_span = options.obs.span("engine.step");
     const model::ActivationStep step = scheduler.next(state);
+    if (hook != nullptr) {
+      // Faults applied inside next() happen before the step it returned.
+      for (AppliedFault& fault : hook->drain_applied()) {
+        ++result.faults_applied;
+        if (recording) {
+          recorder->record_fault(fault.text, fault.t_us, result.steps + 1);
+        }
+        if (causal.has_value()) {
+          for (const ChannelIdx c : fault.flushed_channels) {
+            causal->flush_channel(c);
+          }
+          causal->record_fault(std::move(fault.text), fault.t_us);
+        }
+      }
+    }
     if (options.enforce_model.has_value()) {
       model::require_step_allowed(*options.enforce_model, instance, step);
     }

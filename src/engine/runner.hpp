@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "engine/fault_hook.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/state.hpp"
 #include "model/fairness.hpp"
@@ -104,6 +105,12 @@ struct RunOptions {
   /// measurable. Borrowed; deterministic (element counts, never
   /// capacity or clocks).
   obs::TrackedBytes* obs_memory = nullptr;
+  /// Fault injection (scenario subsystem): bound to the state before the
+  /// loop; quiescence does not end the run while faults are pending, and
+  /// faults the scheduler applies inside next() are drained every step
+  /// into the flight recorder and causality graph. Borrowed; must
+  /// outlive the call.
+  FaultHook* fault_hook = nullptr;
 };
 
 struct RunResult {
@@ -160,6 +167,8 @@ struct RunResult {
   /// nothing changed) — the dependency-depth lower bound on the step
   /// count to convergence.
   std::uint64_t critical_path_len = 0;
+  /// Faults the bound RunOptions::fault_hook applied during the run.
+  std::uint64_t faults_applied = 0;
 };
 
 /// True when `state` is strongly quiescent (see file comment).

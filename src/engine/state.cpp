@@ -163,4 +163,9 @@ void NetworkState::set_last_exported(ChannelIdx c, Path p) {
   exported_[c] = std::move(p);
 }
 
+void NetworkState::reset_last_exported(ChannelIdx c) {
+  CR_REQUIRE(c < exported_.size(), "channel out of range");
+  exported_[c].reset();
+}
+
 }  // namespace commroute::engine

@@ -82,6 +82,10 @@ class NetworkState {
   void set_known(ChannelIdx c, Path p);
   Channel& mutable_channel(ChannelIdx c);
   void set_last_exported(ChannelIdx c, Path p);
+  /// Forgets what was exported on c (back to "nothing sent yet") — a
+  /// session reset: the sender will re-announce its current assignment
+  /// on its next activation (scenario::apply_fault).
+  void reset_last_exported(ChannelIdx c);
 
  private:
   const spp::Instance* instance_;

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "engine/state.hpp"
+#include "scenario/fault.hpp"
 #include "support/error.hpp"
 #include "trace/recording_io.hpp"
 
@@ -177,10 +178,13 @@ CausalityStats CausalityGraph::stats() const {
     if (m.dropped) {
       ++s.dropped_messages;
     }
-    if (m.consumer == kNoCausalIndex) {
+    if (m.flushed) {
+      ++s.flushed_messages;
+    } else if (m.consumer == kNoCausalIndex) {
       ++s.in_flight_messages;
     }
   }
+  s.faults = faults_.size();
   s.unknown_origin_messages = unknown_origin_;
   s.critical_path_len = critical_path_len();
   s.critical_path_us = critical_path_us();
@@ -342,6 +346,26 @@ void CausalityRecorder::record(const model::ActivationStep& step,
   }
 }
 
+void CausalityRecorder::record_fault(std::string text, std::uint64_t t_us) {
+  CausalFault f;
+  f.before = next_step_;
+  f.text = std::move(text);
+  f.t_us = t_us;
+  graph_.faults_.push_back(std::move(f));
+}
+
+void CausalityRecorder::flush_channel(ChannelIdx c) {
+  CR_REQUIRE(c < channel_mirror_.size(),
+             "causality: flushed channel out of range");
+  for (const CausalIndex m : channel_mirror_[c]) {
+    graph_.messages_[m].flushed = true;
+  }
+  channel_mirror_[c].clear();
+  // Whatever the reader had learned from c is gone with the session;
+  // adoption provenance for a post-fault rho re-learn starts fresh.
+  rho_provenance_[c] = kNoCausalIndex;
+}
+
 CausalityGraph CausalityRecorder::finish() && { return std::move(graph_); }
 
 CausalityGraph build_causality(const spp::Instance& instance,
@@ -358,13 +382,30 @@ CausalityGraph build_causality(const spp::Instance& instance,
   if (doc.complete()) {
     // Replayable window: re-execute for exact effects (works for any
     // loadable recording, I/O fields or not — replay is deterministic).
+    // Recorded faults (schema v3) are re-applied at their recorded
+    // positions so the mirrors stay in lockstep with the faulted run.
     engine::NetworkState state(instance);
     CausalityRecorder recorder(instance);
+    std::size_t next_fault = 0;
+    const auto apply_faults_before = [&](std::uint64_t step_index) {
+      while (next_fault < doc.faults.size() &&
+             doc.faults[next_fault].before <= step_index) {
+        const trace::RecordedFault& f = doc.faults[next_fault++];
+        const scenario::FaultEvent ev =
+            scenario::parse_fault(f.text, instance);
+        recorder.record_fault(f.text, f.t_us);
+        for (const ChannelIdx c : scenario::apply_fault(state, ev).flushed) {
+          recorder.flush_channel(c);
+        }
+      }
+    };
     for (std::size_t t = 0; t < doc.steps.size(); ++t) {
+      apply_faults_before(t + 1);
       const engine::StepEffect effect =
           engine::execute_step(state, doc.steps[t]);
       recorder.record(doc.steps[t], effect, t + 1, step_time(t));
     }
+    apply_faults_before(doc.steps.size() + 1);
     return std::move(recorder).finish();
   }
 
@@ -388,7 +429,22 @@ CausalityGraph build_causality(const spp::Instance& instance,
   if (!has_selected) {
     recorder.set_adoption_unavailable();
   }
+  // Faults inside the window: no state to mutate here, but the flushed
+  // channel set is purely topological, so the mirror still tracks them.
+  std::size_t next_fault = 0;
+  const auto apply_faults_before = [&](std::uint64_t step_index) {
+    while (next_fault < doc.faults.size() &&
+           doc.faults[next_fault].before <= step_index) {
+      const trace::RecordedFault& f = doc.faults[next_fault++];
+      recorder.record_fault(f.text, f.t_us);
+      for (const ChannelIdx c : scenario::fault_flushed_channels(
+               instance, scenario::parse_fault(f.text, instance))) {
+        recorder.flush_channel(c);
+      }
+    }
+  };
   for (std::size_t t = 0; t < doc.steps.size(); ++t) {
+    apply_faults_before(doc.meta.first_step + t);
     const trace::StepIo& io = doc.io[t];
     CR_REQUIRE(io.reads.size() == doc.steps[t].reads.size(),
                "causality: recorded I/O does not match the step's reads");
@@ -418,6 +474,7 @@ CausalityGraph build_causality(const spp::Instance& instance,
     recorder.record(doc.steps[t], effect, doc.meta.first_step + t,
                     step_time(t));
   }
+  apply_faults_before(doc.meta.first_step + doc.steps.size());
   return std::move(recorder).finish();
 }
 

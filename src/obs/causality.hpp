@@ -86,6 +86,19 @@ struct CausalMessage {
   std::uint64_t send_step = 0;     ///< 0 = before the recorded window
   std::uint64_t consume_step = 0;  ///< 0 = never consumed
   bool dropped = false;            ///< consumed but dropped by g
+  /// Destroyed in flight by an injected fault (session reset / reboot
+  /// channel flush) — never consumed, and not "still in flight" either.
+  bool flushed = false;
+};
+
+/// One injected fault, placed in the execution order (scenario
+/// subsystem; online from engine::run's FaultHook or offline from a
+/// schema-v3 recording).
+struct CausalFault {
+  /// Global 1-based index of the first step executed after the fault.
+  std::uint64_t before = 1;
+  std::string text;  ///< scenario fault syntax, e.g. "session-reset u v"
+  std::uint64_t t_us = 0;
 };
 
 /// One hop of an extracted chain, root first. `via` is the channel of
@@ -109,8 +122,10 @@ struct CausalityStats {
   std::uint64_t adoption_edges = 0;
   std::uint64_t emit_edges = 0;  ///< messages with a known sender
   std::uint64_t dropped_messages = 0;
-  std::uint64_t in_flight_messages = 0;  ///< never consumed
+  std::uint64_t in_flight_messages = 0;  ///< never consumed (nor flushed)
   std::uint64_t unknown_origin_messages = 0;
+  std::uint64_t faults = 0;            ///< injected fault events
+  std::uint64_t flushed_messages = 0;  ///< destroyed in flight by faults
   std::uint64_t roots = 0;  ///< activations with no parent edge
   std::uint64_t max_depth = 0;
   std::uint64_t critical_path_len = 0;
@@ -127,6 +142,8 @@ class CausalityGraph {
     return activations_;
   }
   const std::vector<CausalMessage>& messages() const { return messages_; }
+  /// Injected faults in execution order (empty for fault-free runs).
+  const std::vector<CausalFault>& faults() const { return faults_; }
 
   std::size_t node_count() const { return node_names_.size(); }
   const std::string& node_name(NodeId v) const { return node_names_[v]; }
@@ -185,6 +202,7 @@ class CausalityGraph {
 
   std::vector<CausalActivation> activations_;
   std::vector<CausalMessage> messages_;
+  std::vector<CausalFault> faults_;
   std::vector<std::string> node_names_;
   std::vector<std::string> channel_names_;
   std::uint64_t first_step_ = 1;
@@ -215,6 +233,17 @@ class CausalityRecorder {
   void record(const model::ActivationStep& step,
               const engine::StepEffect& effect, std::uint64_t step_index,
               std::optional<std::uint64_t> t_us = std::nullopt);
+
+  /// Declares an injected fault happening before the next recorded step.
+  /// Call it (plus flush_channel for each channel the fault emptied)
+  /// between record() calls, in execution order.
+  void record_fault(std::string text, std::uint64_t t_us);
+
+  /// A fault emptied channel c: the mirrored in-flight messages are
+  /// marked flushed (they will never be consumed) and the channel's rho
+  /// provenance is forgotten — keeping the mirror in lockstep with the
+  /// engine channel the fault flushed.
+  void flush_channel(ChannelIdx c);
 
   /// Finalizes and returns the graph; the recorder is spent.
   CausalityGraph finish() &&;

@@ -1,0 +1,145 @@
+// Timed runtime faults (the dynamic half of the scenario subsystem —
+// docs/SCENARIOS.md).
+//
+// A FaultSchedule is an ordered list of timed fault events injected into
+// a sim::run via the DES event queue: link outages, session resets that
+// flush in-flight state, node reboots that lose pi, and latency/loss
+// regime shifts. Schedules are data (parse/format round-trip through a
+// one-line text syntax), so they travel inside recordings (schema v3)
+// and replay deterministically. apply_fault() is the single source of
+// truth for what a fault does to a NetworkState; the sim's injector and
+// trace::replay_recording both call it, which is why faulted recordings
+// replay divergence-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/state.hpp"
+#include "sim/link_model.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::scenario {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,      ///< link {a, b} stops carrying messages
+  kLinkUp,        ///< link {a, b} recovers
+  kSessionReset,  ///< session {a, b}: both channels flushed, rho/export reset
+  kNodeReboot,    ///< node a loses pi, its sessions reset
+  kRegimeShift,   ///< link {a, b} (or all links when a == kNoNode) switches
+                  ///< to `regime`
+};
+
+std::string to_string(FaultKind kind);
+
+/// One timed fault.
+struct FaultEvent {
+  std::uint64_t at_us = 0;
+  FaultKind kind = FaultKind::kSessionReset;
+  /// First endpoint; the rebooted node for kNodeReboot; kNoNode for a
+  /// global kRegimeShift.
+  NodeId a = kNoNode;
+  /// Second endpoint (kNoNode for kNodeReboot / global kRegimeShift).
+  NodeId b = kNoNode;
+  /// Target link model for kRegimeShift.
+  sim::LinkModel regime;
+
+  /// Time-less textual form with symbolic names, e.g. "link-down u v",
+  /// "reboot v", "regime u v dist=fixed lat=500 jit=0 loss=0 burst=1",
+  /// "regime * * ..." for a global shift. parse_fault inverts it.
+  std::string text(const spp::Instance& instance) const;
+};
+
+/// Parses FaultEvent::text output (at_us stays 0). Throws ParseError on
+/// unknown kinds, unknown node names, or malformed regime parameters.
+FaultEvent parse_fault(const std::string& text,
+                       const spp::Instance& instance);
+
+/// An ordered fault schedule. Events sort by (at_us, insertion order) so
+/// the injection order is deterministic.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Time of the last event; 0 when empty. Reconvergence after faults is
+  /// measured from this instant (SimResult::last_fault_us).
+  std::uint64_t last_at_us() const {
+    return events_.empty() ? 0 : events_.back().at_us;
+  }
+
+  /// "1000 link-down u v; 2500 reboot v" — parse_fault_schedule inverts.
+  std::string format(const spp::Instance& instance) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Parses format() output: ';'-separated "<at_us> <fault text>" entries.
+FaultSchedule parse_fault_schedule(const std::string& text,
+                                   const spp::Instance& instance);
+
+/// Generator spec for random schedules — a value type usable as a
+/// campaign axis (the instance-specific NodeIds only appear once
+/// random_fault_schedule instantiates it against a concrete instance).
+struct FaultScheduleSpec {
+  std::size_t link_flaps = 0;      ///< down/up pairs
+  std::size_t session_resets = 0;
+  std::size_t reboots = 0;
+  std::size_t regime_shifts = 0;   ///< global shifts to `regime`
+  /// Fault instants are drawn uniformly from [0, window_us].
+  std::uint64_t window_us = 50000;
+  /// A flap's link-up fires this long after its link-down.
+  std::uint64_t flap_duration_us = 5000;
+  /// Regime applied by kRegimeShift events.
+  sim::LinkModel regime;
+
+  /// Compact axis label: '+'-joined non-zero parts, e.g. "flap2+reset1";
+  /// "none" when empty. Stable and CSV-safe.
+  std::string label() const;
+};
+
+/// Parses a label back into a spec ("flap2+reset1+reboot1+regime1";
+/// "none" gives the empty spec). Window, durations, and the regime model
+/// keep their defaults. Throws ParseError on unknown parts.
+FaultScheduleSpec parse_fault_spec(const std::string& label);
+
+/// Draws a concrete schedule for `instance`: uniformly random edges /
+/// non-destination nodes / instants, pure in (instance, spec, seed).
+/// Seeds are deliberately independent of any communication model, so all
+/// 24 models of a campaign see the identical schedule.
+FaultSchedule random_fault_schedule(const spp::Instance& instance,
+                                    const FaultScheduleSpec& spec,
+                                    std::uint64_t seed);
+
+/// What a fault did to the network state — the channels it emptied and
+/// the nodes whose sessions it touched. The sim injector uses `touched`
+/// to schedule follow-up activations and `flushed` to keep its in-flight
+/// mirror (and the causality recorder's) in lockstep with the engine.
+struct FaultStateEffect {
+  bool state_changed = false;
+  std::vector<ChannelIdx> flushed;
+  std::vector<NodeId> touched;
+};
+
+/// Applies the state-mutating part of `fault` to `state`: session resets
+/// and node reboots mutate pi/rho/channels/last-exported; link and
+/// regime faults only affect timed delivery, so they return an empty
+/// effect (their consequences are baked into the induced steps). Reboot
+/// of the destination is rejected (its trivial path is structural).
+FaultStateEffect apply_fault(engine::NetworkState& state,
+                             const FaultEvent& fault);
+
+/// The channels `fault` flushes, in apply_fault's order — purely
+/// topological, so mirrors without a NetworkState (the causality
+/// builder's ring path) can stay in lockstep. Empty for timed-delivery
+/// faults.
+std::vector<ChannelIdx> fault_flushed_channels(const spp::Instance& instance,
+                                               const FaultEvent& fault);
+
+}  // namespace commroute::scenario

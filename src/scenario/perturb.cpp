@@ -1,0 +1,298 @@
+#include "scenario/perturb.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bgp/policy.hpp"
+#include "obs/json.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::scenario {
+
+namespace {
+
+// Mutable copy of every node's ranking, edited in place and rebuilt into
+// an Instance at the end (the graph and export policy never change).
+std::vector<std::vector<Path>> permitted_copy(const spp::Instance& in) {
+  std::vector<std::vector<Path>> perms(in.node_count());
+  for (NodeId v = 0; v < in.node_count(); ++v) {
+    perms[v] = in.permitted(v);
+  }
+  return perms;
+}
+
+spp::Instance rebuild(const spp::Instance& in,
+                      std::vector<std::vector<Path>> perms) {
+  return spp::Instance(in.graph(), in.destination(), std::move(perms),
+                       in.export_policy_ptr());
+}
+
+std::size_t find_path(const std::vector<Path>& perms, const Path& p) {
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    if (perms[i] == p) return i;
+  }
+  return perms.size();
+}
+
+// Nodes where a ranking edit is possible: never the destination (its
+// single trivial path is structural), and for swaps/deletes at least two
+// permitted paths (deleting a node's last path would change reachability
+// semantics, not just preference).
+std::vector<NodeId> editable_nodes(const spp::Instance& in,
+                                   const std::vector<std::vector<Path>>& perms) {
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < in.node_count(); ++v) {
+    if (v == in.destination()) continue;
+    if (perms[v].size() >= 2) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+// For kGaoRexfordViolation: a node is eligible when some customer-learned
+// path outranks some peer/provider-learned path — swapping the two breaks
+// GR2 while keeping both paths permitted. Returns (customer rank,
+// worse-class rank) for the first such pair, most-preferred customer
+// route first.
+struct GrSite {
+  NodeId node = kNoNode;
+  std::size_t customer_rank = 0;
+  std::size_t worse_rank = 0;
+};
+
+std::vector<GrSite> gr_violation_sites(const spp::Instance& in,
+                                       const bgp::AsTopology& topo,
+                                       const std::vector<std::vector<Path>>& perms) {
+  std::vector<GrSite> sites;
+  for (NodeId v = 0; v < in.node_count(); ++v) {
+    if (v == in.destination()) continue;
+    const auto& list = perms[v];
+    // First customer-learned rank.
+    std::size_t customer = list.size();
+    for (std::size_t r = 0; r < list.size(); ++r) {
+      if (list[r].size() < 2) continue;
+      if (bgp::classify(topo, v, list[r].next_hop()) ==
+          bgp::RouteClass::kCustomerRoute) {
+        customer = r;
+        break;
+      }
+    }
+    if (customer == list.size()) continue;
+    // First strictly-lower-ranked peer/provider route.
+    for (std::size_t r = customer + 1; r < list.size(); ++r) {
+      if (list[r].size() < 2) continue;
+      if (bgp::classify(topo, v, list[r].next_hop()) !=
+          bgp::RouteClass::kCustomerRoute) {
+        sites.push_back(GrSite{v, customer, r});
+        break;
+      }
+    }
+  }
+  return sites;
+}
+
+const char* op_name(PerturbEdit::Op op) {
+  return op == PerturbEdit::Op::kSwap ? "swap" : "delete";
+}
+
+}  // namespace
+
+std::string to_string(PerturbKind kind) {
+  switch (kind) {
+    case PerturbKind::kTieBreakFlip:
+      return "tiebreak";
+    case PerturbKind::kRankSwap:
+      return "rankswap";
+    case PerturbKind::kPathDelete:
+      return "delete";
+    case PerturbKind::kGaoRexfordViolation:
+      return "grviolation";
+  }
+  return "unknown";
+}
+
+std::string PerturbSpec::label() const {
+  return to_string(kind) + ":" + std::to_string(count);
+}
+
+PerturbSpec parse_perturb_spec(const std::string& text) {
+  PerturbSpec spec;
+  std::string kind = text;
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    kind = text.substr(0, colon);
+    const std::string count = text.substr(colon + 1);
+    try {
+      spec.count = static_cast<std::size_t>(std::stoull(count));
+    } catch (const std::exception&) {
+      throw ParseError("perturbation spec has malformed count: '" + text + "'");
+    }
+    if (spec.count == 0) {
+      throw ParseError("perturbation spec count must be positive: '" + text +
+                       "'");
+    }
+  }
+  if (kind == "tiebreak") {
+    spec.kind = PerturbKind::kTieBreakFlip;
+  } else if (kind == "rankswap") {
+    spec.kind = PerturbKind::kRankSwap;
+  } else if (kind == "delete") {
+    spec.kind = PerturbKind::kPathDelete;
+  } else if (kind == "grviolation") {
+    spec.kind = PerturbKind::kGaoRexfordViolation;
+  } else {
+    throw ParseError(
+        "unknown perturbation kind '" + kind +
+        "' (expected tiebreak | rankswap | delete | grviolation)");
+  }
+  return spec;
+}
+
+std::string PerturbRecord::to_json(const spp::Instance& instance) const {
+  std::string edits_json = "[";
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    const PerturbEdit& e = edits[i];
+    if (i > 0) edits_json += ",";
+    obs::JsonWriter w;
+    w.field("op", op_name(e.op));
+    w.field("node", instance.graph().name(e.node));
+    w.field("a", instance.path_name(e.a));
+    if (e.op == PerturbEdit::Op::kSwap) {
+      w.field("b", instance.path_name(e.b));
+    }
+    edits_json += w.str();
+  }
+  edits_json += "]";
+  obs::JsonWriter w;
+  w.field("kind", scenario::to_string(kind));
+  w.field("seed", static_cast<std::uint64_t>(seed));
+  w.field("requested", static_cast<std::uint64_t>(requested));
+  w.field("applied", static_cast<std::uint64_t>(edits.size()));
+  w.raw_field("edits", edits_json);
+  return w.str();
+}
+
+PerturbResult perturb(const spp::Instance& instance, const PerturbSpec& spec,
+                      std::uint64_t seed) {
+  if (spec.kind == PerturbKind::kGaoRexfordViolation) {
+    CR_REQUIRE(spec.topology != nullptr,
+               "PerturbKind::kGaoRexfordViolation requires PerturbSpec::"
+               "topology");
+    CR_REQUIRE(spec.topology->as_count() == instance.node_count(),
+               "PerturbSpec::topology AS count (" +
+                   std::to_string(spec.topology->as_count()) +
+                   ") does not match instance (" +
+                   std::to_string(instance.node_count()) + ")");
+  }
+
+  // Decorrelate streams per kind so e.g. delete:1 and tiebreak:1 under
+  // the same seed do not edit the same node.
+  Rng rng = Rng(seed).fork(to_string(spec.kind));
+
+  auto perms = permitted_copy(instance);
+  PerturbRecord record;
+  record.kind = spec.kind;
+  record.seed = seed;
+  record.requested = spec.count;
+
+  for (std::size_t attempt = 0; attempt < spec.count; ++attempt) {
+    PerturbEdit edit;
+    switch (spec.kind) {
+      case PerturbKind::kTieBreakFlip: {
+        const auto nodes = editable_nodes(instance, perms);
+        if (nodes.empty()) break;
+        const NodeId v = rng.pick(nodes);
+        auto& list = perms[v];
+        const std::size_t r =
+            static_cast<std::size_t>(rng.below(list.size() - 1));
+        edit.op = PerturbEdit::Op::kSwap;
+        edit.node = v;
+        edit.a = list[r];
+        edit.b = list[r + 1];
+        std::swap(list[r], list[r + 1]);
+        record.edits.push_back(std::move(edit));
+        break;
+      }
+      case PerturbKind::kRankSwap: {
+        const auto nodes = editable_nodes(instance, perms);
+        if (nodes.empty()) break;
+        const NodeId v = rng.pick(nodes);
+        auto& list = perms[v];
+        const std::size_t i =
+            static_cast<std::size_t>(rng.below(list.size()));
+        const std::size_t window = std::max<std::size_t>(spec.window, 1);
+        const std::size_t lo = i > window ? i - window : 0;
+        const std::size_t hi = std::min(i + window, list.size() - 1);
+        // Draw j from [lo, hi] \ {i}; skipping i keeps the edit real.
+        std::size_t j =
+            lo + static_cast<std::size_t>(rng.below(hi - lo));  // hi > lo here
+        if (j >= i) ++j;
+        edit.op = PerturbEdit::Op::kSwap;
+        edit.node = v;
+        edit.a = list[std::min(i, j)];
+        edit.b = list[std::max(i, j)];
+        std::swap(list[i], list[j]);
+        record.edits.push_back(std::move(edit));
+        break;
+      }
+      case PerturbKind::kPathDelete: {
+        const auto nodes = editable_nodes(instance, perms);
+        if (nodes.empty()) break;
+        const NodeId v = rng.pick(nodes);
+        auto& list = perms[v];
+        const std::size_t r =
+            static_cast<std::size_t>(rng.below(list.size()));
+        edit.op = PerturbEdit::Op::kDelete;
+        edit.node = v;
+        edit.a = list[r];
+        list.erase(list.begin() + static_cast<std::ptrdiff_t>(r));
+        record.edits.push_back(std::move(edit));
+        break;
+      }
+      case PerturbKind::kGaoRexfordViolation: {
+        const auto sites = gr_violation_sites(instance, *spec.topology, perms);
+        if (sites.empty()) break;
+        const GrSite& site =
+            sites[static_cast<std::size_t>(rng.below(sites.size()))];
+        auto& list = perms[site.node];
+        edit.op = PerturbEdit::Op::kSwap;
+        edit.node = site.node;
+        edit.a = list[site.customer_rank];
+        edit.b = list[site.worse_rank];
+        std::swap(list[site.customer_rank], list[site.worse_rank]);
+        record.edits.push_back(std::move(edit));
+        break;
+      }
+    }
+  }
+
+  return PerturbResult{rebuild(instance, std::move(perms)),
+                       std::move(record)};
+}
+
+spp::Instance apply_edits(const spp::Instance& instance,
+                          const std::vector<PerturbEdit>& edits,
+                          std::size_t* applied) {
+  auto perms = permitted_copy(instance);
+  std::size_t done = 0;
+  for (const PerturbEdit& e : edits) {
+    CR_REQUIRE(e.node < perms.size(),
+               "PerturbEdit::node out of range for instance");
+    auto& list = perms[e.node];
+    const std::size_t ia = find_path(list, e.a);
+    if (e.op == PerturbEdit::Op::kDelete) {
+      if (ia == list.size() || list.size() < 2) continue;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(ia));
+      ++done;
+    } else {
+      const std::size_t ib = find_path(list, e.b);
+      if (ia == list.size() || ib == list.size()) continue;
+      std::swap(list[ia], list[ib]);
+      ++done;
+    }
+  }
+  if (applied != nullptr) *applied = done;
+  return rebuild(instance, std::move(perms));
+}
+
+}  // namespace commroute::scenario

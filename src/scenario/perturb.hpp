@@ -1,0 +1,112 @@
+// Deterministic ranking perturbations (the decision-process half of the
+// scenario subsystem — docs/SCENARIOS.md).
+//
+// Godfrey's "BGP Stability is Precarious" observation is that essentially
+// any change to a node's decision process can turn a convergent
+// configuration divergent. A PerturbSpec names one family of such
+// changes; perturb() applies it as a pure function of (instance, spec,
+// seed), returning the edited instance together with a provenance record
+// of exactly which paths moved or vanished. Records are JSONL-able and
+// replayable: apply_edits() re-applies any subset of a record's edits to
+// the original instance, which is what the adversarial search uses to
+// shrink a breaking perturbation to a minimal edit set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/topology.hpp"
+#include "spp/instance.hpp"
+
+namespace commroute::scenario {
+
+/// Families of ranking perturbations.
+enum class PerturbKind : std::uint8_t {
+  /// Swap two adjacent ranks at one node — the smallest possible
+  /// preference change (a tie-break going the other way).
+  kTieBreakFlip,
+  /// Swap two ranks at most `window` apart at one node.
+  kRankSwap,
+  /// Delete one permitted path (never a node's last one).
+  kPathDelete,
+  /// Promote a peer/provider-learned route above the node's best
+  /// customer-learned route — a targeted GR2 violation (bgp::policy).
+  /// Requires PerturbSpec::topology.
+  kGaoRexfordViolation,
+};
+
+std::string to_string(PerturbKind kind);
+
+struct PerturbSpec {
+  PerturbKind kind = PerturbKind::kTieBreakFlip;
+  /// Number of edits to attempt. Fewer may apply when the instance runs
+  /// out of eligible sites; the record says how many did.
+  std::size_t count = 1;
+  /// Maximum rank distance for kRankSwap.
+  std::size_t window = 2;
+  /// AS topology for kGaoRexfordViolation (route classes come from
+  /// bgp::classify). Node ids must match the instance (the compiled
+  /// instances of bgp::compile_gao_rexford carry ids over 1:1).
+  std::shared_ptr<const bgp::AsTopology> topology;
+
+  /// Compact axis label, e.g. "tiebreak:2" — stable, CSV-safe.
+  std::string label() const;
+};
+
+/// Parses a label back into a spec: "<kind>[:<count>]" with kind one of
+/// tiebreak | rankswap | delete | grviolation. Throws ParseError on
+/// unknown kinds or malformed counts. (kGaoRexfordViolation specs still
+/// need `topology` set by the caller.)
+PerturbSpec parse_perturb_spec(const std::string& text);
+
+/// One applied edit, identified by path content (not rank indices), so
+/// any subset re-applies unambiguously to the original instance.
+struct PerturbEdit {
+  enum class Op : std::uint8_t {
+    kSwap,    ///< exchange the ranks of `a` and `b` at `node`
+    kDelete,  ///< remove `a` from `node`'s permitted paths
+  };
+  Op op = Op::kSwap;
+  NodeId node = kNoNode;
+  Path a;
+  Path b;  ///< kSwap only
+};
+
+/// Provenance of one perturb() call.
+struct PerturbRecord {
+  PerturbKind kind = PerturbKind::kTieBreakFlip;
+  std::uint64_t seed = 0;
+  std::size_t requested = 0;  ///< PerturbSpec::count
+  std::vector<PerturbEdit> edits;
+
+  /// One-line JSON object; paths and nodes render with the instance's
+  /// symbolic names, so records are readable and diffable:
+  /// {"kind":"tiebreak","seed":7,"requested":2,"applied":2,
+  ///  "edits":[{"op":"swap","node":"x","a":"x y d","b":"x d"}]}
+  std::string to_json(const spp::Instance& instance) const;
+};
+
+struct PerturbResult {
+  spp::Instance instance;
+  PerturbRecord record;
+};
+
+/// Applies `spec` to `instance` under `seed`. Pure: equal arguments give
+/// byte-identical results. The export policy is carried over unchanged.
+/// Throws PreconditionError when kGaoRexfordViolation is requested
+/// without a topology (or with one whose node count mismatches).
+PerturbResult perturb(const spp::Instance& instance, const PerturbSpec& spec,
+                      std::uint64_t seed);
+
+/// Re-applies a subset of recorded edits to the original instance.
+/// Edits that no longer apply (a path already deleted by an earlier
+/// edit in the subset, or absent) are skipped deterministically;
+/// `applied` (when non-null) receives the number that took effect.
+spp::Instance apply_edits(const spp::Instance& instance,
+                          const std::vector<PerturbEdit>& edits,
+                          std::size_t* applied = nullptr);
+
+}  // namespace commroute::scenario

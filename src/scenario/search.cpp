@@ -1,0 +1,114 @@
+#include "scenario/search.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace commroute::scenario {
+
+namespace {
+
+std::vector<PerturbSpec> default_specs() {
+  std::vector<PerturbSpec> specs;
+  for (const PerturbKind kind :
+       {PerturbKind::kTieBreakFlip, PerturbKind::kRankSwap,
+        PerturbKind::kPathDelete}) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2}}) {
+      PerturbSpec spec;
+      spec.kind = kind;
+      spec.count = count;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+}  // namespace
+
+BreakSearchResult find_breaking_perturbation(
+    const spp::Instance& instance, const model::Model& m,
+    const BreakSearchOptions& options) {
+  checker::ExploreOptions probe = options.explore;
+  probe.extract_witness = false;
+
+  BreakSearchResult result;
+  const checker::ExploreResult base = checker::explore(instance, m, probe);
+  ++result.explorations;
+  CR_REQUIRE(!base.oscillation_found,
+             "find_breaking_perturbation: the base instance already "
+             "oscillates under " + m.name() + " — there is nothing to break");
+
+  const std::vector<PerturbSpec> specs =
+      options.specs.empty() ? default_specs() : options.specs;
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const PerturbSpec& spec = specs[s];
+    const std::uint64_t spec_seed = Rng::fork_seed(options.seed, s);
+    for (std::size_t k = 0; k < options.seeds_per_spec; ++k) {
+      const std::uint64_t seed = Rng::fork_seed(spec_seed, k);
+      PerturbResult perturbed = perturb(instance, spec, seed);
+      if (perturbed.record.edits.empty()) {
+        continue;  // no eligible site — smaller instance than the family
+      }
+      const checker::ExploreResult attempt =
+          checker::explore(perturbed.instance, m, probe);
+      ++result.explorations;
+      if (!attempt.oscillation_found) {
+        continue;
+      }
+
+      // Greedy shrink: drop edits one at a time while the oscillation
+      // survives. Terminates at a local minimum — every remaining edit
+      // is necessary (within the explore bounds).
+      std::vector<PerturbEdit> edits = perturbed.record.edits;
+      for (std::size_t i = 0; i < edits.size() && edits.size() > 1;) {
+        std::vector<PerturbEdit> trial = edits;
+        trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+        std::size_t applied = 0;
+        const spp::Instance candidate =
+            apply_edits(instance, trial, &applied);
+        bool still_breaks = false;
+        if (applied > 0) {
+          still_breaks =
+              checker::explore(candidate, m, probe).oscillation_found;
+          ++result.explorations;
+        }  // applied == 0 would re-check the stable base: skip it
+        if (still_breaks) {
+          edits = std::move(trial);  // dropped; retry the same position
+        } else {
+          ++i;  // necessary; keep it
+        }
+      }
+
+      // Final run with witness extraction on the shrunken instance.
+      checker::ExploreOptions witness_opts = probe;
+      witness_opts.extract_witness = true;
+      std::size_t applied = 0;
+      spp::Instance broken = apply_edits(instance, edits, &applied);
+      CR_ASSERT(applied == edits.size(),
+                "breaking-edit subset no longer applies to the base");
+      checker::ExploreResult witness =
+          checker::explore(broken, m, witness_opts);
+      ++result.explorations;
+      CR_ASSERT(witness.oscillation_found,
+                "shrunken perturbation lost the oscillation");
+
+      result.found = true;
+      result.record = std::move(perturbed.record);
+      result.record.edits = std::move(edits);
+      result.witness_prefix = std::move(witness.witness_prefix);
+      result.witness_cycle = std::move(witness.witness_cycle);
+      result.witness_scc_size = witness.witness_scc_size;
+      if (options.minimize) {
+        result.minimized =
+            checker::minimize_oscillating_instance(broken, m, probe);
+      }
+      result.instance = std::move(broken);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace commroute::scenario

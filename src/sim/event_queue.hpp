@@ -28,6 +28,7 @@ struct Event {
   enum class Kind : std::uint8_t {
     kArrival,   ///< a message reaches the receiving end of `channel`
     kActivate,  ///< `node` runs one processing activation
+    kFault,     ///< a scheduled fault fires (scenario subsystem)
   };
 
   VirtualTime time = 0;
@@ -35,7 +36,10 @@ struct Event {
   std::uint64_t seq = 0;
   Kind kind = Kind::kActivate;
   ChannelIdx channel = kNoChannel;  ///< valid for kArrival
-  NodeId node = kNoNode;            ///< valid for kActivate
+  /// Valid for kActivate; for kFault it carries the index into the
+  /// injector's fault list instead (reused to keep sizeof(Event) at 32,
+  /// which queue_peak_bytes depends on).
+  NodeId node = kNoNode;
 };
 
 /// Min-queue over (time, seq). Deterministic: pop order is a pure

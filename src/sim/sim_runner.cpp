@@ -5,10 +5,12 @@
 #include <limits>
 #include <utility>
 
+#include "engine/fault_hook.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/state.hpp"
 #include "model/activation.hpp"
 #include "obs/json.hpp"
+#include "scenario/fault.hpp"
 #include "support/error.hpp"
 
 namespace commroute::sim {
@@ -21,6 +23,16 @@ struct InFlight {
   bool lost = false;
 };
 
+void check_link(const LinkModel& link, const model::Model& m,
+                const std::string& where) {
+  CR_REQUIRE(link.loss_prob >= 0.0 && link.loss_prob < 1.0,
+             where + ": loss_prob must be in [0, 1)");
+  CR_REQUIRE(link.loss_prob == 0.0 || !m.reliable(),
+             where + ": lossy links require an Unreliable model (got " +
+                 m.name() + "; drops are not expressible in Reliable "
+                            "models per Def. 2.4)");
+}
+
 /// engine::Scheduler that derives steps from the discrete-event loop.
 ///
 /// The scheduler mirrors every engine channel with a deque of arrival
@@ -32,7 +44,8 @@ struct InFlight {
 /// events are shaped into a step that is legal in the configured model
 /// and touches only virtually-arrived messages, deferring the
 /// activation when the model's read shape would reach beyond them.
-class SimScheduler final : public engine::Scheduler {
+class SimScheduler final : public engine::Scheduler,
+                           public engine::FaultHook {
  public:
   SimScheduler(const spp::Instance& instance, const SimOptions& options)
       : inst_(&instance),
@@ -63,6 +76,8 @@ class SimScheduler final : public engine::Scheduler {
     activation_scheduled_.assign(g.node_count(), 0);
     last_activation_.assign(g.node_count(), 0);
     cursor_.assign(g.node_count(), 0);
+    down_.assign(g.channel_count(), 0);
+    down_until_.assign(g.channel_count(), 0);
     // Boot: every connected node activates once at t = 0. This fires the
     // destination's first self-announcement (Def. 2.3 step 4) — without
     // it no message ever enters the network.
@@ -76,6 +91,23 @@ class SimScheduler final : public engine::Scheduler {
         activation_scheduled_[v] = 1;
       }
     }
+    // Fault events go in after the boots, so a fault at t = 0 fires
+    // against a booted network (ties break by sequence number).
+    if (options.faults != nullptr) {
+      init_faults(*options.faults);
+    }
+  }
+
+  // -- engine::FaultHook ----------------------------------------------------
+
+  void bind(engine::NetworkState* state) override { state_ = state; }
+
+  bool pending() const override { return faults_pending_ > 0; }
+
+  std::vector<engine::AppliedFault> drain_applied() override {
+    std::vector<engine::AppliedFault> out;
+    out.swap(applied_);
+    return out;
   }
 
   model::ActivationStep next(const engine::NetworkState& state) override {
@@ -96,6 +128,10 @@ class SimScheduler final : public engine::Scheduler {
               .attr("t_us", ev.time);
         }
         schedule_activation(inst_->graph().channel_id(ev.channel).to);
+        continue;
+      }
+      if (ev.kind == Event::Kind::kFault) {
+        apply_fault_event(ev.node);  // `node` carries the fault index
         continue;
       }
       obs::Span act = opts_->obs.span("sim.event");
@@ -144,6 +180,8 @@ class SimScheduler final : public engine::Scheduler {
   std::uint64_t latency_max_us() const { return latency_max_us_; }
   std::size_t queue_peak_events() const { return queue_.peak_size(); }
   std::size_t queue_peak_bytes() const { return queue_.peak_bytes(); }
+  std::uint64_t faults_applied() const { return faults_applied_; }
+  VirtualTime last_fault_us() const { return last_fault_us_; }
 
  private:
   /// Detects the sends of the previously executed step: any message
@@ -157,10 +195,19 @@ class SimScheduler final : public engine::Scheduler {
       CR_ASSERT(actual >= mirrored, "sim channel mirror ahead of engine");
       for (std::size_t i = mirrored; i < actual; ++i) {
         const std::uint64_t latency = links_[c].sample_latency(rng_);
-        const bool lost = loss_[c].sample(rng_);
+        bool lost = loss_[c].sample(rng_);
         // FIFO clamp: a fast sample never overtakes the previous message.
-        const VirtualTime arrival =
+        VirtualTime arrival =
             std::max(last_arrival_[c], last_step_time_ + latency);
+        if (down_[c] != 0) {
+          if (opts_->model.reliable()) {
+            // A Reliable link cannot drop: the send waits out the outage
+            // (init_faults guarantees a matching link-up exists).
+            arrival = std::max(arrival, down_until_[c]);
+          } else {
+            lost = true;  // sent into the cut — dropped at the reader (g)
+          }
+        }
         last_arrival_[c] = arrival;
         inflight_[c].push_back(InFlight{arrival, lost});
         Event ev;
@@ -202,6 +249,151 @@ class SimScheduler final : public engine::Scheduler {
     ev.node = v;
     queue_.push(ev);
     activation_scheduled_[v] = 1;
+  }
+
+  /// Validates the fault schedule against the model and queues one
+  /// kFault event per entry (`node` = index into fault_events_).
+  void init_faults(const scenario::FaultSchedule& schedule) {
+    fault_events_ = schedule.events();
+    down_up_time_.assign(fault_events_.size(), 0);
+    for (std::size_t i = 0; i < fault_events_.size(); ++i) {
+      const scenario::FaultEvent& f = fault_events_[i];
+      if (f.kind == scenario::FaultKind::kRegimeShift) {
+        check_link(f.regime, opts_->model, "fault regime shift");
+      }
+      if (f.kind == scenario::FaultKind::kNodeReboot) {
+        CR_REQUIRE(f.a != inst_->destination(),
+                   "fault schedule: rebooting the destination is not "
+                   "supported (its trivial path is structural)");
+      }
+      if (f.kind == scenario::FaultKind::kLinkDown) {
+        // Schedule events are sorted by time, so the first matching
+        // link-up after this entry is the end of the outage.
+        for (std::size_t j = i + 1; j < fault_events_.size(); ++j) {
+          const scenario::FaultEvent& u = fault_events_[j];
+          if (u.kind == scenario::FaultKind::kLinkUp &&
+              ((u.a == f.a && u.b == f.b) || (u.a == f.b && u.b == f.a))) {
+            down_up_time_[i] = u.at_us;
+            break;
+          }
+        }
+        CR_REQUIRE(down_up_time_[i] > 0 || !opts_->model.reliable(),
+                   "fault schedule: link-down without a later link-up is a "
+                   "permanent partition, which only Unreliable models can "
+                   "express (got " + opts_->model.name() + ")");
+      }
+      Event ev;
+      ev.time = f.at_us;
+      ev.kind = Event::Kind::kFault;
+      ev.node = static_cast<NodeId>(i);
+      queue_.push(ev);
+    }
+    faults_pending_ = fault_events_.size();
+  }
+
+  /// Fires fault #index at the current virtual instant: mutates the
+  /// bound engine state (session resets / reboots), the delivery state
+  /// (link outages / regimes), and wakes the affected nodes so the event
+  /// queue never drains dry while the run must continue.
+  void apply_fault_event(std::size_t index) {
+    CR_ASSERT(state_ != nullptr, "sim fault fired before the hook was bound");
+    const scenario::FaultEvent& f = fault_events_[index];
+    const Graph& g = inst_->graph();
+    engine::AppliedFault applied;
+    applied.text = f.text(*inst_);
+    applied.t_us = clock_.now();
+    const auto wake = [&](NodeId v) {
+      if (!g.in_channels(v).empty()) {
+        schedule_activation(v);
+      }
+    };
+    switch (f.kind) {
+      case scenario::FaultKind::kLinkDown:
+        for (const ChannelIdx c :
+             {g.channel(f.a, f.b), g.channel(f.b, f.a)}) {
+          down_[c] = 1;
+          down_until_[c] = down_up_time_[index];
+          if (opts_->model.reliable()) {
+            // Unarrived in-flight messages wait out the outage; the
+            // clamp is monotone, so FIFO order inside the deque holds.
+            for (InFlight& m : inflight_[c]) {
+              if (m.arrival > clock_.now() && m.arrival < down_until_[c]) {
+                m.arrival = down_until_[c];
+                Event ev;
+                ev.time = m.arrival;
+                ev.kind = Event::Kind::kArrival;
+                ev.channel = c;
+                queue_.push(ev);  // the stale earlier arrival is harmless
+              }
+            }
+            if (!inflight_[c].empty()) {
+              last_arrival_[c] =
+                  std::max(last_arrival_[c], inflight_[c].back().arrival);
+            }
+          } else {
+            // The cut destroys what is still on the wire: unarrived
+            // messages become drops at the reader (g).
+            for (InFlight& m : inflight_[c]) {
+              if (m.arrival > clock_.now()) {
+                m.lost = true;
+              }
+            }
+          }
+          wake(g.channel_id(c).to);
+        }
+        break;
+      case scenario::FaultKind::kLinkUp:
+        for (const ChannelIdx c :
+             {g.channel(f.a, f.b), g.channel(f.b, f.a)}) {
+          down_[c] = 0;
+          wake(g.channel_id(c).to);
+        }
+        break;
+      case scenario::FaultKind::kSessionReset:
+      case scenario::FaultKind::kNodeReboot: {
+        const scenario::FaultStateEffect eff =
+            scenario::apply_fault(*state_, f);
+        for (const ChannelIdx c : eff.flushed) {
+          // The engine channel was emptied; drop our mirror with it
+          // (stale kArrival events only trigger no-op activations).
+          // last_arrival_ is kept: post-fault sends stay FIFO-safe.
+          inflight_[c].clear();
+          applied.flushed_channels.push_back(c);
+        }
+        for (const NodeId v : eff.touched) {
+          wake(v);
+        }
+        break;
+      }
+      case scenario::FaultKind::kRegimeShift:
+        if (f.a == kNoNode) {
+          for (ChannelIdx c = 0; c < g.channel_count(); ++c) {
+            links_[c] = f.regime;
+            loss_[c] = LossProcess(links_[c]);
+          }
+          // A regime shift wakes nothing by itself; arm one connected
+          // node so the queue cannot drain dry while the run continues
+          // (its empty-read step is legal in every model — boots are).
+          for (NodeId v = 0; v < g.node_count(); ++v) {
+            if (!g.in_channels(v).empty()) {
+              wake(v);
+              break;
+            }
+          }
+        } else {
+          for (const ChannelIdx c :
+               {g.channel(f.a, f.b), g.channel(f.b, f.a)}) {
+            links_[c] = f.regime;
+            loss_[c] = LossProcess(links_[c]);
+            wake(g.channel_id(c).to);
+          }
+        }
+        break;
+    }
+    --faults_pending_;
+    ++faults_applied_;
+    last_fault_us_ = clock_.now();
+    applied_.push_back(std::move(applied));
   }
 
   /// Messages of channel c that have virtually arrived by now.
@@ -391,6 +583,16 @@ class SimScheduler final : public engine::Scheduler {
   std::vector<char> activation_scheduled_;
   std::vector<VirtualTime> last_activation_;
   std::vector<std::size_t> cursor_;
+  // Fault injection (engine::FaultHook).
+  engine::NetworkState* state_ = nullptr;
+  std::vector<scenario::FaultEvent> fault_events_;
+  std::vector<VirtualTime> down_up_time_;  ///< per link-down: its link-up
+  std::vector<char> down_;                 ///< per channel: link is down
+  std::vector<VirtualTime> down_until_;    ///< per channel: outage end
+  std::vector<engine::AppliedFault> applied_;
+  std::size_t faults_pending_ = 0;
+  std::uint64_t faults_applied_ = 0;
+  VirtualTime last_fault_us_ = 0;
   bool sketched_;
   obs::LogHistogram latency_hist_;
   VirtualTime last_step_time_ = 0;
@@ -403,16 +605,6 @@ class SimScheduler final : public engine::Scheduler {
   std::uint64_t latency_min_us_ = 0;
   std::uint64_t latency_max_us_ = 0;
 };
-
-void check_link(const LinkModel& link, const model::Model& m,
-                const std::string& where) {
-  CR_REQUIRE(link.loss_prob >= 0.0 && link.loss_prob < 1.0,
-             where + ": loss_prob must be in [0, 1)");
-  CR_REQUIRE(link.loss_prob == 0.0 || !m.reliable(),
-             where + ": lossy links require an Unreliable model (got " +
-                 m.name() + "; drops are not expressible in Reliable "
-                            "models per Def. 2.4)");
-}
 
 }  // namespace
 
@@ -444,6 +636,11 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   ropts.budget = options.budget;
   ropts.progress = options.progress;
   ropts.obs_memory = options.obs_memory;
+  const bool faulted =
+      options.faults != nullptr && !options.faults->empty();
+  if (faulted) {
+    ropts.fault_hook = &scheduler;
+  }
   if (ropts.flight.mode != engine::FlightRecorderOptions::Mode::kOff) {
     if (ropts.flight.scheduler.empty()) {
       ropts.flight.scheduler = "sim";
@@ -470,6 +667,8 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
   result.latency_max_us = scheduler.latency_max_us();
   result.queue_peak_events = scheduler.queue_peak_events();
   result.queue_peak_bytes = scheduler.queue_peak_bytes();
+  result.faults_applied = scheduler.faults_applied();
+  result.last_fault_us = scheduler.last_fault_us();
   if (result.run.causality.has_value()) {
     result.critical_path_us = result.run.causality->critical_path_us();
   }
@@ -543,6 +742,13 @@ SimResult run(const spp::Instance& instance, const SimOptions& options) {
         ev.field("critical_path_len", result.run.critical_path_len)
             .field("critical_path_us", result.critical_path_us);
       }
+      if (faulted) {
+        // Gated like the causality fields: fault-free sim_summary lines
+        // keep their exact pre-scenario bytes.
+        ev.field("faults_applied", result.faults_applied)
+            .field("last_fault_us", result.last_fault_us)
+            .field("reconverge_us", result.reconverge_us());
+      }
       if (sketched) {
         // Gated so full-mode sim_summary lines keep their exact
         // pre-budget bytes. All sketch JSON is virtual-time / count
@@ -576,6 +782,11 @@ std::string SimResult::to_json() const {
       .field("queue_peak_bytes", queue_peak_bytes)
       .field("critical_path_len", run.critical_path_len)
       .field("critical_path_us", critical_path_us);
+  if (faults_applied > 0) {
+    // Faulted runs only — fault-free documents keep their exact schema.
+    w.field("faults_applied", faults_applied)
+        .field("last_fault_us", last_fault_us);
+  }
   std::string flaps = "[";
   for (std::size_t i = 0; i < last_flap_us.size(); ++i) {
     if (i > 0) {
@@ -641,6 +852,9 @@ SimResult SimResult::from_json(const std::string& json) {
   // Causality fields postdate the queue fields; same compatibility rule.
   r.run.critical_path_len = u64_or_zero("critical_path_len");
   r.critical_path_us = u64_or_zero("critical_path_us");
+  // Fault fields appear on faulted runs only (schema v3 era).
+  r.faults_applied = u64_or_zero("faults_applied");
+  r.last_fault_us = u64_or_zero("last_fault_us");
   const obs::JsonValue* flaps = parsed->find("last_flap_us");
   if (flaps == nullptr || !flaps->is_array()) {
     throw ParseError("sim_summary: missing array field \"last_flap_us\"");

@@ -41,6 +41,10 @@
 #include "sim/link_model.hpp"
 #include "spp/instance.hpp"
 
+namespace commroute::scenario {
+class FaultSchedule;
+}
+
 namespace commroute::sim {
 
 struct SimOptions {
@@ -88,6 +92,15 @@ struct SimOptions {
   /// Forwarded to engine::RunOptions::progress / obs_memory.
   obs::ProgressEstimator* progress = nullptr;
   obs::TrackedBytes* obs_memory = nullptr;
+  /// Timed fault schedule (scenario/fault.hpp) injected through the DES
+  /// event queue: link down/up, session resets, node reboots, regime
+  /// shifts. Borrowed; must outlive the call. A quiescent network keeps
+  /// running while faults are pending, and every applied fault lands in
+  /// the flight recording (schema v3) and the causality DAG. Under a
+  /// Reliable model every link-down must be followed by a link-up on the
+  /// same edge (a permanent partition would need drops), and regime
+  /// shifts must not introduce loss; both are rejected up front.
+  const scenario::FaultSchedule* faults = nullptr;
 };
 
 /// Result of a timed run: the ordinary step-based RunResult plus the
@@ -123,6 +136,10 @@ struct SimResult {
   std::uint64_t events_processed = 0;   ///< DES events popped
   std::uint64_t messages_delivered = 0;  ///< processed and not lost
   std::uint64_t messages_lost = 0;       ///< processed but dropped (g)
+  /// Faults applied (SimOptions::faults) and the virtual time of the
+  /// last one (0 when none fired).
+  std::uint64_t faults_applied = 0;
+  std::uint64_t last_fault_us = 0;
   /// Event-queue depth high-watermark and its byte estimate (counts ×
   /// sizeof(Event)) — deterministic like every other sim field.
   std::uint64_t queue_peak_events = 0;
@@ -137,6 +154,17 @@ struct SimResult {
     return latency_samples == 0 ? 0.0
                                 : static_cast<double>(latency_sum_us) /
                                       static_cast<double>(latency_samples);
+  }
+
+  /// Virtual time from the last applied fault to the last assignment
+  /// change — the reconvergence time of a faulted run. 0 when no fault
+  /// fired or the network never changed after the final fault.
+  std::uint64_t reconverge_us() const {
+    if (faults_applied == 0) {
+      return 0;
+    }
+    return last_change_us > last_fault_us ? last_change_us - last_fault_us
+                                          : 0;
   }
 
   /// The sim_summary JSON object: outcome, steps, and every virtual-

@@ -81,6 +81,13 @@ class Instance {
   /// Export policy accessor (never null).
   const ExportPolicy& export_policy() const { return *export_policy_; }
 
+  /// Shared ownership of the export policy, for derived instances
+  /// (e.g. scenario perturbations) that keep the policy but change the
+  /// ranking.
+  std::shared_ptr<const ExportPolicy> export_policy_ptr() const {
+    return export_policy_;
+  }
+
   /// Whether `from` may export `path` to `to`.
   bool export_allows(NodeId from, NodeId to, const Path& path) const;
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -74,7 +75,9 @@ std::string CampaignResult::to_csv() const {
          "messages_dropped,max_channel_occupancy,peak_channel_bytes,"
          "wall_ms,recording_path,"
          "sim_latency_us,sim_loss,virtual_us,last_change_us,"
-         "critical_path_len,critical_path_us\n";
+         "critical_path_len,critical_path_us,"
+         "perturb,perturb_edits,fault_schedule,faults_applied,"
+         "reconverge_us\n";
   for (const CampaignRow& row : rows) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", row.wall_ms);
@@ -89,7 +92,9 @@ std::string CampaignResult::to_csv() const {
         << csv_quote(row.recording_path) << ',' << row.sim_latency_us
         << ',' << loss << ',' << row.virtual_us << ','
         << row.last_change_us << ',' << row.critical_path_len << ','
-        << row.critical_path_us << '\n';
+        << row.critical_path_us << ',' << csv_quote(row.perturb) << ','
+        << row.perturb_edits << ',' << csv_quote(row.fault_schedule)
+        << ',' << row.faults_applied << ',' << row.reconverge_us << '\n';
   }
   return out.str();
 }
@@ -117,7 +122,12 @@ obs::JsonWriter row_json(const CampaignRow& row) {
       .field("virtual_us", row.virtual_us)
       .field("last_change_us", row.last_change_us)
       .field("critical_path_len", row.critical_path_len)
-      .field("critical_path_us", row.critical_path_us);
+      .field("critical_path_us", row.critical_path_us)
+      .field("perturb", row.perturb)
+      .field("perturb_edits", row.perturb_edits)
+      .field("fault_schedule", row.fault_schedule)
+      .field("faults_applied", row.faults_applied)
+      .field("reconverge_us", row.reconverge_us);
   return w;
 }
 
@@ -181,6 +191,16 @@ std::uint64_t derive_row_seed(std::string_view instance, int model_index,
 
 namespace {
 
+/// One instance coordinate of the sweep: the unperturbed base or a
+/// materialized perturbation variant. Variant instances live in a deque
+/// owned by run_campaign, so the borrowed pointer stays stable.
+struct InstanceVariant {
+  std::string name;
+  const spp::Instance* inst = nullptr;
+  std::string perturb = "none";
+  std::uint64_t perturb_edits = 0;
+};
+
 /// One pre-enumerated row of the sweep. Everything execution needs is
 /// resolved up front (including the recording path), so rows can run on
 /// any worker in any order without coordination.
@@ -195,6 +215,13 @@ struct RowTask {
   /// the resolved link model.
   int sim_point = -1;
   sim::LinkModel link;
+  /// Perturbation coordinate of the row's instance variant.
+  std::string perturb = "none";
+  std::uint64_t perturb_edits = 0;
+  /// Fault-schedule coordinate (kSim rows only; borrowed from the
+  /// spec's axis, instantiated per row in run_sim_row).
+  const scenario::FaultScheduleSpec* fault_spec = nullptr;
+  std::string fault_label = "none";
 };
 
 /// The instance-name coordinate fed to derive_row_seed for a kSim row:
@@ -209,7 +236,8 @@ std::string sim_seed_key(const std::string& instance, int sim_point) {
 /// events appear in regardless of thread count. Recording filenames are
 /// built from sanitized components and de-collided with an index suffix
 /// (sanitization is lossy: "a/b" and "a_b" both map to "a_b").
-std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
+std::vector<RowTask> enumerate_rows(const CampaignSpec& spec,
+                                    const std::vector<InstanceVariant>& variants) {
   std::vector<RowTask> tasks;
   std::set<std::string> used_names;
   // The kSim sweep axis: explicit points, or one default link model.
@@ -217,8 +245,7 @@ std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
   if (sim_points.empty()) {
     sim_points.push_back(sim::LinkModel{});
   }
-  for (const auto& [name, instance] : spec.instances) {
-    CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
+  for (const InstanceVariant& variant : variants) {
     for (const model::Model& m : spec.models) {
       for (const SchedulerKind kind : spec.schedulers) {
         if (kind == SchedulerKind::kEventDriven &&
@@ -230,37 +257,62 @@ std::vector<RowTask> enumerate_rows(const CampaignSpec& spec) {
         const std::uint64_t runs = randomized ? spec.seeds : 1;
         const std::size_t points =
             kind == SchedulerKind::kSim ? sim_points.size() : 1;
-        for (std::size_t point = 0; point < points; ++point) {
-          if (kind == SchedulerKind::kSim && m.reliable() &&
-              sim_points[point].loss_prob > 0.0) {
-            continue;  // drops are not expressible in Reliable models
+        // The fault axis multiplies kSim rows only; every other
+        // scheduler gets the single implicit "none" cell.
+        const bool fault_axis =
+            kind == SchedulerKind::kSim && !spec.fault_schedules.empty();
+        const std::size_t fault_cells =
+            fault_axis ? spec.fault_schedules.size() : 1;
+        for (std::size_t fcell = 0; fcell < fault_cells; ++fcell) {
+          const scenario::FaultScheduleSpec* fspec =
+              fault_axis ? &spec.fault_schedules[fcell] : nullptr;
+          if (fspec != nullptr && m.reliable() &&
+              fspec->regime_shifts > 0 && fspec->regime.loss_prob > 0.0) {
+            continue;  // a lossy regime is not expressible when Reliable
           }
-          for (std::uint64_t seed = 0; seed < runs; ++seed) {
-            RowTask task;
-            task.instance = name;
-            task.inst = instance;
-            task.model = m;
-            task.kind = kind;
-            task.seed = seed;
-            if (kind == SchedulerKind::kSim) {
-              task.sim_point = static_cast<int>(point);
-              task.link = sim_points[point];
+          for (std::size_t point = 0; point < points; ++point) {
+            if (kind == SchedulerKind::kSim && m.reliable() &&
+                sim_points[point].loss_prob > 0.0) {
+              continue;  // drops are not expressible in Reliable models
             }
-            if (!spec.recording_dir.empty()) {
-              std::string base = sanitize_path_component(name) + "_" +
-                                 sanitize_path_component(m.name()) + "_" +
-                                 sanitize_path_component(to_string(kind)) +
-                                 "_" + std::to_string(seed);
-              std::string candidate = base;
-              for (int suffix = 2; !used_names.insert(candidate).second;
-                   ++suffix) {
-                candidate = base + "." + std::to_string(suffix);
+            for (std::uint64_t seed = 0; seed < runs; ++seed) {
+              RowTask task;
+              task.instance = variant.name;
+              task.inst = variant.inst;
+              task.model = m;
+              task.kind = kind;
+              task.seed = seed;
+              task.perturb = variant.perturb;
+              task.perturb_edits = variant.perturb_edits;
+              task.fault_spec = fspec;
+              if (fspec != nullptr) {
+                task.fault_label = fspec->label();
               }
-              task.flush_path = (std::filesystem::path(spec.recording_dir) /
-                                 (candidate + ".recording.jsonl"))
-                                    .string();
+              if (kind == SchedulerKind::kSim) {
+                task.sim_point = static_cast<int>(point);
+                task.link = sim_points[point];
+              }
+              if (!spec.recording_dir.empty()) {
+                std::string base =
+                    sanitize_path_component(variant.name) + "_" +
+                    sanitize_path_component(m.name()) + "_" +
+                    sanitize_path_component(to_string(kind)) + "_" +
+                    std::to_string(seed);
+                if (task.fault_label != "none") {
+                  base += "_" + sanitize_path_component(task.fault_label);
+                }
+                std::string candidate = base;
+                for (int suffix = 2; !used_names.insert(candidate).second;
+                     ++suffix) {
+                  candidate = base + "." + std::to_string(suffix);
+                }
+                task.flush_path =
+                    (std::filesystem::path(spec.recording_dir) /
+                     (candidate + ".recording.jsonl"))
+                        .string();
+              }
+              tasks.push_back(std::move(task));
             }
-            tasks.push_back(std::move(task));
           }
         }
       }
@@ -299,6 +351,19 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
     sopts.flight.seed = task.seed;
     sopts.flight.flush_path = task.flush_path;
   }
+  // The fault axis: instantiate the row's schedule spec against this
+  // instance. The seed folds in (instance variant, fault label, seed)
+  // only — no model or sim-point coordinate — so every model in a
+  // campaign cell replays the byte-identical schedule.
+  scenario::FaultSchedule schedule;
+  if (task.fault_spec != nullptr) {
+    schedule = scenario::random_fault_schedule(
+        *task.inst, *task.fault_spec,
+        derive_row_seed(task.instance + "~fault:" + task.fault_label,
+                        /*model_index=*/-1, SchedulerKind::kSim,
+                        task.seed));
+    sopts.faults = &schedule;
+  }
 
   const auto row_start = std::chrono::steady_clock::now();
   obs::Span row_span = obs.span("campaign.row");
@@ -330,6 +395,11 @@ CampaignRow run_sim_row(const CampaignSpec& spec, const RowTask& task,
   row.last_change_us = sres.last_change_us;
   row.critical_path_len = sres.run.critical_path_len;
   row.critical_path_us = sres.critical_path_us;
+  row.perturb = task.perturb;
+  row.perturb_edits = task.perturb_edits;
+  row.fault_schedule = task.fault_label;
+  row.faults_applied = sres.faults_applied;
+  row.reconverge_us = sres.reconverge_us();
   row.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - row_start)
                     .count();
@@ -421,6 +491,8 @@ CampaignRow run_one_row(const CampaignSpec& spec, const RowTask& task,
   row.peak_channel_bytes = run.peak_channel_bytes;
   row.recording_path = run.recording_path;
   row.critical_path_len = run.critical_path_len;
+  row.perturb = task.perturb;
+  row.perturb_edits = task.perturb_edits;
   row.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - row_start)
                     .count();
@@ -493,8 +565,43 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   if (!spec.recording_dir.empty()) {
     std::filesystem::create_directories(spec.recording_dir);
   }
-  const std::vector<RowTask> tasks = enumerate_rows(spec);
+
   CampaignResult result;
+
+  // Materialize the perturbation axis up front: each (instance, spec, p)
+  // variant is a real edited instance that lives for the whole sweep (a
+  // deque keeps the borrowed RowTask pointers stable). The perturb seed
+  // is a pure function of (instance name, label, p) — never the model or
+  // scheduler — so a (model x perturbation) matrix compares models on
+  // the byte-identical edited instance.
+  std::deque<spp::Instance> perturbed_storage;
+  std::vector<InstanceVariant> variants;
+  const std::uint64_t perturb_seeds =
+      std::max<std::uint64_t>(spec.perturb_seeds, 1);
+  for (const auto& [name, instance] : spec.instances) {
+    CR_REQUIRE(instance != nullptr, "null instance in campaign spec");
+    variants.push_back(InstanceVariant{name, instance, "none", 0});
+    for (const scenario::PerturbSpec& pspec : spec.perturbations) {
+      const std::string label = pspec.label();
+      for (std::uint64_t p = 0; p < perturb_seeds; ++p) {
+        const std::uint64_t pseed = derive_row_seed(
+            name + "~" + label, /*model_index=*/-1,
+            SchedulerKind::kRoundRobin, p);
+        scenario::PerturbResult pr = scenario::perturb(*instance, pspec, pseed);
+        const std::string vname =
+            name + "~" + label + "#" + std::to_string(p);
+        result.provenance.push_back(PerturbProvenance{
+            vname, name, label, pseed, pr.record.edits.size(),
+            pr.record.to_json(*instance)});
+        perturbed_storage.push_back(std::move(pr.instance));
+        variants.push_back(InstanceVariant{vname, &perturbed_storage.back(),
+                                           label,
+                                           result.provenance.back().applied});
+      }
+    }
+  }
+
+  const std::vector<RowTask> tasks = enumerate_rows(spec, variants);
   result.rows.resize(tasks.size());
 
   obs::Span campaign_span = spec.obs.span("campaign.run");
@@ -660,8 +767,12 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     for (const CampaignRow& row : result.rows) {
       steps_hist.observe(row.steps);
       messages_hist.observe(row.messages_sent);
+      // Perturbation variants fold into their base instance's bucket
+      // (variant names are "<base>~<label>#<p>").
+      const std::string base_name =
+          row.instance.substr(0, row.instance.find('~'));
       for (std::size_t i = 0; i < spec.instances.size(); ++i) {
-        if (spec.instances[i].first == row.instance) {
+        if (spec.instances[i].first == base_name) {
           instance_steps.add(i, row.steps);
           break;
         }

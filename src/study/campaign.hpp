@@ -13,6 +13,8 @@
 #include "engine/runner.hpp"
 #include "model/model.hpp"
 #include "obs/obs.hpp"
+#include "scenario/fault.hpp"
+#include "scenario/perturb.hpp"
 #include "sim/link_model.hpp"
 #include "spp/instance.hpp"
 
@@ -44,6 +46,26 @@ struct CampaignSpec {
   std::vector<sim::LinkModel> sim_points;
   /// Node processing model shared by all kSim rows.
   sim::NodeModel sim_node;
+  /// Ranking-perturbation axis (scenario/perturb.hpp): each spec
+  /// materializes `perturb_seeds` edited variants of every instance up
+  /// front, named "<instance>~<label>#<p>", which then sweep the full
+  /// model x scheduler cross product alongside the unperturbed base
+  /// (CSV column `perturb` = "none" for base rows). Perturb seeds
+  /// derive from (instance, label, p) only — never from the model or
+  /// scheduler — so every cell of a (model x perturbation) matrix sees
+  /// the byte-identical edited instance. Empty = no perturbation axis.
+  std::vector<scenario::PerturbSpec> perturbations;
+  /// Variants materialized per (instance, perturbation spec); clamped
+  /// to at least 1 when `perturbations` is non-empty.
+  std::uint64_t perturb_seeds = 1;
+  /// Fault-schedule axis for kSim rows (scenario/fault.hpp): each spec
+  /// is instantiated per row via scenario::random_fault_schedule with a
+  /// seed derived from (instance, label, seed) — model-independent, so
+  /// all models of a campaign cell replay the identical schedule.
+  /// Non-kSim rows always carry fault_schedule "none"; cells whose
+  /// regime shift introduces loss are skipped for Reliable models, like
+  /// lossy sim_points. Empty = no fault axis (single "none" cell).
+  std::vector<scenario::FaultScheduleSpec> fault_schedules;
   /// Optional metrics registry / JSONL event sink / span collector.
   /// Attached, the driver emits one "campaign_row" event per completed
   /// row and a final "campaign_summary", publishes row/step/wall
@@ -119,10 +141,35 @@ struct CampaignRow {
   /// explanation of that number).
   std::uint64_t critical_path_len = 0;
   std::uint64_t critical_path_us = 0;
+  /// Perturbation-axis label of this row's instance variant ("none" =
+  /// the unperturbed base) and how many edits actually applied to it.
+  std::string perturb = "none";
+  std::uint64_t perturb_edits = 0;
+  /// Fault-schedule axis label ("none" = no faults; always "none" for
+  /// non-kSim rows), the faults that fired, and the virtual time from
+  /// the last fault to the last assignment change (the row's
+  /// reconvergence time; 0 when no fault fired).
+  std::string fault_schedule = "none";
+  std::uint64_t faults_applied = 0;
+  std::uint64_t reconverge_us = 0;
+};
+
+/// Provenance of one materialized perturbation variant.
+struct PerturbProvenance {
+  std::string variant;       ///< "<instance>~<label>#<p>"
+  std::string base;          ///< source instance name
+  std::string label;         ///< PerturbSpec::label()
+  std::uint64_t seed = 0;    ///< the scenario::perturb seed
+  std::size_t applied = 0;   ///< edits that took effect
+  std::string record_json;   ///< PerturbRecord::to_json JSONL line
 };
 
 struct CampaignResult {
   std::vector<CampaignRow> rows;
+  /// One entry per materialized perturbation variant, in enumeration
+  /// order (empty without a perturbation axis). Deterministic like the
+  /// rows: a pure function of (instances, perturbations, perturb_seeds).
+  std::vector<PerturbProvenance> provenance;
 
   /// Fraction of rows with the given outcome.
   double outcome_rate(engine::Outcome outcome) const;

@@ -20,7 +20,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) {
     s = splitmix64(sm);
@@ -77,5 +77,28 @@ double Rng::exponential(double mean) {
 }
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+std::uint64_t Rng::fork_seed(std::uint64_t seed, std::uint64_t tag) {
+  // Two splitmix64 rounds: the first mixes the seed alone, the second
+  // mixes the advanced state xor the tag. Either input changing in one
+  // bit avalanches the child seed; (seed, tag) -> child is pure.
+  std::uint64_t x = seed;
+  const std::uint64_t a = splitmix64(x);
+  x ^= tag;
+  const std::uint64_t b = splitmix64(x);
+  return a ^ b;
+}
+
+Rng Rng::fork(std::uint64_t tag) const { return Rng(fork_seed(seed_, tag)); }
+
+Rng Rng::fork(std::string_view tag) const {
+  // FNV-1a, the same byte hash used for campaign row-seed derivation.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return fork(h);
+}
 
 }  // namespace commroute

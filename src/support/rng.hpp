@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "support/error.hpp"
@@ -55,9 +56,32 @@ class Rng {
   }
 
   /// Derive an independent child generator (for parallel structures).
+  /// Consumes one draw, so the child depends on the parent's stream
+  /// position. For position-independent derivation use fork().
   Rng split();
 
+  /// Derive a decorrelated sub-stream keyed by (seed, tag): splitmix64
+  /// mixes the construction seed and the tag into a child seed. Pure in
+  /// (seed, tag) — it neither consumes parent draws nor depends on how
+  /// many the parent has made, so `rng.fork(kFaultTag)` yields the same
+  /// stream no matter where it is called. Distinct tags give
+  /// decorrelated streams without manual seed arithmetic.
+  Rng fork(std::uint64_t tag) const;
+
+  /// String-tag convenience: FNV-1a hashes the tag first. fork("sim")
+  /// and fork("perturb") are decorrelated even for seeds 0 and 1.
+  Rng fork(std::string_view tag) const;
+
+  /// The child seed fork() constructs from; exposed so non-Rng
+  /// consumers (e.g. campaign row-seed derivation) can reuse the exact
+  /// algorithm. Golden-value tests pin this mapping.
+  static std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t tag);
+
+  /// The seed this generator was constructed with (fork() keys off it).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
 };
 

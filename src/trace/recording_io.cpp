@@ -8,6 +8,7 @@
 #include "model/script_io.hpp"
 #include "obs/json.hpp"
 #include "obs/meta.hpp"
+#include "scenario/fault.hpp"
 #include "spp/serialize.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -324,6 +325,30 @@ void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
   CR_REQUIRE(doc.step_time_us.empty() ||
                  doc.step_time_us.size() == doc.steps.size(),
              "recording step_time_us/steps mismatch");
+  {
+    std::uint64_t prev_before = doc.meta.first_step;
+    for (const RecordedFault& f : doc.faults) {
+      CR_REQUIRE(f.before >= prev_before &&
+                     f.before <= doc.meta.first_step + doc.steps.size(),
+                 "recording fault \"before\" indices must be non-decreasing "
+                 "and inside the recorded window");
+      prev_before = f.before;
+    }
+  }
+  std::size_t fault_cursor = 0;
+  const auto emit_faults_before = [&](std::uint64_t step_index) {
+    while (fault_cursor < doc.faults.size() &&
+           doc.faults[fault_cursor].before <= step_index) {
+      const RecordedFault& f = doc.faults[fault_cursor];
+      obs::JsonWriter record;
+      record.field("type", "recording_fault")
+          .field("before", f.before)
+          .field("fault", f.text)
+          .field("t_us", f.t_us);
+      out << record.str() << '\n';
+      ++fault_cursor;
+    }
+  };
   obs::JsonWriter header;
   header.field("type", "recording_header");
   // Like obs::add_metadata_fields, but with the recording layout's own
@@ -351,6 +376,7 @@ void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
   out << header.str() << '\n';
 
   for (std::size_t t = 0; t < doc.steps.size(); ++t) {
+    emit_faults_before(doc.meta.first_step + t);
     obs::JsonWriter record;
     record.field("type", "recording_step")
         .field("t", doc.meta.first_step + t)
@@ -369,10 +395,17 @@ void write_recording_jsonl(std::ostream& out, const spp::Instance& instance,
     out << record.str() << '\n';
   }
 
+  // Faults that fired after the last recorded step (the run ended before
+  // another step executed).
+  emit_faults_before(doc.meta.first_step + doc.steps.size());
+
   obs::JsonWriter footer;
   footer.field("type", "recording_footer")
       .field("steps", static_cast<std::uint64_t>(doc.steps.size()))
       .field("changes", count_changes(doc));
+  if (!doc.faults.empty()) {
+    footer.field("faults", static_cast<std::uint64_t>(doc.faults.size()));
+  }
   out << footer.str() << '\n';
 }
 
@@ -515,6 +548,29 @@ LoadedRecording load_recording_jsonl(std::istream& in) {
       } else if (!doc.step_time_us.empty()) {
         fail(line_no, "step record is missing \"t_us\" present earlier");
       }
+    } else if (type == "recording_fault") {
+      // Schema v3: a fault record appears exactly before the step it
+      // precedes, so its "before" index must be the next step index (or
+      // one past the last step, for faults that fired after it).
+      RecordedFault f;
+      f.before = u64_field(*parsed, "before", line_no);
+      const std::uint64_t expected = doc.meta.first_step + doc.steps.size();
+      if (f.before != expected) {
+        fail(line_no, "fault \"before\" index " + std::to_string(f.before) +
+                          " out of order (expected " +
+                          std::to_string(expected) + ")");
+      }
+      f.text = string_field(*parsed, "fault", line_no);
+      try {
+        scenario::parse_fault(f.text, loaded.instance);
+      } catch (const Error& e) {
+        fail(line_no, std::string("bad fault: ") + e.what());
+      }
+      f.t_us = u64_field(*parsed, "t_us", line_no);
+      if (!doc.faults.empty() && f.t_us < doc.faults.back().t_us) {
+        fail(line_no, "fault timestamps must be non-decreasing");
+      }
+      doc.faults.push_back(std::move(f));
     } else if (type == "recording_footer") {
       const std::uint64_t steps = u64_field(*parsed, "steps", line_no);
       if (steps != doc.steps.size()) {
@@ -528,6 +584,17 @@ LoadedRecording load_recording_jsonl(std::istream& in) {
         if (declared != count_changes(doc)) {
           fail(line_no, "footer change count does not match assignments");
         }
+      }
+      if (const obs::JsonValue* faults = parsed->find("faults")) {
+        const std::uint64_t declared = u64_elem(*faults, line_no, "faults");
+        if (declared != doc.faults.size()) {
+          fail(line_no, "footer declares " + std::to_string(declared) +
+                            " faults, file holds " +
+                            std::to_string(doc.faults.size()));
+        }
+      } else if (!doc.faults.empty()) {
+        fail(line_no, "footer is missing the fault count for a faulted "
+                      "recording");
       }
       saw_footer = true;
     } else {
@@ -585,7 +652,24 @@ ReplayResult replay_recording(const LoadedRecording& loaded,
     return result;
   }
   result.trace = Trace(state.assignments());
+  // Faulted recordings (schema v3): re-apply each fault's state effect
+  // at the recorded position. scenario::apply_fault is the same code the
+  // sim injector ran, so a clean recording replays divergence-free; the
+  // delivery-level faults (link down/up, regime shifts) are no-ops here
+  // — their consequences are already baked into the recorded steps.
+  std::size_t fault_cursor = 0;
+  const auto apply_faults_before = [&](std::uint64_t step_index) {
+    while (fault_cursor < doc.faults.size() &&
+           doc.faults[fault_cursor].before <= step_index) {
+      scenario::apply_fault(
+          state,
+          scenario::parse_fault(doc.faults[fault_cursor].text,
+                                loaded.instance));
+      ++fault_cursor;
+    }
+  };
   for (std::size_t t = 0; t < doc.steps.size(); ++t) {
+    apply_faults_before(doc.meta.first_step + t);
     engine::execute_step(state, doc.steps[t]);
     ++result.steps_replayed;
     const Assignment actual = state.assignments();

@@ -40,8 +40,10 @@ namespace commroute::trace {
 /// Layout version written into every recording header; readers reject
 /// anything newer. v2 added the per-step causal fields ("sel" selection
 /// provenance and, for timed runs, "t_us") — v1 files still load, with
-/// those fields simply absent.
-inline constexpr int kRecordingSchemaVersion = 2;
+/// those fields simply absent. v3 added typed fault entries
+/// ("recording_fault" records, see RecordedFault) — v1/v2 files still
+/// load, with no faults.
+inline constexpr int kRecordingSchemaVersion = 3;
 
 /// Per-step channel I/O summary, enough to reconstruct channel-occupancy
 /// time series — and, since schema v2, the happens-before DAG — without
@@ -86,6 +88,21 @@ struct RecordingMeta {
   std::uint64_t witness_cycle_len = 0;
 };
 
+/// An injected fault, recorded in execution order (schema v3). The
+/// fault text is scenario fault syntax (scenario/fault.hpp) rendered
+/// with the instance's symbolic names; storing it as a string keeps
+/// trace independent of the scenario types while staying parseable.
+struct RecordedFault {
+  /// Global 1-based index of the first step executed after the fault
+  /// (the fault happened between steps `before - 1` and `before`).
+  std::uint64_t before = 1;
+  std::string text;         ///< e.g. "session-reset u v"
+  std::uint64_t t_us = 0;   ///< virtual time the fault fired
+  bool operator==(const RecordedFault& o) const {
+    return before == o.before && text == o.text && t_us == o.t_us;
+  }
+};
+
 /// One recorded execution window: the activation steps and the
 /// assignment pi(t) after each, plus pi before the window.
 struct RecordingDoc {
@@ -97,6 +114,10 @@ struct RecordingDoc {
   /// Virtual timestamp of each step (schema v2, timed runs only —
   /// sim::run sources); parallel to steps, or empty (untimed).
   std::vector<std::uint64_t> step_time_us;
+  /// Injected faults in execution order (schema v3; empty on older
+  /// files and fault-free runs). `before` values are non-decreasing and
+  /// inside the recorded window.
+  std::vector<RecordedFault> faults;
 
   /// True when the window starts at the initial state (replayable).
   bool complete() const { return meta.first_step == 1; }
@@ -170,6 +191,9 @@ struct ReplayResult {
 
 /// Deterministic replay: re-executes the recording's script against its
 /// instance from the initial state and diffs per-step path assignments.
+/// Recorded faults (schema v3) are re-applied at their recorded
+/// positions via scenario::apply_fault, so faulted sim recordings also
+/// replay divergence-free.
 /// The engine's step semantics (Def. 2.3) are deterministic given the
 /// quadruple, so a clean load must replay identically; a divergence
 /// means the recording was tampered with or the reader/engine disagree.

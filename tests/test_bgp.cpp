@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/error.hpp"
 #include "bgp/compile.hpp"
 #include "bgp/policy.hpp"
@@ -8,6 +10,7 @@
 #include "engine/executor.hpp"
 #include "engine/runner.hpp"
 #include "spp/dispute_wheel.hpp"
+#include "spp/serialize.hpp"
 #include "spp/solver.hpp"
 
 namespace commroute::bgp {
@@ -119,6 +122,74 @@ TEST(Policy, ValleyFreePathAcceptance) {
   // peer-learned route to a peer).
   EXPECT_FALSE(
       gao_rexford_permits(*topo, path({"as3", "as2", "as0", "as1"})));
+}
+
+TEST(Policy, ValleyViolationsAreRejectedHopByHop) {
+  const auto topo = reference_topology();
+  const auto path = [&](std::initializer_list<const char*> names) {
+    std::vector<NodeId> nodes;
+    for (const char* n : names) {
+      nodes.push_back(topo->as(n));
+    }
+    return Path(std::move(nodes));
+  };
+  // Up through a provider chain: valley-free.
+  EXPECT_TRUE(gao_rexford_permits(*topo, path({"as4", "as2", "as0"})));
+  // Down to a customer then back up to a provider: a valley. as2 would
+  // have to export a provider-learned route (from as0... actually as4's
+  // route) upward — GR3 forbids it.
+  EXPECT_FALSE(gao_rexford_permits(*topo, path({"as3", "as4", "as2", "as0"})));
+  // Peer then peer: as2 may not re-export a peer-learned route to
+  // another peer (as0 -> as2 is provider-to-customer, fine; but
+  // as3 -> as2 -> as0? as2 learned from peer as3 and exports to
+  // provider as0 — forbidden).
+  EXPECT_FALSE(gao_rexford_permits(*topo, path({"as0", "as2", "as3"})));
+  // Provider down to customer all the way: always exportable.
+  EXPECT_TRUE(gao_rexford_permits(*topo, path({"as0", "as2", "as4"})));
+}
+
+TEST(Policy, PreferenceTieBreakOrdering) {
+  const auto topo = reference_topology();
+  const auto path = [&](std::initializer_list<const char*> names) {
+    std::vector<NodeId> nodes;
+    for (const char* n : names) {
+      nodes.push_back(topo->as(n));
+    }
+    return Path(std::move(nodes));
+  };
+  // Route class dominates length: a longer customer route beats a
+  // shorter peer route at as2 (customer as4 vs peer as3).
+  const RoutePreference customer =
+      preference_of(*topo, path({"as2", "as4", "as3"}));
+  const RoutePreference peer = preference_of(*topo, path({"as2", "as3"}));
+  EXPECT_EQ(customer.route_class, RouteClass::kCustomerRoute);
+  EXPECT_EQ(peer.route_class, RouteClass::kPeerRoute);
+  EXPECT_TRUE(customer < peer);
+  // Same class: shorter wins.
+  const RoutePreference direct = preference_of(*topo, path({"as4", "as2"}));
+  const RoutePreference longer =
+      preference_of(*topo, path({"as4", "as2", "as0"}));
+  EXPECT_TRUE(direct < longer);
+  // Same class and length: the next-hop index breaks the tie strictly.
+  const RoutePreference via2 = preference_of(*topo, path({"as4", "as2"}));
+  const RoutePreference via3 = preference_of(*topo, path({"as4", "as3"}));
+  EXPECT_TRUE(via2 < via3 || via3 < via2);
+}
+
+TEST(Policy, CompiledInstanceRoundTripsThroughSerialize) {
+  // The text format carries graph/destination/permitted but not the
+  // export policy, so the round trip is compared on those three only.
+  const auto topo = reference_topology();
+  const spp::Instance inst = compile_gao_rexford(topo, "as0");
+  const spp::Instance back = spp::parse_instance(spp::format_instance(inst));
+  EXPECT_EQ(back.destination(), inst.destination());
+  ASSERT_EQ(back.node_count(), inst.node_count());
+  for (NodeId v = 0; v < inst.node_count(); ++v) {
+    EXPECT_EQ(back.graph().name(v), inst.graph().name(v));
+    EXPECT_EQ(back.permitted(v), inst.permitted(v)) << inst.graph().name(v);
+  }
+  // Formatting the parsed instance again is a fixed point.
+  EXPECT_EQ(spp::format_instance(back), spp::format_instance(inst));
 }
 
 TEST(Compile, InstanceMirrorsTopology) {
@@ -256,6 +327,52 @@ TEST(RandomTopology, EveryAsHasATransitPath) {
   for (NodeId v = 1; v < inst.node_count(); ++v) {
     EXPECT_FALSE(inst.permitted(v).empty()) << topo->name(v);
   }
+}
+
+TEST(RandomTopology, RejectsDegenerateParameters) {
+  Rng rng(16);
+  // A hierarchy needs a provider and a customer.
+  EXPECT_THROW(random_as_topology(rng, {.as_count = 0}), PreconditionError);
+  EXPECT_THROW(random_as_topology(rng, {.as_count = 1}), PreconditionError);
+  // Probabilities must be finite and in [0, 1].
+  EXPECT_THROW(
+      random_as_topology(rng, {.as_count = 4, .extra_provider_prob = -0.1}),
+      PreconditionError);
+  EXPECT_THROW(
+      random_as_topology(rng, {.as_count = 4, .peering_prob = 1.5}),
+      PreconditionError);
+  EXPECT_THROW(random_as_topology(
+                   rng, {.as_count = 4,
+                         .extra_provider_prob =
+                             std::numeric_limits<double>::quiet_NaN()}),
+               PreconditionError);
+  EXPECT_THROW(random_as_topology(
+                   rng, {.as_count = 4,
+                         .peering_prob =
+                             std::numeric_limits<double>::infinity()}),
+               PreconditionError);
+}
+
+TEST(RandomTopology, BoundaryProbabilitiesAreAccepted) {
+  Rng rng(17);
+  // 0 and 1 are valid: a pure tree and a fully multihomed/peered mesh.
+  const auto sparse = random_as_topology(
+      rng, {.as_count = 6, .extra_provider_prob = 0.0, .peering_prob = 0.0});
+  EXPECT_TRUE(sparse->provider_dag_acyclic());
+  const auto dense = random_as_topology(
+      rng, {.as_count = 6, .extra_provider_prob = 1.0, .peering_prob = 1.0});
+  EXPECT_TRUE(dense->provider_dag_acyclic());
+  // The dense draw actually multihomed someone: more provider links
+  // than the spanning minimum of as_count - 1.
+  std::size_t provider_links = 0;
+  for (NodeId a = 0; a < dense->as_count(); ++a) {
+    for (NodeId b = 0; b < dense->as_count(); ++b) {
+      if (a != b && dense->relationship(a, b) == Relationship::kProvider) {
+        ++provider_links;
+      }
+    }
+  }
+  EXPECT_GT(provider_links, dense->as_count() - 1);
 }
 
 TEST(RandomTopology, ConvergesUnderRandomFairSchedulesAllModels) {

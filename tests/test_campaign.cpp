@@ -212,10 +212,10 @@ TEST(Campaign, CsvEscapesHostileNamesAndRoundTrips) {
 
   const auto records = csv_parse(result.to_csv());
   ASSERT_EQ(records.size(), result.rows.size() + 1);  // header + rows
-  ASSERT_EQ(records[0].size(), 18u);
+  ASSERT_EQ(records[0].size(), 23u);
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const auto& fields = records[i + 1];
-    ASSERT_EQ(fields.size(), 18u) << "row " << i;
+    ASSERT_EQ(fields.size(), 23u) << "row " << i;
     EXPECT_EQ(fields[0], result.rows[i].instance);
     EXPECT_EQ(fields[1], result.rows[i].model.name());
     EXPECT_EQ(fields[4], "converged");

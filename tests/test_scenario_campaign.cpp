@@ -1,0 +1,191 @@
+// Campaign integration of the scenario axes: perturbation variants and
+// fault schedules sweep deterministically at any thread width.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/fault.hpp"
+#include "scenario/perturb.hpp"
+#include "spp/gadgets.hpp"
+#include "study/campaign.hpp"
+
+namespace commroute::study {
+namespace {
+
+// Strips the wall_ms column (index 10) from every CSV line so runs can
+// be byte-compared; the same recipe the CI gate uses via awk.
+std::string strip_wall(const std::string& csv) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::string line = csv.substr(start, end - start);
+    std::size_t col = 0;
+    std::size_t field_start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (col != 10) {
+          out += line.substr(field_start, i - field_start);
+        }
+        if (i < line.size()) {
+          out += ',';
+        }
+        field_start = i + 1;
+        ++col;
+      }
+    }
+    out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+CampaignSpec scenario_spec(const spp::Instance* good,
+                           const spp::Instance* disagree) {
+  CampaignSpec spec;
+  spec.instances = {{"good-gadget", good}, {"disagree", disagree}};
+  spec.models = {model::Model::parse("R1O"), model::Model::parse("U1O")};
+  spec.schedulers = {SchedulerKind::kRoundRobin, SchedulerKind::kSim};
+  spec.seeds = 2;
+  spec.perturbations = {scenario::parse_perturb_spec("tiebreak:1"),
+                        scenario::parse_perturb_spec("rankswap:2")};
+  spec.perturb_seeds = 2;
+  scenario::FaultScheduleSpec flap;
+  flap.link_flaps = 1;
+  spec.fault_schedules = {scenario::FaultScheduleSpec{}, flap};
+  return spec;
+}
+
+TEST(ScenarioCampaign, ProvenanceCoversEveryMaterializedVariant) {
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance dis = spp::disagree();
+  CampaignSpec spec = scenario_spec(&good, &dis);
+  spec.threads = 1;
+  const CampaignResult result = run_campaign(spec);
+
+  // instances x perturbation specs x perturb_seeds variants.
+  ASSERT_EQ(result.provenance.size(), 2u * 2u * 2u);
+  std::set<std::string> variants;
+  for (const PerturbProvenance& p : result.provenance) {
+    EXPECT_TRUE(p.base == "good-gadget" || p.base == "disagree");
+    EXPECT_TRUE(p.label == "tiebreak:1" || p.label == "rankswap:2");
+    EXPECT_EQ(p.variant.rfind(p.base + "~" + p.label + "#", 0), 0u);
+    EXPECT_FALSE(p.record_json.empty());
+    variants.insert(p.variant);
+  }
+  EXPECT_EQ(variants.size(), result.provenance.size());
+
+  // Every variant produced rows, and each row's perturb columns match
+  // its variant's provenance.
+  for (const PerturbProvenance& p : result.provenance) {
+    bool saw_row = false;
+    for (const CampaignRow& row : result.rows) {
+      if (row.instance != p.variant) {
+        continue;
+      }
+      saw_row = true;
+      EXPECT_EQ(row.perturb, p.label);
+      EXPECT_EQ(row.perturb_edits, p.applied);
+    }
+    EXPECT_TRUE(saw_row) << p.variant;
+  }
+}
+
+TEST(ScenarioCampaign, FaultAxisOnlyTouchesSimRows) {
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance dis = spp::disagree();
+  CampaignSpec spec = scenario_spec(&good, &dis);
+  spec.threads = 1;
+  const CampaignResult result = run_campaign(spec);
+
+  bool saw_faulted = false;
+  for (const CampaignRow& row : result.rows) {
+    if (row.scheduler != SchedulerKind::kSim) {
+      EXPECT_EQ(row.fault_schedule, "none");
+      EXPECT_EQ(row.faults_applied, 0u);
+      EXPECT_EQ(row.reconverge_us, 0u);
+      continue;
+    }
+    if (row.fault_schedule == "none") {
+      EXPECT_EQ(row.faults_applied, 0u);
+      EXPECT_EQ(row.reconverge_us, 0u);
+    } else {
+      EXPECT_EQ(row.fault_schedule, "flap1");
+      saw_faulted = true;
+    }
+  }
+  EXPECT_TRUE(saw_faulted);
+}
+
+TEST(ScenarioCampaign, FaultScheduleIsModelIndependentPerCell) {
+  // All models of one (instance, sim point, fault label, seed) cell must
+  // replay the identical schedule: same faults_applied on every row.
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance dis = spp::disagree();
+  CampaignSpec spec = scenario_spec(&good, &dis);
+  spec.threads = 1;
+  const CampaignResult result = run_campaign(spec);
+
+  for (const CampaignRow& a : result.rows) {
+    if (a.fault_schedule == "none" || a.scheduler != SchedulerKind::kSim) {
+      continue;
+    }
+    for (const CampaignRow& b : result.rows) {
+      if (b.scheduler == SchedulerKind::kSim && b.instance == a.instance &&
+          b.fault_schedule == a.fault_schedule && b.seed == a.seed &&
+          b.sim_latency_us == a.sim_latency_us && b.sim_loss == a.sim_loss) {
+        EXPECT_EQ(a.faults_applied, b.faults_applied)
+            << a.instance << " seed " << a.seed << ": " << a.model.name()
+            << " vs " << b.model.name();
+      }
+    }
+  }
+}
+
+TEST(ScenarioCampaign, ByteIdenticalAcrossThreadWidths) {
+  const spp::Instance good = spp::good_gadget();
+  const spp::Instance dis = spp::disagree();
+  CampaignSpec serial_spec = scenario_spec(&good, &dis);
+  serial_spec.threads = 1;
+  CampaignSpec wide_spec = scenario_spec(&good, &dis);
+  wide_spec.threads = 4;
+
+  const CampaignResult serial = run_campaign(serial_spec);
+  const CampaignResult wide = run_campaign(wide_spec);
+  ASSERT_EQ(serial.rows.size(), wide.rows.size());
+  EXPECT_EQ(strip_wall(serial.to_csv()), strip_wall(wide.to_csv()));
+  ASSERT_EQ(serial.provenance.size(), wide.provenance.size());
+  for (std::size_t i = 0; i < serial.provenance.size(); ++i) {
+    EXPECT_EQ(serial.provenance[i].record_json,
+              wide.provenance[i].record_json);
+  }
+}
+
+TEST(ScenarioCampaign, CsvCarriesTheScenarioColumns) {
+  const spp::Instance good = spp::good_gadget();
+  CampaignSpec spec;
+  spec.instances = {{"good-gadget", &good}};
+  spec.models = {model::Model::parse("R1O")};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  spec.seeds = 1;
+  spec.threads = 1;
+  const CampaignResult result = run_campaign(spec);
+  const std::string csv = result.to_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  // New axes append at the end — the wall_ms-stripping CI gate and every
+  // downstream CSV consumer depend on the column order staying put.
+  EXPECT_NE(header.find(
+                "perturb,perturb_edits,fault_schedule,faults_applied,"
+                "reconverge_us"),
+            std::string::npos);
+  EXPECT_EQ(header.rfind("reconverge_us"),
+            header.size() - std::string("reconverge_us").size());
+}
+
+}  // namespace
+}  // namespace commroute::study

@@ -1,0 +1,271 @@
+// Timed fault injection: schedule parsing, state effects, sim-runner
+// injection, recording round trips, and causality integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/causality.hpp"
+#include "scenario/fault.hpp"
+#include "sim/sim_runner.hpp"
+#include "spp/gadgets.hpp"
+#include "support/error.hpp"
+#include "trace/recording_io.hpp"
+
+namespace commroute::scenario {
+namespace {
+
+using model::Model;
+
+TEST(FaultSchedule, FormatParseRoundTrip) {
+  const spp::Instance inst = spp::good_gadget();
+  const std::string text =
+      "1200 link-down 1 2; 2600 link-up 1 2; 3000 session-reset 2 3; "
+      "4000 reboot 3";
+  const FaultSchedule sched = parse_fault_schedule(text, inst);
+  EXPECT_EQ(sched.size(), 4u);
+  EXPECT_EQ(sched.format(inst), text);
+  EXPECT_EQ(sched.last_at_us(), 4000u);
+}
+
+TEST(FaultSchedule, EventsSortByTime) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule sched =
+      parse_fault_schedule("5000 reboot 3; 100 session-reset 1 2", inst);
+  EXPECT_EQ(sched.events()[0].at_us, 100u);
+  EXPECT_EQ(sched.events()[1].at_us, 5000u);
+}
+
+TEST(FaultSchedule, ParseRejectsGarbage) {
+  const spp::Instance inst = spp::good_gadget();
+  EXPECT_THROW(parse_fault_schedule("100 melt 1 2", inst), ParseError);
+  EXPECT_THROW(parse_fault_schedule("100 reboot zz", inst), ParseError);
+}
+
+TEST(FaultSchedule, SpecLabelsRoundTrip) {
+  for (const char* label :
+       {"none", "flap1", "reset2", "flap1+reset1+reboot1+regime1"}) {
+    EXPECT_EQ(parse_fault_spec(label).label(), label);
+  }
+  EXPECT_THROW(parse_fault_spec("melt1"), ParseError);
+}
+
+TEST(FaultSchedule, RandomScheduleIsPureInInstanceSpecSeed) {
+  const spp::Instance inst = spp::good_gadget();
+  FaultScheduleSpec spec;
+  spec.link_flaps = 2;
+  spec.session_resets = 1;
+  spec.reboots = 1;
+  const FaultSchedule a = random_fault_schedule(inst, spec, 5);
+  const FaultSchedule b = random_fault_schedule(inst, spec, 5);
+  EXPECT_EQ(a.format(inst), b.format(inst));
+  const FaultSchedule c = random_fault_schedule(inst, spec, 6);
+  EXPECT_NE(a.format(inst), c.format(inst));
+  // Every flap's link-up follows its link-down.
+  std::size_t downs = 0, ups = 0;
+  for (const FaultEvent& ev : a.events()) {
+    if (ev.kind == FaultKind::kLinkDown) ++downs;
+    if (ev.kind == FaultKind::kLinkUp) ++ups;
+  }
+  EXPECT_EQ(downs, 2u);
+  EXPECT_EQ(ups, 2u);
+}
+
+sim::SimResult run_faulted(const Model& m, const spp::Instance& inst,
+                           const FaultSchedule& faults,
+                           sim::SimOptions extra = {}) {
+  extra.model = m;
+  extra.seed = 42;
+  extra.faults = &faults;
+  return sim::run(inst, extra);
+}
+
+TEST(FaultInjection, FaultsFireAndNetworkReconverges) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "9000 link-down 1 2; 11000 link-up 1 2; 20000 reboot 3", inst);
+  for (const char* name : {"R1O", "UMS", "REA"}) {
+    const sim::SimResult res =
+        run_faulted(Model::parse(name), inst, faults);
+    EXPECT_EQ(res.run.outcome, engine::Outcome::kConverged) << name;
+    EXPECT_EQ(res.faults_applied, 3u) << name;
+    EXPECT_EQ(res.run.faults_applied, 3u) << name;
+    EXPECT_EQ(res.last_fault_us, 20000u) << name;
+    // The reboot wiped pi_3, so the network must change after it.
+    EXPECT_GT(res.reconverge_us(), 0u) << name;
+  }
+}
+
+TEST(FaultInjection, FaultFreeRunsReportZeroReconvergence) {
+  const spp::Instance inst = spp::good_gadget();
+  sim::SimOptions opts;
+  opts.model = Model::parse("R1O");
+  opts.seed = 42;
+  const sim::SimResult res = sim::run(inst, opts);
+  EXPECT_EQ(res.faults_applied, 0u);
+  EXPECT_EQ(res.reconverge_us(), 0u);
+}
+
+TEST(FaultInjection, ReliablePermanentPartitionIsRejected) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults =
+      parse_fault_schedule("1000 link-down 1 2", inst);
+  sim::SimOptions opts;
+  opts.model = Model::parse("R1O");
+  opts.faults = &faults;
+  EXPECT_THROW(sim::run(inst, opts), PreconditionError);
+  // The same schedule is fine when drops are expressible.
+  opts.model = Model::parse("U1O");
+  const sim::SimResult res = sim::run(inst, opts);
+  EXPECT_EQ(res.faults_applied, 1u);
+}
+
+TEST(FaultInjection, RebootOfDestinationIsRejected) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule("1000 reboot d", inst);
+  sim::SimOptions opts;
+  opts.model = Model::parse("R1O");
+  opts.faults = &faults;
+  EXPECT_THROW(sim::run(inst, opts), PreconditionError);
+}
+
+TEST(FaultInjection, DeterministicAcrossRuns) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "1200 link-down 1 2; 2600 link-up 1 2; 4000 session-reset 2 3", inst);
+  const sim::SimResult a = run_faulted(Model::parse("UMS"), inst, faults);
+  const sim::SimResult b = run_faulted(Model::parse("UMS"), inst, faults);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(FaultInjection, SummaryJsonRoundTripsFaultFields) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "1200 link-down 1 2; 2600 link-up 1 2; 4000 reboot 3", inst);
+  const sim::SimResult res = run_faulted(Model::parse("R1O"), inst, faults);
+  const sim::SimResult parsed = sim::SimResult::from_json(res.to_json());
+  EXPECT_EQ(parsed.faults_applied, res.faults_applied);
+  EXPECT_EQ(parsed.last_fault_us, res.last_fault_us);
+  EXPECT_EQ(parsed.reconverge_us(), res.reconverge_us());
+}
+
+TEST(FaultInjection, FaultedRecordingReplaysDivergenceFree) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "9000 link-down 1 2; 11000 link-up 1 2; 20000 reboot 3; "
+      "26000 session-reset 1 2",
+      inst);
+  sim::SimOptions opts;
+  opts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  const sim::SimResult res =
+      run_faulted(Model::parse("UMS"), inst, faults, opts);
+  ASSERT_TRUE(res.run.recording.has_value());
+  // The reboot and the reset land in the recording as typed fault
+  // entries (timed-delivery faults leave no state mark but are still
+  // recorded for provenance).
+  EXPECT_EQ(res.run.recording->faults.size(), 4u);
+
+  std::istringstream in(
+      trace::recording_to_jsonl(inst, *res.run.recording));
+  const trace::LoadedRecording loaded = trace::load_recording_jsonl(in);
+  EXPECT_EQ(loaded.doc.faults.size(), 4u);
+  const trace::ReplayResult replayed = trace::replay_recording(loaded);
+  EXPECT_TRUE(replayed.identical);
+  EXPECT_EQ(replayed.steps_replayed, res.run.steps);
+}
+
+TEST(FaultInjection, CausalityRecordsFaultsAndFlushes) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "9000 session-reset 1 2; 20000 reboot 3", inst);
+  sim::SimOptions opts;
+  opts.causality = true;
+  opts.flight.mode = engine::FlightRecorderOptions::Mode::kFull;
+  const sim::SimResult res =
+      run_faulted(Model::parse("UMS"), inst, faults, opts);
+  ASSERT_TRUE(res.run.causality.has_value());
+  const obs::CausalityStats stats = res.run.causality->stats();
+  EXPECT_EQ(stats.faults, 2u);
+  ASSERT_EQ(res.run.causality->faults().size(), 2u);
+  EXPECT_EQ(res.run.causality->faults()[0].t_us, 9000u);
+
+  // The offline builder (complete recording) reconstructs the same
+  // fault vertices from the recorded entries.
+  ASSERT_TRUE(res.run.recording.has_value());
+  const obs::CausalityGraph offline =
+      obs::build_causality(inst, *res.run.recording);
+  EXPECT_EQ(offline.stats().faults, 2u);
+  EXPECT_EQ(offline.stats().flushed_messages, stats.flushed_messages);
+}
+
+TEST(FaultInjection, RegimeShiftChangesDeliveryTiming) {
+  const spp::Instance inst = spp::good_gadget();
+  // Shift every link to a 10x latency regime before boot-wave replies
+  // go out: every message sent after the shift now takes 10000us, so
+  // the run's virtual clock must stretch well past the calm run's
+  // (assignments may settle off the boot wave either way, so the clock
+  // — not last_change_us — is the honest observable).
+  const FaultSchedule faults = parse_fault_schedule(
+      "500 regime * * dist=fixed lat=10000 jit=0 loss=0 burst=1", inst);
+  sim::SimOptions base;
+  base.model = Model::parse("R1O");
+  base.seed = 42;
+  const sim::SimResult calm = sim::run(inst, base);
+  const sim::SimResult shifted =
+      run_faulted(Model::parse("R1O"), inst, faults);
+  EXPECT_EQ(shifted.faults_applied, 1u);
+  EXPECT_EQ(shifted.run.outcome, engine::Outcome::kConverged);
+  EXPECT_GT(shifted.virtual_end_us, calm.virtual_end_us + 5000);
+}
+
+TEST(FaultInjection, LossyRegimeShiftRejectedUnderReliableModels) {
+  const spp::Instance inst = spp::good_gadget();
+  const FaultSchedule faults = parse_fault_schedule(
+      "500 regime * * dist=fixed lat=1000 jit=0 loss=0.5 burst=1", inst);
+  sim::SimOptions opts;
+  opts.model = Model::parse("R1O");
+  opts.faults = &faults;
+  EXPECT_THROW(sim::run(inst, opts), PreconditionError);
+}
+
+TEST(ApplyFault, SessionResetFlushesBothChannelsAndRho) {
+  const spp::Instance inst = spp::good_gadget();
+  engine::NetworkState state(inst);
+  const Graph& g = inst.graph();
+  const NodeId n1 = g.node("1");
+  const NodeId n2 = g.node("2");
+  const ChannelIdx c12 = g.channel(n1, n2);
+  const ChannelIdx c21 = g.channel(n2, n1);
+  state.mutable_channel(c12).push({Path({n2, g.node("d")})});
+  state.set_known(c21, Path({n1, g.node("d")}));
+
+  const FaultEvent reset = parse_fault("session-reset 1 2", inst);
+  const FaultStateEffect effect = apply_fault(state, reset);
+  EXPECT_TRUE(effect.state_changed);
+  EXPECT_EQ(effect.flushed.size(), 2u);
+  EXPECT_TRUE(state.channel(c12).empty());
+  EXPECT_TRUE(state.channel(c21).empty());
+  EXPECT_TRUE(state.known(c21).empty());  // rho reset to epsilon
+}
+
+TEST(ApplyFault, RebootWipesPiAndIncidentChannels) {
+  const spp::Instance inst = spp::good_gadget();
+  engine::NetworkState state(inst);
+  const Graph& g = inst.graph();
+  const NodeId n3 = g.node("3");
+  const Path direct({n3, g.node("d")});
+  state.set_assignment(n3, direct);
+
+  const FaultEvent reboot = parse_fault("reboot 3", inst);
+  const FaultStateEffect effect = apply_fault(state, reboot);
+  EXPECT_TRUE(effect.state_changed);
+  EXPECT_TRUE(state.assignment(n3).empty());
+  // All of n3's in- and out-channels are flushed.
+  EXPECT_EQ(effect.flushed.size(),
+            g.in_channels(n3).size() + g.out_channels(n3).size());
+  // Link faults touch no state.
+  const FaultEvent down = parse_fault("link-down 1 2", inst);
+  EXPECT_FALSE(apply_fault(state, down).state_changed);
+}
+
+}  // namespace
+}  // namespace commroute::scenario

@@ -1,0 +1,129 @@
+// Ranking perturbations: determinism, provenance, and replayable edits.
+#include <gtest/gtest.h>
+
+#include "bgp/compile.hpp"
+#include "bgp/random_topology.hpp"
+#include "scenario/perturb.hpp"
+#include "spp/gadgets.hpp"
+#include "spp/serialize.hpp"
+#include "support/error.hpp"
+
+namespace commroute::scenario {
+namespace {
+
+std::string fingerprint(const spp::Instance& inst) {
+  return spp::format_instance(inst);
+}
+
+TEST(Perturb, PureInInstanceSpecSeed) {
+  const spp::Instance base = spp::good_gadget();
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kRankSwap;
+  spec.count = 2;
+  const PerturbResult a = perturb(base, spec, 99);
+  const PerturbResult b = perturb(base, spec, 99);
+  EXPECT_EQ(fingerprint(a.instance), fingerprint(b.instance));
+  EXPECT_EQ(a.record.to_json(base), b.record.to_json(base));
+  // A different seed explores a different site (with overwhelming
+  // probability on this instance; pinned by the fixed seeds here).
+  const PerturbResult c = perturb(base, spec, 100);
+  EXPECT_NE(a.record.to_json(base), c.record.to_json(base));
+}
+
+TEST(Perturb, TieBreakFlipSwapsAdjacentRanks) {
+  const spp::Instance base = spp::good_gadget();
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kTieBreakFlip;
+  spec.count = 1;
+  const PerturbResult r = perturb(base, spec, 7);
+  ASSERT_EQ(r.record.edits.size(), 1u);
+  const PerturbEdit& edit = r.record.edits[0];
+  EXPECT_EQ(edit.op, PerturbEdit::Op::kSwap);
+  // The two paths were adjacent in the base ranking and are exchanged
+  // in the perturbed instance.
+  const auto rank_a = base.rank(edit.node, edit.a);
+  const auto rank_b = base.rank(edit.node, edit.b);
+  ASSERT_TRUE(rank_a.has_value());
+  ASSERT_TRUE(rank_b.has_value());
+  EXPECT_EQ(*rank_a + 1, *rank_b);
+  EXPECT_EQ(r.instance.rank(edit.node, edit.a), rank_b);
+  EXPECT_EQ(r.instance.rank(edit.node, edit.b), rank_a);
+}
+
+TEST(Perturb, EditsReplayThroughApplyEdits) {
+  const spp::Instance base = spp::good_gadget();
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kRankSwap;
+  spec.count = 2;
+  spec.window = 2;
+  const PerturbResult r = perturb(base, spec, 3);
+  std::size_t applied = 0;
+  const spp::Instance again = apply_edits(base, r.record.edits, &applied);
+  EXPECT_EQ(applied, r.record.edits.size());
+  EXPECT_EQ(fingerprint(again), fingerprint(r.instance));
+}
+
+TEST(Perturb, DeleteNeverRemovesANodesLastPath) {
+  // DISAGREE has exactly one non-trivial path alternative per node;
+  // hammer it with deletions and check everyone keeps a route.
+  const spp::Instance base = spp::disagree();
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kPathDelete;
+  spec.count = 50;  // far more than the eligible sites
+  const PerturbResult r = perturb(base, spec, 11);
+  for (NodeId v = 0; v < r.instance.node_count(); ++v) {
+    EXPECT_FALSE(r.instance.permitted(v).empty());
+  }
+  EXPECT_LT(r.record.edits.size(), 50u);
+}
+
+TEST(Perturb, LabelsRoundTripThroughParse) {
+  for (const char* label : {"tiebreak:1", "rankswap:2", "delete:3"}) {
+    const PerturbSpec spec = parse_perturb_spec(label);
+    EXPECT_EQ(spec.label(), label);
+  }
+  EXPECT_EQ(parse_perturb_spec("tiebreak").count, 1u);
+  EXPECT_THROW(parse_perturb_spec("melt:1"), ParseError);
+  EXPECT_THROW(parse_perturb_spec("tiebreak:x"), ParseError);
+}
+
+TEST(Perturb, GaoRexfordViolationNeedsATopology) {
+  const spp::Instance base = spp::good_gadget();
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kGaoRexfordViolation;
+  EXPECT_THROW(perturb(base, spec, 1), PreconditionError);
+}
+
+TEST(Perturb, GaoRexfordViolationPromotesNonCustomerRoute) {
+  Rng rng(23);
+  const auto topo = bgp::random_as_topology(rng, {.as_count = 6});
+  const spp::Instance inst = bgp::compile_gao_rexford(topo, "as0");
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kGaoRexfordViolation;
+  spec.count = 1;
+  spec.topology = topo;
+  const PerturbResult r = perturb(inst, spec, 5);
+  // The compiled GR instance ranks customer routes first; a violation
+  // must move some path, and it replays like any other edit.
+  if (!r.record.edits.empty()) {
+    std::size_t applied = 0;
+    const spp::Instance again = apply_edits(inst, r.record.edits, &applied);
+    EXPECT_EQ(applied, r.record.edits.size());
+    EXPECT_EQ(fingerprint(again), fingerprint(r.instance));
+    EXPECT_NE(fingerprint(again), fingerprint(inst));
+  }
+}
+
+TEST(Perturb, ExportPolicyIsCarriedOver) {
+  Rng rng(29);
+  const auto topo = bgp::random_as_topology(rng, {.as_count = 5});
+  const spp::Instance inst = bgp::compile_gao_rexford(topo, "as0");
+  ASSERT_NE(inst.export_policy_ptr(), nullptr);
+  PerturbSpec spec;
+  spec.kind = PerturbKind::kTieBreakFlip;
+  const PerturbResult r = perturb(inst, spec, 2);
+  EXPECT_EQ(r.instance.export_policy_ptr(), inst.export_policy_ptr());
+}
+
+}  // namespace
+}  // namespace commroute::scenario

@@ -1042,6 +1042,8 @@ int cmd_causality(const std::vector<std::string>& args) {
         .field("dropped_messages", stats.dropped_messages)
         .field("in_flight_messages", stats.in_flight_messages)
         .field("unknown_origin_messages", stats.unknown_origin_messages)
+        .field("faults", stats.faults)
+        .field("flushed_messages", stats.flushed_messages)
         .field("roots", stats.roots)
         .field("max_depth", stats.max_depth)
         .field("critical_path_len", stats.critical_path_len)
@@ -1081,6 +1083,10 @@ int cmd_causality(const std::vector<std::string>& args) {
   std::cout << "messages: " << stats.dropped_messages << " dropped, "
             << stats.in_flight_messages << " still in flight, "
             << stats.unknown_origin_messages << " of unknown origin\n";
+  if (stats.faults > 0) {
+    std::cout << "faults: " << stats.faults << " injected, "
+              << stats.flushed_messages << " message(s) flushed in flight\n";
+  }
   std::cout << "depth: max " << stats.max_depth << " over " << stats.roots
             << " root(s); critical path " << stats.critical_path_len
             << " activation(s)";
